@@ -1,0 +1,98 @@
+//! Fig. 2 — community tag vs. prefix length, plus the extended-dictionary
+//! inference (§4.1 "Possibilities for Extended Dictionary").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bh_analysis::{pct, render_series, Series};
+use bh_bench::{Study, StudyScale};
+use bh_topology::DocumentationChannel;
+
+fn bench(c: &mut Criterion) {
+    let study = Study::build(StudyScale::Small, 42);
+    let (_output, result) = study.visibility_run(10, 8.0);
+
+    // The Fig. 2 surface: fraction of occurrences per (tag, length).
+    let points = result.census.fig2_series(&study.dict);
+    let bh_mass_at_32: f64 = points
+        .iter()
+        .filter(|p| p.is_blackhole && p.prefix_length == 32)
+        .map(|p| p.fraction)
+        .sum::<f64>()
+        / points.iter().filter(|p| p.is_blackhole).map(|p| p.fraction).sum::<f64>().max(1e-9);
+    let other_mass_le_24: f64 = points
+        .iter()
+        .filter(|p| !p.is_blackhole && p.prefix_length <= 24)
+        .map(|p| p.fraction)
+        .sum::<f64>()
+        / points.iter().filter(|p| !p.is_blackhole).map(|p| p.fraction).sum::<f64>().max(1e-9);
+
+    let bh_series = Series::new(
+        "blackhole-tags",
+        points
+            .iter()
+            .filter(|p| p.is_blackhole)
+            .map(|p| (p.prefix_length as f64, p.fraction))
+            .collect(),
+    );
+    let other_series = Series::new(
+        "other-tags",
+        points
+            .iter()
+            .filter(|p| !p.is_blackhole)
+            .map(|p| (p.prefix_length as f64, p.fraction))
+            .collect(),
+    );
+    println!("{}", render_series("Fig 2: fraction of tag occurrences per prefix length", &[bh_series, other_series]));
+    println!(
+        "shape: blackhole-tag mass at /32: {} (paper: almost exclusively /32)",
+        pct(bh_mass_at_32)
+    );
+    println!(
+        "shape: other-tag mass at <=/24: {} (paper: largest fraction at /24 or less-specific)",
+        pct(other_mass_le_24)
+    );
+
+    // Extended dictionary: inferred communities.
+    let inferred = result.census.infer_candidates(&study.dict, 3);
+    let truly_undocumented = inferred
+        .iter()
+        .filter(|i| {
+            study.topology.as_info(i.asn).is_some_and(|info| {
+                info.blackhole_offering
+                    .as_ref()
+                    .is_some_and(|o| {
+                        o.documentation == DocumentationChannel::Undocumented
+                            && o.is_trigger(i.community)
+                    })
+            })
+        })
+        .count();
+    let undocumented_total = study
+        .topology
+        .ases()
+        .filter(|i| {
+            i.blackhole_offering
+                .as_ref()
+                .is_some_and(|o| o.documentation == DocumentationChannel::Undocumented)
+        })
+        .count();
+    println!(
+        "extended dictionary: {} inferred candidates; {} confirmed against ground truth \
+         ({} undocumented providers exist; paper: 111 communities / 102 ASes)\n",
+        inferred.len(),
+        truly_undocumented,
+        undocumented_total
+    );
+
+    c.bench_function("fig2/census_series", |b| b.iter(|| result.census.fig2_series(&study.dict)));
+    c.bench_function("fig2/infer_candidates", |b| {
+        b.iter(|| result.census.infer_candidates(&study.dict, 3))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Fig. 9(b) — impact of blackholing on AS-level paths.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bh_analysis::{pct, render_series, Ecdf, Series};
+use bh_bench::{Study, StudyScale};
+use bh_dataplane::{run_experiment, EfficacyInput};
+
+fn efficacy_inputs(study: &Study, output: &bh_workloads::ScenarioOutput) -> Vec<EfficacyInput> {
+    let mut inputs = Vec::new();
+    let mut seen = BTreeSet::new();
+    for truth in &output.ground_truth {
+        if truth.accepted.is_empty() || !truth.prefix.is_host_route() {
+            continue;
+        }
+        if !seen.insert(truth.prefix) {
+            continue;
+        }
+        let mut dropping: BTreeSet<_> = truth.accepted.iter().copied().collect();
+        for ixp in study.topology.ixps() {
+            if truth.accepted.contains(&ixp.route_server_asn) {
+                dropping.extend(ixp.members.iter().copied().filter(|m| *m != truth.user));
+            }
+        }
+        dropping.remove(&truth.user);
+        inputs.push(EfficacyInput { prefix: truth.prefix, user: truth.user, dropping });
+        if inputs.len() >= 150 {
+            break;
+        }
+    }
+    inputs
+}
+
+fn bench(c: &mut Criterion) {
+    let study = Study::build(StudyScale::Small, 42);
+    let (output, _result) = study.visibility_run(8, 6.0);
+    let inputs = efficacy_inputs(&study, &output);
+    assert!(!inputs.is_empty());
+
+    let report = run_experiment(&study.topology, &inputs, 0xF19B);
+    let as_deltas: Vec<f64> = report
+        .measurements
+        .iter()
+        .map(|m| m.as_delta_after_during() as f64)
+        .collect();
+    let as_control: Vec<f64> =
+        report.measurements.iter().map(|m| m.as_delta_control() as f64).collect();
+    println!(
+        "{}",
+        render_series(
+            "Fig 9b: AS-level path-length differences",
+            &[
+                Series::new("after - during", Ecdf::new(as_deltas).points()),
+                Series::new("control - blackholed", Ecdf::new(as_control).points()),
+            ],
+        )
+    );
+    println!(
+        "shape: mean AS-level shortening {:.1} hops (paper: 2-4 AS hops)",
+        report.mean_as_shortening()
+    );
+    println!(
+        "shape: dropped at destination AS or direct upstream: {} (paper: 16%)\n",
+        pct(report.fraction_dropped_at_edge())
+    );
+
+    c.bench_function("fig9b/as_level_experiment", |b| {
+        b.iter(|| run_experiment(&study.topology, &inputs, 0xF19B))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Fig. 9(c) — one week of IXP traffic toward blackholed prefixes:
+//! dropped (below the line) vs still-forwarded (above), plus the §10
+//! passive-validation statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bh_analysis::pct;
+use bh_bench::{Study, StudyScale};
+use bh_bgp_types::prefix::Ipv4Prefix;
+use bh_bgp_types::time::SimTime;
+use bh_dataplane::{fig9c_series, FlowSim};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::build(StudyScale::Small, 42);
+    let ixp = study
+        .topology
+        .ixps()
+        .iter()
+        .max_by_key(|ixp| ixp.members.len())
+        .expect("topology has IXPs")
+        .clone();
+
+    // The four highest-volume blackholed prefixes of the figure.
+    let prefixes: Vec<Ipv4Prefix> = vec![
+        "60.10.0.1/32".parse().unwrap(),
+        "60.11.0.2/32".parse().unwrap(),
+        "60.12.0.3/32".parse().unwrap(),
+        "60.13.0.4/32".parse().unwrap(),
+    ];
+    let start = SimTime::from_ymd(2017, 3, 20);
+    let mut sim = FlowSim::new(&ixp, 0.34, 0xF19C);
+    let series = fig9c_series(&mut sim, start, &prefixes, 12);
+
+    println!("# Fig 9c: hourly sampled packets to blackholed prefixes (one week)");
+    println!("# prefix\thour\tdropped(below zero)\tforwarded(above zero)");
+    for (prefix, points) in &series {
+        for (h, p) in points.iter().enumerate().step_by(12) {
+            println!("{prefix}\t{h}\t-{}\t{}", p.dropped, p.forwarded);
+        }
+    }
+
+    let total_dropped: u64 =
+        series.values().flatten().map(|p| p.dropped).sum();
+    let total_forwarded: u64 =
+        series.values().flatten().map(|p| p.forwarded).sum();
+    println!(
+        "\nshape: dropped share {} (paper: >50% of traffic for announced /32s dropped)",
+        pct(total_dropped as f64 / (total_dropped + total_forwarded).max(1) as f64)
+    );
+    println!(
+        "shape: dropping members {} of {} = {} (paper: ~1/3 of traffic sources drop)",
+        sim.members().iter().filter(|m| m.ignores.is_none()).count(),
+        sim.members().len(),
+        pct(sim.dropping_member_fraction())
+    );
+    let concentration = sim.leak_concentration();
+    let top10: f64 = concentration.iter().take(10).map(|(_, s)| s).sum();
+    println!(
+        "shape: top-10 leaking members carry {} of forwarded traffic (paper: 80% from <10 members)\n",
+        pct(top10)
+    );
+
+    c.bench_function("fig9c/week_series", |b| {
+        b.iter(|| {
+            let mut sim = FlowSim::new(&ixp, 0.34, 0xF19C);
+            fig9c_series(&mut sim, start, &prefixes, 12)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Pipeline throughput: the systems-performance benches — MRT codec
+//! throughput, propagation rate, and inference rate (elements/second).
+//! Not a paper artifact; these quantify the implementation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bh_bench::{Study, StudyScale};
+use bh_routing::archive::{mrt_round_trip, write_updates};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::build(StudyScale::Small, 42);
+    let (output, _result) = study.visibility_run(6, 6.0);
+    let refdata = study.refdata();
+    let elems = &output.elems;
+    println!(
+        "pipeline input: {} elems from {} announcements over {} days",
+        elems.len(),
+        output.announcements,
+        output.days
+    );
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(elems.len() as u64));
+    group.bench_function("inference_throughput", |b| {
+        b.iter(|| study.infer(&refdata, elems))
+    });
+    group.bench_function("mrt_write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(1 << 20);
+            write_updates(&mut buf, elems).expect("write succeeds");
+            buf
+        })
+    });
+    group.bench_function("mrt_round_trip", |b| {
+        b.iter(|| mrt_round_trip(elems).expect("round trip succeeds"))
+    });
+    group.finish();
+
+    // Propagation rate: full scenario at Tiny scale (fresh simulator
+    // every iteration).
+    let tiny = Study::build(StudyScale::Tiny, 7);
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(10);
+    group.bench_function("scenario_4days_tiny", |b| {
+        b.iter(|| tiny.visibility_run(4, 6.0))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

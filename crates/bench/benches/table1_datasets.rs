@@ -1,0 +1,76 @@
+//! Table 1 — BGP dataset overview.
+//!
+//! Regenerates the per-platform peer/prefix statistics and checks the
+//! headline shape: the CDN's visible prefix count dwarfs the public
+//! collectors' (its sessions are internal), and unique-prefix counts are
+//! driven by vantage placement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bh_analysis::{count, pct, Table};
+use bh_bench::{Study, StudyScale};
+use bh_routing::{table1, table1_totals, DataSource};
+
+fn print_table1(study: &Study) {
+    let deployment = study.deployment();
+    let rows = table1(&study.topology, &deployment);
+    let totals = table1_totals(&study.topology, &deployment);
+    let mut table = Table::new(
+        "Table 1: Overview of BGP dataset",
+        &["Source", "#IP peers", "#AS peers", "#Unique AS peers", "#Prefixes", "#Unique prefixes"],
+    );
+    for row in &rows {
+        table.row(vec![
+            row.source.label().to_string(),
+            count(row.ip_peers),
+            count(row.as_peers),
+            count(row.unique_as_peers),
+            count(row.prefixes),
+            count(row.unique_prefixes),
+        ]);
+    }
+    table.row(vec![
+        "Total".into(),
+        count(totals.ip_peers),
+        count(totals.as_peers),
+        "-".into(),
+        count(totals.prefixes),
+        "-".into(),
+    ]);
+    println!("{}", table.render());
+
+    // Shape checks vs the paper.
+    let cdn = rows.iter().find(|r| r.source == DataSource::Cdn).expect("CDN row");
+    let max_other = rows
+        .iter()
+        .filter(|r| r.source != DataSource::Cdn)
+        .map(|r| r.prefixes)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "shape: CDN prefixes {} >= max(other) {} -> {} (paper: CDN sees the most)",
+        count(cdn.prefixes),
+        count(max_other),
+        cdn.prefixes >= max_other
+    );
+    println!(
+        "shape: CDN unique-prefix share {} (paper: CDN contributes most unique prefixes)\n",
+        pct(cdn.unique_prefixes as f64 / cdn.prefixes.max(1) as f64)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let study = Study::build(StudyScale::Small, 42);
+    print_table1(&study);
+    let deployment = study.deployment();
+    c.bench_function("table1/compute", |b| {
+        b.iter(|| table1(&study.topology, &deployment))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

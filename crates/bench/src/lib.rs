@@ -1,0 +1,11 @@
+//! # bh-bench — shared pipeline harness + Criterion benches
+//!
+//! One bench target per table/figure of the paper (see
+//! `bh_analysis::experiments::registry`). The [`pipeline`] module builds
+//! the full study end-to-end — topology → corpus → dictionary → scenario
+//! → collector stream → inference — at several scales, so benches,
+//! examples, and integration tests share one code path.
+
+pub mod pipeline;
+
+pub use pipeline::{Study, StudyScale};

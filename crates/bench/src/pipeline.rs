@@ -1,0 +1,174 @@
+//! The end-to-end study pipeline at configurable scale.
+//!
+//! Mirrors the paper's pipeline exactly:
+//!
+//! 1. the Internet exists (topology + collector deployment),
+//! 2. operators document their blackhole communities (corpus),
+//! 3. the dictionary is mined from the corpus (§4.1),
+//! 4. attacks happen and operators react (scenario → BGP simulation),
+//! 5. collectors observe, the engine infers (§4.2),
+//! 6. analytics reproduce the tables and figures.
+
+use bh_bgp_types::time::SimTime;
+use bh_core::{EngineConfig, InferenceEngine, InferenceResult, ReferenceData};
+use bh_irr::{BlackholeDictionary, CorpusGenerator};
+use bh_routing::{deploy, BgpElem, CollectorConfig, CollectorDeployment};
+use bh_topology::{Topology, TopologyBuilder, TopologyConfig};
+use bh_workloads::{run, ScenarioConfig, ScenarioOutput};
+
+/// Pipeline scale: trade fidelity for wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StudyScale {
+    /// ~60 ASes — unit-test speed.
+    Tiny,
+    /// ~230 ASes — bench default: minutes-scale full runs, shape-faithful.
+    Small,
+    /// The full Table-2-scale Internet (~1,150 ASes) — example/demo runs.
+    Full,
+}
+
+impl StudyScale {
+    /// Topology configuration for the scale.
+    pub fn topology_config(self, seed: u64) -> TopologyConfig {
+        match self {
+            StudyScale::Tiny => TopologyConfig::tiny(seed),
+            StudyScale::Small => TopologyConfig {
+                seed,
+                tier1_count: 8,
+                transit_count: 70,
+                content_count: 80,
+                enterprise_count: 30,
+                edu_count: 15,
+                unknown_count: 15,
+                ixp_count: 12,
+                bh_transit: bh_topology::ProviderCounts { documented: 40, undocumented: 16 },
+                bh_ixp: 10,
+                bh_content: bh_topology::ProviderCounts { documented: 5, undocumented: 3 },
+                bh_edu: bh_topology::ProviderCounts { documented: 3, undocumented: 0 },
+                bh_enterprise: bh_topology::ProviderCounts { documented: 2, undocumented: 1 },
+                bh_unknown: bh_topology::ProviderCounts { documented: 3, undocumented: 1 },
+                peeringdb_coverage: 0.72,
+            },
+            StudyScale::Full => TopologyConfig { seed, ..Default::default() },
+        }
+    }
+
+    /// Collector configuration for the scale.
+    pub fn collector_config(self, seed: u64) -> CollectorConfig {
+        match self {
+            StudyScale::Tiny => CollectorConfig::tiny(seed),
+            StudyScale::Small => CollectorConfig {
+                seed,
+                ris_peers: 18,
+                rv_peers: 14,
+                pch_ixp_coverage: 0.6,
+                cdn_peers: 90,
+                full_table_fraction: 0.5,
+            },
+            StudyScale::Full => CollectorConfig { seed, ..Default::default() },
+        }
+    }
+}
+
+/// A fully assembled study environment.
+pub struct Study {
+    /// The synthetic Internet.
+    pub topology: Topology,
+    /// Collector deployment (kept for re-deployments).
+    pub collector_config: CollectorConfig,
+    /// The mined, documented dictionary.
+    pub dict: BlackholeDictionary,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Study {
+    /// Build the environment: topology, corpus, dictionary.
+    pub fn build(scale: StudyScale, seed: u64) -> Self {
+        let topology = TopologyBuilder::new(scale.topology_config(seed)).build();
+        let corpus = CorpusGenerator::new(&topology, seed ^ 0x1212).generate();
+        let dict = BlackholeDictionary::build(&corpus);
+        Study { topology, collector_config: scale.collector_config(seed ^ 0x3434), dict, seed }
+    }
+
+    /// A fresh collector deployment.
+    pub fn deployment(&self) -> CollectorDeployment {
+        deploy(&self.topology, &self.collector_config)
+    }
+
+    /// Reference data matching the deployment.
+    pub fn refdata(&self) -> ReferenceData {
+        ReferenceData::build(&self.topology, &self.deployment())
+    }
+
+    /// Run a scenario (attacks → reactions → propagation → collectors).
+    pub fn run_scenario(&self, config: &ScenarioConfig) -> ScenarioOutput {
+        run(&self.topology, self.deployment(), config)
+    }
+
+    /// Run the inference engine over an element stream.
+    pub fn infer(&self, refdata: &ReferenceData, elems: &[BgpElem]) -> InferenceResult {
+        self.infer_with_config(refdata, elems, EngineConfig::default())
+    }
+
+    /// Inference with explicit engine configuration (ablations).
+    pub fn infer_with_config(
+        &self,
+        refdata: &ReferenceData,
+        elems: &[BgpElem],
+        config: EngineConfig,
+    ) -> InferenceResult {
+        let mut engine = InferenceEngine::with_config(&self.dict, refdata, config);
+        engine.process_stream(elems);
+        engine.finish()
+    }
+
+    /// The standard short visibility run used by most benches: `days`
+    /// days at `rate` attacks/day inside the Aug-2016+ window.
+    pub fn visibility_run(&self, days: u64, rate: f64) -> (ScenarioOutput, InferenceResult) {
+        let mut config = ScenarioConfig::visibility_window(self.seed ^ 0x7777, rate);
+        config.calendar.window_end = SimTime::from_unix(
+            (config.calendar.window_start.day_index() + days) * 86_400,
+        );
+        let output = self.run_scenario(&config);
+        let refdata = self.refdata();
+        let result = self.infer(&refdata, &output.elems);
+        (output, result)
+    }
+
+    /// The longitudinal run (Fig. 4): the full Dec 2014 – Mar 2017 window
+    /// at `rate` attacks/day (scaled down vs. reality; shape-preserving).
+    pub fn longitudinal_run(&self, rate: f64) -> (ScenarioOutput, InferenceResult) {
+        let config = ScenarioConfig::study(self.seed ^ 0x9999, rate);
+        let output = self.run_scenario(&config);
+        let refdata = self.refdata();
+        let result = self.infer(&refdata, &output.elems);
+        (output, result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_study_builds_and_infers() {
+        let study = Study::build(StudyScale::Tiny, 5);
+        let (output, result) = study.visibility_run(4, 6.0);
+        assert!(!output.ground_truth.is_empty());
+        assert!(
+            !result.events.is_empty(),
+            "inference found no events from {} truths",
+            output.ground_truth.len()
+        );
+    }
+
+    #[test]
+    fn dictionary_quality_at_small_scale() {
+        let study = Study::build(StudyScale::Small, 7);
+        let v = study.dict.validate_against(&study.topology);
+        assert!(v.precision() >= 0.99, "precision {}", v.precision());
+        assert!(v.recall() >= 0.95, "recall {}", v.recall());
+        assert_eq!(v.undocumented_leaks, 0);
+    }
+}

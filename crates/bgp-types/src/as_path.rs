@@ -1,0 +1,386 @@
+//! AS paths.
+//!
+//! The inference uses AS paths for three things (§4.2):
+//!
+//! 1. Resolving *ambiguous* blackhole communities (shared values such as
+//!    `0:666`): a candidate provider must appear on the path.
+//! 2. Inferring the *blackholing user* as "the AS before the blackholing
+//!    provider along the AS path (after removing AS path prepending)".
+//! 3. Measuring the *propagation distance* between collector peer and
+//!    provider (Fig. 7(c)), where "no path" indicates community bundling.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::asn::Asn;
+use crate::error::ParseError;
+
+/// One path segment: an ordered `AS_SEQUENCE` or an unordered `AS_SET`
+/// (the latter arises from route aggregation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsPathSegment {
+    /// Ordered sequence of ASNs, nearest first.
+    Sequence(Vec<Asn>),
+    /// Unordered set of ASNs from aggregation.
+    Set(Vec<Asn>),
+}
+
+impl AsPathSegment {
+    /// The ASNs in the segment, in stored order.
+    pub fn asns(&self) -> &[Asn] {
+        match self {
+            AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => v,
+        }
+    }
+
+    /// Wire type code (RFC 4271): 1 = AS_SET, 2 = AS_SEQUENCE.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            AsPathSegment::Set(_) => 1,
+            AsPathSegment::Sequence(_) => 2,
+        }
+    }
+}
+
+/// An AS path: the reverse-chronological list of ASes an announcement has
+/// traversed. `path.asns()[0]` is the collector-side peer AS; the last
+/// element is the origin.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AsPath {
+    segments: Vec<AsPathSegment>,
+}
+
+impl AsPath {
+    /// Empty path (as seen on iBGP or at an origin's own table).
+    pub fn empty() -> Self {
+        AsPath { segments: Vec::new() }
+    }
+
+    /// Build a pure-sequence path from a slice, nearest AS first.
+    pub fn from_sequence(asns: impl Into<Vec<Asn>>) -> Self {
+        let asns = asns.into();
+        if asns.is_empty() {
+            AsPath::empty()
+        } else {
+            AsPath { segments: vec![AsPathSegment::Sequence(asns)] }
+        }
+    }
+
+    /// Build from raw segments.
+    pub fn from_segments(segments: Vec<AsPathSegment>) -> Self {
+        AsPath { segments }
+    }
+
+    /// The raw segments.
+    pub fn segments(&self) -> &[AsPathSegment] {
+        &self.segments
+    }
+
+    /// Flattened ASN list in path order (sets contribute their members in
+    /// stored order).
+    pub fn asns(&self) -> Vec<Asn> {
+        self.segments.iter().flat_map(|s| s.asns().iter().copied()).collect()
+    }
+
+    /// Is the path empty?
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(|s| s.asns().is_empty())
+    }
+
+    /// Total number of ASNs including duplicates from prepending.
+    pub fn raw_len(&self) -> usize {
+        self.segments.iter().map(|s| s.asns().len()).sum()
+    }
+
+    /// Number of *distinct consecutive* hops, i.e. length after removing
+    /// prepending. This is the "AS-level path length" used in Fig. 9(b).
+    pub fn hop_len(&self) -> usize {
+        self.without_prepending().raw_len()
+    }
+
+    /// The first (collector-peer-side) AS.
+    pub fn first(&self) -> Option<Asn> {
+        self.segments.iter().flat_map(|s| s.asns().iter()).next().copied()
+    }
+
+    /// The origin AS (last on the path), if unambiguous. Returns `None`
+    /// for empty paths or when the path ends in a multi-member AS_SET.
+    pub fn origin(&self) -> Option<Asn> {
+        match self.segments.last() {
+            Some(AsPathSegment::Sequence(v)) => v.last().copied(),
+            Some(AsPathSegment::Set(v)) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    /// Does `asn` appear anywhere on the path?
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.segments.iter().any(|s| s.asns().contains(&asn))
+    }
+
+    /// Prepend an AS `count` times at the front (what a router does when
+    /// exporting: adds its own ASN, possibly repeated for traffic
+    /// engineering).
+    pub fn prepend(&mut self, asn: Asn, count: usize) {
+        if count == 0 {
+            return;
+        }
+        match self.segments.first_mut() {
+            Some(AsPathSegment::Sequence(v)) => {
+                for _ in 0..count {
+                    v.insert(0, asn);
+                }
+            }
+            _ => {
+                self.segments.insert(0, AsPathSegment::Sequence(vec![asn; count]));
+            }
+        }
+    }
+
+    /// A copy with consecutive duplicate ASNs collapsed ("after removing
+    /// AS path prepending", §4.2). Set segments are preserved as-is.
+    pub fn without_prepending(&self) -> AsPath {
+        let mut segments = Vec::with_capacity(self.segments.len());
+        let mut last: Option<Asn> = None;
+        for seg in &self.segments {
+            match seg {
+                AsPathSegment::Sequence(v) => {
+                    let mut out = Vec::with_capacity(v.len());
+                    for &asn in v {
+                        if last != Some(asn) {
+                            out.push(asn);
+                            last = Some(asn);
+                        }
+                    }
+                    if !out.is_empty() {
+                        segments.push(AsPathSegment::Sequence(out));
+                    }
+                }
+                AsPathSegment::Set(v) => {
+                    if !v.is_empty() {
+                        segments.push(AsPathSegment::Set(v.clone()));
+                        last = None;
+                    }
+                }
+            }
+        }
+        AsPath { segments }
+    }
+
+    /// The AS immediately *before* `target` on the path (i.e. one hop
+    /// farther from the collector, one hop closer to the origin), after
+    /// prepending removal.
+    ///
+    /// This is exactly the paper's blackholing-user inference: "we infer
+    /// the blackholing user as the AS before the blackholing provider along
+    /// the AS path (after removing AS path prepending)". Returns `None` if
+    /// `target` is absent or is the origin.
+    pub fn hop_before(&self, target: Asn) -> Option<Asn> {
+        let flat = self.without_prepending().asns();
+        let pos = flat.iter().position(|&a| a == target)?;
+        flat.get(pos + 1).copied()
+    }
+
+    /// Zero-based position of `asn` on the deprepended path, counted from
+    /// the collector-peer end. Fig. 7(c)'s "AS distance" between collector
+    /// and provider.
+    pub fn distance_from_peer(&self, asn: Asn) -> Option<usize> {
+        self.without_prepending().asns().iter().position(|&a| a == asn)
+    }
+
+    /// Detect whether any prepending is present.
+    pub fn has_prepending(&self) -> bool {
+        self.raw_len() != self.without_prepending().raw_len()
+    }
+}
+
+impl fmt::Display for AsPath {
+    /// Renders like a looking glass: `"3356 2914 64500"`, sets in braces
+    /// `"{64501,64502}"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            match seg {
+                AsPathSegment::Sequence(v) => {
+                    for asn in v {
+                        if !first {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{}", asn.value())?;
+                        first = false;
+                    }
+                }
+                AsPathSegment::Set(v) => {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{{")?;
+                    for (i, asn) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{}", asn.value())?;
+                    }
+                    write!(f, "}}")?;
+                    first = false;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for AsPath {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut segments: Vec<AsPathSegment> = Vec::new();
+        let mut seq: Vec<Asn> = Vec::new();
+        for token in s.split_whitespace() {
+            if let Some(inner) = token.strip_prefix('{') {
+                let inner = inner
+                    .strip_suffix('}')
+                    .ok_or_else(|| ParseError::new(format!("unterminated AS_SET in {s:?}")))?;
+                if !seq.is_empty() {
+                    segments.push(AsPathSegment::Sequence(std::mem::take(&mut seq)));
+                }
+                let mut set = Vec::new();
+                for part in inner.split(',') {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    set.push(part.parse::<Asn>()?);
+                }
+                segments.push(AsPathSegment::Set(set));
+            } else {
+                seq.push(token.parse::<Asn>()?);
+            }
+        }
+        if !seq.is_empty() {
+            segments.push(AsPathSegment::Sequence(seq));
+        }
+        Ok(AsPath { segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(s: &str) -> AsPath {
+        s.parse().unwrap()
+    }
+
+    fn asn(v: u32) -> Asn {
+        Asn::new(v)
+    }
+
+    #[test]
+    fn build_and_display() {
+        let p = AsPath::from_sequence(vec![asn(3356), asn(2914), asn(64500)]);
+        assert_eq!(p.to_string(), "3356 2914 64500");
+        assert_eq!(p.raw_len(), 3);
+        assert_eq!(p.first(), Some(asn(3356)));
+        assert_eq!(p.origin(), Some(asn(64500)));
+    }
+
+    #[test]
+    fn parse_round_trip_with_sets() {
+        let p = path("3356 2914 {64501,64502}");
+        assert_eq!(p.to_string(), "3356 2914 {64501,64502}");
+        assert!(p.contains(asn(64501)));
+        // Origin ambiguous with a multi-member trailing set.
+        assert_eq!(p.origin(), None);
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_set() {
+        assert!("3356 {64501".parse::<AsPath>().is_err());
+    }
+
+    #[test]
+    fn prepending_removal() {
+        let p = path("3356 3356 3356 2914 64500 64500");
+        let clean = p.without_prepending();
+        assert_eq!(clean.to_string(), "3356 2914 64500");
+        assert!(p.has_prepending());
+        assert!(!clean.has_prepending());
+        assert_eq!(p.hop_len(), 3);
+        assert_eq!(p.raw_len(), 6);
+    }
+
+    #[test]
+    fn prepending_removal_is_idempotent() {
+        let p = path("1 1 2 3 3 3 4");
+        assert_eq!(p.without_prepending(), p.without_prepending().without_prepending());
+    }
+
+    #[test]
+    fn prepending_across_segments_not_collapsed_through_sets() {
+        // Sets break the "consecutive" chain.
+        let p = AsPath::from_segments(vec![
+            AsPathSegment::Sequence(vec![asn(1), asn(1)]),
+            AsPathSegment::Set(vec![asn(2)]),
+            AsPathSegment::Sequence(vec![asn(1)]),
+        ]);
+        let clean = p.without_prepending();
+        assert_eq!(clean.asns(), vec![asn(1), asn(2), asn(1)]);
+    }
+
+    #[test]
+    fn hop_before_infers_blackholing_user() {
+        // Collector peer -> provider (3356) -> user (64500): the user is the
+        // AS *after* the provider when reading from the collector side.
+        let p = path("6939 3356 64500");
+        assert_eq!(p.hop_before(asn(3356)), Some(asn(64500)));
+        // Prepending by the user must not confuse the inference.
+        let p = path("6939 3356 64500 64500 64500");
+        assert_eq!(p.hop_before(asn(3356)), Some(asn(64500)));
+        // Provider at origin: nobody behind it.
+        let p = path("6939 3356");
+        assert_eq!(p.hop_before(asn(3356)), None);
+        // Provider absent.
+        assert_eq!(p.hop_before(asn(174)), None);
+    }
+
+    #[test]
+    fn distance_from_peer_matches_fig7c_semantics() {
+        let p = path("6939 1299 3356 64500");
+        assert_eq!(p.distance_from_peer(asn(6939)), Some(0)); // direct peering
+        assert_eq!(p.distance_from_peer(asn(3356)), Some(2));
+        assert_eq!(p.distance_from_peer(asn(174)), None); // "no path" → bundling
+        // Prepending shouldn't inflate the distance.
+        let p = path("6939 6939 1299 3356");
+        assert_eq!(p.distance_from_peer(asn(3356)), Some(2));
+    }
+
+    #[test]
+    fn prepend_grows_front() {
+        let mut p = path("2914 64500");
+        p.prepend(asn(3356), 3);
+        assert_eq!(p.to_string(), "3356 3356 3356 2914 64500");
+        p.prepend(asn(174), 0);
+        assert_eq!(p.raw_len(), 5);
+    }
+
+    #[test]
+    fn prepend_onto_empty_path() {
+        let mut p = AsPath::empty();
+        assert!(p.is_empty());
+        p.prepend(asn(64500), 1);
+        assert_eq!(p.to_string(), "64500");
+        assert_eq!(p.origin(), Some(asn(64500)));
+    }
+
+    #[test]
+    fn empty_path_edge_cases() {
+        let p = AsPath::empty();
+        assert_eq!(p.first(), None);
+        assert_eq!(p.origin(), None);
+        assert_eq!(p.hop_len(), 0);
+        assert_eq!(p.to_string(), "");
+        assert_eq!(path("").raw_len(), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Bogon filtering (§3 "BGP Data Cleaning").
+//!
+//! The paper eliminates "non-routable, private, and bogon prefixes
+//! (archived weekly snapshots) reported in the Cymru bogon list, and
+//! eliminates prefixes less-specific than /8". [`BogonFilter`] reproduces
+//! that cleaning stage: a static martian list (the stable core of the
+//! Cymru feed) plus the /8 rule, with room for dynamically added
+//! unallocated space to emulate the weekly snapshots.
+
+use std::net::Ipv4Addr;
+
+use crate::prefix::{Ipv4Prefix, Prefix};
+use crate::trie::PrefixTrie;
+
+/// The reason an announcement was rejected by cleaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BogonReason {
+    /// Covered by a martian/bogon block (private, reserved, documentation…).
+    Bogon(Ipv4Prefix),
+    /// Less specific than /8 (e.g. /7, /0).
+    TooCoarse,
+}
+
+/// The static martian blocks: RFC 1918, loopback, link-local, TEST-NETs,
+/// benchmarking, CGN space, class D/E, and the zero network.
+pub const MARTIAN_BLOCKS: &[(&str, &str)] = &[
+    ("0.0.0.0/8", "this network (RFC 791)"),
+    ("10.0.0.0/8", "private (RFC 1918)"),
+    ("100.64.0.0/10", "carrier-grade NAT (RFC 6598)"),
+    ("127.0.0.0/8", "loopback (RFC 1122)"),
+    ("169.254.0.0/16", "link local (RFC 3927)"),
+    ("172.16.0.0/12", "private (RFC 1918)"),
+    ("192.0.0.0/24", "IETF protocol assignments (RFC 6890)"),
+    ("192.0.2.0/24", "TEST-NET-1 (RFC 5737)"),
+    ("192.88.99.0/24", "6to4 relay anycast (deprecated, RFC 7526)"),
+    ("192.168.0.0/16", "private (RFC 1918)"),
+    ("198.18.0.0/15", "benchmarking (RFC 2544)"),
+    ("198.51.100.0/24", "TEST-NET-2 (RFC 5737)"),
+    ("203.0.113.0/24", "TEST-NET-3 (RFC 5737)"),
+    ("224.0.0.0/4", "multicast (class D)"),
+    ("240.0.0.0/4", "reserved (class E)"),
+];
+
+/// A Team-Cymru-style bogon filter.
+#[derive(Debug, Clone)]
+pub struct BogonFilter {
+    blocks: PrefixTrie<&'static str>,
+    /// Reject prefixes with length below this (the paper's "/8 rule").
+    min_length: u8,
+}
+
+impl Default for BogonFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BogonFilter {
+    /// A filter loaded with the static martian list and the /8 rule.
+    pub fn new() -> Self {
+        let mut blocks = PrefixTrie::new();
+        for (prefix, why) in MARTIAN_BLOCKS {
+            blocks.insert(prefix.parse().expect("static martian table is valid"), *why);
+        }
+        BogonFilter { blocks, min_length: 8 }
+    }
+
+    /// A permissive filter with no blocks and no /8 rule (for tests that
+    /// need to route documentation space).
+    pub fn permissive() -> Self {
+        BogonFilter { blocks: PrefixTrie::new(), min_length: 0 }
+    }
+
+    /// Add an unallocated ("full bogon") block, emulating the weekly
+    /// Cymru snapshot updates.
+    pub fn add_unallocated(&mut self, prefix: Ipv4Prefix) {
+        self.blocks.insert(prefix, "unallocated (full bogon snapshot)");
+    }
+
+    /// Number of blocks currently loaded.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Check a prefix; `Err` carries the reason for rejection.
+    pub fn check(&self, prefix: &Ipv4Prefix) -> Result<(), BogonReason> {
+        if prefix.length() < self.min_length {
+            return Err(BogonReason::TooCoarse);
+        }
+        if let Some((block, _)) = self.blocks.covering(prefix) {
+            return Err(BogonReason::Bogon(block));
+        }
+        // A bogon block announced *less* specifically than stored (e.g. a
+        // /9 inside 10.0.0.0/8 is caught above; a /7 covering it is caught
+        // by the /8 rule; equal-or-more-specific is the covering case), so
+        // the remaining gap is a coarse prefix that *contains* a martian
+        // block entirely. Treat those as bogon too: they would route
+        // reserved space.
+        if self.contains_martian(prefix) {
+            return Err(BogonReason::Bogon(*prefix));
+        }
+        Ok(())
+    }
+
+    fn contains_martian(&self, prefix: &Ipv4Prefix) -> bool {
+        self.blocks.iter().iter().any(|(block, _)| prefix.contains(block) && prefix != block)
+    }
+
+    /// Is the prefix clean (routable)?
+    pub fn is_routable(&self, prefix: &Ipv4Prefix) -> bool {
+        self.check(prefix).is_ok()
+    }
+
+    /// Family-generic convenience: IPv6 gets a minimal sanity check
+    /// (documentation/link-local ranges), IPv4 the full pipeline.
+    pub fn is_routable_any(&self, prefix: &Prefix) -> bool {
+        match prefix {
+            Prefix::V4(p) => self.is_routable(p),
+            Prefix::V6(p) => {
+                let net = u128::from(p.network());
+                // 2001:db8::/32 documentation, fe80::/10 link-local,
+                // fc00::/7 ULA, ff00::/8 multicast.
+                let doc = 0x2001_0db8_u128 << 96;
+                !(net >> 96 == doc >> 96
+                    || (net >> 118) == (0xfe80_u128 << 112) >> 118
+                    || (net >> 121) == (0xfc00_u128 << 112) >> 121
+                    || (net >> 120) == (0xff00_u128 << 112) >> 120)
+            }
+        }
+    }
+
+    /// Is a single address inside a bogon block?
+    pub fn is_bogon_addr(&self, addr: Ipv4Addr) -> bool {
+        self.blocks.matches_addr(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn martians_are_rejected() {
+        let f = BogonFilter::new();
+        for (block, _) in MARTIAN_BLOCKS {
+            assert!(!f.is_routable(&p4(block)), "{block} should be bogon");
+        }
+    }
+
+    #[test]
+    fn more_specifics_of_martians_are_rejected() {
+        let f = BogonFilter::new();
+        assert!(!f.is_routable(&p4("10.1.2.0/24")));
+        assert!(!f.is_routable(&p4("192.168.1.1/32")));
+        assert!(!f.is_routable(&p4("203.0.113.5/32")));
+    }
+
+    #[test]
+    fn coarse_prefixes_rejected_by_slash8_rule() {
+        let f = BogonFilter::new();
+        assert_eq!(f.check(&p4("8.0.0.0/7")), Err(BogonReason::TooCoarse));
+        assert_eq!(f.check(&p4("0.0.0.0/0")), Err(BogonReason::TooCoarse));
+        assert!(f.is_routable(&p4("8.0.0.0/8")));
+    }
+
+    #[test]
+    fn ordinary_space_is_routable() {
+        let f = BogonFilter::new();
+        for s in ["8.8.8.0/24", "130.149.0.0/16", "130.149.1.1/32", "185.0.0.0/12"] {
+            assert!(f.is_routable(&p4(s)), "{s} should be routable");
+        }
+    }
+
+    #[test]
+    fn unallocated_snapshot_blocks_work() {
+        let mut f = BogonFilter::new();
+        assert!(f.is_routable(&p4("45.0.0.0/12")));
+        f.add_unallocated(p4("45.0.0.0/12"));
+        assert!(!f.is_routable(&p4("45.0.0.0/12")));
+        assert!(!f.is_routable(&p4("45.0.5.5/32")));
+        assert!(f.is_routable(&p4("45.16.0.0/12")));
+    }
+
+    #[test]
+    fn rejection_reasons_identify_block() {
+        let f = BogonFilter::new();
+        match f.check(&p4("10.1.0.0/16")) {
+            Err(BogonReason::Bogon(block)) => assert_eq!(block, p4("10.0.0.0/8")),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coarse_cover_of_martian_is_bogon() {
+        // 192.0.0.0/8 is /8-compliant but contains TEST-NETs entirely.
+        let f = BogonFilter::new();
+        assert!(!f.is_routable(&p4("192.0.0.0/8")));
+    }
+
+    #[test]
+    fn permissive_filter_accepts_everything() {
+        let f = BogonFilter::permissive();
+        assert!(f.is_routable(&p4("10.0.0.0/8")));
+        assert!(f.is_routable(&p4("0.0.0.0/0")));
+    }
+
+    #[test]
+    fn ipv6_sanity() {
+        let f = BogonFilter::new();
+        assert!(!f.is_routable_any(&"2001:db8::/32".parse().unwrap()));
+        assert!(!f.is_routable_any(&"fe80::/10".parse().unwrap()));
+        assert!(!f.is_routable_any(&"fc00::/7".parse().unwrap()));
+        assert!(!f.is_routable_any(&"ff00::/8".parse().unwrap()));
+        assert!(f.is_routable_any(&"2400:cb00::/32".parse().unwrap()));
+        assert!(f.is_routable_any(&"130.149.0.0/16".parse().unwrap()));
+        assert!(!f.is_routable_any(&"10.0.0.0/8".parse().unwrap()));
+    }
+
+    #[test]
+    fn bogon_addr_lookup() {
+        let f = BogonFilter::new();
+        assert!(f.is_bogon_addr("10.0.0.1".parse().unwrap()));
+        assert!(!f.is_bogon_addr("8.8.8.8".parse().unwrap()));
+    }
+}

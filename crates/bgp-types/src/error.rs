@@ -1,0 +1,122 @@
+//! Error types shared across the data model.
+
+use std::fmt;
+
+/// Error produced when parsing a textual representation (ASN, prefix,
+/// community, AS path) fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    /// Create a new parse error with a human-readable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseError { message: message.into() }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error produced by the binary wire codecs (BGP attributes, UPDATE bodies,
+/// MRT records consume these as their payload layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the structure was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// How many bytes were needed.
+        needed: usize,
+        /// How many bytes were available.
+        available: usize,
+    },
+    /// A length field disagrees with the surrounding structure.
+    BadLength {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending length value.
+        value: usize,
+    },
+    /// A field holds a value the codec cannot interpret.
+    BadValue {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// An attribute appeared twice in one UPDATE.
+    DuplicateAttribute(u8),
+}
+
+impl CodecError {
+    /// Helper: check `buf` has at least `needed` bytes remaining.
+    pub fn ensure(what: &'static str, available: usize, needed: usize) -> Result<(), CodecError> {
+        if available < needed {
+            Err(CodecError::Truncated { what, needed, available })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { what, needed, available } => {
+                write!(f, "truncated {what}: needed {needed} bytes, had {available}")
+            }
+            CodecError::BadLength { what, value } => {
+                write!(f, "bad length for {what}: {value}")
+            }
+            CodecError::BadValue { what, value } => {
+                write!(f, "bad value for {what}: {value}")
+            }
+            CodecError::DuplicateAttribute(code) => {
+                write!(f, "duplicate path attribute with type code {code}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_passes_when_enough() {
+        assert!(CodecError::ensure("x", 4, 4).is_ok());
+        assert!(CodecError::ensure("x", 5, 4).is_ok());
+    }
+
+    #[test]
+    fn ensure_fails_when_short() {
+        let err = CodecError::ensure("prefix", 1, 4).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::Truncated { what: "prefix", needed: 4, available: 1 }
+        );
+        assert!(err.to_string().contains("prefix"));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(ParseError::new("nope").to_string().contains("nope"));
+        assert!(CodecError::BadLength { what: "nlri", value: 99 }.to_string().contains("nlri"));
+        assert!(CodecError::BadValue { what: "afi", value: 7 }.to_string().contains("afi"));
+        assert!(CodecError::DuplicateAttribute(8).to_string().contains('8'));
+    }
+}

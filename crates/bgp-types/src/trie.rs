@@ -1,0 +1,297 @@
+//! Binary prefix trie for IPv4 with longest-prefix match.
+//!
+//! Used by the bogon filter ("is this announcement inside a bogon block?"),
+//! the routing simulator's RIB lookups, and the inference engine's
+//! covering-prefix queries (e.g. finding the non-blackholed less-specific
+//! that contains a blackholed /32, §10's control-target selection).
+
+use std::net::Ipv4Addr;
+
+use crate::prefix::Ipv4Prefix;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Node { value: None, children: [None, None] }
+    }
+}
+
+/// A map from IPv4 prefixes to values with longest-prefix-match lookup.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie { root: Node::default(), len: 0 }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the trie empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bit(network: u32, depth: u8) -> usize {
+        ((network >> (31 - depth as u32)) & 1) as usize
+    }
+
+    /// Insert a prefix→value mapping; returns the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let bits = prefix.network_bits();
+        let mut node = &mut self.root;
+        for depth in 0..prefix.length() {
+            let b = Self::bit(bits, depth);
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove a prefix; returns its value if present.
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<T> {
+        fn rec<T>(node: &mut Node<T>, bits: u32, depth: u8, len: u8) -> Option<T> {
+            if depth == len {
+                return node.value.take();
+            }
+            let b = PrefixTrie::<T>::bit(bits, depth);
+            let child = node.children[b].as_mut()?;
+            let out = rec(child, bits, depth + 1, len);
+            if out.is_some()
+                && child.value.is_none()
+                && child.children[0].is_none()
+                && child.children[1].is_none()
+            {
+                node.children[b] = None;
+            }
+            out
+        }
+        let out = rec(&mut self.root, prefix.network_bits(), 0, prefix.length());
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&T> {
+        let bits = prefix.network_bits();
+        let mut node = &self.root;
+        for depth in 0..prefix.length() {
+            node = node.children[Self::bit(bits, depth)].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix match for a single address: the most specific stored
+    /// prefix containing `addr`, with its value.
+    pub fn longest_match(&self, addr: Ipv4Addr) -> Option<(Ipv4Prefix, &T)> {
+        let bits = u32::from(addr);
+        let mut node = &self.root;
+        let mut best: Option<(u8, &T)> = None;
+        if let Some(v) = node.value.as_ref() {
+            best = Some((0, v));
+        }
+        for depth in 0..32u8 {
+            match node.children[Self::bit(bits, depth)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Ipv4Prefix::from_raw(bits, len), v))
+    }
+
+    /// The most specific stored prefix that *properly or equally* covers
+    /// `prefix` (i.e. contains all of it).
+    pub fn covering(&self, prefix: &Ipv4Prefix) -> Option<(Ipv4Prefix, &T)> {
+        let bits = prefix.network_bits();
+        let mut node = &self.root;
+        let mut best: Option<(u8, &T)> = None;
+        if let Some(v) = node.value.as_ref() {
+            best = Some((0, v));
+        }
+        for depth in 0..prefix.length() {
+            match node.children[Self::bit(bits, depth)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Ipv4Prefix::from_raw(bits, len), v))
+    }
+
+    /// Does any stored prefix contain `addr`?
+    pub fn matches_addr(&self, addr: Ipv4Addr) -> bool {
+        self.longest_match(addr).is_some()
+    }
+
+    /// Does any stored prefix cover `prefix` entirely?
+    pub fn covers(&self, prefix: &Ipv4Prefix) -> bool {
+        self.covering(prefix).is_some()
+    }
+
+    /// Iterate all stored `(prefix, value)` pairs in lexicographic
+    /// (network, length) order.
+    pub fn iter(&self) -> Vec<(Ipv4Prefix, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        fn rec<'a, T>(
+            node: &'a Node<T>,
+            bits: u32,
+            depth: u8,
+            out: &mut Vec<(Ipv4Prefix, &'a T)>,
+        ) {
+            if let Some(v) = node.value.as_ref() {
+                out.push((Ipv4Prefix::from_raw(bits, depth), v));
+            }
+            if let Some(child) = node.children[0].as_deref() {
+                rec(child, bits, depth + 1, out);
+            }
+            if let Some(child) = node.children[1].as_deref() {
+                rec(child, bits | (1 << (31 - depth as u32)), depth + 1, out);
+            }
+        }
+        rec(&self.root, 0, 0, &mut out);
+        out.sort_by_key(|(p, _)| *p);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p4("10.0.0.0/8"), "a"), None);
+        assert_eq!(t.insert(p4("10.0.0.0/8"), "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p4("10.0.0.0/8")), Some(&"b"));
+        assert_eq!(t.get(&p4("10.0.0.0/9")), None);
+        assert_eq!(t.remove(&p4("10.0.0.0/8")), Some("b"));
+        assert_eq!(t.remove(&p4("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn longest_match_prefers_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p4("10.0.0.0/8"), 8);
+        t.insert(p4("10.1.0.0/16"), 16);
+        t.insert(p4("10.1.2.0/24"), 24);
+        let (p, v) = t.longest_match(addr("10.1.2.3")).unwrap();
+        assert_eq!((p, *v), (p4("10.1.2.0/24"), 24));
+        let (p, v) = t.longest_match(addr("10.1.9.9")).unwrap();
+        assert_eq!((p, *v), (p4("10.1.0.0/16"), 16));
+        let (p, v) = t.longest_match(addr("10.200.0.1")).unwrap();
+        assert_eq!((p, *v), (p4("10.0.0.0/8"), 8));
+        assert!(t.longest_match(addr("11.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(p4("0.0.0.0/0"), ());
+        assert!(t.matches_addr(addr("8.8.8.8")));
+        assert!(t.covers(&p4("192.0.2.0/24")));
+    }
+
+    #[test]
+    fn covering_respects_prefix_extent() {
+        let mut t = PrefixTrie::new();
+        t.insert(p4("10.1.2.0/24"), ());
+        // A /16 is wider than the stored /24: not covered.
+        assert!(!t.covers(&p4("10.1.0.0/16")));
+        // The /24 itself and anything inside it is covered.
+        assert!(t.covers(&p4("10.1.2.0/24")));
+        assert!(t.covers(&p4("10.1.2.128/25")));
+        assert!(t.covers(&p4("10.1.2.55/32")));
+        assert!(!t.covers(&p4("10.1.3.0/24")));
+    }
+
+    #[test]
+    fn covering_returns_most_specific_cover() {
+        let mut t = PrefixTrie::new();
+        t.insert(p4("10.0.0.0/8"), 8);
+        t.insert(p4("10.1.0.0/16"), 16);
+        let (p, v) = t.covering(&p4("10.1.2.0/24")).unwrap();
+        assert_eq!((p, *v), (p4("10.1.0.0/16"), 16));
+        let (p, v) = t.covering(&p4("10.2.0.0/16")).unwrap();
+        assert_eq!((p, *v), (p4("10.0.0.0/8"), 8));
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["192.0.2.0/24", "10.0.0.0/8", "10.1.0.0/16", "0.0.0.0/0"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p4(s), i);
+        }
+        let items = t.iter();
+        assert_eq!(items.len(), 4);
+        let keys: Vec<_> = items.iter().map(|(p, _)| *p).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn remove_prunes_empty_branches() {
+        let mut t = PrefixTrie::new();
+        t.insert(p4("10.1.2.3/32"), ());
+        t.remove(&p4("10.1.2.3/32"));
+        // Tree fully pruned: nothing matches and iteration is empty.
+        assert!(t.longest_match(addr("10.1.2.3")).is_none());
+        assert!(t.iter().is_empty());
+    }
+
+    #[test]
+    fn removing_inner_keeps_outer() {
+        let mut t = PrefixTrie::new();
+        t.insert(p4("10.0.0.0/8"), 8);
+        t.insert(p4("10.1.0.0/16"), 16);
+        t.remove(&p4("10.1.0.0/16"));
+        let (p, _) = t.longest_match(addr("10.1.0.1")).unwrap();
+        assert_eq!(p, p4("10.0.0.0/8"));
+    }
+}

@@ -1,0 +1,518 @@
+//! Analytics over inferred events: the computations behind Tables 3–4 and
+//! Figures 4–8.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bh_bgp_types::asn::Asn;
+use bh_bgp_types::prefix::Ipv4Prefix;
+use bh_bgp_types::time::{SimDuration, SimTime};
+use bh_routing::DataSource;
+use bh_topology::NetworkType;
+
+use crate::engine::InferenceResult;
+use crate::events::{BlackholeEvent, DetectionDistance, ProviderId};
+use crate::refdata::ReferenceData;
+
+/// One row of Table 3: per-platform blackholing visibility.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisibilityRow {
+    /// Platform label ("ALL" for the combined row).
+    pub source: String,
+    /// Blackholing providers observed.
+    pub providers: usize,
+    /// Providers observed *only* by this platform.
+    pub unique_providers: usize,
+    /// Blackholing users observed.
+    pub users: usize,
+    /// Users observed only by this platform.
+    pub unique_users: usize,
+    /// Blackholed prefixes observed.
+    pub prefixes: usize,
+    /// Prefixes observed only by this platform.
+    pub unique_prefixes: usize,
+    /// Fraction of observed providers feeding this platform directly.
+    pub direct_feed_fraction: f64,
+}
+
+/// Compute Table 3 from the engine result: one row per platform plus the
+/// ALL row.
+pub fn table3(result: &InferenceResult, refdata: &ReferenceData) -> Vec<VisibilityRow> {
+    let mut rows = Vec::new();
+    let datasets: Vec<DataSource> = DataSource::ALL.to_vec();
+    let provider_feeds = |source: Option<DataSource>, provider: &ProviderId| -> bool {
+        let asn = match provider {
+            ProviderId::As(asn) => *asn,
+            ProviderId::Ixp(id) => match refdata.route_server_of(*id) {
+                Some(asn) => asn,
+                None => return false,
+            },
+        };
+        match source {
+            Some(s) => refdata.has_direct_feed(s, asn),
+            None => refdata.has_any_direct_feed(asn),
+        }
+    };
+
+    for &source in &datasets {
+        let Some(vis) = result.per_dataset.get(&source) else {
+            rows.push(VisibilityRow {
+                source: source.label().to_string(),
+                providers: 0,
+                unique_providers: 0,
+                users: 0,
+                unique_users: 0,
+                prefixes: 0,
+                unique_prefixes: 0,
+                direct_feed_fraction: 0.0,
+            });
+            continue;
+        };
+        let others_providers: BTreeSet<ProviderId> = result
+            .per_dataset
+            .iter()
+            .filter(|(s, _)| **s != source)
+            .flat_map(|(_, v)| v.providers.iter().copied())
+            .collect();
+        let others_users: BTreeSet<Asn> = result
+            .per_dataset
+            .iter()
+            .filter(|(s, _)| **s != source)
+            .flat_map(|(_, v)| v.users.iter().copied())
+            .collect();
+        let others_prefixes: BTreeSet<Ipv4Prefix> = result
+            .per_dataset
+            .iter()
+            .filter(|(s, _)| **s != source)
+            .flat_map(|(_, v)| v.prefixes.iter().copied())
+            .collect();
+        let direct = vis
+            .providers
+            .iter()
+            .filter(|p| provider_feeds(Some(source), p))
+            .count();
+        rows.push(VisibilityRow {
+            source: source.label().to_string(),
+            providers: vis.providers.len(),
+            unique_providers: vis.providers.difference(&others_providers).count(),
+            users: vis.users.len(),
+            unique_users: vis.users.difference(&others_users).count(),
+            prefixes: vis.prefixes.len(),
+            unique_prefixes: vis.prefixes.difference(&others_prefixes).count(),
+            direct_feed_fraction: ratio(direct, vis.providers.len()),
+        });
+    }
+
+    // ALL row.
+    let mut all_providers = BTreeSet::new();
+    let mut all_users = BTreeSet::new();
+    let mut all_prefixes = BTreeSet::new();
+    for vis in result.per_dataset.values() {
+        all_providers.extend(vis.providers.iter().copied());
+        all_users.extend(vis.users.iter().copied());
+        all_prefixes.extend(vis.prefixes.iter().copied());
+    }
+    let direct = all_providers.iter().filter(|p| provider_feeds(None, p)).count();
+    rows.push(VisibilityRow {
+        source: "ALL".to_string(),
+        providers: all_providers.len(),
+        unique_providers: 0,
+        users: all_users.len(),
+        unique_users: 0,
+        prefixes: all_prefixes.len(),
+        unique_prefixes: 0,
+        direct_feed_fraction: ratio(direct, all_providers.len()),
+    });
+    rows
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The network type of a provider (IXPs classify as IXP by construction).
+pub fn provider_type(provider: &ProviderId, refdata: &ReferenceData) -> NetworkType {
+    match provider {
+        ProviderId::Ixp(_) => NetworkType::Ixp,
+        ProviderId::As(asn) => refdata.network_type(*asn),
+    }
+}
+
+/// One row of Table 4: visibility by provider network type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeRow {
+    /// Network type.
+    pub network_type: NetworkType,
+    /// Providers of this type.
+    pub providers: usize,
+    /// Users blackholing via providers of this type.
+    pub users: usize,
+    /// Prefixes blackholed via providers of this type.
+    pub prefixes: usize,
+    /// Fraction of this type's providers with a direct feed.
+    pub direct_feed_fraction: f64,
+}
+
+/// Compute Table 4.
+pub fn table4(events: &[BlackholeEvent], refdata: &ReferenceData) -> Vec<TypeRow> {
+    let mut providers: BTreeMap<NetworkType, BTreeSet<ProviderId>> = BTreeMap::new();
+    let mut users: BTreeMap<NetworkType, BTreeSet<Asn>> = BTreeMap::new();
+    let mut prefixes: BTreeMap<NetworkType, BTreeSet<Ipv4Prefix>> = BTreeMap::new();
+    for event in events {
+        for provider in &event.providers {
+            let ty = provider_type(provider, refdata);
+            providers.entry(ty).or_default().insert(*provider);
+            users.entry(ty).or_default().extend(event.users.iter().copied());
+            prefixes.entry(ty).or_default().insert(event.prefix);
+        }
+    }
+    let mut rows = Vec::new();
+    for ty in NetworkType::ALL {
+        let provs = providers.get(&ty).cloned().unwrap_or_default();
+        let direct = provs
+            .iter()
+            .filter(|p| {
+                let asn = match p {
+                    ProviderId::As(asn) => Some(*asn),
+                    ProviderId::Ixp(id) => refdata.route_server_of(*id),
+                };
+                asn.is_some_and(|a| refdata.has_any_direct_feed(a))
+            })
+            .count();
+        rows.push(TypeRow {
+            network_type: ty,
+            providers: provs.len(),
+            users: users.get(&ty).map_or(0, BTreeSet::len),
+            prefixes: prefixes.get(&ty).map_or(0, BTreeSet::len),
+            direct_feed_fraction: ratio(direct, provs.len()),
+        });
+    }
+    rows
+}
+
+/// One day of the Fig. 4 longitudinal series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DailyPoint {
+    /// Midnight of the day.
+    pub day: SimTime,
+    /// Distinct active blackholing providers.
+    pub providers: usize,
+    /// Distinct active blackholing users.
+    pub users: usize,
+    /// Distinct concurrently blackholed prefixes.
+    pub prefixes: usize,
+}
+
+/// Compute the daily activity series over `[window_start, window_end)`.
+pub fn daily_series(
+    events: &[BlackholeEvent],
+    window_start: SimTime,
+    window_end: SimTime,
+) -> Vec<DailyPoint> {
+    let first_day = window_start.day_index();
+    let last_day = window_end.day_index();
+    let days = (last_day - first_day) as usize;
+    let mut providers: Vec<BTreeSet<ProviderId>> = vec![BTreeSet::new(); days];
+    let mut users: Vec<BTreeSet<Asn>> = vec![BTreeSet::new(); days];
+    let mut prefixes: Vec<BTreeSet<Ipv4Prefix>> = vec![BTreeSet::new(); days];
+
+    for event in events {
+        let from = event.start.day_index().max(first_day);
+        let to = event
+            .end
+            .map(|e| e.day_index())
+            .unwrap_or(last_day.saturating_sub(1))
+            .min(last_day.saturating_sub(1));
+        for day in from..=to {
+            if day < first_day {
+                continue;
+            }
+            let idx = (day - first_day) as usize;
+            if idx >= days {
+                break;
+            }
+            providers[idx].extend(event.providers.iter().copied());
+            users[idx].extend(event.users.iter().copied());
+            prefixes[idx].insert(event.prefix);
+        }
+    }
+
+    (0..days)
+        .map(|idx| DailyPoint {
+            day: SimTime::from_unix((first_day + idx as u64) * 86_400),
+            providers: providers[idx].len(),
+            users: users[idx].len(),
+            prefixes: prefixes[idx].len(),
+        })
+        .collect()
+}
+
+/// Per-provider blackholed-prefix counts (Fig. 5(a) input).
+pub fn prefixes_per_provider(
+    events: &[BlackholeEvent],
+    refdata: &ReferenceData,
+) -> Vec<(ProviderId, NetworkType, usize)> {
+    let mut map: BTreeMap<ProviderId, BTreeSet<Ipv4Prefix>> = BTreeMap::new();
+    for event in events {
+        for provider in &event.providers {
+            map.entry(*provider).or_default().insert(event.prefix);
+        }
+    }
+    map.into_iter()
+        .map(|(p, set)| {
+            let ty = provider_type(&p, refdata);
+            (p, ty, set.len())
+        })
+        .collect()
+}
+
+/// Per-user blackholed-prefix counts with user network type (Fig. 5(b)).
+pub fn prefixes_per_user(
+    events: &[BlackholeEvent],
+    refdata: &ReferenceData,
+) -> Vec<(Asn, NetworkType, usize)> {
+    let mut map: BTreeMap<Asn, BTreeSet<Ipv4Prefix>> = BTreeMap::new();
+    for event in events {
+        for user in &event.users {
+            map.entry(*user).or_default().insert(event.prefix);
+        }
+    }
+    map.into_iter()
+        .map(|(asn, set)| (asn, refdata.network_type(asn), set.len()))
+        .collect()
+}
+
+/// Per-country counts of providers and users (Fig. 6).
+pub fn per_country(
+    events: &[BlackholeEvent],
+    refdata: &ReferenceData,
+) -> (BTreeMap<&'static str, usize>, BTreeMap<&'static str, usize>) {
+    let mut providers: BTreeSet<Asn> = BTreeSet::new();
+    let mut users: BTreeSet<Asn> = BTreeSet::new();
+    for event in events {
+        for provider in &event.providers {
+            match provider {
+                ProviderId::As(asn) => {
+                    providers.insert(*asn);
+                }
+                ProviderId::Ixp(id) => {
+                    if let Some(asn) = refdata.route_server_of(*id) {
+                        providers.insert(asn);
+                    }
+                }
+            }
+        }
+        users.extend(event.users.iter().copied());
+    }
+    let count = |set: &BTreeSet<Asn>| {
+        let mut map: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for asn in set {
+            *map.entry(refdata.country(*asn)).or_default() += 1;
+        }
+        map
+    };
+    (count(&providers), count(&users))
+}
+
+/// Histogram of #providers per event (Fig. 7(b)).
+pub fn providers_per_event(events: &[BlackholeEvent]) -> BTreeMap<usize, usize> {
+    let mut hist: BTreeMap<usize, usize> = BTreeMap::new();
+    for event in events {
+        *hist.entry(event.providers.len()).or_default() += 1;
+    }
+    hist
+}
+
+/// Histogram of collector↔provider AS distances (Fig. 7(c)); the
+/// `NoPath` bucket is the bundling share.
+pub fn distance_histogram(events: &[BlackholeEvent]) -> BTreeMap<DetectionDistance, usize> {
+    let mut hist: BTreeMap<DetectionDistance, usize> = BTreeMap::new();
+    for event in events {
+        for d in &event.distances {
+            *hist.entry(*d).or_default() += 1;
+        }
+    }
+    hist
+}
+
+/// Event durations (Fig. 8 inputs); open events are measured to `now`.
+pub fn durations(events: &[BlackholeEvent], now: SimTime) -> Vec<SimDuration> {
+    events.iter().map(|e| e.duration(now)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_routing::{deploy, CollectorConfig};
+    use bh_topology::{IxpId, TopologyBuilder, TopologyConfig};
+
+    use crate::engine::DatasetVisibility;
+
+    use super::*;
+
+    fn refdata() -> ReferenceData {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
+        let d = deploy(&t, &CollectorConfig::tiny(4));
+        ReferenceData::build(&t, &d)
+    }
+
+    fn event(
+        prefix: &str,
+        providers: Vec<ProviderId>,
+        users: Vec<u32>,
+        start: u64,
+        end: Option<u64>,
+    ) -> BlackholeEvent {
+        BlackholeEvent {
+            prefix: prefix.parse().unwrap(),
+            providers: providers.into_iter().collect(),
+            users: users.into_iter().map(Asn::new).collect(),
+            start: SimTime::from_unix(start),
+            end: end.map(SimTime::from_unix),
+            peer_count: 1,
+            datasets: BTreeSet::from([DataSource::Ris]),
+            distances: BTreeSet::from([DetectionDistance::Hops(1)]),
+            bundled_detection: false,
+        }
+    }
+
+    #[test]
+    fn daily_series_counts_active_days() {
+        let day = 86_400u64;
+        let events = vec![
+            // Active on days 0 and 1.
+            event("1.1.1.1/32", vec![ProviderId::As(Asn::new(1))], vec![10], 10, Some(day + 10)),
+            // Active on day 1 only.
+            event("2.2.2.2/32", vec![ProviderId::As(Asn::new(2))], vec![11], day + 5, Some(day + 500)),
+            // Open event: active from day 2 to the end of the window.
+            event("3.3.3.3/32", vec![ProviderId::As(Asn::new(1))], vec![10], 2 * day + 5, None),
+        ];
+        let series = daily_series(&events, SimTime::ZERO, SimTime::from_unix(4 * day));
+        assert_eq!(series.len(), 4);
+        assert_eq!((series[0].providers, series[0].users, series[0].prefixes), (1, 1, 1));
+        assert_eq!((series[1].providers, series[1].users, series[1].prefixes), (2, 2, 2));
+        assert_eq!((series[2].providers, series[2].users, series[2].prefixes), (1, 1, 1));
+        assert_eq!((series[3].providers, series[3].users, series[3].prefixes), (1, 1, 1));
+    }
+
+    #[test]
+    fn providers_per_event_histogram() {
+        let events = vec![
+            event("1.1.1.1/32", vec![ProviderId::As(Asn::new(1))], vec![], 0, Some(1)),
+            event("2.2.2.2/32", vec![ProviderId::As(Asn::new(1)), ProviderId::As(Asn::new(2))], vec![], 0, Some(1)),
+            event("3.3.3.3/32", vec![ProviderId::As(Asn::new(3))], vec![], 0, Some(1)),
+        ];
+        let hist = providers_per_event(&events);
+        assert_eq!(hist.get(&1), Some(&2));
+        assert_eq!(hist.get(&2), Some(&1));
+    }
+
+    #[test]
+    fn table4_groups_by_provider_type() {
+        let r = refdata();
+        // Use a real IXP id from refdata's topology.
+        let events = vec![
+            event("1.1.1.1/32", vec![ProviderId::Ixp(IxpId(0))], vec![10, 11], 0, Some(1)),
+            event("2.2.2.2/32", vec![ProviderId::Ixp(IxpId(0))], vec![10], 0, Some(1)),
+        ];
+        let rows = table4(&events, &r);
+        let ixp_row = rows.iter().find(|row| row.network_type == NetworkType::Ixp).unwrap();
+        assert_eq!(ixp_row.providers, 1);
+        assert_eq!(ixp_row.users, 2);
+        assert_eq!(ixp_row.prefixes, 2);
+        let transit_row = rows.iter().find(|row| row.network_type == NetworkType::TransitAccess).unwrap();
+        assert_eq!(transit_row.providers, 0);
+    }
+
+    #[test]
+    fn table3_unique_counting() {
+        let r = refdata();
+        let mut per_dataset = BTreeMap::new();
+        let p1 = ProviderId::As(Asn::new(1));
+        let p2 = ProviderId::As(Asn::new(2));
+        per_dataset.insert(
+            DataSource::Ris,
+            DatasetVisibility {
+                providers: BTreeSet::from([p1, p2]),
+                users: BTreeSet::from([Asn::new(10)]),
+                prefixes: BTreeSet::from(["1.1.1.1/32".parse().unwrap()]),
+            },
+        );
+        per_dataset.insert(
+            DataSource::Cdn,
+            DatasetVisibility {
+                providers: BTreeSet::from([p1]),
+                users: BTreeSet::from([Asn::new(10), Asn::new(11)]),
+                prefixes: BTreeSet::from([
+                    "1.1.1.1/32".parse().unwrap(),
+                    "2.2.2.2/32".parse().unwrap(),
+                ]),
+            },
+        );
+        let result = InferenceResult {
+            events: vec![],
+            census: Default::default(),
+            stats: Default::default(),
+            per_dataset,
+        };
+        let rows = table3(&result, &r);
+        let ris = rows.iter().find(|row| row.source == "RIS").unwrap();
+        assert_eq!(ris.providers, 2);
+        assert_eq!(ris.unique_providers, 1); // p2 only at RIS
+        assert_eq!(ris.unique_users, 0);
+        let cdn = rows.iter().find(|row| row.source == "CDN").unwrap();
+        assert_eq!(cdn.unique_users, 1); // user 11 only at CDN
+        assert_eq!(cdn.unique_prefixes, 1);
+        let all = rows.iter().find(|row| row.source == "ALL").unwrap();
+        assert_eq!(all.providers, 2);
+        assert_eq!(all.users, 2);
+        assert_eq!(all.prefixes, 2);
+    }
+
+    #[test]
+    fn per_country_uses_refdata() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
+        let d = deploy(&t, &CollectorConfig::tiny(4));
+        let r = ReferenceData::build(&t, &d);
+        let some_as = t.ases().next().unwrap().asn;
+        let events = vec![event(
+            "1.1.1.1/32",
+            vec![ProviderId::As(some_as)],
+            vec![some_as.value()],
+            0,
+            Some(1),
+        )];
+        let (providers, users) = per_country(&events, &r);
+        assert_eq!(providers.values().sum::<usize>(), 1);
+        assert_eq!(users.values().sum::<usize>(), 1);
+        assert!(providers.contains_key(r.country(some_as)));
+    }
+
+    #[test]
+    fn prefix_count_helpers() {
+        let r = refdata();
+        let events = vec![
+            event("1.1.1.1/32", vec![ProviderId::As(Asn::new(1))], vec![10], 0, Some(1)),
+            event("2.2.2.2/32", vec![ProviderId::As(Asn::new(1))], vec![10], 0, Some(1)),
+            event("2.2.2.2/32", vec![ProviderId::As(Asn::new(1))], vec![10], 5, Some(6)),
+        ];
+        let per_provider = prefixes_per_provider(&events, &r);
+        assert_eq!(per_provider.len(), 1);
+        assert_eq!(per_provider[0].2, 2); // distinct prefixes
+        let per_user = prefixes_per_user(&events, &r);
+        assert_eq!(per_user.len(), 1);
+        assert_eq!(per_user[0].2, 2);
+    }
+
+    #[test]
+    fn distance_histogram_counts_event_distances() {
+        let mut e1 = event("1.1.1.1/32", vec![ProviderId::As(Asn::new(1))], vec![], 0, Some(1));
+        e1.distances = BTreeSet::from([DetectionDistance::NoPath, DetectionDistance::Hops(1)]);
+        let e2 = event("2.2.2.2/32", vec![ProviderId::As(Asn::new(1))], vec![], 0, Some(1));
+        let hist = distance_histogram(&[e1, e2]);
+        assert_eq!(hist.get(&DetectionDistance::NoPath), Some(&1));
+        assert_eq!(hist.get(&DetectionDistance::Hops(1)), Some(&2));
+    }
+}

@@ -1,0 +1,748 @@
+//! The blackholing inference engine — §4.2 of the paper, faithfully:
+//!
+//! * dictionary-driven tagging of announcements,
+//! * disambiguation of shared communities via the AS path,
+//! * IXP detection via route-server ASN on the path *or* peer-ip inside a
+//!   PeeringDB peering LAN,
+//! * blackholing-user inference (the AS-hop before the provider, after
+//!   prepending removal; the peer-as for route-server views; the origin
+//!   for bundled detections),
+//! * per-(prefix, peer) state with explicit *and* implicit withdrawals,
+//! * cross-peer correlation into prefix-level events,
+//! * initialization from a RIB dump with "starting time zero",
+//! * a community/prefix-length census feeding the extended-dictionary
+//!   inference (Fig. 2).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use bh_bgp_types::asn::Asn;
+use bh_bgp_types::bogon::BogonFilter;
+use bh_bgp_types::community::Community;
+use bh_bgp_types::prefix::Ipv4Prefix;
+use bh_bgp_types::time::SimTime;
+use bh_irr::{BlackholeDictionary, CommunityPrefixCensus};
+use bh_routing::{BgpElem, DataSource, ElemType, PeerKey};
+
+use crate::events::{BlackholeEvent, DetectionDistance, ProviderId};
+use crate::refdata::ReferenceData;
+
+/// One provider detection extracted from a single announcement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// The inferred provider.
+    pub provider: ProviderId,
+    /// The inferred blackholing user.
+    pub user: Option<Asn>,
+    /// Collector-to-provider distance (Fig. 7(c)).
+    pub distance: DetectionDistance,
+    /// The triggering community.
+    pub community: Community,
+}
+
+/// Counters for engine behavior (useful for pipeline benchmarking and
+/// methodology diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Elements processed.
+    pub elems: u64,
+    /// Announcements carrying at least one dictionary community.
+    pub tagged_announcements: u64,
+    /// Announcements dropped by data cleaning (bogons).
+    pub cleaned: u64,
+    /// Detections discarded because an ambiguous community had no
+    /// candidate provider on the AS path.
+    pub ambiguous_unresolved: u64,
+    /// Implicit withdrawals observed (re-announcement without tags).
+    pub implicit_withdrawals: u64,
+    /// Explicit withdrawals that ended a peer observation.
+    pub explicit_withdrawals: u64,
+    /// Detections that relied on community bundling (no provider on path).
+    pub bundled_detections: u64,
+}
+
+/// Per-dataset visibility accumulators (Table 3 inputs).
+#[derive(Debug, Clone, Default)]
+pub struct DatasetVisibility {
+    /// Providers observed via this platform.
+    pub providers: BTreeSet<ProviderId>,
+    /// Users observed via this platform.
+    pub users: BTreeSet<Asn>,
+    /// Prefixes observed via this platform.
+    pub prefixes: BTreeSet<Ipv4Prefix>,
+}
+
+#[derive(Debug, Default)]
+struct OpenEvent {
+    providers: BTreeSet<ProviderId>,
+    users: BTreeSet<Asn>,
+    start: SimTime,
+    open_peers: BTreeSet<PeerKey>,
+    all_peers: BTreeSet<PeerKey>,
+    datasets: BTreeSet<DataSource>,
+    distances: BTreeSet<DetectionDistance>,
+    bundled: bool,
+}
+
+/// Configuration toggles — the ablation switches called out in DESIGN.md.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Detect via community bundling when the provider is absent from the
+    /// path (§4.2; disabling this is the Fig. 7(c) ablation — the paper
+    /// credits bundling with ~half of all inferences).
+    pub bundling_detection: bool,
+    /// Track state per (prefix, peer) and correlate (the paper's method).
+    /// Disabled, state collapses to per-prefix only — the Fig. 8
+    /// ablation showing why per-peer tracking matters.
+    pub per_peer_state: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { bundling_detection: true, per_peer_state: true }
+    }
+}
+
+/// The engine.
+pub struct InferenceEngine<'a> {
+    dict: &'a BlackholeDictionary,
+    refdata: &'a ReferenceData,
+    config: EngineConfig,
+    bogons: BogonFilter,
+    census: CommunityPrefixCensus,
+    open: HashMap<Ipv4Prefix, OpenEvent>,
+    closed: Vec<BlackholeEvent>,
+    per_dataset: BTreeMap<DataSource, DatasetVisibility>,
+    stats: EngineStats,
+}
+
+impl<'a> InferenceEngine<'a> {
+    /// Build an engine with default configuration.
+    pub fn new(dict: &'a BlackholeDictionary, refdata: &'a ReferenceData) -> Self {
+        Self::with_config(dict, refdata, EngineConfig::default())
+    }
+
+    /// Build with explicit configuration (ablations).
+    pub fn with_config(
+        dict: &'a BlackholeDictionary,
+        refdata: &'a ReferenceData,
+        config: EngineConfig,
+    ) -> Self {
+        InferenceEngine {
+            dict,
+            refdata,
+            config,
+            bogons: BogonFilter::new(),
+            census: CommunityPrefixCensus::new(),
+            open: HashMap::new(),
+            closed: Vec::new(),
+            per_dataset: BTreeMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Engine statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The community/prefix-length census (Fig. 2, extended dictionary).
+    pub fn census(&self) -> &CommunityPrefixCensus {
+        &self.census
+    }
+
+    /// Per-dataset visibility accumulators.
+    pub fn dataset_visibility(&self) -> &BTreeMap<DataSource, DatasetVisibility> {
+        &self.per_dataset
+    }
+
+    /// Initialize from a RIB dump: tagged prefixes present in the table
+    /// start with time zero ("we cannot accurately pinpoint the start
+    /// time … we use an initial starting time of zero").
+    pub fn initialize_from_rib(&mut self, state: &[BgpElem]) {
+        for elem in state {
+            if elem.elem_type == ElemType::Announce {
+                self.process_announce(elem, SimTime::ZERO);
+            }
+        }
+    }
+
+    /// Process one element in arrival order.
+    pub fn process(&mut self, elem: &BgpElem) {
+        match elem.elem_type {
+            ElemType::Announce => self.process_announce(elem, elem.time),
+            ElemType::Withdraw => self.process_withdraw(elem),
+        }
+    }
+
+    /// Process a whole stream.
+    pub fn process_stream(&mut self, elems: &[BgpElem]) {
+        for elem in elems {
+            self.process(elem);
+        }
+    }
+
+    /// Finish: close nothing (events still active stay open with
+    /// `end: None`) and return every event plus final census and stats.
+    pub fn finish(mut self) -> InferenceResult {
+        let mut events = std::mem::take(&mut self.closed);
+        let open: Vec<Ipv4Prefix> = self.open.keys().copied().collect();
+        for prefix in open {
+            let oe = self.open.remove(&prefix).expect("key exists");
+            events.push(Self::to_event(prefix, oe, None));
+        }
+        events.sort_by_key(|e| (e.start, e.prefix));
+        InferenceResult {
+            events,
+            census: self.census,
+            stats: self.stats,
+            per_dataset: self.per_dataset,
+        }
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn to_event(prefix: Ipv4Prefix, oe: OpenEvent, end: Option<SimTime>) -> BlackholeEvent {
+        BlackholeEvent {
+            prefix,
+            providers: oe.providers,
+            users: oe.users,
+            start: oe.start,
+            end,
+            peer_count: oe.all_peers.len(),
+            datasets: oe.datasets,
+            distances: oe.distances,
+            bundled_detection: oe.bundled,
+        }
+    }
+
+    /// The §4.2 detection procedure for one announcement.
+    pub fn detect(&mut self, elem: &BgpElem) -> Vec<Detection> {
+        let mut detections: Vec<Detection> = Vec::new();
+        let path = elem.as_path.without_prepending();
+
+        let mut consider = |engine: &mut Self, community: Community, candidates: Vec<Asn>| {
+            if candidates.is_empty() {
+                return;
+            }
+            let unambiguous = candidates.len() == 1;
+            let mut resolved_any = false;
+            for candidate in candidates {
+                if let Some(ixp) = engine.refdata.ixp_of_route_server(candidate) {
+                    // IXP provider: route-server ASN on path, or peer-ip
+                    // inside the IXP's peering LAN.
+                    if path.contains(candidate) {
+                        let user = path.hop_before(candidate);
+                        let distance =
+                            if engine.refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp) {
+                                DetectionDistance::Hops(0)
+                            } else {
+                                DetectionDistance::Hops(
+                                    (path.distance_from_peer(candidate).unwrap_or(0) + 1) as u8,
+                                )
+                            };
+                        detections.push(Detection {
+                            provider: ProviderId::Ixp(ixp),
+                            user,
+                            distance,
+                            community,
+                        });
+                        resolved_any = true;
+                    } else if engine.refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp) {
+                        detections.push(Detection {
+                            provider: ProviderId::Ixp(ixp),
+                            user: Some(elem.peer_asn),
+                            distance: DetectionDistance::Hops(0),
+                            community,
+                        });
+                        resolved_any = true;
+                    }
+                } else if path.contains(candidate) {
+                    // The hop before the provider — skipping route-server
+                    // ASNs, which appear on paths when a provider learned
+                    // the route across an IXP (the RS is not the user).
+                    let flat = path.asns();
+                    let user = flat
+                        .iter()
+                        .position(|&a| a == candidate)
+                        .and_then(|pos| {
+                            flat[pos + 1..]
+                                .iter()
+                                .find(|a| engine.refdata.ixp_of_route_server(**a).is_none())
+                                .copied()
+                        })
+                        .or(Some(candidate));
+                    detections.push(Detection {
+                        provider: ProviderId::As(candidate),
+                        user,
+                        distance: DetectionDistance::Hops(
+                            (path.distance_from_peer(candidate).unwrap_or(0) + 1) as u8,
+                        ),
+                        community,
+                    });
+                    resolved_any = true;
+                } else if unambiguous && engine.config.bundling_detection {
+                    // Bundled community: the provider never propagated the
+                    // route, but the unambiguous tag identifies it.
+                    detections.push(Detection {
+                        provider: ProviderId::As(candidate),
+                        user: path.origin(),
+                        distance: DetectionDistance::NoPath,
+                        community,
+                    });
+                    engine.stats.bundled_detections += 1;
+                    resolved_any = true;
+                }
+            }
+            if !resolved_any {
+                engine.stats.ambiguous_unresolved += 1;
+            }
+        };
+
+        for community in elem.communities.iter() {
+            let candidates = self.dict.providers_for(community);
+            consider(self, community, candidates);
+        }
+        for large in elem.communities.iter_large() {
+            let candidates = self.dict.providers_for_large(large);
+            // Attribute large-community detections to a synthetic classic
+            // community for uniform bookkeeping (high half of the global
+            // admin, value 666 — purely presentational).
+            let display = Community::from_parts((large.global_admin & 0xFFFF) as u16, 666);
+            consider(self, display, candidates);
+        }
+
+        detections.sort_by_key(|d| d.provider);
+        detections.dedup_by_key(|d| d.provider);
+        detections
+    }
+
+    fn process_announce(&mut self, elem: &BgpElem, start_time: SimTime) {
+        self.stats.elems += 1;
+        // Data cleaning (§3): bogons and <-/8 never considered.
+        if !self.bogons.is_routable(&elem.prefix) {
+            self.stats.cleaned += 1;
+            return;
+        }
+        // Census of every community on every announcement (Fig. 2 input).
+        let communities: Vec<Community> = elem.communities.iter().collect();
+        self.census.record(&communities, elem.prefix.length());
+
+        let detections = self.detect(elem);
+        let peer = elem.peer_key();
+
+        if detections.is_empty() {
+            // Implicit withdrawal: previously blackholed at this peer,
+            // now announced without tags (§4.2).
+            if let Some(oe) = self.open.get_mut(&elem.prefix) {
+                if oe.open_peers.remove(&peer) {
+                    self.stats.implicit_withdrawals += 1;
+                    if oe.open_peers.is_empty() {
+                        let oe = self.open.remove(&elem.prefix).expect("open event exists");
+                        self.closed.push(Self::to_event(elem.prefix, oe, Some(elem.time)));
+                    }
+                }
+            }
+            return;
+        }
+        self.stats.tagged_announcements += 1;
+
+        let oe = self.open.entry(elem.prefix).or_insert_with(|| OpenEvent {
+            start: start_time,
+            ..Default::default()
+        });
+        if self.config.per_peer_state {
+            oe.open_peers.insert(peer);
+        } else {
+            // Ablation: single logical peer — de-activations seen by any
+            // peer close the event.
+            oe.open_peers.insert(PeerKey {
+                dataset: peer.dataset,
+                collector: 0,
+                peer_asn: Asn::new(0),
+            });
+        }
+        oe.all_peers.insert(peer);
+        oe.datasets.insert(elem.dataset);
+        let vis = self.per_dataset.entry(elem.dataset).or_default();
+        vis.prefixes.insert(elem.prefix);
+        for d in &detections {
+            oe.providers.insert(d.provider);
+            oe.distances.insert(d.distance);
+            if d.distance == DetectionDistance::NoPath {
+                oe.bundled = true;
+            }
+            if let Some(user) = d.user {
+                oe.users.insert(user);
+                vis.users.insert(user);
+            }
+            vis.providers.insert(d.provider);
+        }
+    }
+
+    fn process_withdraw(&mut self, elem: &BgpElem) {
+        self.stats.elems += 1;
+        let peer = if self.config.per_peer_state {
+            elem.peer_key()
+        } else {
+            PeerKey { dataset: elem.dataset, collector: 0, peer_asn: Asn::new(0) }
+        };
+        if let Some(oe) = self.open.get_mut(&elem.prefix) {
+            if oe.open_peers.remove(&peer) {
+                self.stats.explicit_withdrawals += 1;
+                if oe.open_peers.is_empty() {
+                    let oe = self.open.remove(&elem.prefix).expect("open event exists");
+                    self.closed.push(Self::to_event(elem.prefix, oe, Some(elem.time)));
+                }
+            }
+        }
+    }
+}
+
+/// Everything the engine produced.
+pub struct InferenceResult {
+    /// All inferred events (closed ones have `end: Some(_)`).
+    pub events: Vec<BlackholeEvent>,
+    /// The community/prefix-length census.
+    pub census: CommunityPrefixCensus,
+    /// Engine counters.
+    pub stats: EngineStats,
+    /// Per-dataset visibility (Table 3 inputs).
+    pub per_dataset: BTreeMap<DataSource, DatasetVisibility>,
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_bgp_types::as_path::AsPath;
+    use bh_bgp_types::community::CommunitySet;
+    use bh_routing::{deploy, CollectorConfig};
+    use bh_topology::{TopologyBuilder, TopologyConfig};
+
+    use super::*;
+
+    struct Setup {
+        dict: BlackholeDictionary,
+        refdata: ReferenceData,
+        provider: Asn,
+        community: Community,
+    }
+
+    fn setup() -> Setup {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
+        let d = deploy(&t, &CollectorConfig::tiny(4));
+        let refdata = ReferenceData::build(&t, &d);
+        let mut dict = BlackholeDictionary::default();
+        let provider = Asn::new(64_777); // not in the topology: pure unit test
+        let community = Community::from_parts(777, 666);
+        dict.insert_validated(provider, community);
+        Setup { dict, refdata, provider, community }
+    }
+
+    fn announce(
+        prefix: &str,
+        time: u64,
+        path: &str,
+        communities: Vec<Community>,
+        peer: u32,
+    ) -> BgpElem {
+        BgpElem {
+            time: SimTime::from_unix(time),
+            dataset: DataSource::Ris,
+            collector: 0,
+            peer_asn: Asn::new(peer),
+            peer_ip: "198.51.100.7".parse().unwrap(),
+            elem_type: ElemType::Announce,
+            prefix: prefix.parse().unwrap(),
+            as_path: path.parse().unwrap(),
+            communities: CommunitySet::from_classic(communities),
+            next_hop: None,
+        }
+    }
+
+    fn withdraw(prefix: &str, time: u64, peer: u32) -> BgpElem {
+        BgpElem {
+            time: SimTime::from_unix(time),
+            dataset: DataSource::Ris,
+            collector: 0,
+            peer_asn: Asn::new(peer),
+            peer_ip: "198.51.100.7".parse().unwrap(),
+            elem_type: ElemType::Withdraw,
+            prefix: prefix.parse().unwrap(),
+            as_path: AsPath::empty(),
+            communities: CommunitySet::new(),
+            next_hop: None,
+        }
+    }
+
+    #[test]
+    fn basic_event_lifecycle() {
+        let s = setup();
+        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        engine.process(&withdraw("9.9.9.9/32", 160, 100));
+        let result = engine.finish();
+        assert_eq!(result.events.len(), 1);
+        let e = &result.events[0];
+        assert_eq!(e.prefix, "9.9.9.9/32".parse().unwrap());
+        assert_eq!(e.start, SimTime::from_unix(100));
+        assert_eq!(e.end, Some(SimTime::from_unix(160)));
+        assert_eq!(e.providers, BTreeSet::from([ProviderId::As(s.provider)]));
+        assert_eq!(e.users, BTreeSet::from([Asn::new(64_999)]));
+        assert!(!e.bundled_detection);
+        assert_eq!(result.stats.explicit_withdrawals, 1);
+    }
+
+    #[test]
+    fn user_is_hop_before_provider_after_deprepending() {
+        let s = setup();
+        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        engine.process(&announce(
+            "9.9.9.9/32",
+            100,
+            "100 64777 64777 64999 64999 64999",
+            vec![s.community],
+            100,
+        ));
+        let result = engine.finish();
+        assert_eq!(result.events[0].users, BTreeSet::from([Asn::new(64_999)]));
+        // Distance counts deprepended hops: peer(100)=pos0, provider pos1
+        // → distance 2 per the paper's 1-indexed convention.
+        assert!(result.events[0]
+            .distances
+            .contains(&DetectionDistance::Hops(2)));
+    }
+
+    #[test]
+    fn bundled_detection_when_provider_absent() {
+        let s = setup();
+        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        engine.process(&announce("9.9.9.9/32", 100, "100 200 64999", vec![s.community], 100));
+        let result = engine.finish();
+        assert_eq!(result.events.len(), 1);
+        let e = &result.events[0];
+        assert!(e.bundled_detection);
+        assert!(e.distances.contains(&DetectionDistance::NoPath));
+        assert_eq!(e.users, BTreeSet::from([Asn::new(64_999)])); // origin
+        assert_eq!(result.stats.bundled_detections, 1);
+    }
+
+    #[test]
+    fn bundling_ablation_disables_no_path_detection() {
+        let s = setup();
+        let config = EngineConfig { bundling_detection: false, ..Default::default() };
+        let mut engine = InferenceEngine::with_config(&s.dict, &s.refdata, config);
+        engine.process(&announce("9.9.9.9/32", 100, "100 200 64999", vec![s.community], 100));
+        let result = engine.finish();
+        assert!(result.events.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_community_requires_path_presence() {
+        let s = setup();
+        let mut dict = s.dict.clone();
+        let shared = Community::from_parts(0, 666);
+        dict.insert_validated(Asn::new(501), shared);
+        dict.insert_validated(Asn::new(502), shared);
+        let mut engine = InferenceEngine::new(&dict, &s.refdata);
+        // Neither 501 nor 502 on path: skipped.
+        engine.process(&announce("9.9.9.9/32", 100, "100 200 300", vec![shared], 100));
+        assert_eq!(engine.stats().ambiguous_unresolved, 1);
+        // 502 on path: resolved to 502 only.
+        engine.process(&announce("8.8.8.8/32", 100, "100 502 300", vec![shared], 100));
+        let result = engine.finish();
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(
+            result.events[0].providers,
+            BTreeSet::from([ProviderId::As(Asn::new(502))])
+        );
+    }
+
+    #[test]
+    fn implicit_withdrawal_closes_event() {
+        let s = setup();
+        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        // Re-announcement without the tag: implicit withdrawal.
+        engine.process(&announce("9.9.9.9/32", 200, "100 64777 64999", vec![], 100));
+        let result = engine.finish();
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(result.events[0].end, Some(SimTime::from_unix(200)));
+        assert_eq!(result.stats.implicit_withdrawals, 1);
+    }
+
+    #[test]
+    fn per_peer_correlation_takes_last_close() {
+        let s = setup();
+        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        engine.process(&announce("9.9.9.9/32", 110, "200 64777 64999", vec![s.community], 200));
+        // First peer withdraws early; second keeps it until 500.
+        engine.process(&withdraw("9.9.9.9/32", 150, 100));
+        {
+            // Still open: only one of two peers closed.
+            assert_eq!(engine.open.len(), 1);
+        }
+        engine.process(&withdraw("9.9.9.9/32", 500, 200));
+        let result = engine.finish();
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(result.events[0].start, SimTime::from_unix(100));
+        assert_eq!(result.events[0].end, Some(SimTime::from_unix(500)));
+        assert_eq!(result.events[0].peer_count, 2);
+    }
+
+    #[test]
+    fn per_peer_ablation_closes_on_first_withdrawal() {
+        let s = setup();
+        let config = EngineConfig { per_peer_state: false, ..Default::default() };
+        let mut engine = InferenceEngine::with_config(&s.dict, &s.refdata, config);
+        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        engine.process(&announce("9.9.9.9/32", 110, "200 64777 64999", vec![s.community], 200));
+        engine.process(&withdraw("9.9.9.9/32", 150, 100));
+        let result = engine.finish();
+        // Collapsed state: the early withdrawal ends the event.
+        assert_eq!(result.events[0].end, Some(SimTime::from_unix(150)));
+    }
+
+    #[test]
+    fn rib_initialization_uses_time_zero() {
+        let s = setup();
+        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        let rib =
+            vec![announce("9.9.9.9/32", 10_000, "100 64777 64999", vec![s.community], 100)];
+        engine.initialize_from_rib(&rib);
+        engine.process(&withdraw("9.9.9.9/32", 10_500, 100));
+        let result = engine.finish();
+        assert_eq!(result.events[0].start, SimTime::ZERO);
+        assert_eq!(result.events[0].end, Some(SimTime::from_unix(10_500)));
+    }
+
+    #[test]
+    fn on_off_pattern_yields_multiple_events() {
+        let s = setup();
+        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        for k in 0..3u64 {
+            let t0 = 1000 + k * 300;
+            engine.process(&announce(
+                "9.9.9.9/32",
+                t0,
+                "100 64777 64999",
+                vec![s.community],
+                100,
+            ));
+            engine.process(&withdraw("9.9.9.9/32", t0 + 60, 100));
+        }
+        let result = engine.finish();
+        assert_eq!(result.events.len(), 3);
+        for e in &result.events {
+            assert_eq!(e.duration(SimTime::ZERO).as_secs(), 60);
+        }
+    }
+
+    #[test]
+    fn open_events_survive_finish_with_no_end() {
+        let s = setup();
+        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        let result = engine.finish();
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(result.events[0].end, None);
+    }
+
+    #[test]
+    fn bogon_announcements_are_cleaned() {
+        let s = setup();
+        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        engine.process(&announce("10.0.0.1/32", 100, "100 64777 64999", vec![s.community], 100));
+        let result = engine.finish();
+        assert!(result.events.is_empty());
+        assert_eq!(result.stats.cleaned, 1);
+    }
+
+    #[test]
+    fn ixp_detection_via_route_server_on_path() {
+        // Use a real generated topology so refdata has IXPs.
+        let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
+        let d = deploy(&t, &CollectorConfig::tiny(4));
+        let refdata = ReferenceData::build(&t, &d);
+        let ixp = t.ixps()[0].clone();
+        let mut dict = BlackholeDictionary::default();
+        dict.insert_validated(ixp.route_server_asn, Community::BLACKHOLE);
+        let mut engine = InferenceEngine::new(&dict, &refdata);
+        let member = ixp.members[0];
+        let elem = announce(
+            "9.9.9.9/32",
+            100,
+            &format!("100 {} {}", ixp.route_server_asn.value(), member.value()),
+            vec![Community::BLACKHOLE],
+            100,
+        );
+        engine.process(&elem);
+        let result = engine.finish();
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(
+            result.events[0].providers,
+            BTreeSet::from([ProviderId::Ixp(ixp.id)])
+        );
+        assert_eq!(result.events[0].users, BTreeSet::from([member]));
+    }
+
+    #[test]
+    fn ixp_detection_via_peer_ip_in_lan() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
+        let d = deploy(&t, &CollectorConfig::tiny(4));
+        let refdata = ReferenceData::build(&t, &d);
+        let ixp = t.ixps()[0].clone();
+        let mut dict = BlackholeDictionary::default();
+        dict.insert_validated(ixp.route_server_asn, Community::BLACKHOLE);
+        let mut engine = InferenceEngine::new(&dict, &refdata);
+        let member = ixp.members[0];
+        let mut elem = announce(
+            "9.9.9.9/32",
+            100,
+            &format!("{member_v}", member_v = member.value()),
+            vec![Community::BLACKHOLE],
+            member.value(),
+        );
+        elem.peer_ip = ixp.member_lan_ip(member).map(std::net::IpAddr::V4).unwrap();
+        elem.dataset = DataSource::Pch;
+        engine.process(&elem);
+        let result = engine.finish();
+        assert_eq!(result.events.len(), 1);
+        let e = &result.events[0];
+        assert_eq!(e.providers, BTreeSet::from([ProviderId::Ixp(ixp.id)]));
+        // User = peer-as; distance 0 (collector at the IXP).
+        assert_eq!(e.users, BTreeSet::from([member]));
+        assert!(e.distances.contains(&DetectionDistance::Hops(0)));
+    }
+
+    #[test]
+    fn census_records_all_tagged_and_untagged_communities() {
+        let s = setup();
+        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        let other = Community::from_parts(555, 80);
+        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community, other], 100));
+        engine.process(&announce("7.0.0.0/16", 100, "100 300", vec![other], 100));
+        let result = engine.finish();
+        assert_eq!(result.census.occurrences(s.community), 1);
+        assert_eq!(result.census.occurrences(other), 2);
+        assert!(result.census.cooccurs(other, s.community));
+    }
+
+    #[test]
+    fn multi_provider_bundle_yields_multi_provider_event() {
+        let s = setup();
+        let mut dict = s.dict.clone();
+        let c2 = Community::from_parts(888, 666);
+        dict.insert_validated(Asn::new(64_888), c2);
+        let mut engine = InferenceEngine::new(&dict, &s.refdata);
+        engine.process(&announce(
+            "9.9.9.9/32",
+            100,
+            "100 64999",
+            vec![s.community, c2],
+            100,
+        ));
+        let result = engine.finish();
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(result.events[0].providers.len(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! # bh-core — the paper's contribution: BGP blackholing inference
+//!
+//! Implements the full methodology of Giotsas et al. (IMC 2017), §4:
+//!
+//! 1. **Dictionary-driven detection** ([`engine`]): announcements carrying
+//!    a community from the documented blackhole dictionary are candidate
+//!    blackholings; shared/ambiguous communities are resolved via the AS
+//!    path; IXP blackholing is detected via the route-server ASN on the
+//!    path or a peer-ip inside a PeeringDB peering LAN; the blackholing
+//!    *user* is the AS-hop before the provider (prepending removed), the
+//!    peer-as for route-server views, or the origin for bundled
+//!    detections.
+//! 2. **Event tracking** ([`engine`], [`events`]): per-(prefix, peer)
+//!    state machines handle announcements, explicit withdrawals, and
+//!    *implicit* withdrawals (re-announcement without the tag);
+//!    observations are correlated across peers into prefix-level
+//!    [`events::BlackholeEvent`]s; RIB-dump initialization uses start
+//!    time zero; the 5-minute grouping of §9 collapses operators' ON/OFF
+//!    probing into [`events::BlackholePeriod`]s.
+//! 3. **Analytics** ([`analytics`]): Table 3 (per-dataset visibility),
+//!    Table 4 (by provider type), Fig. 4 (daily adoption series), Fig. 5
+//!    (prefix-count CDies per provider/user), Fig. 6 (per-country),
+//!    Fig. 7(b) (providers per event), Fig. 7(c) (AS-distance incl. the
+//!    bundling "no-path" share), Fig. 8 (durations).
+//! 4. **Reference data** ([`refdata`]): the *public* metadata the
+//!    methodology is allowed to consult (PeeringDB LANs and route
+//!    servers, PeeringDB/CAIDA classification, RIR countries, collector
+//!    session metadata) — never the simulator's ground truth.
+//!
+//! The engine consumes [`bh_routing::BgpElem`] streams — either live from
+//! the simulator or parsed back from MRT archives — making the pipeline
+//! identical in shape to a BGPStream-based deployment.
+
+pub mod analytics;
+pub mod engine;
+pub mod events;
+pub mod refdata;
+
+pub use analytics::{
+    daily_series, distance_histogram, durations, per_country, prefixes_per_provider,
+    prefixes_per_user, providers_per_event, table3, table4, DailyPoint, TypeRow, VisibilityRow,
+};
+pub use engine::{
+    DatasetVisibility, Detection, EngineConfig, EngineStats, InferenceEngine, InferenceResult,
+};
+pub use events::{group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, ProviderId};
+pub use refdata::ReferenceData;

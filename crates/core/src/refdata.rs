@@ -1,0 +1,155 @@
+//! Reference data: the *public* metadata the inference engine may use.
+//!
+//! The methodology never peeks at ground truth. Everything here models a
+//! publicly available dataset:
+//!
+//! * PeeringDB: IXP peering LANs and route-server ASNs,
+//! * PeeringDB + CAIDA: network-type classification,
+//! * RIR delegation files: per-AS country,
+//! * collector metadata: which ASes feed a collector directly
+//!   (Table 3's "direct BGP feed" column).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::IpAddr;
+
+use bh_bgp_types::asn::Asn;
+use bh_routing::{CollectorDeployment, DataSource, FeedKind};
+use bh_topology::{Classifier, IxpId, LanIndex, NetworkType, Topology};
+
+/// Public metadata snapshot consumed by the inference engine.
+pub struct ReferenceData {
+    lan_index: LanIndex,
+    route_servers: BTreeMap<Asn, IxpId>,
+    rs_by_ixp: BTreeMap<IxpId, Asn>,
+    network_types: BTreeMap<Asn, NetworkType>,
+    countries: BTreeMap<Asn, &'static str>,
+    direct_feeds: BTreeMap<DataSource, BTreeSet<Asn>>,
+}
+
+impl ReferenceData {
+    /// Build from the topology (PeeringDB/CAIDA/RIR equivalents) and the
+    /// collector deployment (session metadata).
+    pub fn build(topology: &Topology, deployment: &CollectorDeployment) -> Self {
+        let classifier = Classifier;
+        let mut route_servers = BTreeMap::new();
+        let mut rs_by_ixp = BTreeMap::new();
+        for ixp in topology.ixps() {
+            route_servers.insert(ixp.route_server_asn, ixp.id);
+            rs_by_ixp.insert(ixp.id, ixp.route_server_asn);
+        }
+        let mut network_types = BTreeMap::new();
+        let mut countries = BTreeMap::new();
+        for info in topology.ases() {
+            network_types.insert(info.asn, classifier.network_type(topology, info.asn));
+            countries.insert(info.asn, info.country);
+        }
+        let mut direct_feeds: BTreeMap<DataSource, BTreeSet<Asn>> = BTreeMap::new();
+        for session in deployment.sessions() {
+            let observed = match session.feed {
+                FeedKind::RouteServerView(_) => session.peer_asn,
+                _ => session.peer_asn,
+            };
+            direct_feeds.entry(session.dataset).or_default().insert(observed);
+        }
+        ReferenceData {
+            lan_index: topology.lan_index(),
+            route_servers,
+            rs_by_ixp,
+            network_types,
+            countries,
+            direct_feeds,
+        }
+    }
+
+    /// The route-server ASN of an IXP.
+    pub fn route_server_of(&self, ixp: IxpId) -> Option<Asn> {
+        self.rs_by_ixp.get(&ixp).copied()
+    }
+
+    /// Which IXP's peering LAN contains this address? (The PeeringDB
+    /// lookup of §4.2.)
+    pub fn ixp_of_peer_ip(&self, ip: IpAddr) -> Option<IxpId> {
+        self.lan_index.ixp_of_ip(ip)
+    }
+
+    /// Is this ASN an IXP route server, and for which IXP?
+    pub fn ixp_of_route_server(&self, asn: Asn) -> Option<IxpId> {
+        self.route_servers.get(&asn).copied()
+    }
+
+    /// PeeringDB/CAIDA network type.
+    pub fn network_type(&self, asn: Asn) -> NetworkType {
+        self.network_types.get(&asn).copied().unwrap_or(NetworkType::Unknown)
+    }
+
+    /// RIR country.
+    pub fn country(&self, asn: Asn) -> &'static str {
+        self.countries.get(&asn).copied().unwrap_or("??")
+    }
+
+    /// Does this AS feed the given platform directly?
+    pub fn has_direct_feed(&self, dataset: DataSource, asn: Asn) -> bool {
+        self.direct_feeds.get(&dataset).is_some_and(|set| set.contains(&asn))
+    }
+
+    /// Does this AS feed *any* platform directly?
+    pub fn has_any_direct_feed(&self, asn: Asn) -> bool {
+        self.direct_feeds.values().any(|set| set.contains(&asn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_routing::{deploy, CollectorConfig};
+    use bh_topology::{TopologyBuilder, TopologyConfig};
+
+    use super::*;
+
+    fn refdata() -> (Topology, ReferenceData) {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
+        let d = deploy(&t, &CollectorConfig::tiny(4));
+        let r = ReferenceData::build(&t, &d);
+        (t, r)
+    }
+
+    #[test]
+    fn route_servers_resolve_to_ixps() {
+        let (t, r) = refdata();
+        for ixp in t.ixps() {
+            assert_eq!(r.ixp_of_route_server(ixp.route_server_asn), Some(ixp.id));
+        }
+        assert_eq!(r.ixp_of_route_server(Asn::new(1)), None);
+    }
+
+    #[test]
+    fn lan_lookup_resolves_member_ips() {
+        let (t, r) = refdata();
+        let ixp = &t.ixps()[0];
+        let member = ixp.members[0];
+        let ip = ixp.member_lan_ip(member).unwrap();
+        assert_eq!(r.ixp_of_peer_ip(IpAddr::V4(ip)), Some(ixp.id));
+        assert_eq!(r.ixp_of_peer_ip("8.8.8.8".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn types_and_countries_are_populated() {
+        let (t, r) = refdata();
+        for info in t.ases() {
+            assert_ne!(r.country(info.asn), "??");
+            let _ = r.network_type(info.asn);
+        }
+        assert_eq!(r.country(Asn::new(4_000_000_000)), "??");
+        assert_eq!(r.network_type(Asn::new(4_000_000_000)), NetworkType::Unknown);
+    }
+
+    #[test]
+    fn direct_feed_flags_match_deployment() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
+        let d = deploy(&t, &CollectorConfig::tiny(4));
+        let r = ReferenceData::build(&t, &d);
+        for session in d.sessions() {
+            assert!(r.has_direct_feed(session.dataset, session.peer_asn));
+            assert!(r.has_any_direct_feed(session.peer_asn));
+        }
+    }
+}

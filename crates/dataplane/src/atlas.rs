@@ -1,0 +1,156 @@
+//! RIPE-Atlas-style probe selection (§10).
+//!
+//! "For each blackholing event we request ten probes for each one of the
+//! following four groups: probes in the downstream cone of the
+//! blackholing user, probes in the upstream cone, probes accessible
+//! through peering links and probes inside the blackholing user AS …
+//! We then select 4 probes (uniformly at random) from each group. If a
+//! group doesn't have enough probes we select the remaining probes
+//! randomly."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use bh_bgp_types::asn::Asn;
+use bh_topology::{NetworkType, Topology};
+
+/// The four probe groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeGroup {
+    /// Inside the blackholing user's own AS.
+    InsideUser,
+    /// In the user's customer (downstream) cone.
+    DownstreamCone,
+    /// In the user's provider (upstream) cone.
+    UpstreamCone,
+    /// Reachable over peering links of the user.
+    Peering,
+}
+
+/// A selected probe: a vantage AS with its group label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Vantage AS.
+    pub asn: Asn,
+    /// Which group it came from.
+    pub group: ProbeGroup,
+}
+
+/// Select up to `per_group` probes per group (the paper uses 4), filling
+/// shortfalls from the general population.
+pub fn select_probes(
+    topology: &Topology,
+    user: Asn,
+    per_group: usize,
+    rng: &mut StdRng,
+) -> Vec<Probe> {
+    let mut probes = Vec::new();
+    let mut used: Vec<Asn> = vec![user];
+
+    let pick =
+        |pool: Vec<Asn>, group: ProbeGroup, probes: &mut Vec<Probe>, used: &mut Vec<Asn>, rng: &mut StdRng| {
+            let filtered: Vec<Asn> = pool.into_iter().filter(|a| !used.contains(a)).collect();
+            for asn in filtered.choose_multiple(rng, per_group) {
+                probes.push(Probe { asn: *asn, group });
+                used.push(*asn);
+            }
+        };
+
+    // Inside the user AS: the user itself hosts probes (one vantage).
+    probes.push(Probe { asn: user, group: ProbeGroup::InsideUser });
+
+    let downstream: Vec<Asn> = topology
+        .customer_cone(user)
+        .into_iter()
+        .filter(|a| *a != user)
+        .collect();
+    pick(downstream, ProbeGroup::DownstreamCone, &mut probes, &mut used, rng);
+
+    let upstream: Vec<Asn> = topology
+        .provider_cone(user)
+        .into_iter()
+        .filter(|a| *a != user)
+        .collect();
+    pick(upstream, ProbeGroup::UpstreamCone, &mut probes, &mut used, rng);
+
+    let peering: Vec<Asn> = topology.peers_of(user);
+    pick(peering, ProbeGroup::Peering, &mut probes, &mut used, rng);
+
+    // Shortfall: fill from the general population, as the paper does.
+    let want = per_group * 4;
+    if probes.len() < want {
+        let pool: Vec<Asn> = topology
+            .ases()
+            .filter(|i| i.network_type != NetworkType::Ixp)
+            .map(|i| i.asn)
+            .filter(|a| !used.contains(a))
+            .collect();
+        let missing = want - probes.len();
+        for asn in pool.choose_multiple(rng, missing) {
+            probes.push(Probe { asn: *asn, group: ProbeGroup::Peering });
+            used.push(*asn);
+        }
+    }
+    probes
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_topology::{TopologyBuilder, TopologyConfig};
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn selection_covers_groups_and_is_deterministic() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(17)).build();
+        let user = t
+            .ases()
+            .find(|i| !t.providers_of(i.asn).is_empty() && !i.prefixes.is_empty())
+            .unwrap()
+            .asn;
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let a = select_probes(&t, user, 4, &mut rng_a);
+        let b = select_probes(&t, user, 4, &mut rng_b);
+        assert_eq!(a, b);
+        assert!(a.len() >= 4, "shortfall filling must produce enough probes");
+        assert!(a.iter().any(|p| p.group == ProbeGroup::InsideUser));
+        assert!(a.iter().any(|p| p.group == ProbeGroup::UpstreamCone));
+        // No duplicate vantage points.
+        let mut asns: Vec<Asn> = a.iter().map(|p| p.asn).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        assert_eq!(asns.len(), a.len());
+    }
+
+    #[test]
+    fn upstream_probes_are_in_the_provider_cone() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(17)).build();
+        let user = t
+            .ases()
+            .find(|i| !t.providers_of(i.asn).is_empty())
+            .unwrap()
+            .asn;
+        let cone = t.provider_cone(user);
+        let mut rng = StdRng::seed_from_u64(9);
+        let probes = select_probes(&t, user, 4, &mut rng);
+        for p in probes.iter().filter(|p| p.group == ProbeGroup::UpstreamCone) {
+            assert!(cone.contains(&p.asn));
+        }
+    }
+
+    #[test]
+    fn stub_user_without_customers_still_gets_probes() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(17)).build();
+        let stub = t
+            .ases()
+            .find(|i| t.customers_of(i.asn).is_empty() && !t.providers_of(i.asn).is_empty())
+            .unwrap()
+            .asn;
+        let mut rng = StdRng::seed_from_u64(1);
+        let probes = select_probes(&t, stub, 4, &mut rng);
+        assert!(probes.len() >= 8);
+        assert!(probes.iter().all(|p| p.asn != Asn::new(0)));
+    }
+}

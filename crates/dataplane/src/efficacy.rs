@@ -1,0 +1,308 @@
+//! The blackholing-efficacy experiment (Fig. 9(a)/(b)).
+//!
+//! For each blackholing event: select Atlas-style probes, traceroute to
+//! the blackholed host *during* the event and again *after* withdrawal,
+//! plus a control traceroute to a non-blackholed neighbor in the same
+//! /31. The paper reports the distributions of
+//! `after − during` path-length differences (IP- and AS-level) and the
+//! `control − blackholed` differences, keeping only events whose
+//! destination was reachable after the event.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bh_bgp_types::asn::Asn;
+use bh_bgp_types::prefix::Ipv4Prefix;
+use bh_topology::Topology;
+
+use crate::atlas::select_probes;
+use crate::traceroute::TracerouteSim;
+
+/// One measured event for the efficacy analysis.
+#[derive(Debug, Clone)]
+pub struct EfficacyInput {
+    /// The blackholed prefix (host routes expected).
+    pub prefix: Ipv4Prefix,
+    /// The blackholing user (owner of the prefix).
+    pub user: Asn,
+    /// ASes discarding traffic during the event (accepted providers and
+    /// honoring IXP members).
+    pub dropping: BTreeSet<Asn>,
+}
+
+/// Per-probe measurement outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeMeasurement {
+    /// Probe vantage AS.
+    pub probe: Asn,
+    /// IP-level path length during the event.
+    pub ip_during: usize,
+    /// IP-level path length after withdrawal.
+    pub ip_after: usize,
+    /// IP-level path length to the /31 neighbor during the event.
+    pub ip_control: usize,
+    /// AS-level path length during.
+    pub as_during: usize,
+    /// AS-level path length after.
+    pub as_after: usize,
+    /// AS-level length to the control target during.
+    pub as_control: usize,
+    /// Did traffic die at the destination AS or its direct upstream?
+    pub dropped_at_edge: bool,
+}
+
+impl ProbeMeasurement {
+    /// Fig. 9(a) red series: after − during (positive = blackholing
+    /// shortened the path).
+    pub fn ip_delta_after_during(&self) -> i64 {
+        self.ip_after as i64 - self.ip_during as i64
+    }
+
+    /// Fig. 9(a) blue series: control − blackholed during the event.
+    pub fn ip_delta_control(&self) -> i64 {
+        self.ip_control as i64 - self.ip_during as i64
+    }
+
+    /// Fig. 9(b): AS-level after − during.
+    pub fn as_delta_after_during(&self) -> i64 {
+        self.as_after as i64 - self.as_during as i64
+    }
+
+    /// Fig. 9(b) control series.
+    pub fn as_delta_control(&self) -> i64 {
+        self.as_control as i64 - self.as_during as i64
+    }
+}
+
+/// The experiment results.
+#[derive(Debug, Clone, Default)]
+pub struct EfficacyReport {
+    /// All per-probe measurements across events.
+    pub measurements: Vec<ProbeMeasurement>,
+    /// Events skipped because the destination was unreachable even after
+    /// the event (route changes / ICMP blocking, per the paper).
+    pub skipped_events: usize,
+    /// Events measured.
+    pub measured_events: usize,
+}
+
+impl EfficacyReport {
+    /// Mean IP-level shortening (the paper reports ≈5.9 hops).
+    pub fn mean_ip_shortening(&self) -> f64 {
+        mean(self.measurements.iter().map(|m| m.ip_delta_after_during() as f64))
+    }
+
+    /// Mean AS-level shortening (paper: 2–4 AS hops).
+    pub fn mean_as_shortening(&self) -> f64 {
+        mean(self.measurements.iter().map(|m| m.as_delta_after_during() as f64))
+    }
+
+    /// Fraction of paths that terminated earlier during blackholing
+    /// (paper: >80 %).
+    pub fn fraction_terminated_earlier(&self) -> f64 {
+        fraction(self.measurements.iter(), |m| m.ip_delta_after_during() > 0)
+    }
+
+    /// Fraction of cases where traffic was dropped at the destination AS
+    /// or its direct upstream (paper: 16 %).
+    pub fn fraction_dropped_at_edge(&self) -> f64 {
+        fraction(self.measurements.iter(), |m| m.dropped_at_edge)
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn fraction<'a, T: 'a>(
+    values: impl Iterator<Item = &'a T>,
+    predicate: impl Fn(&T) -> bool,
+) -> f64 {
+    let mut hit = 0usize;
+    let mut n = 0usize;
+    for v in values {
+        if predicate(v) {
+            hit += 1;
+        }
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        hit as f64 / n as f64
+    }
+}
+
+/// Run the experiment over a set of events.
+pub fn run_experiment(
+    topology: &Topology,
+    events: &[EfficacyInput],
+    seed: u64,
+) -> EfficacyReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tracer = TracerouteSim::new(topology, seed ^ 0xda7a);
+    let mut report = EfficacyReport::default();
+    let empty = BTreeSet::new();
+
+    for event in events {
+        let Some(target) = event.prefix.nth_addr(0) else {
+            report.skipped_events += 1;
+            continue;
+        };
+        let control_addr = event
+            .prefix
+            .sibling_host()
+            .and_then(|p| p.nth_addr(0))
+            .unwrap_or(target);
+        let probes = select_probes(topology, event.user, 4, &mut rng);
+        let mut measured_any = false;
+        for probe in probes {
+            if probe.asn == event.user {
+                // Inside-user probes see local routes; the paper's
+                // during/after comparison is about external paths.
+                continue;
+            }
+            let after = tracer.trace(probe.asn, event.user, target, &empty, true);
+            if !after.reached {
+                continue; // destination not reachable after: skip probe
+            }
+            let during = tracer.trace(probe.asn, event.user, target, &event.dropping, true);
+            let control = tracer.trace(probe.asn, event.user, control_addr, &empty, true);
+            // Where did the path die? At the destination AS or its
+            // direct upstream = "dropped at the destination AS or the
+            // upstream provider".
+            let dropped_at_edge = {
+                let last_as = during.hops.last().map(|h| h.asn);
+                let upstreams = topology.providers_of(event.user);
+                last_as == Some(event.user)
+                    || last_as.is_some_and(|a| upstreams.contains(&a))
+            };
+            report.measurements.push(ProbeMeasurement {
+                probe: probe.asn,
+                ip_during: during.ip_path_length(),
+                ip_after: after.ip_path_length(),
+                ip_control: control.ip_path_length(),
+                as_during: during.as_path_length(),
+                as_after: after.as_path_length(),
+                as_control: control.as_path_length(),
+                dropped_at_edge,
+            });
+            measured_any = true;
+        }
+        if measured_any {
+            report.measured_events += 1;
+        } else {
+            report.skipped_events += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_topology::{TopologyBuilder, TopologyConfig};
+    use bh_workloads::capable_providers;
+
+    use super::*;
+
+    fn events(topology: &Topology, n: usize) -> Vec<EfficacyInput> {
+        let mut out = Vec::new();
+        for info in topology.ases() {
+            if out.len() >= n {
+                break;
+            }
+            if info.prefixes.is_empty() {
+                continue;
+            }
+            // A victim blackholing at *all* of its upstreams plus its
+            // IXPs, with every member honoring — the clean-efficacy case
+            // the paper's >80% figure reflects.
+            if capable_providers(topology, info.asn).is_empty() {
+                continue;
+            }
+            let mut dropping: BTreeSet<Asn> =
+                topology.providers_of(info.asn).into_iter().collect();
+            for ixp in topology.ixps() {
+                if ixp.has_member(info.asn) {
+                    dropping.extend(ixp.members.iter().copied().filter(|m| *m != info.asn));
+                }
+            }
+            if dropping.is_empty() {
+                continue;
+            }
+            let host = info.prefixes[0].nth_addr(4).map(Ipv4Prefix::host).unwrap();
+            out.push(EfficacyInput { prefix: host, user: info.asn, dropping });
+        }
+        out
+    }
+
+    #[test]
+    fn blackholing_shortens_paths() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(23)).build();
+        let evs = events(&t, 12);
+        assert!(evs.len() >= 4, "need events to measure");
+        let report = run_experiment(&t, &evs, 99);
+        assert!(!report.measurements.is_empty());
+        // The headline shape: paths terminate earlier during blackholing.
+        assert!(
+            report.fraction_terminated_earlier() > 0.5,
+            "fraction {}",
+            report.fraction_terminated_earlier()
+        );
+        assert!(report.mean_ip_shortening() > 0.0);
+        assert!(report.mean_as_shortening() > 0.0);
+    }
+
+    #[test]
+    fn control_targets_stay_reachable() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(23)).build();
+        let evs = events(&t, 8);
+        let report = run_experiment(&t, &evs, 99);
+        for m in &report.measurements {
+            // The control path is a full path; the during path is cut:
+            // control should usually be at least as long.
+            assert!(m.ip_control >= 1);
+            assert!(m.ip_delta_control() >= 0, "control shorter than blackholed");
+        }
+    }
+
+    #[test]
+    fn empty_dropping_set_means_no_shortening() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(23)).build();
+        let mut evs = events(&t, 5);
+        for e in &mut evs {
+            e.dropping.clear();
+        }
+        let report = run_experiment(&t, &evs, 99);
+        for m in &report.measurements {
+            assert_eq!(m.ip_delta_after_during(), 0);
+            assert_eq!(m.as_delta_after_during(), 0);
+        }
+    }
+
+    #[test]
+    fn report_fractions_are_probabilities() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(23)).build();
+        let evs = events(&t, 10);
+        let report = run_experiment(&t, &evs, 7);
+        for f in [
+            report.fraction_terminated_earlier(),
+            report.fraction_dropped_at_edge(),
+        ] {
+            assert!((0.0..=1.0).contains(&f));
+        }
+        assert_eq!(report.measured_events + report.skipped_events, evs.len());
+    }
+}

@@ -1,0 +1,37 @@
+//! # bh-dataplane — data-plane substrates
+//!
+//! The paper validates control-plane inference with data-plane
+//! measurements; this crate provides the synthetic equivalents:
+//!
+//! * [`traceroute`] — a router-level traceroute simulator over the
+//!   valley-free forwarding paths, with ingress discarding at blackholing
+//!   ASes and ICMP-blocking noise (substitutes for RIPE Atlas probes).
+//! * [`atlas`] — the §10 probe-selection strategy: four groups
+//!   (downstream cone / upstream cone / peering / inside the user AS),
+//!   uniform sampling with shortfall filling.
+//! * [`efficacy`] — the Fig. 9(a)/(b) experiment: during-vs-after and
+//!   blackholed-vs-control path-length deltas at IP and AS level.
+//! * [`flow`] — IPFIX-style 1:10,000-sampled flow series on an IXP
+//!   fabric: honored blackholes drop at member ingress, non-honoring
+//!   members leak (Fig. 9(c)); plus the §10 misconfiguration taxonomy.
+//! * [`scans`] — scans.io-style service profiles (Fig. 7(a)), HTTP
+//!   response rates, Alexa-style hosting, tarpits, and the
+//!   suspicious-activity feeds of §8.
+
+pub mod atlas;
+pub mod efficacy;
+pub mod flow;
+pub mod scans;
+pub mod traceroute;
+
+pub use atlas::{select_probes, Probe, ProbeGroup};
+pub use efficacy::{run_experiment, EfficacyInput, EfficacyReport, ProbeMeasurement};
+pub use flow::{
+    classify_no_drop, fig9c_series, FlowSim, HourPoint, IgnoreReason, MemberBehavior, NoDropCause,
+    SAMPLING_RATE,
+};
+pub use scans::{
+    reputation_feed, service_histogram, AlexaDomain, PrefixProfile, ReputationDay, ScanGenerator,
+    Service, TLD_WEIGHTS,
+};
+pub use traceroute::{Hop, Traceroute, TracerouteSim};

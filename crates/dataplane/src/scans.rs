@@ -1,0 +1,389 @@
+//! scans.io-style service scans, web content, and reputation feeds
+//! (§8: "Services/Applications on Blackholed IPs", "Web Servers and
+//! Content", "Malicious Activity of Blackholed IPs").
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bh_bgp_types::prefix::Ipv4Prefix;
+
+/// The scanned protocols, in the paper's Fig. 7(a) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Service {
+    /// HTTP (80/tcp) — the dominant service (53 % of prefixes).
+    Http,
+    /// HTTPS (443/tcp).
+    Https,
+    /// SSH (22/tcp).
+    Ssh,
+    /// FTP (21/tcp).
+    Ftp,
+    /// Telnet (23/tcp).
+    Telnet,
+    /// DNS (53/udp).
+    Dns,
+    /// NTP (123/udp).
+    Ntp,
+    /// SMTP (25/tcp).
+    Smtp,
+    /// SMTPS (465/tcp).
+    Smtps,
+    /// POP3 (110/tcp).
+    Pop3,
+    /// POP3S (995/tcp).
+    Pop3s,
+    /// IMAP (143/tcp).
+    Imap,
+    /// IMAPS (993/tcp).
+    Imaps,
+}
+
+impl Service {
+    /// All services in figure order.
+    pub const ALL: [Service; 13] = [
+        Service::Http,
+        Service::Https,
+        Service::Ssh,
+        Service::Ftp,
+        Service::Telnet,
+        Service::Dns,
+        Service::Ntp,
+        Service::Smtp,
+        Service::Smtps,
+        Service::Pop3,
+        Service::Pop3s,
+        Service::Imap,
+        Service::Imaps,
+    ];
+
+    /// Axis label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Service::Http => "HTTP",
+            Service::Https => "HTTPS",
+            Service::Ssh => "SSH",
+            Service::Ftp => "FTP",
+            Service::Telnet => "Telnet",
+            Service::Dns => "DNS",
+            Service::Ntp => "NTP",
+            Service::Smtp => "SMTP",
+            Service::Smtps => "SMTPS",
+            Service::Pop3 => "POP3",
+            Service::Pop3s => "POP3S",
+            Service::Imap => "IMAP",
+            Service::Imaps => "IMAPS",
+        }
+    }
+
+    /// The six mail protocols.
+    pub const MAIL: [Service; 6] = [
+        Service::Smtp,
+        Service::Smtps,
+        Service::Pop3,
+        Service::Pop3s,
+        Service::Imap,
+        Service::Imaps,
+    ];
+}
+
+/// The scan profile of one blackholed prefix (services aggregated over
+/// its hosts, as the paper does).
+#[derive(Debug, Clone)]
+pub struct PrefixProfile {
+    /// The prefix.
+    pub prefix: Ipv4Prefix,
+    /// Open services.
+    pub services: BTreeSet<Service>,
+    /// Tarpit: accepts TCP on every probed port.
+    pub tarpit: bool,
+    /// Responds to HTTP GET with an actual HTTP response (61 % of
+    /// blackholed hosts vs ~90 % baseline).
+    pub http_responds: bool,
+    /// Hosts a domain in the Alexa-style top-1M (~3 % of HTTP hosts).
+    pub alexa_domain: Option<AlexaDomain>,
+}
+
+/// A popular hosted domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlexaDomain {
+    /// Site rank (1-based).
+    pub rank: u32,
+    /// Top-level domain.
+    pub tld: &'static str,
+}
+
+/// TLD distribution of blackholed Alexa domains (§8: .com 38 %, .ru 16 %,
+/// .org 11.9 %, .net 6 %, .se 3 %, remainder long tail).
+pub const TLD_WEIGHTS: &[(&str, u32)] = &[
+    ("com", 380),
+    ("ru", 160),
+    ("org", 119),
+    ("net", 60),
+    ("se", 30),
+    ("de", 28),
+    ("pl", 25),
+    ("br", 24),
+    ("ua", 22),
+    ("io", 20),
+    ("info", 18),
+    ("fr", 17),
+    ("it", 16),
+    ("nl", 15),
+    ("cz", 14),
+    ("tr", 12),
+];
+
+/// The scan synthesizer.
+pub struct ScanGenerator {
+    rng: StdRng,
+}
+
+impl ScanGenerator {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        ScanGenerator { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Profile one blackholed prefix. The probabilities reproduce the
+    /// paper's service mix: HTTP 53 %, strong HTTP co-location for FTP
+    /// (90 %) and SSH (79 %), ~10 % full mail stacks, ~4 % tarpits, and
+    /// ~40 % of prefixes with no identified service at all.
+    pub fn profile(&mut self, prefix: Ipv4Prefix) -> PrefixProfile {
+        let rng = &mut self.rng;
+        let mut services = BTreeSet::new();
+        let tarpit = rng.gen_bool(0.04);
+        if tarpit {
+            services.extend(Service::ALL);
+        } else if rng.gen_bool(0.60) {
+            // At least one service identified.
+            let http = rng.gen_bool(0.53 / 0.60);
+            if http {
+                services.insert(Service::Http);
+                if rng.gen_bool(0.45) {
+                    services.insert(Service::Https);
+                }
+                // Co-location: 90 % of FTP and 79 % of SSH servers sit
+                // with HTTP (default hoster images).
+                if rng.gen_bool(0.35) {
+                    services.insert(Service::Ftp);
+                }
+                if rng.gen_bool(0.40) {
+                    services.insert(Service::Ssh);
+                }
+            } else {
+                // Non-web services.
+                if rng.gen_bool(0.3) {
+                    services.insert(Service::Ssh);
+                }
+                if rng.gen_bool(0.12) {
+                    services.insert(Service::Ftp);
+                }
+                if rng.gen_bool(0.2) {
+                    services.insert(Service::Dns);
+                }
+                if rng.gen_bool(0.12) {
+                    services.insert(Service::Ntp);
+                }
+                if rng.gen_bool(0.1) {
+                    services.insert(Service::Telnet);
+                }
+            }
+            if rng.gen_bool(0.10) {
+                // Full mail stack.
+                services.extend(Service::MAIL);
+            } else if rng.gen_bool(0.12) {
+                services.insert(Service::Smtp);
+            }
+            if services.is_empty() {
+                services.insert(Service::Dns);
+            }
+        }
+        let has_http = services.contains(&Service::Http);
+        let http_responds = has_http && rng.gen_bool(0.61);
+        let alexa_domain = if has_http && rng.gen_bool(0.03) {
+            let weights: u32 = TLD_WEIGHTS.iter().map(|(_, w)| w).sum();
+            let mut pick = rng.gen_range(0..weights);
+            let mut tld = TLD_WEIGHTS[0].0;
+            for (t, w) in TLD_WEIGHTS {
+                if pick < *w {
+                    tld = t;
+                    break;
+                }
+                pick -= w;
+            }
+            Some(AlexaDomain { rank: rng.gen_range(1_000..1_000_000), tld })
+        } else {
+            None
+        };
+        PrefixProfile { prefix, services, tarpit, http_responds, alexa_domain }
+    }
+
+    /// Profile a whole prefix set.
+    pub fn profile_all(&mut self, prefixes: &[Ipv4Prefix]) -> Vec<PrefixProfile> {
+        prefixes.iter().map(|p| self.profile(*p)).collect()
+    }
+}
+
+/// The Fig. 7(a) histogram: per service, the number of blackholed
+/// prefixes offering it, plus the NONE bucket.
+pub fn service_histogram(profiles: &[PrefixProfile]) -> (BTreeMap<Service, usize>, usize) {
+    let mut hist: BTreeMap<Service, usize> = BTreeMap::new();
+    let mut none = 0usize;
+    for profile in profiles {
+        if profile.services.is_empty() {
+            none += 1;
+            continue;
+        }
+        for s in &profile.services {
+            *hist.entry(*s).or_default() += 1;
+        }
+    }
+    (hist, none)
+}
+
+/// Daily suspicious-activity feed (§8: on a daily basis 400–900 matches,
+/// >90 % probers, ~2 % both; 500–800 IPs in login attempts; union ≈2 %
+/// of blackholed prefixes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReputationDay {
+    /// Day offset.
+    pub day: u32,
+    /// Vulnerability probers observed.
+    pub probers: u32,
+    /// Port scanners observed.
+    pub scanners: u32,
+    /// IPs that did both.
+    pub both: u32,
+    /// IPs in repeated login attempts.
+    pub login_attempts: u32,
+}
+
+/// Generate a daily feed scaled to the size of the blackholed population.
+pub fn reputation_feed(seed: u64, days: u32, blackholed_prefixes: usize) -> Vec<ReputationDay> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scale = (blackholed_prefixes as f64 / 20_000.0).clamp(0.05, 10.0);
+    (0..days)
+        .map(|day| {
+            let matches = (rng.gen_range(400.0..900.0) * scale) as u32;
+            let both = (matches as f64 * 0.02) as u32;
+            let probers = (matches as f64 * rng.gen_range(0.90..0.96)) as u32;
+            let scanners = matches - probers + both;
+            let login_attempts = (rng.gen_range(500.0..800.0) * scale) as u32;
+            ReputationDay { day, probers, scanners, both, login_attempts }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles(n: usize, seed: u64) -> Vec<PrefixProfile> {
+        let mut generator = ScanGenerator::new(seed);
+        let prefixes: Vec<Ipv4Prefix> = (0..n)
+            .map(|i| {
+                Ipv4Prefix::from_raw(((50 + (i >> 16)) as u32) << 24 | (i as u32 & 0xFFFF) << 8 | 7, 32)
+            })
+            .collect();
+        generator.profile_all(&prefixes)
+    }
+
+    #[test]
+    fn http_dominates() {
+        let profiles = profiles(5_000, 1);
+        let (hist, none) = service_histogram(&profiles);
+        let http = hist.get(&Service::Http).copied().unwrap_or(0);
+        assert!(
+            (0.45..0.62).contains(&(http as f64 / profiles.len() as f64)),
+            "HTTP fraction {}",
+            http as f64 / profiles.len() as f64
+        );
+        for (service, count) in &hist {
+            if *service != Service::Http {
+                assert!(count <= &http, "{service:?} beats HTTP");
+            }
+        }
+        // ~40% of prefixes have no identified service.
+        let none_fraction = none as f64 / profiles.len() as f64;
+        assert!((0.3..0.5).contains(&none_fraction), "none {none_fraction}");
+    }
+
+    #[test]
+    fn tarpits_expose_all_ports() {
+        let profiles = profiles(5_000, 2);
+        let tarpits: Vec<_> = profiles.iter().filter(|p| p.tarpit).collect();
+        let fraction = tarpits.len() as f64 / profiles.len() as f64;
+        assert!((0.02..0.07).contains(&fraction), "tarpit fraction {fraction}");
+        for t in tarpits {
+            assert_eq!(t.services.len(), Service::ALL.len());
+        }
+    }
+
+    #[test]
+    fn http_response_rate_is_depressed() {
+        let profiles = profiles(8_000, 3);
+        let http: Vec<_> =
+            profiles.iter().filter(|p| p.services.contains(&Service::Http)).collect();
+        let responding = http.iter().filter(|p| p.http_responds).count();
+        let rate = responding as f64 / http.len() as f64;
+        assert!((0.55..0.67).contains(&rate), "response rate {rate} (paper: 61%)");
+    }
+
+    #[test]
+    fn alexa_hosting_is_rare_with_papers_tlds() {
+        let profiles = profiles(20_000, 4);
+        let http_count =
+            profiles.iter().filter(|p| p.services.contains(&Service::Http)).count();
+        let alexa: Vec<_> = profiles.iter().filter_map(|p| p.alexa_domain.as_ref()).collect();
+        let fraction = alexa.len() as f64 / http_count as f64;
+        assert!((0.015..0.05).contains(&fraction), "alexa fraction {fraction}");
+        // .com dominates, .ru second.
+        let mut tld_counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in &alexa {
+            *tld_counts.entry(d.tld).or_default() += 1;
+        }
+        let com = tld_counts.get("com").copied().unwrap_or(0);
+        let ru = tld_counts.get("ru").copied().unwrap_or(0);
+        assert!(com > ru, "com {com} ru {ru}");
+        for (tld, count) in &tld_counts {
+            if *tld != "com" {
+                assert!(*count <= com, "{tld} beats com");
+            }
+        }
+    }
+
+    #[test]
+    fn mail_stacks_come_in_sixes() {
+        let profiles = profiles(5_000, 5);
+        let full_mail = profiles
+            .iter()
+            .filter(|p| !p.tarpit && Service::MAIL.iter().all(|m| p.services.contains(m)))
+            .count();
+        let fraction = full_mail as f64 / profiles.len() as f64;
+        assert!((0.04..0.12).contains(&fraction), "full-mail fraction {fraction}");
+    }
+
+    #[test]
+    fn reputation_feed_matches_paper_ranges() {
+        let feed = reputation_feed(7, 30, 20_000);
+        assert_eq!(feed.len(), 30);
+        for day in &feed {
+            let matches = day.probers + day.scanners - day.both;
+            assert!((350..1000).contains(&matches), "matches {matches}");
+            assert!(day.probers as f64 / matches as f64 > 0.85);
+            assert!((450..850).contains(&day.login_attempts));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = profiles(100, 9);
+        let b = profiles(100, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.services, y.services);
+            assert_eq!(x.http_responds, y.http_responds);
+        }
+    }
+}

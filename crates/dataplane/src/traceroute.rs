@@ -1,0 +1,264 @@
+//! Router-level traceroute simulation.
+//!
+//! Substitutes for RIPE Atlas: paths follow the valley-free forwarding
+//! tree toward the destination's origin AS; each AS expands into 1–3
+//! router (IP) hops; blackholing providers discard at their ingress; some
+//! ASes block ICMP (the paper explicitly controls for this, §10).
+
+use std::collections::{BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bh_bgp_types::asn::Asn;
+use bh_routing::ForwardingTree;
+use bh_topology::Topology;
+
+/// One traceroute hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// The AS the router belongs to.
+    pub asn: Asn,
+    /// Router address (synthetic, stable per (AS, index)).
+    pub address: Ipv4Addr,
+    /// Whether the router answered (ICMP not blocked).
+    pub responded: bool,
+}
+
+/// A completed measurement.
+#[derive(Debug, Clone)]
+pub struct Traceroute {
+    /// Source AS.
+    pub src: Asn,
+    /// Target address.
+    pub target: Ipv4Addr,
+    /// Hops in order (destination not included; see `reached`).
+    pub hops: Vec<Hop>,
+    /// Whether the destination itself replied.
+    pub reached: bool,
+}
+
+impl Traceroute {
+    /// The paper's "path length": hops to the last *responding*
+    /// interface (the destination counts when reached).
+    pub fn ip_path_length(&self) -> usize {
+        let last_responding = self
+            .hops
+            .iter()
+            .rposition(|h| h.responded)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        if self.reached {
+            self.hops.len() + 1
+        } else {
+            last_responding
+        }
+    }
+
+    /// AS-level path length to the last responding interface.
+    pub fn as_path_length(&self) -> usize {
+        let mut ases = BTreeSet::new();
+        let limit = if self.reached {
+            self.hops.len()
+        } else {
+            self.hops.iter().rposition(|h| h.responded).map(|i| i + 1).unwrap_or(0)
+        };
+        for hop in &self.hops[..limit] {
+            ases.insert(hop.asn);
+        }
+        ases.len()
+    }
+}
+
+/// The traceroute engine. Holds per-destination forwarding trees
+/// (cached) and deterministic per-AS router parameters.
+pub struct TracerouteSim<'a> {
+    topology: &'a Topology,
+    trees: HashMap<Asn, ForwardingTree>,
+    hop_counts: HashMap<Asn, u8>,
+    icmp_silent: BTreeSet<Asn>,
+}
+
+impl<'a> TracerouteSim<'a> {
+    /// Build with a seed controlling router-count and ICMP behavior.
+    pub fn new(topology: &'a Topology, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hop_counts = HashMap::new();
+        let mut icmp_silent = BTreeSet::new();
+        for info in topology.ases() {
+            hop_counts.insert(info.asn, rng.gen_range(1..=3));
+            if rng.gen_bool(0.08) {
+                icmp_silent.insert(info.asn);
+            }
+        }
+        TracerouteSim { topology, trees: HashMap::new(), hop_counts, icmp_silent }
+    }
+
+    /// Synthetic but stable router address for (AS, hop index).
+    fn router_addr(asn: Asn, index: u8) -> Ipv4Addr {
+        // 203.0.113/24 is reserved documentation space; router identities
+        // only need stability and uniqueness-per-AS for the analysis.
+        let v = asn.value();
+        Ipv4Addr::new(
+            (10 + (v >> 16) % 90) as u8,
+            (v >> 8) as u8,
+            v as u8,
+            index.wrapping_mul(17).wrapping_add(1),
+        )
+    }
+
+    fn tree_for(&mut self, origin: Asn) -> &ForwardingTree {
+        let topology = self.topology;
+        self.trees
+            .entry(origin)
+            .or_insert_with(|| ForwardingTree::toward(topology, origin))
+    }
+
+    /// Trace from `src` toward `target` (owned by `dst_origin`).
+    /// `dropping` is the set of ASes currently discarding traffic for the
+    /// target's prefix; `dst_responds` models the destination host being
+    /// up (the control-plane experiment requires a responding target).
+    pub fn trace(
+        &mut self,
+        src: Asn,
+        dst_origin: Asn,
+        target: Ipv4Addr,
+        dropping: &BTreeSet<Asn>,
+        dst_responds: bool,
+    ) -> Traceroute {
+        let icmp_silent = self.icmp_silent.clone();
+        let hop_counts = self.hop_counts.clone();
+        let tree = self.tree_for(dst_origin);
+        let mut hops = Vec::new();
+        let mut reached = false;
+        if let Some(as_path) = tree.path_from(src) {
+            'walk: for (i, asn) in as_path.iter().enumerate() {
+                let n_routers = hop_counts.get(asn).copied().unwrap_or(2);
+                let responds = !icmp_silent.contains(asn);
+                // A null route discards traffic *anywhere inside* the
+                // dropping AS — at its ingress for transit traffic, and
+                // for its own traffic too (honoring IXP members cannot
+                // reach the victim either). The only exception is local
+                // delivery: a single-AS path never consults the route.
+                let drops_here = dropping.contains(asn) && as_path.len() > 1;
+                for r in 0..n_routers {
+                    hops.push(Hop {
+                        asn: *asn,
+                        address: Self::router_addr(*asn, r),
+                        responded: responds,
+                    });
+                    if drops_here {
+                        break 'walk;
+                    }
+                }
+                let _ = i;
+            }
+            let dst_blackholed =
+                as_path.len() > 1 && as_path.iter().any(|a| dropping.contains(a));
+            reached = dst_responds && !dst_blackholed;
+        }
+        Traceroute { src, target, hops, reached }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_topology::{TopologyBuilder, TopologyConfig};
+
+    use super::*;
+
+    fn setup() -> (Topology, Asn, Asn, Ipv4Addr) {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(91)).build();
+        let dst_info = t
+            .ases()
+            .find(|i| !i.prefixes.is_empty() && i.tier == bh_topology::Tier::Stub)
+            .unwrap();
+        let dst = dst_info.asn;
+        let target = dst_info.prefixes[0].nth_addr(9).unwrap();
+        let src = t
+            .ases()
+            .find(|i| i.asn != dst && i.tier == bh_topology::Tier::Stub && i.network_type != bh_topology::NetworkType::Ixp)
+            .unwrap()
+            .asn;
+        (t, src, dst, target)
+    }
+
+    #[test]
+    fn unblackholed_trace_reaches_destination() {
+        let (t, src, dst, target) = setup();
+        let mut sim = TracerouteSim::new(&t, 5);
+        let trace = sim.trace(src, dst, target, &BTreeSet::new(), true);
+        assert!(trace.reached, "destination must be reachable");
+        assert!(!trace.hops.is_empty());
+        assert_eq!(trace.hops.first().unwrap().asn, src);
+        assert_eq!(trace.hops.last().unwrap().asn, dst);
+        assert!(trace.ip_path_length() >= trace.as_path_length());
+    }
+
+    #[test]
+    fn blackholed_trace_terminates_early() {
+        let (t, src, dst, target) = setup();
+        let mut sim = TracerouteSim::new(&t, 5);
+        let clean = sim.trace(src, dst, target, &BTreeSet::new(), true);
+        // Drop at the AS right before the destination on the clean path.
+        let drop_as = clean.hops[clean.hops.len() - 1].asn;
+        let penult = clean
+            .hops
+            .iter()
+            .rev()
+            .find(|h| h.asn != drop_as)
+            .map(|h| h.asn)
+            .unwrap_or(drop_as);
+        let dropping = BTreeSet::from([penult]);
+        let during = sim.trace(src, dst, target, &dropping, true);
+        assert!(!during.reached, "blackholed target must be unreachable");
+        assert!(
+            during.ip_path_length() < clean.ip_path_length(),
+            "during {} !< after {}",
+            during.ip_path_length(),
+            clean.ip_path_length()
+        );
+        assert!(during.as_path_length() <= clean.as_path_length());
+    }
+
+    #[test]
+    fn dropping_at_destination_as_still_blocks_host() {
+        let (t, src, dst, target) = setup();
+        let mut sim = TracerouteSim::new(&t, 5);
+        let dropping = BTreeSet::from([dst]);
+        let during = sim.trace(src, dst, target, &dropping, true);
+        assert!(!during.reached);
+    }
+
+    #[test]
+    fn source_as_dropping_does_not_block_itself() {
+        // The dropping check skips index 0: a user blackholing its own
+        // prefix elsewhere still reaches it from inside.
+        let (t, _, dst, target) = setup();
+        let mut sim = TracerouteSim::new(&t, 5);
+        let dropping = BTreeSet::from([dst]);
+        let from_inside = sim.trace(dst, dst, target, &dropping, true);
+        assert!(from_inside.reached);
+    }
+
+    #[test]
+    fn icmp_silent_ases_shorten_responding_length_only() {
+        let (t, src, dst, target) = setup();
+        let mut sim = TracerouteSim::new(&t, 5);
+        let trace = sim.trace(src, dst, target, &BTreeSet::new(), false);
+        // Destination does not respond: length is to last responding hop.
+        assert!(!trace.reached);
+        assert!(trace.ip_path_length() <= trace.hops.len());
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let (t, src, dst, target) = setup();
+        let mut a = TracerouteSim::new(&t, 7);
+        let mut b = TracerouteSim::new(&t, 7);
+        let ta = a.trace(src, dst, target, &BTreeSet::new(), true);
+        let tb = b.trace(src, dst, target, &BTreeSet::new(), true);
+        assert_eq!(ta.hops, tb.hops);
+    }
+}

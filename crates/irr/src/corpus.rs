@@ -1,0 +1,358 @@
+//! Synthetic documentation corpus: IRR objects, web pages, private notes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use bh_bgp_types::asn::Asn;
+use bh_bgp_types::community::Community;
+use bh_topology::{DocumentationChannel, Topology};
+
+/// A RADb-style `aut-num` object: header lines plus `remarks:` lines.
+#[derive(Debug, Clone)]
+pub struct IrrObject {
+    /// The documented AS.
+    pub asn: Asn,
+    /// Full object text, one line per element.
+    pub lines: Vec<String>,
+}
+
+impl IrrObject {
+    /// The object rendered as a single text blob.
+    pub fn text(&self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+/// An operator web page (noisier free text).
+#[derive(Debug, Clone)]
+pub struct WebPage {
+    /// The operator.
+    pub asn: Asn,
+    /// Page paragraphs.
+    pub paragraphs: Vec<String>,
+}
+
+impl WebPage {
+    /// The page rendered as a single text blob.
+    pub fn text(&self) -> String {
+        self.paragraphs.join("\n")
+    }
+}
+
+/// A private communication: already-structured (the paper validated these
+/// 5 networks by direct exchange with operators).
+#[derive(Debug, Clone)]
+pub struct PrivateNote {
+    /// The provider.
+    pub asn: Asn,
+    /// Its blackhole communities.
+    pub communities: Vec<Community>,
+}
+
+/// The full corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// IRR objects (RADb substitute).
+    pub irr_objects: Vec<IrrObject>,
+    /// Operator web pages.
+    pub web_pages: Vec<WebPage>,
+    /// Private communications.
+    pub private_notes: Vec<PrivateNote>,
+}
+
+impl Corpus {
+    /// Total number of documents.
+    pub fn len(&self) -> usize {
+        self.irr_objects.len() + self.web_pages.len() + self.private_notes.len()
+    }
+
+    /// Is the corpus empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+const BLACKHOLE_PHRASES: &[&str] = &[
+    "{c} - blackhole: provider discards traffic to tagged prefixes",
+    "{c}   blackhole community, announcements up to /32 accepted",
+    "use {c} to null-route attack traffic at our border",
+    "RTBH: tag announcement with {c} to trigger remote blackholing",
+    "{c} - remotely triggered black hole filtering",
+    "{c}: blackholing, only prefixes more specific than /24",
+    "DDoS mitigation: send {c} and we will null route the prefix",
+    "{c} => discard all traffic (blackhole) toward the prefix",
+];
+
+const REGIONAL_SUFFIXES: &[&str] = &[
+    " (Europe only)",
+    " (US region)",
+    " (Asia-Pacific scope)",
+];
+
+const OTHER_PHRASES: &[&str] = &[
+    "{c} - set local-preference 80 inside our network",
+    "{c} tagged on peering routes",
+    "{c}: prepend 3x towards all upstreams",
+    "{c} - route learned at FRA location",
+    "{c} marks customer routes",
+    "do not export to peers when tagged {c}",
+    "{c}: traffic engineering, lower preference",
+];
+
+const NOISE_LINES: &[&str] = &[
+    "maintained by NOC, contact noc@example.net",
+    "peering requests via peering@example.net",
+    "MD5 on request",
+    "see https://example.net/routing-policy for details",
+    "AS-SET: AS-EXAMPLE-CUSTOMERS",
+    "we operate an open peering policy",
+];
+
+/// Renders ground-truth offerings into the text corpus.
+pub struct CorpusGenerator<'a> {
+    topology: &'a Topology,
+    rng: StdRng,
+}
+
+impl<'a> CorpusGenerator<'a> {
+    /// A generator with its own seed (independent of the topology seed so
+    /// documentation noise can be varied while holding the Internet
+    /// fixed).
+    pub fn new(topology: &'a Topology, seed: u64) -> Self {
+        CorpusGenerator { topology, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Generate the corpus.
+    pub fn generate(mut self) -> Corpus {
+        let mut corpus = Corpus::default();
+        for info in self.topology.ases() {
+            let offering = info.blackhole_offering.as_ref();
+            let channel = offering.map(|o| o.documentation);
+
+            match channel {
+                Some(DocumentationChannel::Irr) => {
+                    let object = self.render_irr(info.asn, true);
+                    corpus.irr_objects.push(object);
+                }
+                Some(DocumentationChannel::WebPage) => {
+                    let page = self.render_web(info.asn);
+                    corpus.web_pages.push(page);
+                    // Operators who document on the web often still have a
+                    // bare IRR object without the blackhole remarks.
+                    if self.rng.gen_bool(0.5) {
+                        corpus.irr_objects.push(self.render_irr(info.asn, false));
+                    }
+                }
+                Some(DocumentationChannel::Private) => {
+                    let offering = offering.expect("channel implies offering");
+                    corpus.private_notes.push(PrivateNote {
+                        asn: info.asn,
+                        communities: offering.communities.clone(),
+                    });
+                }
+                Some(DocumentationChannel::Undocumented) | None => {
+                    // Tag communities may still be documented (they feed the
+                    // non-blackhole dictionary for Fig. 2).
+                    if !info.tag_communities.is_empty() && self.rng.gen_bool(0.6) {
+                        corpus.irr_objects.push(self.render_irr(info.asn, false));
+                    }
+                }
+            }
+        }
+        corpus
+    }
+
+    /// Render an `aut-num` for `asn`; when `with_blackhole` the offering's
+    /// communities are documented with blackhole phrasing.
+    fn render_irr(&mut self, asn: Asn, with_blackhole: bool) -> IrrObject {
+        let info = self.topology.as_info(asn).expect("AS exists");
+        let mut lines = vec![
+            format!("aut-num:     AS{}", asn.value()),
+            format!("as-name:     NET-{}", asn.value()),
+            format!("descr:       synthetic operator, {}", info.country),
+        ];
+        // Noise up front sometimes.
+        if self.rng.gen_bool(0.5) {
+            lines.push(format!("remarks:     {}", NOISE_LINES.choose(&mut self.rng).unwrap()));
+        }
+        lines.push("remarks:     ---- BGP communities ----".to_string());
+        // Non-blackhole tag documentation.
+        for c in &info.tag_communities {
+            let template = OTHER_PHRASES.choose(&mut self.rng).unwrap();
+            lines.push(format!("remarks:     {}", template.replace("{c}", &c.to_string())));
+        }
+        if with_blackhole {
+            if let Some(offering) = &info.blackhole_offering {
+                for (i, c) in offering.communities.iter().enumerate() {
+                    let template = BLACKHOLE_PHRASES.choose(&mut self.rng).unwrap();
+                    let mut line = template.replace("{c}", &c.to_string());
+                    if i > 0 {
+                        // Regional variants get a scope marker.
+                        line.push_str(REGIONAL_SUFFIXES.choose(&mut self.rng).unwrap());
+                    }
+                    lines.push(format!("remarks:     {line}"));
+                }
+                if let Some(large) = offering.large_community {
+                    lines.push(format!(
+                        "remarks:     large community {large} triggers blackholing (RFC 8092)"
+                    ));
+                }
+                if let Some(ip) = offering.blackhole_ip {
+                    lines.push(format!("remarks:     blackhole next-hop {ip} / IPv6 ::dead:beef"));
+                }
+                lines.push(format!(
+                    "remarks:     blackhole accepted for /{}-/32 announcements",
+                    offering.min_accepted_length
+                ));
+            }
+        }
+        if self.rng.gen_bool(0.6) {
+            lines.push(format!("remarks:     {}", NOISE_LINES.choose(&mut self.rng).unwrap()));
+        }
+        lines.push("source:      SYNTH-RADB".to_string());
+        IrrObject { asn, lines }
+    }
+
+    fn render_web(&mut self, asn: Asn) -> WebPage {
+        let info = self.topology.as_info(asn).expect("AS exists");
+        let offering = info.blackhole_offering.as_ref().expect("web channel implies offering");
+        let mut paragraphs = vec![
+            format!(
+                "AS{} routing policy. We provide IP transit and related services. \
+                 Our looking glass is available to customers.",
+                asn.value()
+            ),
+        ];
+        let c = offering.primary_community();
+        paragraphs.push(format!(
+            "DDoS protection: our blackholing service lets customers mitigate attacks. \
+             Announce the attacked prefix with community {c} and we will drop all traffic \
+             at our network edge. Prefixes more specific than /24 up to /32 are accepted \
+             when tagged for blackholing."
+        ));
+        for extra in offering.communities.iter().skip(1) {
+            paragraphs.push(format!(
+                "Regional blackhole: community {extra} limits the null-route to a single region."
+            ));
+        }
+        if let Some(ip) = offering.blackhole_ip {
+            paragraphs.push(format!("The blackhole next-hop address is {ip}."));
+        }
+        // Unrelated commercial filler.
+        paragraphs.push(
+            "For peering information, colocation and support contacts see our contact page."
+                .to_string(),
+        );
+        // Some pages also document non-blackhole communities.
+        for c in info.tag_communities.iter().take(2) {
+            paragraphs.push(format!("Community {c} is used for traffic engineering towards peers."));
+        }
+        WebPage { asn, paragraphs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_topology::{TopologyBuilder, TopologyConfig};
+
+    use super::*;
+
+    fn corpus() -> (Topology, Corpus) {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(11)).build();
+        let c = CorpusGenerator::new(&t, 5).generate();
+        (t, c)
+    }
+
+    #[test]
+    fn corpus_covers_documented_channels() {
+        let (t, c) = corpus();
+        assert!(!c.is_empty());
+        // Every IRR-documented offering has an object with blackhole text.
+        for info in t.ases() {
+            if let Some(o) = &info.blackhole_offering {
+                if o.documentation == DocumentationChannel::Irr {
+                    let obj = c.irr_objects.iter().find(|obj| obj.asn == info.asn);
+                    assert!(obj.is_some(), "missing IRR object for {}", info.asn);
+                    let text = obj.unwrap().text().to_lowercase();
+                    let mentions = text.contains("blackhol")
+                        || text.contains("null route")
+                        || text.contains("null-route")
+                        || text.contains("null rout")
+                        || text.contains("rtbh")
+                        || text.contains("black hole")
+                        || text.contains("discard");
+                    assert!(mentions, "no blackhole phrasing for {}: {text}", info.asn);
+                }
+                if o.documentation == DocumentationChannel::WebPage {
+                    assert!(
+                        c.web_pages.iter().any(|p| p.asn == info.asn),
+                        "missing web page for {}",
+                        info.asn
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn undocumented_offerings_never_appear_in_text() {
+        let (t, c) = corpus();
+        for info in t.ases() {
+            let Some(o) = &info.blackhole_offering else { continue };
+            if o.documentation != DocumentationChannel::Undocumented {
+                continue;
+            }
+            for community in &o.communities {
+                let needle = community.to_string();
+                for obj in &c.irr_objects {
+                    if obj.asn == info.asn {
+                        assert!(
+                            !obj.text().contains(&needle),
+                            "undocumented community {needle} leaked into IRR"
+                        );
+                    }
+                }
+                assert!(!c.web_pages.iter().any(|p| p.asn == info.asn && p.text().contains(&needle)));
+            }
+        }
+    }
+
+    #[test]
+    fn communities_appear_verbatim_in_documents() {
+        let (t, c) = corpus();
+        for obj in &c.irr_objects {
+            let info = t.as_info(obj.asn).unwrap();
+            if let Some(o) = &info.blackhole_offering {
+                if o.documentation == DocumentationChannel::Irr {
+                    assert!(obj.text().contains(&o.primary_community().to_string()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(11)).build();
+        let a = CorpusGenerator::new(&t, 5).generate();
+        let b = CorpusGenerator::new(&t, 5).generate();
+        assert_eq!(a.irr_objects.len(), b.irr_objects.len());
+        for (x, y) in a.irr_objects.iter().zip(&b.irr_objects) {
+            assert_eq!(x.text(), y.text());
+        }
+    }
+
+    #[test]
+    fn private_notes_match_private_channel() {
+        let (t, c) = corpus();
+        let expected = t
+            .ases()
+            .filter(|i| {
+                i.blackhole_offering
+                    .as_ref()
+                    .is_some_and(|o| o.documentation == DocumentationChannel::Private)
+            })
+            .count();
+        assert_eq!(c.private_notes.len(), expected);
+    }
+}

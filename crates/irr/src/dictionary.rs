@@ -1,0 +1,380 @@
+//! The blackhole communities dictionary.
+//!
+//! §4.1: "we only include communities in our dictionary if we can validate
+//! them either via published information by the ASes or private
+//! communication, and we refer to them as documented communities. … we
+//! augment the dictionary of documented communities with information about
+//! which networks provide [shared] communit[ies]."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bh_bgp_types::asn::Asn;
+use bh_bgp_types::community::{Community, LargeCommunity};
+use bh_topology::{DocumentationChannel, Topology};
+
+use crate::corpus::Corpus;
+use crate::mining::{DictionaryMiner, MinedCommunity, MinedKind};
+
+/// One dictionary entry: a community and the providers that honor it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictEntry {
+    /// The community value.
+    pub community: Community,
+    /// Candidate providers. Usually one; shared/ambiguous communities
+    /// (high 16 bits not a public ASN) list every provider known to use
+    /// the value — the inference engine disambiguates via the AS path.
+    pub providers: Vec<Asn>,
+}
+
+impl DictEntry {
+    /// Is this entry ambiguous (multiple candidate providers)?
+    pub fn is_ambiguous(&self) -> bool {
+        self.providers.len() > 1
+    }
+}
+
+/// Per-provider metadata recorded while building the dictionary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProviderMeta {
+    /// All communities this provider uses for blackholing.
+    pub communities: Vec<Community>,
+    /// Large-community trigger, if mined.
+    pub large: Option<LargeCommunity>,
+    /// Documented minimum accepted prefix length, if mined.
+    pub min_accepted_length: Option<u8>,
+}
+
+/// The documented blackhole communities dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct BlackholeDictionary {
+    by_community: BTreeMap<Community, BTreeSet<Asn>>,
+    by_large: BTreeMap<LargeCommunity, BTreeSet<Asn>>,
+    providers: BTreeMap<Asn, ProviderMeta>,
+    /// Non-blackhole documented communities (the second dictionary built
+    /// in §4.1 for the Fig. 2 comparison).
+    other_by_community: BTreeMap<Community, BTreeSet<Asn>>,
+}
+
+impl BlackholeDictionary {
+    /// Build from a corpus: mine, then aggregate.
+    pub fn build(corpus: &Corpus) -> Self {
+        let mined = DictionaryMiner.mine(corpus);
+        Self::from_mined(&mined)
+    }
+
+    /// Aggregate mined observations.
+    pub fn from_mined(mined: &[MinedCommunity]) -> Self {
+        let mut dict = BlackholeDictionary::default();
+        for m in mined {
+            match m.kind {
+                MinedKind::Blackhole => {
+                    if let Some(c) = m.community {
+                        dict.by_community.entry(c).or_default().insert(m.asn);
+                        let meta = dict.providers.entry(m.asn).or_default();
+                        if !meta.communities.contains(&c) {
+                            meta.communities.push(c);
+                        }
+                        if let Some(len) = m.min_accepted_length {
+                            meta.min_accepted_length = Some(
+                                meta.min_accepted_length.map_or(len, |old| old.min(len)),
+                            );
+                        }
+                    }
+                    if let Some(l) = m.large {
+                        dict.by_large.entry(l).or_default().insert(m.asn);
+                        dict.providers.entry(m.asn).or_default().large = Some(l);
+                    }
+                }
+                MinedKind::Other => {
+                    if let Some(c) = m.community {
+                        dict.other_by_community.entry(c).or_default().insert(m.asn);
+                    }
+                }
+            }
+        }
+        dict
+    }
+
+    /// Number of distinct blackhole communities.
+    pub fn community_count(&self) -> usize {
+        self.by_community.len() + self.by_large.len()
+    }
+
+    /// Number of providers with at least one blackhole community.
+    pub fn provider_count(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// Candidate providers for a classic community (empty if unknown).
+    pub fn providers_for(&self, community: Community) -> Vec<Asn> {
+        self.by_community
+            .get(&community)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Candidate providers for a large community.
+    pub fn providers_for_large(&self, large: LargeCommunity) -> Vec<Asn> {
+        self.by_large
+            .get(&large)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Is this a known blackhole community?
+    pub fn is_blackhole_community(&self, community: Community) -> bool {
+        self.by_community.contains_key(&community)
+    }
+
+    /// Is this a known *non*-blackhole documented community?
+    pub fn is_other_community(&self, community: Community) -> bool {
+        self.other_by_community.contains_key(&community)
+    }
+
+    /// Iterate blackhole entries.
+    pub fn entries(&self) -> impl Iterator<Item = DictEntry> + '_ {
+        self.by_community.iter().map(|(c, providers)| DictEntry {
+            community: *c,
+            providers: providers.iter().copied().collect(),
+        })
+    }
+
+    /// Iterate non-blackhole entries (for Fig. 2).
+    pub fn other_entries(&self) -> impl Iterator<Item = DictEntry> + '_ {
+        self.other_by_community.iter().map(|(c, providers)| DictEntry {
+            community: *c,
+            providers: providers.iter().copied().collect(),
+        })
+    }
+
+    /// Providers and metadata.
+    pub fn providers(&self) -> impl Iterator<Item = (Asn, &ProviderMeta)> {
+        self.providers.iter().map(|(asn, meta)| (*asn, meta))
+    }
+
+    /// Metadata for one provider.
+    pub fn provider_meta(&self, asn: Asn) -> Option<&ProviderMeta> {
+        self.providers.get(&asn)
+    }
+
+    /// Insert an externally validated entry (e.g. a late private
+    /// communication or a manually confirmed inferred community).
+    pub fn insert_validated(&mut self, asn: Asn, community: Community) {
+        self.by_community.entry(community).or_default().insert(asn);
+        let meta = self.providers.entry(asn).or_default();
+        if !meta.communities.contains(&community) {
+            meta.communities.push(community);
+        }
+    }
+
+    /// Validate against topology ground truth.
+    pub fn validate_against(&self, topology: &Topology) -> DictionaryValidation {
+        let mut v = DictionaryValidation::default();
+        // Recall over documented offerings.
+        for info in topology.ases() {
+            let Some(offering) = &info.blackhole_offering else { continue };
+            match offering.documentation {
+                DocumentationChannel::Undocumented => {
+                    // Correctly absent?
+                    for c in &offering.communities {
+                        if self.providers_for(*c).contains(&info.asn) {
+                            v.undocumented_leaks += 1;
+                        }
+                    }
+                }
+                _ => {
+                    for c in &offering.communities {
+                        if self.providers_for(*c).contains(&info.asn) {
+                            v.true_positives += 1;
+                        } else {
+                            v.missed.push((info.asn, *c));
+                        }
+                    }
+                    if let Some(l) = offering.large_community {
+                        if self.providers_for_large(l).contains(&info.asn) {
+                            v.true_positives += 1;
+                        } else {
+                            v.missed.push((info.asn, Community::from_parts(0, 0)));
+                        }
+                    }
+                }
+            }
+        }
+        // Precision: every dictionary pair must be a real offering.
+        for entry in self.entries() {
+            for asn in &entry.providers {
+                let genuine = topology.as_info(*asn).is_some_and(|info| {
+                    info.blackhole_offering
+                        .as_ref()
+                        .is_some_and(|o| o.is_trigger(entry.community))
+                });
+                if !genuine {
+                    v.false_positives.push((*asn, entry.community));
+                }
+            }
+        }
+        v
+    }
+}
+
+/// Precision/recall of the miner vs. ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct DictionaryValidation {
+    /// Documented (provider, community) pairs correctly mined.
+    pub true_positives: usize,
+    /// Pairs in the dictionary that are not genuine offerings.
+    pub false_positives: Vec<(Asn, Community)>,
+    /// Documented pairs the miner missed.
+    pub missed: Vec<(Asn, Community)>,
+    /// Undocumented offerings that somehow ended up in the dictionary
+    /// (must be zero: there is no text to mine them from).
+    pub undocumented_leaks: usize,
+}
+
+impl DictionaryValidation {
+    /// Is the dictionary perfectly aligned with documented ground truth?
+    pub fn is_perfect(&self) -> bool {
+        self.false_positives.is_empty() && self.missed.is_empty() && self.undocumented_leaks == 0
+    }
+
+    /// Recall over documented pairs.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.missed.len();
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Precision over mined pairs.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives.len();
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_topology::{TopologyBuilder, TopologyConfig};
+
+    use crate::corpus::CorpusGenerator;
+
+    use super::*;
+
+    fn built() -> (bh_topology::Topology, BlackholeDictionary) {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(11)).build();
+        let corpus = CorpusGenerator::new(&t, 5).generate();
+        let dict = BlackholeDictionary::build(&corpus);
+        (t, dict)
+    }
+
+    #[test]
+    fn dictionary_has_high_precision_and_recall() {
+        let (t, dict) = built();
+        let v = dict.validate_against(&t);
+        assert_eq!(v.undocumented_leaks, 0);
+        assert!(v.precision() >= 0.99, "precision {} fps {:?}", v.precision(), v.false_positives);
+        assert!(v.recall() >= 0.95, "recall {} missed {:?}", v.recall(), v.missed);
+    }
+
+    #[test]
+    fn rfc7999_is_shared_by_ixps() {
+        let (t, dict) = built();
+        let providers = dict.providers_for(Community::BLACKHOLE);
+        // Every RFC 7999 IXP route server should be listed.
+        let expected: Vec<Asn> = t
+            .ases()
+            .filter(|i| {
+                i.blackhole_offering
+                    .as_ref()
+                    .is_some_and(|o| o.communities.contains(&Community::BLACKHOLE))
+            })
+            .map(|i| i.asn)
+            .collect();
+        assert!(!expected.is_empty());
+        for asn in expected {
+            assert!(providers.contains(&asn), "{asn} missing from 65535:666 entry");
+        }
+        assert!(dict
+            .entries()
+            .find(|e| e.community == Community::BLACKHOLE)
+            .unwrap()
+            .is_ambiguous());
+    }
+
+    #[test]
+    fn level3_decoy_lands_in_other_dictionary() {
+        let (t, dict) = built();
+        // Find the decoy provider (blackholes with :9999, tags with :666).
+        let decoy = t
+            .ases()
+            .find(|i| {
+                i.blackhole_offering
+                    .as_ref()
+                    .is_some_and(|o| o.primary_community().value_part() == 9999)
+            })
+            .expect("decoy exists");
+        let tag = Community::from_parts((decoy.asn.value() & 0xFFFF) as u16, 666);
+        assert!(
+            !dict.providers_for(tag).contains(&decoy.asn),
+            "decoy ASN:666 must not be a blackhole entry for the decoy"
+        );
+        let bh = decoy.blackhole_offering.as_ref().unwrap().primary_community();
+        assert!(dict.providers_for(bh).contains(&decoy.asn));
+        assert!(dict.is_other_community(tag) || dict.providers_for(tag).is_empty());
+    }
+
+    #[test]
+    fn metadata_captures_min_length() {
+        let (t, dict) = built();
+        // At least one IRR-documented provider records a min length.
+        let any = dict.providers().any(|(_, meta)| meta.min_accepted_length.is_some());
+        assert!(any);
+        // Lengths are in the legal blackhole window.
+        for (_, meta) in dict.providers() {
+            if let Some(len) = meta.min_accepted_length {
+                assert!((22..=32).contains(&len));
+            }
+        }
+        drop(t);
+    }
+
+    #[test]
+    fn insert_validated_extends_dictionary() {
+        let (_, mut dict) = built();
+        let asn = Asn::new(64_496); // not mined
+        let c = Community::from_parts(444, 666);
+        assert!(!dict.is_blackhole_community(c));
+        dict.insert_validated(asn, c);
+        assert!(dict.is_blackhole_community(c));
+        assert_eq!(dict.providers_for(c), vec![asn]);
+        // Idempotent.
+        dict.insert_validated(asn, c);
+        assert_eq!(dict.provider_meta(asn).unwrap().communities.len(), 1);
+    }
+
+    #[test]
+    fn other_entries_do_not_overlap_blackhole_provider_pairs() {
+        let (_, dict) = built();
+        for entry in dict.entries() {
+            for other in dict.other_entries() {
+                if entry.community == other.community {
+                    // The same value may exist in both dictionaries (e.g.
+                    // ASN:666 decoy) but never for the same provider.
+                    for p in &entry.providers {
+                        assert!(
+                            !other.providers.contains(p),
+                            "{} both blackhole and other for {p}",
+                            entry.community
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

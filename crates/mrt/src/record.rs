@@ -1,0 +1,317 @@
+//! MRT record model (RFC 6396).
+
+use std::fmt;
+use std::io;
+use std::net::{IpAddr, Ipv4Addr};
+
+use bh_bgp_types::asn::Asn;
+use bh_bgp_types::attrs::PathAttributes;
+use bh_bgp_types::error::CodecError;
+use bh_bgp_types::prefix::Ipv4Prefix;
+use bh_bgp_types::time::SimTime;
+use bh_bgp_types::update::BgpUpdate;
+
+/// MRT record types used here.
+pub mod mrt_type {
+    /// TABLE_DUMP_V2.
+    pub const TABLE_DUMP_V2: u16 = 13;
+    /// BGP4MP.
+    pub const BGP4MP: u16 = 16;
+    /// BGP4MP_ET (extended timestamp).
+    pub const BGP4MP_ET: u16 = 17;
+}
+
+/// BGP4MP subtypes.
+pub mod bgp4mp_subtype {
+    /// STATE_CHANGE (2-byte AS).
+    pub const STATE_CHANGE: u16 = 0;
+    /// MESSAGE (2-byte AS).
+    pub const MESSAGE: u16 = 1;
+    /// MESSAGE_AS4.
+    pub const MESSAGE_AS4: u16 = 4;
+    /// STATE_CHANGE_AS4.
+    pub const STATE_CHANGE_AS4: u16 = 5;
+}
+
+/// TABLE_DUMP_V2 subtypes.
+pub mod td2_subtype {
+    /// PEER_INDEX_TABLE.
+    pub const PEER_INDEX_TABLE: u16 = 1;
+    /// RIB_IPV4_UNICAST.
+    pub const RIB_IPV4_UNICAST: u16 = 2;
+}
+
+/// Errors from reading/writing MRT archives.
+#[derive(Debug)]
+pub enum MrtError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Record or payload was malformed.
+    Codec(CodecError),
+    /// A record length field exceeds sanity bounds.
+    OversizedRecord(u32),
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Io(e) => write!(f, "mrt i/o error: {e}"),
+            MrtError::Codec(e) => write!(f, "mrt codec error: {e}"),
+            MrtError::OversizedRecord(len) => write!(f, "mrt record length {len} exceeds bound"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+impl From<io::Error> for MrtError {
+    fn from(e: io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}
+
+impl From<CodecError> for MrtError {
+    fn from(e: CodecError) -> Self {
+        MrtError::Codec(e)
+    }
+}
+
+/// BGP FSM states carried by STATE_CHANGE records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BgpState {
+    /// Idle.
+    Idle,
+    /// Connect.
+    Connect,
+    /// Active.
+    Active,
+    /// OpenSent.
+    OpenSent,
+    /// OpenConfirm.
+    OpenConfirm,
+    /// Established.
+    Established,
+}
+
+impl BgpState {
+    /// Wire code (RFC 6396 §4.4.1, 1-based).
+    pub fn code(self) -> u16 {
+        match self {
+            BgpState::Idle => 1,
+            BgpState::Connect => 2,
+            BgpState::Active => 3,
+            BgpState::OpenSent => 4,
+            BgpState::OpenConfirm => 5,
+            BgpState::Established => 6,
+        }
+    }
+
+    /// Decode from the wire code.
+    pub fn from_code(code: u16) -> Option<BgpState> {
+        Some(match code {
+            1 => BgpState::Idle,
+            2 => BgpState::Connect,
+            3 => BgpState::Active,
+            4 => BgpState::OpenSent,
+            5 => BgpState::OpenConfirm,
+            6 => BgpState::Established,
+            _ => return None,
+        })
+    }
+}
+
+/// A BGP4MP MESSAGE(_AS4) record: one BGP message as seen on a collector
+/// session, with addressing metadata.
+///
+/// `peer_ip`/`peer_asn` identify the BGP peer that sent the message to the
+/// collector — the paper's "peer-ip attribute" used to detect IXP
+/// blackholing when the peer IP falls inside an IXP peering LAN (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpMessage {
+    /// ASN of the sending peer.
+    pub peer_asn: Asn,
+    /// ASN of the collector side.
+    pub local_asn: Asn,
+    /// IP of the sending peer.
+    pub peer_ip: IpAddr,
+    /// IP of the collector side.
+    pub local_ip: IpAddr,
+    /// The decoded UPDATE, or `None` when the record wrapped a non-UPDATE
+    /// message (e.g. a KEEPALIVE captured into the archive).
+    pub update: Option<BgpUpdate>,
+}
+
+/// A BGP4MP STATE_CHANGE(_AS4) record: collector session FSM transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpStateChange {
+    /// ASN of the peer.
+    pub peer_asn: Asn,
+    /// ASN of the collector side.
+    pub local_asn: Asn,
+    /// IP of the peer.
+    pub peer_ip: IpAddr,
+    /// IP of the collector side.
+    pub local_ip: IpAddr,
+    /// State before the transition.
+    pub old_state: BgpState,
+    /// State after the transition.
+    pub new_state: BgpState,
+}
+
+/// One peer of a TABLE_DUMP_V2 PEER_INDEX_TABLE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// Peer BGP identifier (router ID).
+    pub bgp_id: [u8; 4],
+    /// Peer IP address.
+    pub ip: IpAddr,
+    /// Peer ASN.
+    pub asn: Asn,
+}
+
+impl PeerEntry {
+    /// A peer entry with a router ID derived from its IPv4 address.
+    pub fn new(asn: Asn, ip: IpAddr) -> Self {
+        let bgp_id = match ip {
+            IpAddr::V4(v4) => v4.octets(),
+            IpAddr::V6(v6) => {
+                let o = v6.octets();
+                [o[12], o[13], o[14], o[15]]
+            }
+        };
+        PeerEntry { bgp_id, ip, asn }
+    }
+}
+
+/// TABLE_DUMP_V2 PEER_INDEX_TABLE: the peer directory that RIB entries
+/// reference by index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerIndexTable {
+    /// Collector BGP identifier.
+    pub collector_id: [u8; 4],
+    /// Optional view name (e.g. the collector name).
+    pub view_name: String,
+    /// Peer directory.
+    pub peers: Vec<PeerEntry>,
+}
+
+impl PeerIndexTable {
+    /// Build a table.
+    pub fn new(collector_id: [u8; 4], view_name: impl Into<String>, peers: Vec<PeerEntry>) -> Self {
+        PeerIndexTable { collector_id, view_name: view_name.into(), peers }
+    }
+
+    /// Look up a peer by index.
+    pub fn peer(&self, index: u16) -> Option<&PeerEntry> {
+        self.peers.get(index as usize)
+    }
+}
+
+/// One RIB_IPV4_UNICAST entry: the per-peer best paths for one prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry {
+    /// Sequence number within the dump.
+    pub sequence: u32,
+    /// The prefix.
+    pub prefix: Ipv4Prefix,
+    /// One entry per peer that had a path at dump time.
+    pub entries: Vec<RibPeerEntry>,
+}
+
+/// One peer's path in a [`RibEntry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibPeerEntry {
+    /// Index into the PEER_INDEX_TABLE.
+    pub peer_index: u16,
+    /// When the route was originated/learned.
+    pub originated: SimTime,
+    /// The path attributes.
+    pub attrs: PathAttributes,
+}
+
+/// The decoded body of an MRT record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtRecordBody {
+    /// BGP4MP MESSAGE / MESSAGE_AS4.
+    Message(Bgp4mpMessage),
+    /// BGP4MP STATE_CHANGE / STATE_CHANGE_AS4.
+    StateChange(Bgp4mpStateChange),
+    /// TABLE_DUMP_V2 PEER_INDEX_TABLE.
+    PeerIndexTable(PeerIndexTable),
+    /// TABLE_DUMP_V2 RIB_IPV4_UNICAST.
+    RibIpv4(RibEntry),
+    /// Any record type/subtype this crate does not interpret; payload kept
+    /// so tolerant pipelines can account for skipped bytes.
+    Unknown {
+        /// MRT type field.
+        mrt_type: u16,
+        /// MRT subtype field.
+        subtype: u16,
+        /// Raw payload length.
+        length: usize,
+    },
+}
+
+/// A full MRT record: timestamped body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtRecord {
+    /// Record timestamp (seconds; `_ET` microseconds are read and folded
+    /// away — second granularity is what the study's analyses use).
+    pub timestamp: SimTime,
+    /// Decoded body.
+    pub body: MrtRecordBody,
+}
+
+/// Default IPv4 address used for collector-side fields when callers don't
+/// care (documentation range).
+pub fn default_local_ip() -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bgp_state_codes_round_trip() {
+        for s in [
+            BgpState::Idle,
+            BgpState::Connect,
+            BgpState::Active,
+            BgpState::OpenSent,
+            BgpState::OpenConfirm,
+            BgpState::Established,
+        ] {
+            assert_eq!(BgpState::from_code(s.code()), Some(s));
+        }
+        assert_eq!(BgpState::from_code(0), None);
+        assert_eq!(BgpState::from_code(7), None);
+    }
+
+    #[test]
+    fn peer_entry_derives_router_id() {
+        let p = PeerEntry::new(Asn::new(6939), "198.32.176.20".parse().unwrap());
+        assert_eq!(p.bgp_id, [198, 32, 176, 20]);
+        let p6 = PeerEntry::new(Asn::new(6939), "2001:db8::1".parse().unwrap());
+        assert_eq!(p6.bgp_id, [0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn peer_index_lookup() {
+        let table = PeerIndexTable::new(
+            [1, 2, 3, 4],
+            "v",
+            vec![PeerEntry::new(Asn::new(1), "10.0.0.1".parse().unwrap())],
+        );
+        assert!(table.peer(0).is_some());
+        assert!(table.peer(1).is_none());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MrtError::OversizedRecord(1 << 30);
+        assert!(e.to_string().contains("exceeds"));
+        let e: MrtError = CodecError::BadLength { what: "x", value: 1 }.into();
+        assert!(e.to_string().contains("codec"));
+    }
+}

@@ -1,0 +1,209 @@
+//! MRT export: serialize the collector element stream into archive bytes.
+//!
+//! The inference pipeline can consume [`BgpElem`]s directly (the live
+//! BGPStream path) or parse MRT archives produced here (the historical
+//! path) — both exercised by the integration tests, proving the wire
+//! format carries everything the inference needs.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::IpAddr;
+
+use bh_bgp_types::attrs::PathAttributes;
+use bh_bgp_types::time::SimTime;
+use bh_bgp_types::update::BgpUpdate;
+use bh_mrt::{MrtError, MrtReader, MrtRecordBody, MrtWriter};
+
+use crate::elem::{BgpElem, DataSource, ElemType};
+
+/// Write a stream of elems as `BGP4MP/MESSAGE_AS4` records, one archive
+/// per call (callers typically split by platform).
+pub fn write_updates<W: Write>(sink: W, elems: &[BgpElem]) -> Result<u64, MrtError> {
+    let mut writer = MrtWriter::new(sink);
+    for elem in elems {
+        let mut update = match elem.elem_type {
+            ElemType::Announce => {
+                let attrs = PathAttributes {
+                    as_path: elem.as_path.clone(),
+                    next_hop: Some(elem.next_hop.unwrap_or(elem.peer_ip)),
+                    communities: elem.communities.clone(),
+                    ..Default::default()
+                };
+                let mut u = BgpUpdate::new(attrs);
+                u.announce_v4(elem.prefix);
+                u
+            }
+            ElemType::Withdraw => BgpUpdate::withdraw(elem.prefix.into()),
+        };
+        // Local side of the session: a synthetic collector address.
+        let local_ip: IpAddr = "192.0.2.254".parse().expect("static address");
+        let update_taken = std::mem::replace(&mut update, BgpUpdate::withdraw(elem.prefix.into()));
+        writer.write_update(
+            elem.time,
+            elem.peer_asn,
+            elem.peer_ip,
+            bh_bgp_types::asn::Asn::new(64_512),
+            local_ip,
+            &update_taken,
+        )?;
+    }
+    Ok(writer.records_written())
+}
+
+/// Read an archive produced by [`write_updates`] back into elems.
+///
+/// The MRT wire format does not carry the platform/collector labels, so
+/// the caller supplies them (matching how real pipelines know which
+/// archive belongs to which collector).
+pub fn read_updates<R: std::io::Read>(
+    source: R,
+    dataset: DataSource,
+    collector: u16,
+) -> Result<Vec<BgpElem>, MrtError> {
+    let mut out = Vec::new();
+    for record in MrtReader::new(source) {
+        let record = record?;
+        let MrtRecordBody::Message(msg) = record.body else {
+            continue;
+        };
+        let Some(update) = msg.update else { continue };
+        for prefix in update.announced_v4() {
+            out.push(BgpElem {
+                time: record.timestamp,
+                dataset,
+                collector,
+                peer_asn: msg.peer_asn,
+                peer_ip: msg.peer_ip,
+                elem_type: ElemType::Announce,
+                prefix: *prefix,
+                as_path: update.attrs.as_path.clone(),
+                communities: update.attrs.communities.clone(),
+                next_hop: update.attrs.next_hop,
+            });
+        }
+        for prefix in update.withdrawn_v4() {
+            out.push(BgpElem {
+                time: record.timestamp,
+                dataset,
+                collector,
+                peer_asn: msg.peer_asn,
+                peer_ip: msg.peer_ip,
+                elem_type: ElemType::Withdraw,
+                prefix: *prefix,
+                as_path: Default::default(),
+                communities: Default::default(),
+                next_hop: None,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Split elems by platform — the shape real archives come in.
+pub fn split_by_dataset(elems: Vec<BgpElem>) -> BTreeMap<DataSource, Vec<BgpElem>> {
+    let mut out: BTreeMap<DataSource, Vec<BgpElem>> = BTreeMap::new();
+    for elem in elems {
+        out.entry(elem.dataset).or_default().push(elem);
+    }
+    out
+}
+
+/// Merge several platform streams into one time-ordered stream (stable:
+/// ties keep platform order) — the BGPStream merge the paper's pipeline
+/// performs across RIS + RV collectors.
+pub fn merge_streams(mut streams: Vec<Vec<BgpElem>>) -> Vec<BgpElem> {
+    let mut merged: Vec<BgpElem> = streams.drain(..).flatten().collect();
+    merged.sort_by_key(|e| (e.time, e.dataset, e.collector));
+    merged
+}
+
+/// Round-trip helper used by tests and benches: elems → MRT bytes → elems.
+pub fn mrt_round_trip(elems: &[BgpElem]) -> Result<Vec<BgpElem>, MrtError> {
+    let mut buf = Vec::new();
+    write_updates(&mut buf, elems)?;
+    let dataset = elems.first().map(|e| e.dataset).unwrap_or(DataSource::Ris);
+    let collector = elems.first().map(|e| e.collector).unwrap_or(0);
+    read_updates(&buf[..], dataset, collector)
+}
+
+/// A timestamp suitable for archive names.
+pub fn archive_stamp(time: SimTime) -> String {
+    let (y, m, d) = time.ymd();
+    format!("{y:04}{m:02}{d:02}.{:02}{:02}", (time.unix() % 86_400) / 3600, (time.unix() % 3600) / 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_bgp_types::community::{Community, CommunitySet};
+
+    use super::*;
+
+    fn sample_elems() -> Vec<BgpElem> {
+        let mk = |t: u64, ty: ElemType| BgpElem {
+            time: SimTime::from_unix(t),
+            dataset: DataSource::Ris,
+            collector: 3,
+            peer_asn: bh_bgp_types::asn::Asn::new(6939),
+            peer_ip: "80.81.192.1".parse().unwrap(),
+            elem_type: ty,
+            prefix: "130.149.1.1/32".parse().unwrap(),
+            as_path: if ty == ElemType::Announce {
+                "6939 3356 64500".parse().unwrap()
+            } else {
+                Default::default()
+            },
+            communities: if ty == ElemType::Announce {
+                CommunitySet::from_classic(vec![Community::from_parts(3356, 9999)])
+            } else {
+                Default::default()
+            },
+            next_hop: None,
+        };
+        vec![mk(100, ElemType::Announce), mk(200, ElemType::Withdraw)]
+    }
+
+    #[test]
+    fn mrt_round_trip_preserves_elems() {
+        let elems = sample_elems();
+        let back = mrt_round_trip(&elems).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].prefix, elems[0].prefix);
+        assert_eq!(back[0].as_path, elems[0].as_path);
+        assert_eq!(back[0].communities, elems[0].communities);
+        assert_eq!(back[0].peer_asn, elems[0].peer_asn);
+        assert_eq!(back[0].peer_ip, elems[0].peer_ip);
+        assert_eq!(back[0].time, elems[0].time);
+        assert_eq!(back[1].elem_type, ElemType::Withdraw);
+    }
+
+    #[test]
+    fn merge_orders_by_time() {
+        let mut a = sample_elems();
+        a[0].time = SimTime::from_unix(500);
+        a[1].time = SimTime::from_unix(100);
+        let mut b = sample_elems();
+        b[0].time = SimTime::from_unix(300);
+        b[0].dataset = DataSource::Pch;
+        b[1].time = SimTime::from_unix(200);
+        b[1].dataset = DataSource::Pch;
+        let merged = merge_streams(vec![a, b]);
+        let times: Vec<u64> = merged.iter().map(|e| e.time.unix()).collect();
+        assert_eq!(times, vec![100, 200, 300, 500]);
+    }
+
+    #[test]
+    fn split_partitions_by_platform() {
+        let mut elems = sample_elems();
+        elems[1].dataset = DataSource::Cdn;
+        let split = split_by_dataset(elems);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[&DataSource::Ris].len(), 1);
+        assert_eq!(split[&DataSource::Cdn].len(), 1);
+    }
+
+    #[test]
+    fn archive_stamp_format() {
+        let t = SimTime::from_ymd_hms(2016, 9, 20, 13, 45, 0);
+        assert_eq!(archive_stamp(t), "20160920.1345");
+    }
+}

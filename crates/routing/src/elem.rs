@@ -1,0 +1,144 @@
+//! BGPStream-style elements: the unit of observation at collectors.
+
+use std::fmt;
+use std::net::IpAddr;
+
+use bh_bgp_types::as_path::AsPath;
+use bh_bgp_types::asn::Asn;
+use bh_bgp_types::community::CommunitySet;
+use bh_bgp_types::prefix::Ipv4Prefix;
+use bh_bgp_types::time::SimTime;
+
+/// The four BGP data platforms of the study (Table 1/Table 3 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataSource {
+    /// RIPE Routing Information Service.
+    Ris,
+    /// University of Oregon Route Views.
+    RouteViews,
+    /// Packet Clearing House (route collectors at IXPs).
+    Pch,
+    /// The large CDN's private feeds (customer-specific and internal
+    /// announcements included).
+    Cdn,
+}
+
+impl DataSource {
+    /// All sources in the paper's table order.
+    pub const ALL: [DataSource; 4] = [
+        DataSource::Cdn,
+        DataSource::Ris,
+        DataSource::RouteViews,
+        DataSource::Pch,
+    ];
+
+    /// Table row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataSource::Ris => "RIS",
+            DataSource::RouteViews => "RV",
+            DataSource::Pch => "PCH",
+            DataSource::Cdn => "CDN",
+        }
+    }
+}
+
+impl fmt::Display for DataSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Announcement or withdrawal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemType {
+    /// A (re-)announcement with attributes.
+    Announce,
+    /// An explicit withdrawal.
+    Withdraw,
+}
+
+/// One observation at a collector — the BGPStream "elem" shape the
+/// inference engine consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpElem {
+    /// Observation time.
+    pub time: SimTime,
+    /// Which platform observed it.
+    pub dataset: DataSource,
+    /// Collector id within the platform.
+    pub collector: u16,
+    /// The BGP peer that sent the message to the collector.
+    pub peer_asn: Asn,
+    /// The peer's IP — for sessions on IXP LANs this is the attribute the
+    /// inference checks against PeeringDB peering LANs.
+    pub peer_ip: IpAddr,
+    /// Announce or withdraw.
+    pub elem_type: ElemType,
+    /// The prefix.
+    pub prefix: Ipv4Prefix,
+    /// AS path (empty for withdrawals).
+    pub as_path: AsPath,
+    /// Communities (empty for withdrawals).
+    pub communities: CommunitySet,
+    /// NEXT_HOP when announced.
+    pub next_hop: Option<IpAddr>,
+}
+
+impl BgpElem {
+    /// A unique-ish key for per-peer state tracking: (dataset, collector,
+    /// peer).
+    pub fn peer_key(&self) -> PeerKey {
+        PeerKey { dataset: self.dataset, collector: self.collector, peer_asn: self.peer_asn }
+    }
+
+    /// Is this an announcement?
+    pub fn is_announce(&self) -> bool {
+        self.elem_type == ElemType::Announce
+    }
+}
+
+/// Identity of one collector peer session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerKey {
+    /// Platform.
+    pub dataset: DataSource,
+    /// Collector id.
+    pub collector: u16,
+    /// Peer ASN.
+    pub peer_asn: Asn,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(DataSource::Ris.label(), "RIS");
+        assert_eq!(DataSource::RouteViews.label(), "RV");
+        assert_eq!(DataSource::Pch.label(), "PCH");
+        assert_eq!(DataSource::Cdn.label(), "CDN");
+        assert_eq!(DataSource::ALL.len(), 4);
+    }
+
+    #[test]
+    fn peer_key_distinguishes_sessions() {
+        let mk = |dataset, collector, asn: u32| BgpElem {
+            time: SimTime::ZERO,
+            dataset,
+            collector,
+            peer_asn: Asn::new(asn),
+            peer_ip: "10.0.0.1".parse().unwrap(),
+            elem_type: ElemType::Announce,
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            as_path: AsPath::empty(),
+            communities: CommunitySet::new(),
+            next_hop: None,
+        };
+        assert_eq!(mk(DataSource::Ris, 0, 1).peer_key(), mk(DataSource::Ris, 0, 1).peer_key());
+        assert_ne!(mk(DataSource::Ris, 0, 1).peer_key(), mk(DataSource::Ris, 1, 1).peer_key());
+        assert_ne!(mk(DataSource::Ris, 0, 1).peer_key(), mk(DataSource::Pch, 0, 1).peer_key());
+        assert!(mk(DataSource::Ris, 0, 1).is_announce());
+    }
+}

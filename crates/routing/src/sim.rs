@@ -1,0 +1,1364 @@
+//! The BGP propagation simulator.
+//!
+//! Event-driven and deterministic: callers inject origin announcements and
+//! withdrawals; the engine propagates them through the relationship graph
+//! under Gao-Rexford export policy and the blackhole acceptance rules, and
+//! emits [`BgpElem`]s at every collector session whose view changes — the
+//! stream the inference engine consumes, with all of the paper's
+//! visibility mechanics reproduced:
+//!
+//! * direct feeds from blackholing providers (tagged routes visible),
+//! * community bundling (tagged routes visible via *non-provider*
+//!   neighbors even when no provider propagates),
+//! * NO_EXPORT suppression (routes invisible except to the CDN's internal
+//!   sessions),
+//! * IXP route-server redistribution with PCH route-server views
+//!   (peer-ip inside the peering LAN),
+//! * providers that strip their trigger community or suppress propagation.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::IpAddr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bh_bgp_types::as_path::AsPath;
+use bh_bgp_types::asn::Asn;
+use bh_bgp_types::bogon::BogonFilter;
+use bh_bgp_types::community::CommunitySet;
+use bh_bgp_types::prefix::Ipv4Prefix;
+use bh_bgp_types::time::SimTime;
+use bh_topology::{Ixp, OriginIndex, Relationship, Topology};
+
+use crate::collector::{CollectorDeployment, FeedKind};
+use crate::elem::{BgpElem, DataSource, ElemType};
+use crate::policy::{
+    import_decision, local_pref_for, may_export, AuthContext, ImportDecision, RejectReason,
+    SessionBehavior,
+};
+
+/// Which neighbors an origin announcement is sent to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnounceScope {
+    /// All of the origin's neighbors (the *bundling* pattern: one
+    /// advertisement with every provider's community attached, sent
+    /// everywhere — §4.2/Fig. 3's ASC2).
+    AllNeighbors,
+    /// Only the listed neighbors (the *targeted* pattern: a separate
+    /// advertisement per provider — Fig. 3's ASC1).
+    Neighbors(Vec<Asn>),
+}
+
+/// One origin announcement.
+#[derive(Debug, Clone)]
+pub struct Announcement {
+    /// The announcing AS (the blackholing user, for blackhole routes).
+    pub origin: Asn,
+    /// The prefix.
+    pub prefix: Ipv4Prefix,
+    /// Attached communities (may bundle several providers' triggers, may
+    /// include NO_EXPORT).
+    pub communities: CommunitySet,
+    /// Delivery scope.
+    pub scope: AnnounceScope,
+    /// Whether the (prefix, origin) pair is correctly registered in the
+    /// IRR (misconfigured users are not — §10).
+    pub irr_registered: bool,
+    /// Origin-side path prepending (1 = no prepending).
+    pub prepend: usize,
+}
+
+impl Announcement {
+    /// A plain announcement to everyone, registered, no prepending.
+    pub fn simple(origin: Asn, prefix: Ipv4Prefix, communities: CommunitySet) -> Self {
+        Announcement {
+            origin,
+            prefix,
+            communities,
+            scope: AnnounceScope::AllNeighbors,
+            irr_registered: true,
+            prepend: 1,
+        }
+    }
+}
+
+/// What happened to a blackhole request at each triggered provider.
+#[derive(Debug, Clone, Default)]
+pub struct AnnounceOutcome {
+    /// Providers that accepted and installed the blackhole.
+    pub accepted_by: Vec<Asn>,
+    /// Providers where a trigger matched but the request was rejected.
+    pub rejected_by: Vec<(Asn, RejectReason)>,
+}
+
+/// A route as held in an Adj-RIB-In slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RouteEntry {
+    /// Path as received (first hop = the neighbor that sent it; for
+    /// origin advertisements this is the origin itself).
+    as_path: AsPath,
+    communities: CommunitySet,
+    learned_from: Asn,
+    /// How the *receiver* relates to `learned_from`.
+    learned_rel: Relationship,
+    local_pref: u32,
+    is_blackhole: bool,
+    irr_registered: bool,
+    next_hop: Option<IpAddr>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PrefixState {
+    /// Candidates keyed by sending neighbor.
+    candidates: BTreeMap<Asn, RouteEntry>,
+    /// What we last advertised per neighbor.
+    advertised: BTreeMap<Asn, RouteEntry>,
+}
+
+impl PrefixState {
+    fn best(&self) -> Option<&RouteEntry> {
+        self.candidates.values().max_by(|a, b| {
+            a.local_pref
+                .cmp(&b.local_pref)
+                .then(b.as_path.hop_len().cmp(&a.as_path.hop_len()))
+                .then(b.learned_from.cmp(&a.learned_from))
+        })
+    }
+}
+
+/// Key for per-session emitted state: (dataset, collector, session peer,
+/// prefix, attributed peer) — the last component distinguishes the
+/// per-member views of a route-server session.
+type EmitKey = (DataSource, u16, Asn, Ipv4Prefix, Asn);
+
+#[derive(Debug, Clone)]
+enum Work {
+    Announce { to: Asn, from: Asn, prefix: Ipv4Prefix, route: RouteEntry },
+    Withdraw { to: Asn, from: Asn, prefix: Ipv4Prefix },
+}
+
+/// The simulator.
+pub struct BgpSimulator<'a> {
+    topology: &'a Topology,
+    origin_index: OriginIndex,
+    deployment: CollectorDeployment,
+    behaviors: HashMap<Asn, SessionBehavior>,
+    state: HashMap<Asn, HashMap<Ipv4Prefix, PrefixState>>,
+    /// Which neighbors each (origin, prefix) was directly sent to, with
+    /// the sent route (for withdraws and scope changes).
+    origin_adverts: HashMap<(Asn, Ipv4Prefix), BTreeMap<Asn, RouteEntry>>,
+    emitted: HashMap<EmitKey, (AsPath, CommunitySet)>,
+    elems: Vec<BgpElem>,
+    bogons: BogonFilter,
+}
+
+impl<'a> BgpSimulator<'a> {
+    /// Build a simulator. `seed` controls per-AS session behavior
+    /// (host-route acceptance) only.
+    pub fn new(topology: &'a Topology, deployment: CollectorDeployment, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut behaviors = HashMap::new();
+        for info in topology.ases() {
+            behaviors.insert(
+                info.asn,
+                SessionBehavior {
+                    host_routes_from_customers: rng.gen_bool(0.9),
+                    host_routes_from_peers: rng.gen_bool(0.25),
+                },
+            );
+        }
+        BgpSimulator {
+            topology,
+            origin_index: topology.origin_index(),
+            deployment,
+            behaviors,
+            state: HashMap::new(),
+            origin_adverts: HashMap::new(),
+            emitted: HashMap::new(),
+            elems: Vec::new(),
+            bogons: BogonFilter::new(),
+        }
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// The collector deployment in use.
+    pub fn deployment(&self) -> &CollectorDeployment {
+        &self.deployment
+    }
+
+    /// Override one AS's session behavior (scenarios use this to model
+    /// specific router configurations, e.g. members that do or do not
+    /// accept /32s).
+    pub fn set_behavior(&mut self, asn: Asn, behavior: SessionBehavior) {
+        self.behaviors.insert(asn, behavior);
+    }
+
+    /// The session behavior of an AS.
+    pub fn behavior(&self, asn: Asn) -> SessionBehavior {
+        self.behaviors.get(&asn).copied().unwrap_or_default()
+    }
+
+    /// Drain the accumulated collector elements (time-ordered as emitted).
+    pub fn drain_elems(&mut self) -> Vec<BgpElem> {
+        std::mem::take(&mut self.elems)
+    }
+
+    /// Peek at accumulated elements.
+    pub fn elems(&self) -> &[BgpElem] {
+        &self.elems
+    }
+
+    /// Does `asn` currently hold a blackhole-flagged route for `prefix`?
+    /// (Ground-truth query for data-plane simulation.)
+    pub fn is_blackholed_at(&self, asn: Asn, prefix: &Ipv4Prefix) -> bool {
+        self.state
+            .get(&asn)
+            .and_then(|m| m.get(prefix))
+            .is_some_and(|ps| ps.candidates.values().any(|r| r.is_blackhole))
+    }
+
+    /// All ASes currently holding a blackhole route for `prefix`.
+    pub fn blackholing_ases_for(&self, prefix: &Ipv4Prefix) -> Vec<Asn> {
+        let mut out: Vec<Asn> = self
+            .state
+            .iter()
+            .filter(|(_, m)| {
+                m.get(prefix).is_some_and(|ps| ps.candidates.values().any(|r| r.is_blackhole))
+            })
+            .map(|(asn, _)| *asn)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Inject an announcement; returns blackhole acceptance outcomes.
+    pub fn announce(&mut self, time: SimTime, announcement: &Announcement) -> AnnounceOutcome {
+        let mut outcome = AnnounceOutcome::default();
+        if announcement.prefix.length() < 8 {
+            return outcome; // never less specific than /8
+        }
+        // Martian space never propagates (routers filter it on ingress);
+        // host routes are checked against the same bogon table.
+        if !self.bogons.is_routable(&announcement.prefix) {
+            return outcome;
+        }
+        let origin = announcement.origin;
+        let mut path = AsPath::empty();
+        path.prepend(origin, announcement.prepend.max(1));
+        let route = RouteEntry {
+            as_path: path,
+            communities: announcement.communities.clone(),
+            learned_from: origin,
+            learned_rel: Relationship::Peer, // placeholder; set per receiver
+            local_pref: 0,
+            is_blackhole: false,
+            irr_registered: announcement.irr_registered,
+            next_hop: None,
+        };
+
+        let neighbors: Vec<Asn> = match &announcement.scope {
+            AnnounceScope::AllNeighbors => {
+                self.topology.neighbors(origin).iter().map(|(n, _)| *n).collect()
+            }
+            AnnounceScope::Neighbors(list) => list.clone(),
+        };
+
+        let mut queue: VecDeque<Work> = VecDeque::new();
+        let adverts = self.origin_adverts.entry((origin, announcement.prefix)).or_default();
+        let previously: Vec<Asn> = adverts.keys().copied().collect();
+        for n in &neighbors {
+            adverts.insert(*n, route.clone());
+            queue.push_back(Work::Announce {
+                to: *n,
+                from: origin,
+                prefix: announcement.prefix,
+                route: route.clone(),
+            });
+        }
+        for n in previously {
+            if !neighbors.contains(&n) {
+                self.origin_adverts
+                    .get_mut(&(origin, announcement.prefix))
+                    .expect("entry exists")
+                    .remove(&n);
+                queue.push_back(Work::Withdraw { to: n, from: origin, prefix: announcement.prefix });
+            }
+        }
+
+        self.run(time, queue, &mut outcome);
+        outcome
+    }
+
+    /// Withdraw an origin's prefix everywhere it was advertised.
+    pub fn withdraw(&mut self, time: SimTime, origin: Asn, prefix: Ipv4Prefix) {
+        let Some(adverts) = self.origin_adverts.remove(&(origin, prefix)) else {
+            return;
+        };
+        let mut queue: VecDeque<Work> = VecDeque::new();
+        for (n, _) in adverts {
+            queue.push_back(Work::Withdraw { to: n, from: origin, prefix });
+        }
+        let mut outcome = AnnounceOutcome::default();
+        self.run(time, queue, &mut outcome);
+    }
+
+    // ---- engine ---------------------------------------------------------
+
+    fn run(&mut self, time: SimTime, mut queue: VecDeque<Work>, outcome: &mut AnnounceOutcome) {
+        let mut steps: u64 = 0;
+        let cap = (self.topology.as_count() as u64 + 10) * 10_000;
+        while let Some(work) = queue.pop_front() {
+            steps += 1;
+            assert!(steps < cap, "propagation did not converge");
+            match work {
+                Work::Announce { to, from, prefix, route } => {
+                    self.process_announce(time, to, from, prefix, route, &mut queue, outcome);
+                }
+                Work::Withdraw { to, from, prefix } => {
+                    self.process_withdraw(time, to, from, prefix, &mut queue);
+                }
+            }
+        }
+    }
+
+    fn rel_between(&self, me: Asn, neighbor: Asn) -> Option<Relationship> {
+        self.topology
+            .neighbors(me)
+            .iter()
+            .find(|(n, _)| *n == neighbor)
+            .map(|(_, rel)| *rel)
+    }
+
+    fn process_announce(
+        &mut self,
+        time: SimTime,
+        me: Asn,
+        from: Asn,
+        prefix: Ipv4Prefix,
+        mut route: RouteEntry,
+        queue: &mut VecDeque<Work>,
+        outcome: &mut AnnounceOutcome,
+    ) {
+        if route.as_path.contains(me) {
+            return; // loop prevention
+        }
+        let Some(rel) = self.rel_between(me, from) else {
+            return; // targeted announce to a non-neighbor: silently dropped
+        };
+
+        // Route-server node? Special redistribution semantics.
+        if let Some(ixp) = self.topology.ixp_by_route_server(me) {
+            let ixp = ixp.clone();
+            self.process_at_route_server(time, &ixp, from, prefix, route, queue, outcome);
+            return;
+        }
+
+        let behavior = self.behaviors.get(&me).copied().unwrap_or_default();
+        let origin = route.as_path.origin().unwrap_or(from);
+        let auth_ctx = AuthContext {
+            topology: self.topology,
+            origin,
+            sender: from,
+            allocation_owner: self.origin_index.origin_of(&prefix),
+            irr_registered: route.irr_registered,
+        };
+        let import = import_decision(
+            me,
+            rel,
+            &prefix,
+            &route.communities,
+            behavior,
+            self.topology,
+            &auth_ctx,
+        );
+        // Record trigger-specific rejections for ground truth even when
+        // the route is otherwise accepted as a plain route.
+        if let Some(reason) = import.trigger_rejection {
+            if !outcome.rejected_by.iter().any(|(a, _)| *a == me) {
+                outcome.rejected_by.push((me, reason));
+            }
+        }
+
+        match import.decision {
+            ImportDecision::Reject(_) => {
+                // A previously held candidate from this neighbor is gone.
+                self.remove_candidate(time, me, from, prefix, queue);
+                return;
+            }
+            ImportDecision::Blackhole => {
+                route.is_blackhole = true;
+                if !outcome.accepted_by.contains(&me) {
+                    outcome.accepted_by.push(me);
+                }
+            }
+            ImportDecision::Regular => {
+                // A blackhole route redistributed by a route server keeps
+                // its drop semantics at members (next-hop is the null
+                // interface). Anywhere else the flag must not travel: a
+                // transit AS holding a propagated /32 merely routes toward
+                // the provider that discards.
+                route.is_blackhole =
+                    route.is_blackhole && rel == Relationship::RouteServer && route.next_hop.is_some();
+            }
+        }
+        route.learned_rel = rel;
+        route.local_pref = local_pref_for(rel);
+
+        let ps = self
+            .state
+            .entry(me)
+            .or_default()
+            .entry(prefix)
+            .or_default();
+        let unchanged = ps.candidates.get(&from) == Some(&route);
+        ps.candidates.insert(from, route);
+        if unchanged {
+            return; // no state change: stop propagation
+        }
+        self.after_change(time, me, prefix, queue);
+    }
+
+    fn remove_candidate(
+        &mut self,
+        time: SimTime,
+        me: Asn,
+        from: Asn,
+        prefix: Ipv4Prefix,
+        queue: &mut VecDeque<Work>,
+    ) {
+        let Some(ps) = self.state.get_mut(&me).and_then(|m| m.get_mut(&prefix)) else {
+            return;
+        };
+        if ps.candidates.remove(&from).is_none() {
+            return;
+        }
+        self.after_change(time, me, prefix, queue);
+    }
+
+    fn process_withdraw(
+        &mut self,
+        time: SimTime,
+        me: Asn,
+        from: Asn,
+        prefix: Ipv4Prefix,
+        queue: &mut VecDeque<Work>,
+    ) {
+        if let Some(ixp) = self.topology.ixp_by_route_server(me) {
+            let ixp = ixp.clone();
+            self.withdraw_at_route_server(time, &ixp, from, prefix, queue);
+            return;
+        }
+        self.remove_candidate(time, me, from, prefix, queue);
+    }
+
+    /// After a candidate change at `me`: recompute best, update neighbor
+    /// advertisements, and refresh collector emissions.
+    fn after_change(&mut self, time: SimTime, me: Asn, prefix: Ipv4Prefix, queue: &mut VecDeque<Work>) {
+        let offering = self.topology.as_info(me).and_then(|i| i.blackhole_offering.clone());
+        let ps = self
+            .state
+            .get(&me)
+            .and_then(|m| m.get(&prefix))
+            .cloned()
+            .unwrap_or_default();
+        let best = ps.best().cloned();
+
+        // Determine the outbound advertisement per neighbor.
+        let neighbors: Vec<(Asn, Relationship)> = self.topology.neighbors(me).to_vec();
+        for (n, to_rel) in neighbors {
+            let advert: Option<RouteEntry> = match &best {
+                None => None,
+                Some(best) => {
+                    if n == best.learned_from {
+                        None // never advertise back to the sender
+                    } else if best.communities.has_no_export() {
+                        None // explicit NO_EXPORT: honored by everyone
+                    } else if best.is_blackhole
+                        && offering.as_ref().is_some_and(|o| o.honors_no_export)
+                    {
+                        None // RFC 7999-compliant provider suppresses
+                    } else if !may_export(Some(best.learned_rel), to_rel) {
+                        None // valley-free export
+                    } else {
+                        let mut out = best.clone();
+                        out.as_path.prepend(me, 1);
+                        if best.is_blackhole {
+                            if let Some(o) = &offering {
+                                if o.strips_community {
+                                    out.communities.retain(|c| !o.is_trigger(*c));
+                                }
+                            }
+                        }
+                        Some(out)
+                    }
+                }
+            };
+
+            let old = self
+                .state
+                .get(&me)
+                .and_then(|m| m.get(&prefix))
+                .and_then(|ps| ps.advertised.get(&n))
+                .cloned();
+            match (&old, &advert) {
+                (None, None) => {}
+                (Some(o), Some(a)) if o == a => {}
+                (_, Some(a)) => {
+                    self.state
+                        .get_mut(&me)
+                        .expect("state exists")
+                        .get_mut(&prefix)
+                        .expect("prefix state exists")
+                        .advertised
+                        .insert(n, a.clone());
+                    queue.push_back(Work::Announce { to: n, from: me, prefix, route: a.clone() });
+                }
+                (Some(_), None) => {
+                    self.state
+                        .get_mut(&me)
+                        .expect("state exists")
+                        .get_mut(&prefix)
+                        .expect("prefix state exists")
+                        .advertised
+                        .remove(&n);
+                    queue.push_back(Work::Withdraw { to: n, from: me, prefix });
+                }
+            }
+        }
+
+        // Collector emissions.
+        self.emit_sessions(time, me, prefix, best.as_ref(), &ps);
+    }
+
+    /// Emit per-session elems for an AS whose state changed.
+    fn emit_sessions(
+        &mut self,
+        time: SimTime,
+        me: Asn,
+        prefix: Ipv4Prefix,
+        best: Option<&RouteEntry>,
+        ps: &PrefixState,
+    ) {
+        let sessions: Vec<_> = self.deployment.sessions_at(me).to_vec();
+        for session in sessions {
+            match session.feed {
+                FeedKind::RouteServerView(_) => {
+                    // handled in route-server processing
+                }
+                FeedKind::Full | FeedKind::CustomerOnly | FeedKind::Internal => {
+                    let visible: Option<&RouteEntry> = match (session.feed, best) {
+                        (_, None) => None,
+                        (FeedKind::Full, Some(b)) => {
+                            if b.communities.has_no_export() {
+                                None
+                            } else {
+                                Some(b)
+                            }
+                        }
+                        (FeedKind::CustomerOnly, Some(b)) => {
+                            if b.communities.has_no_export()
+                                || b.learned_rel != Relationship::Customer
+                            {
+                                None
+                            } else {
+                                Some(b)
+                            }
+                        }
+                        (FeedKind::Internal, Some(b)) => {
+                            // Internal sessions prefer the blackhole
+                            // candidate when one exists (it is the
+                            // operationally interesting route).
+                            Some(
+                                ps.candidates
+                                    .values()
+                                    .find(|r| r.is_blackhole)
+                                    .unwrap_or(b),
+                            )
+                        }
+                        (FeedKind::RouteServerView(_), Some(_)) => unreachable!(),
+                    };
+                    // The peer prepends itself when exporting to the
+                    // collector, exactly like any other eBGP export.
+                    let exported = visible.map(|r| {
+                        let mut out = r.clone();
+                        out.as_path.prepend(me, 1);
+                        out
+                    });
+                    let key: EmitKey =
+                        (session.dataset, session.collector, session.peer_asn, prefix, me);
+                    self.emit_diff(time, key, &session, prefix, me, exported.as_ref());
+                }
+            }
+        }
+    }
+
+    /// Compare with the session's previously emitted state; emit announce
+    /// or withdraw elems as needed.
+    fn emit_diff(
+        &mut self,
+        time: SimTime,
+        key: EmitKey,
+        session: &crate::collector::CollectorSession,
+        prefix: Ipv4Prefix,
+        attributed_peer: Asn,
+        visible: Option<&RouteEntry>,
+    ) {
+        let old = self.emitted.get(&key);
+        match visible {
+            Some(route) => {
+                let sig = (route.as_path.clone(), route.communities.clone());
+                if old == Some(&sig) {
+                    return;
+                }
+                self.emitted.insert(key, sig);
+                self.elems.push(BgpElem {
+                    time,
+                    dataset: session.dataset,
+                    collector: session.collector,
+                    peer_asn: attributed_peer,
+                    peer_ip: session.peer_ip,
+                    elem_type: ElemType::Announce,
+                    prefix,
+                    as_path: route.as_path.clone(),
+                    communities: route.communities.clone(),
+                    next_hop: route.next_hop,
+                });
+            }
+            None => {
+                if old.is_none() {
+                    return;
+                }
+                self.emitted.remove(&key);
+                self.elems.push(BgpElem {
+                    time,
+                    dataset: session.dataset,
+                    collector: session.collector,
+                    peer_asn: attributed_peer,
+                    peer_ip: session.peer_ip,
+                    elem_type: ElemType::Withdraw,
+                    prefix,
+                    as_path: AsPath::empty(),
+                    communities: CommunitySet::new(),
+                    next_hop: None,
+                });
+            }
+        }
+    }
+
+    // ---- route servers --------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_at_route_server(
+        &mut self,
+        time: SimTime,
+        ixp: &Ixp,
+        from: Asn,
+        prefix: Ipv4Prefix,
+        mut route: RouteEntry,
+        queue: &mut VecDeque<Work>,
+        outcome: &mut AnnounceOutcome,
+    ) {
+        let me = ixp.route_server_asn;
+        if route.as_path.contains(me) {
+            return;
+        }
+        if !ixp.has_member(from) {
+            return; // only members speak to the route server
+        }
+        let offering = self.topology.as_info(me).and_then(|i| i.blackhole_offering.clone());
+
+        // Import filter at the route server.
+        let triggered = offering.as_ref().is_some_and(|o| {
+            route.communities.iter().any(|c| o.is_trigger(c))
+                || o.large_community.is_some_and(|l| route.communities.contains_large(l))
+        });
+        if triggered {
+            let o = offering.as_ref().expect("triggered implies offering");
+            if !o.accepts_length(prefix.length()) {
+                if !outcome.rejected_by.iter().any(|(a, _)| *a == me) {
+                    outcome.rejected_by.push((me, RejectReason::LengthRejected));
+                }
+                self.rs_remove_candidate(time, ixp, from, prefix, queue);
+                return;
+            }
+            // Route servers filter on IRR registration: misconfigured
+            // users' blackhole requests are not redistributed (§10).
+            let origin = route.as_path.origin().unwrap_or(from);
+            let auth_ctx = AuthContext {
+                topology: self.topology,
+                origin,
+                sender: from,
+                allocation_owner: self.origin_index.origin_of(&prefix),
+                irr_registered: route.irr_registered,
+            };
+            if !crate::policy::auth_ok(o.auth, &auth_ctx) {
+                if !outcome.rejected_by.iter().any(|(a, _)| *a == me) {
+                    outcome.rejected_by.push((me, RejectReason::AuthFailed));
+                }
+                self.rs_remove_candidate(time, ixp, from, prefix, queue);
+                return;
+            }
+            route.is_blackhole = true;
+            route.next_hop = o.blackhole_ip.map(IpAddr::V4);
+            if !outcome.accepted_by.contains(&me) {
+                outcome.accepted_by.push(me);
+            }
+        } else if prefix.is_more_specific_than(24) {
+            // Untagged host routes are not redistributed by route servers.
+            self.rs_remove_candidate(time, ixp, from, prefix, queue);
+            return;
+        }
+        route.learned_rel = Relationship::RouteServer;
+        route.local_pref = local_pref_for(Relationship::RouteServer);
+
+        let ps = self.state.entry(me).or_default().entry(prefix).or_default();
+        let unchanged = ps.candidates.get(&from) == Some(&route);
+        ps.candidates.insert(from, route.clone());
+        if unchanged {
+            return;
+        }
+        self.rs_redistribute(time, ixp, from, prefix, Some(&route), queue);
+    }
+
+    fn rs_remove_candidate(
+        &mut self,
+        time: SimTime,
+        ixp: &Ixp,
+        from: Asn,
+        prefix: Ipv4Prefix,
+        queue: &mut VecDeque<Work>,
+    ) {
+        let me = ixp.route_server_asn;
+        let Some(ps) = self.state.get_mut(&me).and_then(|m| m.get_mut(&prefix)) else {
+            return;
+        };
+        if ps.candidates.remove(&from).is_none() {
+            return;
+        }
+        self.rs_redistribute(time, ixp, from, prefix, None, queue);
+    }
+
+    fn withdraw_at_route_server(
+        &mut self,
+        time: SimTime,
+        ixp: &Ixp,
+        from: Asn,
+        prefix: Ipv4Prefix,
+        queue: &mut VecDeque<Work>,
+    ) {
+        self.rs_remove_candidate(time, ixp, from, prefix, queue);
+    }
+
+    /// Redistribute one member's (possibly changed) route to all other
+    /// members, and refresh the PCH route-server view.
+    fn rs_redistribute(
+        &mut self,
+        time: SimTime,
+        ixp: &Ixp,
+        announcer: Asn,
+        prefix: Ipv4Prefix,
+        route: Option<&RouteEntry>,
+        queue: &mut VecDeque<Work>,
+    ) {
+        let me = ixp.route_server_asn;
+        for &member in &ixp.members {
+            if member == announcer {
+                continue;
+            }
+            match route {
+                Some(r) => {
+                    let mut out = r.clone();
+                    if ixp.route_server_in_path {
+                        out.as_path.prepend(me, 1);
+                    }
+                    queue.push_back(Work::Announce { to: member, from: me, prefix, route: out });
+                }
+                None => {
+                    queue.push_back(Work::Withdraw { to: member, from: me, prefix });
+                }
+            }
+        }
+
+        // PCH route-server view: attribute to the announcing member with
+        // its peering-LAN address.
+        let sessions: Vec<_> = self.deployment.sessions_at(me).to_vec();
+        for session in sessions {
+            if !matches!(session.feed, FeedKind::RouteServerView(_)) {
+                continue;
+            }
+            let peer_ip = ixp
+                .member_lan_ip(announcer)
+                .map(IpAddr::V4)
+                .unwrap_or(session.peer_ip);
+            let key: EmitKey =
+                (session.dataset, session.collector, session.peer_asn, prefix, announcer);
+            let visible = route.map(|r| {
+                let mut out = r.clone();
+                if ixp.route_server_in_path {
+                    out.as_path.prepend(me, 1);
+                }
+                out
+            });
+            let mut session = session.clone();
+            session.peer_ip = peer_ip;
+            self.emit_diff(time, key, &session, prefix, announcer, visible.as_ref());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_bgp_types::community::Community;
+    use bh_topology::{BlackholeAuth, NetworkType, Tier};
+
+    use crate::collector::{CollectorConfig, CollectorSession};
+
+    use super::*;
+
+    /// Hand-built topology:
+    ///
+    /// ```text
+    ///        T1a ===== T1b          (tier-1 peers)
+    ///        /  \        \
+    ///      P1    P2      T1b's customer: peerAS
+    ///        \  /
+    ///        USER (originates 30.0.0.0/16)
+    ///  USER also peers with peerAS.
+    /// ```
+    /// P1 and P2 offer blackholing (P1: 0xP1:666, honors no-export;
+    /// P2: strips its community, propagates).
+    struct Fixture {
+        topology: Topology,
+        t1a: Asn,
+        p1: Asn,
+        p2: Asn,
+        user: Asn,
+        peer_as: Asn,
+    }
+
+    fn fixture() -> Fixture {
+        use bh_topology::{AsInfo, BlackholeOffering, DocumentationChannel};
+        use std::collections::BTreeMap;
+
+        let t1a = Asn::new(10);
+        let t1b = Asn::new(11);
+        let p1 = Asn::new(20);
+        let p2 = Asn::new(21);
+        let user = Asn::new(30);
+        let peer_as = Asn::new(40);
+
+        let mk = |asn: Asn, tier: Tier, prefixes: Vec<&str>, offering: Option<BlackholeOffering>| AsInfo {
+            asn,
+            tier,
+            network_type: NetworkType::TransitAccess,
+            country: "DE",
+            prefixes: prefixes.iter().map(|p| p.parse().unwrap()).collect(),
+            blackhole_offering: offering,
+            tag_communities: vec![],
+            in_peeringdb: true,
+        };
+        let offer = |asn: Asn, honors: bool, strips: bool| BlackholeOffering {
+            communities: vec![Community::from_parts(asn.value() as u16, 666)],
+            large_community: None,
+            min_accepted_length: 25,
+            documentation: DocumentationChannel::Irr,
+            auth: BlackholeAuth::OriginOrCone,
+            blackhole_ip: None,
+            strips_community: strips,
+            honors_no_export: honors,
+        };
+
+        let mut ases = BTreeMap::new();
+        ases.insert(t1a, mk(t1a, Tier::Tier1, vec!["50.0.0.0/12"], None));
+        ases.insert(t1b, mk(t1b, Tier::Tier1, vec!["51.0.0.0/12"], None));
+        ases.insert(p1, mk(p1, Tier::Transit, vec!["52.0.0.0/14"], Some(offer(p1, true, false))));
+        ases.insert(p2, mk(p2, Tier::Transit, vec!["53.0.0.0/14"], Some(offer(p2, false, true))));
+        ases.insert(user, mk(user, Tier::Stub, vec!["30.0.0.0/16"], None));
+        ases.insert(peer_as, mk(peer_as, Tier::Stub, vec!["54.0.0.0/16"], None));
+
+        let edges = vec![
+            (t1a, t1b, Relationship::Peer),
+            (t1a, p1, Relationship::Customer),
+            (t1a, p2, Relationship::Customer),
+            (t1b, peer_as, Relationship::Customer),
+            (p1, user, Relationship::Customer),
+            (p2, user, Relationship::Customer),
+            (user, peer_as, Relationship::Peer),
+        ];
+        Fixture {
+            topology: Topology::assemble(ases, edges, vec![]),
+            t1a,
+            p1,
+            p2,
+            user,
+            peer_as,
+        }
+    }
+
+    fn session(dataset: DataSource, asn: Asn, feed: FeedKind) -> CollectorSession {
+        CollectorSession {
+            dataset,
+            collector: 0,
+            peer_asn: asn,
+            peer_ip: "192.0.2.9".parse().unwrap(),
+            feed,
+        }
+    }
+
+    fn deployment_with(sessions: Vec<CollectorSession>) -> CollectorDeployment {
+        let mut d = CollectorDeployment::default();
+        for s in sessions {
+            d.add_session(s);
+        }
+        d
+    }
+
+    fn bh_communities(provider: Asn) -> CommunitySet {
+        CommunitySet::from_classic(vec![Community::from_parts(provider.value() as u16, 666)])
+    }
+
+    /// Deterministic behaviors: everyone accepts host routes from
+    /// customers, nobody from peers (tests override as needed).
+    fn pin_behaviors(sim: &mut BgpSimulator<'_>, f: &Fixture) {
+        for asn in [f.t1a, f.p1, f.p2, f.user, f.peer_as] {
+            sim.set_behavior(asn, SessionBehavior::default());
+        }
+        sim.set_behavior(Asn::new(11), SessionBehavior::default());
+    }
+
+    #[test]
+    fn regular_announcement_floods_valley_free() {
+        let f = fixture();
+        let d = deployment_with(vec![session(DataSource::Ris, f.t1a, FeedKind::Full)]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        let outcome = sim.announce(
+            SimTime::from_unix(100),
+            &Announcement::simple(f.user, "30.0.0.0/16".parse().unwrap(), CommunitySet::new()),
+        );
+        assert!(outcome.accepted_by.is_empty());
+        let elems = sim.drain_elems();
+        // T1a sees the route via its customers P1/P2.
+        assert!(!elems.is_empty());
+        let announce = elems.iter().find(|e| e.is_announce()).unwrap();
+        assert_eq!(announce.prefix, "30.0.0.0/16".parse().unwrap());
+        assert_eq!(announce.as_path.origin(), Some(f.user));
+        // Valley-free: path is T1a ← {P1|P2} ← user.
+        assert_eq!(announce.as_path.hop_len(), 3);
+        assert_eq!(announce.as_path.first(), Some(f.t1a));
+    }
+
+    #[test]
+    fn blackhole_accepted_at_provider() {
+        let f = fixture();
+        let d = deployment_with(vec![]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        let outcome = sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: f.user,
+                prefix: "30.0.1.1/32".parse().unwrap(),
+                communities: bh_communities(f.p1),
+                scope: AnnounceScope::Neighbors(vec![f.p1]),
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        assert_eq!(outcome.accepted_by, vec![f.p1]);
+        assert!(outcome.rejected_by.is_empty());
+        assert!(sim.is_blackholed_at(f.p1, &"30.0.1.1/32".parse().unwrap()));
+        assert!(!sim.is_blackholed_at(f.p2, &"30.0.1.1/32".parse().unwrap()));
+    }
+
+    #[test]
+    fn rfc_compliant_provider_suppresses_propagation() {
+        // P1 honors no-export: T1a must never learn the /32.
+        let f = fixture();
+        let d = deployment_with(vec![session(DataSource::Ris, f.t1a, FeedKind::Full)]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: f.user,
+                prefix: "30.0.1.1/32".parse().unwrap(),
+                communities: bh_communities(f.p1),
+                scope: AnnounceScope::Neighbors(vec![f.p1]),
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        assert!(sim.drain_elems().is_empty());
+    }
+
+    #[test]
+    fn non_compliant_provider_propagates_with_stripped_community() {
+        // P2 strips its community but does propagate.
+        let f = fixture();
+        let d = deployment_with(vec![session(DataSource::Ris, f.t1a, FeedKind::Full)]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: f.user,
+                prefix: "30.0.1.1/32".parse().unwrap(),
+                communities: bh_communities(f.p2),
+                scope: AnnounceScope::Neighbors(vec![f.p2]),
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        let elems = sim.drain_elems();
+        let announce = elems.iter().find(|e| e.is_announce()).expect("T1a sees the /32");
+        assert_eq!(announce.prefix, "30.0.1.1/32".parse().unwrap());
+        // The trigger was stripped.
+        assert!(!announce
+            .communities
+            .contains(Community::from_parts(f.p2.value() as u16, 666)));
+        // Provider is on the path.
+        assert!(announce.as_path.contains(f.p2));
+    }
+
+    #[test]
+    fn bundling_is_visible_via_non_provider_neighbors() {
+        // USER bundles P1+P2 triggers and announces to ALL neighbors,
+        // including peerAS which has a collector session. Even though P1
+        // suppresses and P2 strips, the bundle is visible via peerAS with
+        // both communities intact (Fig. 3's key mechanism).
+        let f = fixture();
+        let d = deployment_with(vec![session(DataSource::RouteViews, f.peer_as, FeedKind::Full)]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        sim.set_behavior(
+            f.peer_as,
+            SessionBehavior { host_routes_from_customers: true, host_routes_from_peers: true },
+        );
+        let mut communities = bh_communities(f.p1);
+        communities.merge(&bh_communities(f.p2));
+        sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: f.user,
+                prefix: "30.0.1.1/32".parse().unwrap(),
+                communities: communities.clone(),
+                scope: AnnounceScope::AllNeighbors,
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        let elems = sim.drain_elems();
+        let seen = elems
+            .iter()
+            .find(|e| e.is_announce() && e.peer_asn == f.peer_as);
+        // peerAS accepts the /32 from its peer only if its session
+        // behavior allows host routes from peers; the chosen seed does.
+        let announce = seen.expect("bundled announcement visible at peerAS");
+        assert!(announce.communities.contains(Community::from_parts(f.p1.value() as u16, 666)));
+        assert!(announce.communities.contains(Community::from_parts(f.p2.value() as u16, 666)));
+        // Neither provider is on the path (no-path / bundling case).
+        assert!(!announce.as_path.contains(f.p1));
+        assert!(!announce.as_path.contains(f.p2));
+    }
+
+    #[test]
+    fn no_export_hides_from_public_but_not_internal() {
+        let f = fixture();
+        let d = deployment_with(vec![
+            session(DataSource::Ris, f.p1, FeedKind::Full),
+            session(DataSource::Cdn, f.p1, FeedKind::Internal),
+        ]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        let mut communities = bh_communities(f.p1);
+        communities.insert(Community::NO_EXPORT);
+        sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: f.user,
+                prefix: "30.0.1.1/32".parse().unwrap(),
+                communities,
+                scope: AnnounceScope::Neighbors(vec![f.p1]),
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        let elems = sim.drain_elems();
+        assert!(
+            elems.iter().all(|e| e.dataset != DataSource::Ris),
+            "RIS must not see a NO_EXPORT route"
+        );
+        let cdn = elems.iter().find(|e| e.dataset == DataSource::Cdn);
+        assert!(cdn.is_some(), "CDN internal session sees NO_EXPORT routes");
+        assert!(cdn.unwrap().communities.has_no_export());
+    }
+
+    #[test]
+    fn direct_feed_sees_tagged_route() {
+        // P2 has a RIS session: the tagged /32 is visible there even
+        // before propagation (direct feed).
+        let f = fixture();
+        let d = deployment_with(vec![session(DataSource::Ris, f.p2, FeedKind::Full)]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: f.user,
+                prefix: "30.0.1.1/32".parse().unwrap(),
+                communities: bh_communities(f.p2),
+                scope: AnnounceScope::Neighbors(vec![f.p2]),
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        let elems = sim.drain_elems();
+        let announce = elems.iter().find(|e| e.is_announce()).expect("direct feed elem");
+        assert_eq!(announce.peer_asn, f.p2);
+        // Direct feeds retain the tag (stripping applies on neighbor
+        // export, not on the provider's own collector session).
+        assert!(announce
+            .communities
+            .contains(Community::from_parts(f.p2.value() as u16, 666)));
+        assert_eq!(announce.as_path.distance_from_peer(f.p2), Some(0));
+    }
+
+    #[test]
+    fn withdraw_generates_withdraw_elems() {
+        let f = fixture();
+        let d = deployment_with(vec![session(DataSource::Ris, f.p2, FeedKind::Full)]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        let prefix: Ipv4Prefix = "30.0.1.1/32".parse().unwrap();
+        sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: f.user,
+                prefix,
+                communities: bh_communities(f.p2),
+                scope: AnnounceScope::Neighbors(vec![f.p2]),
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        sim.withdraw(SimTime::from_unix(200), f.user, prefix);
+        let elems = sim.drain_elems();
+        let withdraw = elems
+            .iter()
+            .find(|e| e.elem_type == ElemType::Withdraw)
+            .expect("withdraw elem");
+        assert_eq!(withdraw.prefix, prefix);
+        assert_eq!(withdraw.time, SimTime::from_unix(200));
+        assert!(!sim.is_blackholed_at(f.p2, &prefix));
+    }
+
+    #[test]
+    fn unauthorized_blackhole_is_rejected() {
+        // USER requests blackholing of peerAS's space: auth failure at P1.
+        let f = fixture();
+        let d = deployment_with(vec![]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        let outcome = sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: f.user,
+                prefix: "54.0.1.1/32".parse().unwrap(),
+                communities: bh_communities(f.p1),
+                scope: AnnounceScope::Neighbors(vec![f.p1]),
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        assert!(outcome.accepted_by.is_empty());
+        assert_eq!(outcome.rejected_by, vec![(f.p1, RejectReason::AuthFailed)]);
+    }
+
+    #[test]
+    fn prepending_does_not_break_user_inference() {
+        let f = fixture();
+        let d = deployment_with(vec![session(DataSource::Ris, f.t1a, FeedKind::Full)]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: f.user,
+                prefix: "30.0.1.1/32".parse().unwrap(),
+                communities: bh_communities(f.p2),
+                scope: AnnounceScope::Neighbors(vec![f.p2]),
+                irr_registered: true,
+                prepend: 3,
+            },
+        );
+        let elems = sim.drain_elems();
+        let announce = elems.iter().find(|e| e.is_announce()).unwrap();
+        assert!(announce.as_path.has_prepending());
+        assert_eq!(announce.as_path.hop_before(f.p2), Some(f.user));
+    }
+
+    #[test]
+    fn reannouncement_without_community_updates_state() {
+        // The implicit-withdrawal signal: re-announce without the tag.
+        let f = fixture();
+        let d = deployment_with(vec![session(DataSource::Ris, f.p2, FeedKind::Full)]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        let prefix: Ipv4Prefix = "30.0.1.1/32".parse().unwrap();
+        sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: f.user,
+                prefix,
+                communities: bh_communities(f.p2),
+                scope: AnnounceScope::Neighbors(vec![f.p2]),
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        assert!(sim.is_blackholed_at(f.p2, &prefix));
+        sim.announce(
+            SimTime::from_unix(160),
+            &Announcement {
+                origin: f.user,
+                prefix,
+                communities: CommunitySet::new(),
+                scope: AnnounceScope::Neighbors(vec![f.p2]),
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        assert!(!sim.is_blackholed_at(f.p2, &prefix));
+        let elems = sim.drain_elems();
+        // Two announcements at the direct feed: tagged then untagged.
+        let announces: Vec<_> = elems
+            .iter()
+            .filter(|e| e.is_announce() && e.peer_asn == f.p2)
+            .collect();
+        assert_eq!(announces.len(), 2);
+        assert!(announces[0].communities.len() > 0);
+        assert!(announces[1].communities.is_empty());
+    }
+
+    #[test]
+    fn route_server_redistributes_and_pch_attributes_members() {
+        use bh_topology::{TopologyBuilder, TopologyConfig};
+        // Generated topology: find an IXP with blackholing and ≥2 members.
+        let t = TopologyBuilder::new(TopologyConfig::tiny(21)).build();
+        let ixp = t
+            .ixps()
+            .iter()
+            .find(|ixp| {
+                ixp.members.len() >= 2
+                    && t.as_info(ixp.route_server_asn)
+                        .is_some_and(|i| i.blackhole_offering.is_some())
+            })
+            .expect("blackholing IXP exists")
+            .clone();
+        let member = *ixp
+            .members
+            .iter()
+            .find(|m| !t.as_info(**m).unwrap().prefixes.is_empty())
+            .expect("member with address space");
+        let victim = t.as_info(member).unwrap().prefixes[0];
+        let host = victim.nth_addr(7).map(Ipv4Prefix::host).unwrap();
+
+        let d = crate::collector::deploy(&t, &CollectorConfig {
+            pch_ixp_coverage: 1.0,
+            ..CollectorConfig::tiny(5)
+        });
+        let mut sim = BgpSimulator::new(&t, d, 9);
+        let trigger = t
+            .as_info(ixp.route_server_asn)
+            .unwrap()
+            .blackhole_offering
+            .as_ref()
+            .unwrap()
+            .primary_community();
+        let outcome = sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: member,
+                prefix: host,
+                communities: CommunitySet::from_classic(vec![trigger]),
+                scope: AnnounceScope::Neighbors(vec![ixp.route_server_asn]),
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        assert!(outcome.accepted_by.contains(&ixp.route_server_asn));
+        let elems = sim.drain_elems();
+        let pch: Vec<_> = elems
+            .iter()
+            .filter(|e| e.dataset == DataSource::Pch && e.prefix == host)
+            .collect();
+        assert!(!pch.is_empty(), "PCH route-server view sees the blackhole");
+        for e in &pch {
+            assert_eq!(e.peer_asn, member, "attributed to the announcing member");
+            match e.peer_ip {
+                IpAddr::V4(ip) => assert!(ixp.peering_lan.contains_addr(ip)),
+                IpAddr::V6(_) => panic!("LAN addresses are IPv4"),
+            }
+            assert!(e.communities.contains(trigger));
+            // Blackhole next-hop set by the route server.
+            assert!(e.next_hop.is_some());
+        }
+    }
+
+    #[test]
+    fn route_server_rejects_unregistered_member_routes() {
+        use bh_topology::{TopologyBuilder, TopologyConfig};
+        let t = TopologyBuilder::new(TopologyConfig::tiny(21)).build();
+        let ixp = t
+            .ixps()
+            .iter()
+            .find(|ixp| {
+                ixp.members.len() >= 2
+                    && t.as_info(ixp.route_server_asn)
+                        .is_some_and(|i| i.blackhole_offering.is_some())
+            })
+            .expect("blackholing IXP exists")
+            .clone();
+        let member = *ixp
+            .members
+            .iter()
+            .find(|m| !t.as_info(**m).unwrap().prefixes.is_empty())
+            .unwrap();
+        let victim = t.as_info(member).unwrap().prefixes[0];
+        let host = victim.nth_addr(7).map(Ipv4Prefix::host).unwrap();
+        let d = crate::collector::deploy(&t, &CollectorConfig {
+            pch_ixp_coverage: 1.0,
+            ..CollectorConfig::tiny(5)
+        });
+        let mut sim = BgpSimulator::new(&t, d, 9);
+        let trigger = t
+            .as_info(ixp.route_server_asn)
+            .unwrap()
+            .blackhole_offering
+            .as_ref()
+            .unwrap()
+            .primary_community();
+        let outcome = sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: member,
+                prefix: host,
+                communities: CommunitySet::from_classic(vec![trigger]),
+                scope: AnnounceScope::Neighbors(vec![ixp.route_server_asn]),
+                irr_registered: false, // misconfigured user
+                prepend: 1,
+            },
+        );
+        assert!(outcome.accepted_by.is_empty());
+        assert!(outcome
+            .rejected_by
+            .iter()
+            .any(|(asn, r)| *asn == ixp.route_server_asn && *r == RejectReason::AuthFailed));
+        assert!(sim.drain_elems().iter().all(|e| e.prefix != host));
+    }
+}

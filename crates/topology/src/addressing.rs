@@ -1,0 +1,137 @@
+//! Deterministic address-space allocation for the synthetic Internet.
+//!
+//! Hands out non-overlapping, bogon-free IPv4 blocks to ASes and IXP
+//! peering LANs. Allocation is sequential over the unicast space with
+//! martian ranges skipped, so a fixed topology seed always yields the
+//! same addressing plan.
+
+use std::net::Ipv4Addr;
+
+use bh_bgp_types::bogon::BogonFilter;
+use bh_bgp_types::prefix::Ipv4Prefix;
+
+/// Sequential allocator of disjoint IPv4 blocks.
+#[derive(Debug)]
+pub struct AddressAllocator {
+    /// Next candidate /16 index (upper 16 bits of the address space).
+    next_slab: u32,
+    bogons: BogonFilter,
+    allocated: u64,
+}
+
+impl Default for AddressAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressAllocator {
+    /// Start allocating at 5.0.0.0 (below that sits special-purpose and
+    /// legacy space).
+    pub fn new() -> Self {
+        AddressAllocator { next_slab: 5 << 8, bogons: BogonFilter::new(), allocated: 0 }
+    }
+
+    /// Total blocks handed out.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Allocate one block of the requested length (8 ≤ length ≤ 24).
+    /// Each allocation consumes a whole /16 slab (or several for shorter
+    /// prefixes), which keeps every allocation trivially disjoint.
+    pub fn alloc(&mut self, length: u8) -> Ipv4Prefix {
+        assert!((8..=24).contains(&length), "supported allocation lengths are /8../24");
+        loop {
+            let slabs_needed = if length >= 16 { 1 } else { 1u32 << (16 - length) };
+            // Align to the block size.
+            let aligned = self.next_slab.div_ceil(slabs_needed) * slabs_needed;
+            let network = aligned << 16;
+            let candidate = Ipv4Prefix::from_raw(network, length);
+            self.next_slab = aligned + slabs_needed;
+            let first_octet = network >> 24;
+            if first_octet >= 224 {
+                panic!("address space exhausted: synthetic topology too large");
+            }
+            if self.bogons.is_routable(&candidate) {
+                self.allocated += 1;
+                return candidate;
+            }
+            // Martian slab: skip it (next_slab already advanced).
+        }
+    }
+
+    /// Allocate a /24 peering LAN.
+    pub fn alloc_lan(&mut self) -> Ipv4Prefix {
+        self.alloc(24)
+    }
+
+    /// Convenience: the conventional blackholing IP for a peering LAN
+    /// (last octet .66, as the paper observes for most IXPs).
+    pub fn blackhole_ip(lan: &Ipv4Prefix) -> Ipv4Addr {
+        lan.nth_addr(66).unwrap_or_else(|| lan.network())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let mut alloc = AddressAllocator::new();
+        let mut blocks = Vec::new();
+        for i in 0..200 {
+            let len = 14 + (i % 11) as u8; // /14../24 mix
+            blocks.push(alloc.alloc(len));
+        }
+        for (i, a) in blocks.iter().enumerate() {
+            for b in blocks.iter().skip(i + 1) {
+                assert!(!a.contains(b) && !b.contains(a), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn allocations_avoid_bogons() {
+        let mut alloc = AddressAllocator::new();
+        let filter = BogonFilter::new();
+        for _ in 0..500 {
+            let p = alloc.alloc(16);
+            assert!(filter.is_routable(&p), "{p} is bogon");
+        }
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let run = || {
+            let mut alloc = AddressAllocator::new();
+            (0..50).map(|i| alloc.alloc(16 + (i % 9) as u8)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn skips_private_slabs() {
+        let mut alloc = AddressAllocator::new();
+        for _ in 0..3000 {
+            let p = alloc.alloc(16);
+            let first = p.network().octets()[0];
+            assert_ne!(first, 10, "10/8 must be skipped, got {p}");
+            assert!(!(first == 172 && (16..32).contains(&p.network().octets()[1])));
+            assert!(!(first == 192 && p.network().octets()[1] == 168));
+        }
+    }
+
+    #[test]
+    fn blackhole_ip_is_dot66() {
+        let lan: Ipv4Prefix = "185.1.0.0/24".parse().unwrap();
+        assert_eq!(AddressAllocator::blackhole_ip(&lan), "185.1.0.66".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "supported allocation lengths")]
+    fn rejects_unsupported_lengths() {
+        AddressAllocator::new().alloc(30);
+    }
+}

@@ -1,0 +1,821 @@
+//! Seeded topology generator.
+//!
+//! Builds a synthetic Internet whose *composition* mirrors the populations
+//! the paper measures: a tier-1 clique, a transit hierarchy, stub networks
+//! of every PeeringDB type, IXPs with route servers and peering LANs, and
+//! — crucially — a ground-truth set of blackholing providers whose
+//! distribution follows Table 2:
+//!
+//! | type            | documented | inferred (undocumented) |
+//! |-----------------|-----------:|------------------------:|
+//! | Transit/Access  |        198 |                      81 |
+//! | IXP             |         49 |                       0 |
+//! | Content         |         23 |                      14 |
+//! | Educ/Res/NfP    |         15 |                       1 |
+//! | Enterprise      |          8 |                       3 |
+//! | Unknown         |         14 |                       3 |
+//!
+//! Community conventions follow §4.1: ~51 % `ASN:666`, the rest `ASN:66`,
+//! `ASN:999`, `ASN:9999`…; 47 of 49 IXPs use RFC 7999 `65535:666`; a few
+//! providers share ambiguous communities whose high 16 bits are not a
+//! public ASN; one network blackholes via an RFC 8092 large community; and
+//! one tier-1 uses `ASN:666` as a *peering tag* while blackholing with
+//! `ASN:9999` (the Level3 decoy).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use bh_bgp_types::asn::Asn;
+use bh_bgp_types::community::{Community, LargeCommunity};
+
+use crate::addressing::AddressAllocator;
+use crate::geo::{sample_country, IXP_COUNTRY_WEIGHTS, PROVIDER_COUNTRY_WEIGHTS, USER_COUNTRY_WEIGHTS};
+use crate::graph::Topology;
+use crate::types::{
+    AsInfo, BlackholeAuth, BlackholeOffering, DocumentationChannel, Ixp, IxpId, NetworkType,
+    Relationship, Tier,
+};
+
+/// Per-type counts of blackholing providers, split documented/undocumented.
+#[derive(Debug, Clone, Copy)]
+pub struct ProviderCounts {
+    /// Providers whose offering is documented (IRR/web/private).
+    pub documented: usize,
+    /// Providers whose offering is undocumented (only inferable).
+    pub undocumented: usize,
+}
+
+/// Generator configuration. `Default` reproduces the paper-scale study
+/// populations; tests use [`TopologyConfig::tiny`] for speed.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// RNG seed — everything downstream is deterministic in this.
+    pub seed: u64,
+    /// Number of tier-1 ASes (full clique).
+    pub tier1_count: usize,
+    /// Number of mid-tier transit/access ASes.
+    pub transit_count: usize,
+    /// Number of content/hoster stub ASes.
+    pub content_count: usize,
+    /// Number of enterprise stub ASes.
+    pub enterprise_count: usize,
+    /// Number of education/research/NfP ASes.
+    pub edu_count: usize,
+    /// Number of unclassifiable ASes.
+    pub unknown_count: usize,
+    /// Number of IXPs.
+    pub ixp_count: usize,
+    /// Blackholing providers per type (Table 2 shape).
+    pub bh_transit: ProviderCounts,
+    /// IXPs offering blackholing (documented only, per the paper).
+    pub bh_ixp: usize,
+    /// Content providers offering blackholing.
+    pub bh_content: ProviderCounts,
+    /// Educ/Research/NfP providers offering blackholing.
+    pub bh_edu: ProviderCounts,
+    /// Enterprise providers offering blackholing.
+    pub bh_enterprise: ProviderCounts,
+    /// Unknown-type providers offering blackholing.
+    pub bh_unknown: ProviderCounts,
+    /// Fraction of ASes with a PeeringDB record disclosing their type.
+    pub peeringdb_coverage: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            seed: 0x1997_0666,
+            tier1_count: 14,
+            transit_count: 430,
+            content_count: 330,
+            enterprise_count: 160,
+            edu_count: 80,
+            unknown_count: 90,
+            ixp_count: 55,
+            bh_transit: ProviderCounts { documented: 198, undocumented: 81 },
+            bh_ixp: 49,
+            bh_content: ProviderCounts { documented: 23, undocumented: 14 },
+            bh_edu: ProviderCounts { documented: 15, undocumented: 1 },
+            bh_enterprise: ProviderCounts { documented: 8, undocumented: 3 },
+            bh_unknown: ProviderCounts { documented: 14, undocumented: 3 },
+            peeringdb_coverage: 0.72,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// A small topology for fast tests: same structure, ~60 ASes.
+    pub fn tiny(seed: u64) -> Self {
+        TopologyConfig {
+            seed,
+            tier1_count: 4,
+            transit_count: 14,
+            content_count: 18,
+            enterprise_count: 8,
+            edu_count: 4,
+            unknown_count: 4,
+            ixp_count: 4,
+            bh_transit: ProviderCounts { documented: 8, undocumented: 3 },
+            bh_ixp: 3,
+            bh_content: ProviderCounts { documented: 2, undocumented: 1 },
+            bh_edu: ProviderCounts { documented: 1, undocumented: 0 },
+            bh_enterprise: ProviderCounts { documented: 1, undocumented: 0 },
+            bh_unknown: ProviderCounts { documented: 1, undocumented: 0 },
+            peeringdb_coverage: 0.72,
+        }
+    }
+
+    /// Total AS count (excluding IXP route-server ASNs).
+    pub fn total_ases(&self) -> usize {
+        self.tier1_count
+            + self.transit_count
+            + self.content_count
+            + self.enterprise_count
+            + self.edu_count
+            + self.unknown_count
+    }
+}
+
+/// The generator.
+pub struct TopologyBuilder {
+    config: TopologyConfig,
+    rng: StdRng,
+    alloc: AddressAllocator,
+    next_asn: u32,
+    next_rs_asn: u32,
+}
+
+impl TopologyBuilder {
+    /// Create a builder.
+    pub fn new(config: TopologyConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        TopologyBuilder {
+            config,
+            rng,
+            alloc: AddressAllocator::new(),
+            next_asn: 100,
+            next_rs_asn: 59_000,
+        }
+    }
+
+    /// Convenience: default config with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(TopologyConfig { seed, ..Default::default() })
+    }
+
+    fn fresh_asn(&mut self) -> Asn {
+        let asn = Asn::new(self.next_asn);
+        // Skip anything non-public so communities stay unambiguous unless
+        // we *choose* ambiguity.
+        self.next_asn += 1 + self.rng.gen_range(0..20);
+        if !asn.is_public() {
+            return self.fresh_asn();
+        }
+        asn
+    }
+
+    fn fresh_rs_asn(&mut self) -> Asn {
+        let asn = Asn::new(self.next_rs_asn);
+        self.next_rs_asn += 1;
+        asn
+    }
+
+    /// Build the topology.
+    pub fn build(mut self) -> Topology {
+        let cfg = self.config.clone();
+        let mut ases: BTreeMap<Asn, AsInfo> = BTreeMap::new();
+        let mut edges: Vec<(Asn, Asn, Relationship)> = Vec::new();
+
+        // ---- Tier-1 clique -------------------------------------------------
+        let mut tier1 = Vec::with_capacity(cfg.tier1_count);
+        for _ in 0..cfg.tier1_count {
+            let asn = self.fresh_asn();
+            let prefix_count = self.rng.gen_range(3..=6);
+            let prefixes = (0..prefix_count)
+                .map(|_| self.alloc.alloc(self.rng.gen_range(11..=14)))
+                .collect();
+            ases.insert(
+                asn,
+                AsInfo {
+                    asn,
+                    tier: Tier::Tier1,
+                    network_type: NetworkType::TransitAccess,
+                    country: sample_country(&mut self.rng, PROVIDER_COUNTRY_WEIGHTS),
+                    prefixes,
+                    blackhole_offering: None,
+                    tag_communities: vec![],
+                    in_peeringdb: true, // tier-1s always have records
+                },
+            );
+            tier1.push(asn);
+        }
+        for i in 0..tier1.len() {
+            for j in (i + 1)..tier1.len() {
+                edges.push((tier1[i], tier1[j], Relationship::Peer));
+            }
+        }
+
+        // ---- Mid-tier transit ----------------------------------------------
+        let mut transits = Vec::with_capacity(cfg.transit_count);
+        for _ in 0..cfg.transit_count {
+            let asn = self.fresh_asn();
+            let prefix_count = self.rng.gen_range(1..=3);
+            let prefixes = (0..prefix_count)
+                .map(|_| self.alloc.alloc(self.rng.gen_range(14..=18)))
+                .collect();
+            // Providers: preferential mix of tier-1 and earlier transits.
+            let provider_count = self.rng.gen_range(1..=3).min(1 + transits.len());
+            let mut providers: Vec<Asn> = Vec::new();
+            for _ in 0..provider_count {
+                let from_tier1 = transits.len() < 4 || self.rng.gen_bool(0.45);
+                let pool: &[Asn] = if from_tier1 { &tier1 } else { &transits };
+                if let Some(&p) = pool.choose(&mut self.rng) {
+                    if !providers.contains(&p) && p != asn {
+                        providers.push(p);
+                    }
+                }
+            }
+            for p in &providers {
+                edges.push((*p, asn, Relationship::Customer));
+            }
+            // Occasional lateral peering among transits.
+            if !transits.is_empty() && self.rng.gen_bool(0.35) {
+                if let Some(&peer) = transits.choose(&mut self.rng) {
+                    if peer != asn {
+                        edges.push((asn, peer, Relationship::Peer));
+                    }
+                }
+            }
+            ases.insert(
+                asn,
+                AsInfo {
+                    asn,
+                    tier: Tier::Transit,
+                    network_type: NetworkType::TransitAccess,
+                    country: sample_country(&mut self.rng, PROVIDER_COUNTRY_WEIGHTS),
+                    prefixes,
+                    blackhole_offering: None,
+                    tag_communities: vec![],
+                    in_peeringdb: self.rng.gen_bool(cfg.peeringdb_coverage),
+                },
+            );
+            transits.push(asn);
+        }
+
+        // ---- Stubs of each type --------------------------------------------
+        let stub_of = |builder: &mut Self,
+                           ty: NetworkType,
+                           count: usize,
+                           ases: &mut BTreeMap<Asn, AsInfo>,
+                           edges: &mut Vec<(Asn, Asn, Relationship)>|
+         -> Vec<Asn> {
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let asn = builder.fresh_asn();
+                let (min_len, max_len, max_prefixes) = match ty {
+                    NetworkType::Content => (17, 21, 2), // hosters: midsize blocks
+                    NetworkType::EducationResearchNfp => (15, 17, 1),
+                    _ => (19, 23, 2),
+                };
+                let prefix_count = builder.rng.gen_range(1..=max_prefixes);
+                let prefixes = (0..prefix_count)
+                    .map(|_| builder.alloc.alloc(builder.rng.gen_range(min_len..=max_len)))
+                    .collect();
+                let provider_count = builder.rng.gen_range(1..=3usize);
+                let mut chosen = Vec::new();
+                for _ in 0..provider_count {
+                    if let Some(&p) = transits.choose(&mut builder.rng) {
+                        if !chosen.contains(&p) {
+                            chosen.push(p);
+                        }
+                    }
+                }
+                for p in &chosen {
+                    edges.push((*p, asn, Relationship::Customer));
+                }
+                let weights = if ty == NetworkType::TransitAccess {
+                    PROVIDER_COUNTRY_WEIGHTS
+                } else {
+                    USER_COUNTRY_WEIGHTS
+                };
+                ases.insert(
+                    asn,
+                    AsInfo {
+                        asn,
+                        tier: Tier::Stub,
+                        network_type: ty,
+                        country: sample_country(&mut builder.rng, weights),
+                        prefixes,
+                        blackhole_offering: None,
+                        tag_communities: vec![],
+                        in_peeringdb: builder.rng.gen_bool(if ty == NetworkType::Unknown {
+                            0.0 // unknowns are unknown *because* they lack records
+                        } else {
+                            cfg.peeringdb_coverage
+                        }),
+                    },
+                );
+                out.push(asn);
+            }
+            out
+        };
+
+        let contents = stub_of(&mut self, NetworkType::Content, cfg.content_count, &mut ases, &mut edges);
+        let enterprises =
+            stub_of(&mut self, NetworkType::Enterprise, cfg.enterprise_count, &mut ases, &mut edges);
+        let edus = stub_of(&mut self, NetworkType::EducationResearchNfp, cfg.edu_count, &mut ases, &mut edges);
+        let unknowns = stub_of(&mut self, NetworkType::Unknown, cfg.unknown_count, &mut ases, &mut edges);
+
+        // ---- IXPs ----------------------------------------------------------
+        let mut ixps = Vec::with_capacity(cfg.ixp_count);
+        // Candidate members: content networks peer most aggressively, then
+        // transit/access; enterprises rarely.
+        let mut member_pool: Vec<Asn> = Vec::new();
+        member_pool.extend(&contents);
+        member_pool.extend(&transits);
+        member_pool.extend(&contents); // double weight for content
+        member_pool.extend(&edus);
+        member_pool.extend(&enterprises);
+        for i in 0..cfg.ixp_count {
+            let rs_asn = self.fresh_rs_asn();
+            let lan = self.alloc.alloc_lan();
+            let country = sample_country(&mut self.rng, IXP_COUNTRY_WEIGHTS);
+            // Size distribution: a few giants, many small exchanges.
+            let member_count = if i < cfg.ixp_count / 8 {
+                self.rng.gen_range(120..=200.min(member_pool.len().max(121) - 1))
+            } else if i < cfg.ixp_count / 3 {
+                self.rng.gen_range(25..=80)
+            } else {
+                self.rng.gen_range(4..=20)
+            };
+            let mut members: Vec<Asn> = member_pool
+                .choose_multiple(&mut self.rng, member_count.min(member_pool.len()))
+                .copied()
+                .collect();
+            members.sort_unstable();
+            members.dedup();
+            let id = IxpId(i as u32);
+            // Route-server AS entry.
+            ases.insert(
+                rs_asn,
+                AsInfo {
+                    asn: rs_asn,
+                    tier: Tier::Stub,
+                    network_type: NetworkType::Ixp,
+                    country,
+                    prefixes: vec![],
+                    blackhole_offering: None,
+                    tag_communities: vec![],
+                    in_peeringdb: true, // IXPs maintain records (LANs are published)
+                },
+            );
+            for m in &members {
+                edges.push((*m, rs_asn, Relationship::RouteServer));
+            }
+            // Some bilateral peering among members of the same IXP.
+            let bilateral = members.len() / 4;
+            for _ in 0..bilateral {
+                if let (Some(&a), Some(&b)) =
+                    (members.choose(&mut self.rng), members.choose(&mut self.rng))
+                {
+                    if a != b {
+                        edges.push((a, b, Relationship::Peer));
+                    }
+                }
+            }
+            ixps.push(Ixp {
+                id,
+                name: format!("IX-{i:02}-{country}"),
+                route_server_asn: rs_asn,
+                route_server_in_path: self.rng.gen_bool(0.7),
+                peering_lan: lan,
+                members,
+                country,
+            });
+        }
+
+        // ---- Blackhole offerings (ground truth) ----------------------------
+        self.assign_offerings(&mut ases, &ixps, &tier1, &transits, &contents, &edus, &enterprises, &unknowns);
+
+        // ---- Non-blackhole tag communities ----------------------------------
+        // Transit networks tag customer/peer routes; this census is the
+        // "other communities" population of Fig. 2.
+        let transit_asns: Vec<Asn> = tier1.iter().chain(&transits).copied().collect();
+        for asn in &transit_asns {
+            let info = ases.get_mut(asn).expect("transit AS exists");
+            let n_tags = self.rng.gen_range(1..=4);
+            for k in 0..n_tags {
+                let value = match k {
+                    0 => 100 + self.rng.gen_range(0..10),  // relationship tags
+                    1 => 2000 + self.rng.gen_range(0..50), // location tags
+                    _ => 3000 + self.rng.gen_range(0..100), // TE tags
+                };
+                info.tag_communities.push(Community::from_parts(
+                    (asn.value() & 0xFFFF) as u16,
+                    value as u16,
+                ));
+            }
+        }
+
+        Topology::assemble(ases, edges, ixps)
+    }
+
+    /// Pick blackhole community values following the §4.1 conventions.
+    fn community_for(&mut self, asn: Asn) -> Community {
+        let high = (asn.value() & 0xFFFF) as u16;
+        let roll: f64 = self.rng.gen();
+        let value = if roll < 0.51 {
+            666
+        } else if roll < 0.66 {
+            66
+        } else if roll < 0.81 {
+            999
+        } else if roll < 0.91 {
+            9999
+        } else {
+            self.rng.gen_range(600..700)
+        };
+        Community::from_parts(high, value)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assign_offerings(
+        &mut self,
+        ases: &mut BTreeMap<Asn, AsInfo>,
+        ixps: &[Ixp],
+        tier1: &[Asn],
+        transits: &[Asn],
+        contents: &[Asn],
+        edus: &[Asn],
+        enterprises: &[Asn],
+        unknowns: &[Asn],
+    ) {
+        let cfg = self.config.clone();
+
+        // Shared ambiguous communities: a handful of transit providers
+        // share community values whose high 16 bits are not a public ASN
+        // (the paper's 0:666 / 65535-style cases).
+        let shared_pool = [Community::from_parts(0, 666), Community::from_parts(64999, 666)];
+        let mut shared_assigned = 0usize;
+
+        // Transit/access providers: tier-1s first (the paper found 13
+        // tier-1s with blackhole communities), then mid-tier.
+        let mut transit_order: Vec<Asn> = tier1.to_vec();
+        transit_order.extend(transits.iter().copied());
+        let total_transit_bh = cfg.bh_transit.documented + cfg.bh_transit.undocumented;
+        let selected: Vec<Asn> = transit_order.into_iter().take(total_transit_bh).collect();
+        for (i, asn) in selected.iter().enumerate() {
+            let documented = i < cfg.bh_transit.documented;
+            // ~10% of documented transit offerings get a regional second
+            // community (223 communities / 198 networks in Table 2).
+            let mut communities = Vec::new();
+            let mut large_community = None;
+            if i == 0 {
+                // The Level3 decoy: blackhole with ASN:9999, use ASN:666 as
+                // a peering tag (added to tag_communities below).
+                communities.push(Community::from_parts((asn.value() & 0xFFFF) as u16, 9999));
+            } else if shared_assigned < 4 && documented && self.rng.gen_bool(0.08) {
+                communities.push(shared_pool[shared_assigned % shared_pool.len()]);
+                shared_assigned += 1;
+            } else if i == 1 && documented {
+                // The single large-community blackholer (RFC 8092).
+                large_community = Some(LargeCommunity::new(asn.value(), 666, 0));
+                communities.push(self.community_for(*asn));
+            } else {
+                communities.push(self.community_for(*asn));
+            }
+            if documented && self.rng.gen_bool(0.10) {
+                // Regional variant (e.g. blackhole only in EU).
+                let base = communities[0];
+                communities.push(Community::from_parts(base.asn_part(), base.value_part().wrapping_add(1)));
+            }
+            let documentation = if !documented {
+                DocumentationChannel::Undocumented
+            } else {
+                // IRR is the largest source, then web pages, then private.
+                let roll: f64 = self.rng.gen();
+                if roll < 0.62 {
+                    DocumentationChannel::Irr
+                } else if roll < 0.97 {
+                    DocumentationChannel::WebPage
+                } else {
+                    DocumentationChannel::Private
+                }
+            };
+            let auth = match self.rng.gen_range(0..10) {
+                0 => BlackholeAuth::Rpki,
+                1 | 2 => BlackholeAuth::IrrRegistered,
+                _ => BlackholeAuth::OriginOrCone,
+            };
+            let info = ases.get_mut(asn).expect("selected AS exists");
+            info.blackhole_offering = Some(BlackholeOffering {
+                communities,
+                large_community,
+                min_accepted_length: if self.rng.gen_bool(0.85) { 25 } else { 22 },
+                documentation,
+                auth,
+                blackhole_ip: None,
+                strips_community: self.rng.gen_bool(0.25),
+                honors_no_export: self.rng.gen_bool(0.4),
+            });
+            if i == 0 {
+                // Attach the decoy peering tag.
+                info.tag_communities.push(Community::from_parts((asn.value() & 0xFFFF) as u16, 666));
+            }
+        }
+
+        // IXPs: 47/49 use RFC 7999; the rest share one legacy community.
+        let legacy_ixps = (cfg.bh_ixp / 3).min(2);
+        for (k, ixp) in ixps.iter().take(cfg.bh_ixp).enumerate() {
+            let rfc7999 = k < cfg.bh_ixp - legacy_ixps;
+            let communities = if rfc7999 {
+                vec![Community::BLACKHOLE]
+            } else {
+                vec![Community::from_parts(65534, 666)]
+            };
+            let info = ases.get_mut(&ixp.route_server_asn).expect("route server AS exists");
+            info.blackhole_offering = Some(BlackholeOffering {
+                communities,
+                large_community: None,
+                min_accepted_length: 25,
+                documentation: DocumentationChannel::Irr,
+                auth: BlackholeAuth::IrrRegistered,
+                blackhole_ip: Some(AddressAllocator::blackhole_ip(&ixp.peering_lan)),
+                strips_community: false,
+                honors_no_export: false,
+            });
+        }
+
+        // Edge types.
+        let assign_edge = |builder: &mut Self,
+                               pool: &[Asn],
+                               counts: crate::gen::ProviderCounts,
+                               ases: &mut BTreeMap<Asn, AsInfo>| {
+            let total = counts.documented + counts.undocumented;
+            for (i, asn) in pool.iter().take(total).enumerate() {
+                let documented = i < counts.documented;
+                let documentation = if documented {
+                    if builder.rng.gen_bool(0.6) {
+                        DocumentationChannel::Irr
+                    } else {
+                        DocumentationChannel::WebPage
+                    }
+                } else {
+                    DocumentationChannel::Undocumented
+                };
+                let c = builder.community_for(*asn);
+                let info = ases.get_mut(asn).expect("pool AS exists");
+                info.blackhole_offering = Some(BlackholeOffering {
+                    communities: vec![c],
+                    large_community: None,
+                    min_accepted_length: 25,
+                    documentation,
+                    auth: BlackholeAuth::OriginOrCone,
+                    blackhole_ip: None,
+                    strips_community: builder.rng.gen_bool(0.3),
+                    honors_no_export: builder.rng.gen_bool(0.4),
+                });
+            }
+        };
+        assign_edge(self, contents, cfg.bh_content, ases);
+        assign_edge(self, edus, cfg.bh_edu, ases);
+        assign_edge(self, enterprises, cfg.bh_enterprise, ases);
+        assign_edge(self, unknowns, cfg.bh_unknown, ases);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Classifier;
+
+    fn build_tiny() -> Topology {
+        TopologyBuilder::new(TopologyConfig::tiny(7)).build()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TopologyBuilder::new(TopologyConfig::tiny(42)).build();
+        let b = TopologyBuilder::new(TopologyConfig::tiny(42)).build();
+        let asns_a: Vec<_> = a.ases().map(|i| i.asn).collect();
+        let asns_b: Vec<_> = b.ases().map(|i| i.asn).collect();
+        assert_eq!(asns_a, asns_b);
+        assert_eq!(a.blackholing_providers(), b.blackholing_providers());
+        assert_eq!(a.ixps().len(), b.ixps().len());
+        for (x, y) in a.ixps().iter().zip(b.ixps()) {
+            assert_eq!(x.members, y.members);
+            assert_eq!(x.peering_lan, y.peering_lan);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TopologyBuilder::new(TopologyConfig::tiny(1)).build();
+        let b = TopologyBuilder::new(TopologyConfig::tiny(2)).build();
+        let asns_a: Vec<_> = a.ases().map(|i| i.asn).collect();
+        let asns_b: Vec<_> = b.ases().map(|i| i.asn).collect();
+        assert_ne!(asns_a, asns_b);
+    }
+
+    #[test]
+    fn population_counts_match_config() {
+        let cfg = TopologyConfig::tiny(7);
+        let t = TopologyBuilder::new(cfg.clone()).build();
+        assert_eq!(t.as_count(), cfg.total_ases() + cfg.ixp_count);
+        assert_eq!(t.ixps().len(), cfg.ixp_count);
+        assert_eq!(t.ases_of_type(NetworkType::Content).len(), cfg.content_count);
+        assert_eq!(t.ases_of_type(NetworkType::Ixp).len(), cfg.ixp_count);
+    }
+
+    #[test]
+    fn blackhole_provider_counts_match_table2_shape() {
+        let cfg = TopologyConfig::tiny(7);
+        let t = TopologyBuilder::new(cfg.clone()).build();
+        let providers = t.blackholing_providers();
+        let expect = cfg.bh_transit.documented
+            + cfg.bh_transit.undocumented
+            + cfg.bh_ixp
+            + cfg.bh_content.documented
+            + cfg.bh_content.undocumented
+            + cfg.bh_edu.documented
+            + cfg.bh_edu.undocumented
+            + cfg.bh_enterprise.documented
+            + cfg.bh_enterprise.undocumented
+            + cfg.bh_unknown.documented
+            + cfg.bh_unknown.undocumented;
+        assert_eq!(providers.len(), expect);
+    }
+
+    #[test]
+    fn default_config_reproduces_paper_totals() {
+        let cfg = TopologyConfig::default();
+        let documented = cfg.bh_transit.documented
+            + cfg.bh_ixp
+            + cfg.bh_content.documented
+            + cfg.bh_edu.documented
+            + cfg.bh_enterprise.documented
+            + cfg.bh_unknown.documented;
+        let undocumented = cfg.bh_transit.undocumented
+            + cfg.bh_content.undocumented
+            + cfg.bh_edu.undocumented
+            + cfg.bh_enterprise.undocumented
+            + cfg.bh_unknown.undocumented;
+        assert_eq!(documented, 307); // Table 2 total
+        assert_eq!(undocumented, 102); // inferred, in parentheses
+    }
+
+    #[test]
+    fn tier1_clique_is_complete() {
+        let t = build_tiny();
+        let tier1: Vec<Asn> =
+            t.ases().filter(|i| i.tier == Tier::Tier1).map(|i| i.asn).collect();
+        for &a in &tier1 {
+            for &b in &tier1 {
+                if a != b {
+                    assert!(t.peers_of(a).contains(&b), "{a} and {b} must peer");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_stub_has_a_provider() {
+        let t = build_tiny();
+        for info in t.ases() {
+            if info.tier == Tier::Stub && info.network_type != NetworkType::Ixp {
+                assert!(
+                    !t.providers_of(info.asn).is_empty(),
+                    "{} ({:?}) has no provider",
+                    info.asn,
+                    info.network_type
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn everyone_can_reach_tier1() {
+        // Connectivity: the provider cone of any non-IXP AS intersects tier-1.
+        let t = build_tiny();
+        let tier1: Vec<Asn> =
+            t.ases().filter(|i| i.tier == Tier::Tier1).map(|i| i.asn).collect();
+        for info in t.ases() {
+            if info.network_type == NetworkType::Ixp {
+                continue;
+            }
+            let cone = t.provider_cone(info.asn);
+            assert!(
+                tier1.iter().any(|asn| cone.contains(asn)),
+                "{} cannot reach the core",
+                info.asn
+            );
+        }
+    }
+
+    #[test]
+    fn ixps_have_members_and_lans() {
+        let t = build_tiny();
+        for ixp in t.ixps() {
+            assert!(!ixp.members.is_empty(), "{} has no members", ixp.name);
+            assert_eq!(ixp.peering_lan.length(), 24);
+            for &m in &ixp.members {
+                assert!(t.as_info(m).is_some());
+                // Route-server session edge exists.
+                assert!(t
+                    .neighbors(m)
+                    .iter()
+                    .any(|(n, r)| *n == ixp.route_server_asn && *r == Relationship::RouteServer));
+            }
+        }
+    }
+
+    #[test]
+    fn ixp_offerings_use_rfc7999_majority() {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(3)).build();
+        let mut rfc = 0;
+        let mut other = 0;
+        for ixp in t.ixps() {
+            if let Some(info) = t.as_info(ixp.route_server_asn) {
+                if let Some(o) = &info.blackhole_offering {
+                    if o.communities.contains(&Community::BLACKHOLE) {
+                        rfc += 1;
+                    } else {
+                        other += 1;
+                    }
+                    assert!(o.blackhole_ip.is_some(), "IXPs advertise a blackholing IP");
+                }
+            }
+        }
+        assert!(rfc >= other, "RFC 7999 must dominate ({rfc} vs {other})");
+        assert!(rfc + other >= 3);
+    }
+
+    #[test]
+    fn level3_decoy_exists() {
+        // The first transit blackholer blackholes with ASN:9999 and tags
+        // peering routes with ASN:666.
+        let t = build_tiny();
+        let decoy = t.ases().find(|info| {
+            info.blackhole_offering
+                .as_ref()
+                .is_some_and(|o| o.primary_community().value_part() == 9999)
+                && info
+                    .tag_communities
+                    .iter()
+                    .any(|c| c.value_part() == 666)
+        });
+        assert!(decoy.is_some(), "Level3-style decoy must exist");
+    }
+
+    #[test]
+    fn prefixes_are_globally_disjoint() {
+        let t = build_tiny();
+        let mut all: Vec<_> = t.ases().flat_map(|i| i.prefixes.iter().copied()).collect();
+        for ixp in t.ixps() {
+            all.push(ixp.peering_lan);
+        }
+        for (i, a) in all.iter().enumerate() {
+            for b in all.iter().skip(i + 1) {
+                assert!(!a.contains(b) && !b.contains(a), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn classifier_is_usable_on_generated_topology() {
+        let t = build_tiny();
+        let c = Classifier;
+        // Every AS classifies without panicking; IXP route servers with
+        // records classify as IXP.
+        for info in t.ases() {
+            let _ = c.classify(&t, info.asn);
+        }
+        for ixp in t.ixps() {
+            assert_eq!(c.network_type(&t, ixp.route_server_asn), NetworkType::Ixp);
+        }
+    }
+
+    #[test]
+    fn default_scale_builds_and_is_consistent() {
+        // One full-size build to catch scaling issues (allocator bounds,
+        // member sampling, etc.).
+        let t = TopologyBuilder::with_seed(1).build();
+        let cfg = TopologyConfig::default();
+        assert_eq!(t.as_count(), cfg.total_ases() + cfg.ixp_count);
+        assert_eq!(t.blackholing_providers().len(), 307 + 102);
+        assert!(t.transit_as_count() > cfg.tier1_count);
+        // Documented/undocumented split survives.
+        let documented = t
+            .ases()
+            .filter(|i| {
+                i.blackhole_offering
+                    .as_ref()
+                    .is_some_and(|o| o.documentation != DocumentationChannel::Undocumented)
+            })
+            .count();
+        assert_eq!(documented, 307);
+    }
+}

@@ -1,0 +1,176 @@
+//! Network-type classification: PeeringDB-style declared records with a
+//! CAIDA-style inference fallback.
+//!
+//! §4.1: "We group the networks … according to their declared network type
+//! in the PeeringDB database. If the network does not maintain a PeeringDB
+//! record, or does not disclose its network type, we use CAIDA's AS
+//! classification dataset." This module reproduces that two-stage lookup.
+
+use crate::graph::Topology;
+use crate::types::NetworkType;
+
+use bh_bgp_types::asn::Asn;
+
+/// The two-stage classifier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Classifier;
+
+/// Where a classification came from (for reporting/debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassificationSource {
+    /// Declared type in a PeeringDB record.
+    PeeringDb,
+    /// CAIDA-style degree/structure inference.
+    CaidaInference,
+}
+
+impl Classifier {
+    /// Classify an AS: PeeringDB declared type when available, else a
+    /// degree-based inference in the spirit of CAIDA's classifier
+    /// (transit if it has customers; content/enterprise/edu stubs keep
+    /// their coarse class when structure hints at it; otherwise unknown).
+    pub fn classify(&self, topology: &Topology, asn: Asn) -> (NetworkType, ClassificationSource) {
+        let Some(info) = topology.as_info(asn) else {
+            return (NetworkType::Unknown, ClassificationSource::CaidaInference);
+        };
+
+        // Stage 1: PeeringDB declared type.
+        if info.in_peeringdb {
+            return (info.network_type, ClassificationSource::PeeringDb);
+        }
+
+        // Stage 2: CAIDA-style inference from graph structure. This is a
+        // *lossy* view of ground truth: the inference can mis-classify,
+        // exactly like the real fallback.
+        let degrees = topology.degrees(asn);
+        let inferred = if topology.ixp_by_route_server(asn).is_some() {
+            NetworkType::Ixp
+        } else if degrees.customers > 0 {
+            NetworkType::TransitAccess
+        } else if degrees.peers + degrees.route_servers >= 3 {
+            // Heavily peering stubs are overwhelmingly content/hosters.
+            NetworkType::Content
+        } else if degrees.providers >= 2 {
+            // Multihomed stub with no peering: enterprise-ish.
+            NetworkType::Enterprise
+        } else {
+            NetworkType::Unknown
+        };
+        (inferred, ClassificationSource::CaidaInference)
+    }
+
+    /// Classification without provenance.
+    pub fn network_type(&self, topology: &Topology, asn: Asn) -> NetworkType {
+        self.classify(topology, asn).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use crate::types::{AsInfo, Ixp, IxpId, Relationship, Tier};
+
+    use super::*;
+
+    fn mk_as(asn: u32, ty: NetworkType, in_pdb: bool) -> AsInfo {
+        AsInfo {
+            asn: Asn::new(asn),
+            tier: Tier::Stub,
+            network_type: ty,
+            country: "US",
+            prefixes: vec![],
+            blackhole_offering: None,
+            tag_communities: vec![],
+            in_peeringdb: in_pdb,
+        }
+    }
+
+    fn topology() -> Topology {
+        let mut ases = BTreeMap::new();
+        ases.insert(Asn::new(1), mk_as(1, NetworkType::TransitAccess, true));
+        ases.insert(Asn::new(2), mk_as(2, NetworkType::Content, false)); // hidden hoster
+        ases.insert(Asn::new(3), mk_as(3, NetworkType::Enterprise, false));
+        ases.insert(Asn::new(4), mk_as(4, NetworkType::TransitAccess, false));
+        ases.insert(Asn::new(5), mk_as(5, NetworkType::Unknown, false));
+        ases.insert(Asn::new(6), mk_as(6, NetworkType::Content, true));
+        ases.insert(Asn::new(7), mk_as(7, NetworkType::TransitAccess, true));
+        ases.insert(Asn::new(8), mk_as(8, NetworkType::TransitAccess, true));
+        ases.insert(Asn::new(9), mk_as(9, NetworkType::Ixp, false));
+        let edges = vec![
+            // AS4 has a customer (AS5) → inferred transit.
+            (Asn::new(4), Asn::new(5), Relationship::Customer),
+            // AS2 peers widely → inferred content.
+            (Asn::new(2), Asn::new(1), Relationship::Peer),
+            (Asn::new(2), Asn::new(6), Relationship::Peer),
+            (Asn::new(2), Asn::new(7), Relationship::Peer),
+            // AS3 is multihomed, no peers → inferred enterprise.
+            (Asn::new(3), Asn::new(1), Relationship::Provider),
+            (Asn::new(3), Asn::new(4), Relationship::Provider),
+        ];
+        let ixp = Ixp {
+            id: IxpId(0),
+            name: "IX".into(),
+            route_server_asn: Asn::new(9),
+            route_server_in_path: true,
+            peering_lan: "185.1.0.0/24".parse().unwrap(),
+            members: vec![],
+            country: "DE",
+        };
+        Topology::assemble(ases, edges, vec![ixp])
+    }
+
+    #[test]
+    fn peeringdb_declared_type_wins() {
+        let t = topology();
+        let c = Classifier;
+        assert_eq!(
+            c.classify(&t, Asn::new(1)),
+            (NetworkType::TransitAccess, ClassificationSource::PeeringDb)
+        );
+        assert_eq!(
+            c.classify(&t, Asn::new(6)),
+            (NetworkType::Content, ClassificationSource::PeeringDb)
+        );
+    }
+
+    #[test]
+    fn fallback_infers_transit_from_customers() {
+        let t = topology();
+        assert_eq!(
+            Classifier.classify(&t, Asn::new(4)),
+            (NetworkType::TransitAccess, ClassificationSource::CaidaInference)
+        );
+    }
+
+    #[test]
+    fn fallback_infers_content_from_peering() {
+        let t = topology();
+        assert_eq!(
+            Classifier.classify(&t, Asn::new(2)),
+            (NetworkType::Content, ClassificationSource::CaidaInference)
+        );
+    }
+
+    #[test]
+    fn fallback_infers_enterprise_from_multihoming() {
+        let t = topology();
+        assert_eq!(
+            Classifier.classify(&t, Asn::new(3)),
+            (NetworkType::Enterprise, ClassificationSource::CaidaInference)
+        );
+    }
+
+    #[test]
+    fn fallback_infers_ixp_from_route_server() {
+        let t = topology();
+        assert_eq!(Classifier.network_type(&t, Asn::new(9)), NetworkType::Ixp);
+    }
+
+    #[test]
+    fn isolated_undisclosed_as_is_unknown() {
+        let t = topology();
+        assert_eq!(Classifier.network_type(&t, Asn::new(5)), NetworkType::Unknown);
+        assert_eq!(Classifier.network_type(&t, Asn::new(404)), NetworkType::Unknown);
+    }
+}

@@ -1,0 +1,284 @@
+//! The DDoS attack calendar driving blackholing activity.
+//!
+//! §6 of the paper correlates blackholing spikes with documented attacks;
+//! this module reproduces that timeline: a growing Poisson-like background
+//! (blackholed prefixes grew ×6 between Dec 2014 and Mar 2017), the
+//! headline spikes A–F, and the elevated Mirai era from September 2016.
+
+use rand::Rng;
+
+use bh_bgp_types::time::{SimDuration, SimTime};
+
+/// A named spike in the study window (Fig. 4(c) annotations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spike {
+    /// Annotation letter in the figure.
+    pub label: char,
+    /// What happened.
+    pub description: &'static str,
+    /// Day of the spike.
+    pub year: i64,
+    /// Month.
+    pub month: u32,
+    /// Day of month.
+    pub day: u32,
+    /// Multiplier on the day's background attack count.
+    pub intensity: f64,
+    /// How many days of elevated activity.
+    pub duration_days: u64,
+    /// Spike A is a *misconfiguration*, not an attack: a European
+    /// academic network blackholed its entire table for <2 minutes.
+    pub is_misconfiguration: bool,
+}
+
+/// The annotated spikes of Fig. 4(c).
+pub const SPIKES: &[Spike] = &[
+    Spike {
+        label: 'A',
+        description: "accidental blackholing of a full routing table (academic network)",
+        year: 2016,
+        month: 4,
+        day: 18,
+        intensity: 1.0,
+        duration_days: 1,
+        is_misconfiguration: true,
+    },
+    Spike {
+        label: 'B',
+        description: "amplification attack against NS1 (major DNS provider)",
+        year: 2016,
+        month: 5,
+        day: 16,
+        intensity: 4.0,
+        duration_days: 1,
+        is_misconfiguration: false,
+    },
+    Spike {
+        label: 'C',
+        description: "DDoS against news sites during the Turkish coup attempt",
+        year: 2016,
+        month: 7,
+        day: 15,
+        intensity: 3.5,
+        duration_days: 2,
+        is_misconfiguration: false,
+    },
+    Spike {
+        label: 'D',
+        description: "540 Gbps attacks on the Rio Olympics",
+        year: 2016,
+        month: 8,
+        day: 22,
+        intensity: 4.5,
+        duration_days: 2,
+        is_misconfiguration: false,
+    },
+    Spike {
+        label: 'E',
+        description: "\"Krebs on Security\" record DDoS (Mirai)",
+        year: 2016,
+        month: 9,
+        day: 20,
+        intensity: 6.0,
+        duration_days: 4,
+        is_misconfiguration: false,
+    },
+    Spike {
+        label: 'F',
+        description: "attack on Liberia's Internet infrastructure (Mirai)",
+        year: 2016,
+        month: 10,
+        day: 31,
+        intensity: 5.0,
+        duration_days: 2,
+        is_misconfiguration: false,
+    },
+];
+
+/// Start of the elevated Mirai era ("at the beginning of September 2016
+/// we noticed a significant increase … that lasted for months").
+pub fn mirai_era_start() -> SimTime {
+    SimTime::from_ymd(2016, 9, 1)
+}
+
+/// The attack-intensity model.
+#[derive(Debug, Clone)]
+pub struct AttackCalendar {
+    /// Study window start.
+    pub window_start: SimTime,
+    /// Study window end.
+    pub window_end: SimTime,
+    /// Mean background attacks per day at window start.
+    pub base_rate: f64,
+    /// Growth factor across the window (the paper's ×6 for prefixes).
+    pub growth: f64,
+}
+
+impl AttackCalendar {
+    /// The paper's window with a configurable scale (attacks/day at the
+    /// start of the window).
+    pub fn study(base_rate: f64) -> Self {
+        AttackCalendar {
+            window_start: bh_bgp_types::time::study::longitudinal_start(),
+            window_end: bh_bgp_types::time::study::longitudinal_end(),
+            base_rate,
+            growth: 6.0,
+        }
+    }
+
+    /// Number of days in the window.
+    pub fn days(&self) -> u64 {
+        self.window_end.day_index() - self.window_start.day_index()
+    }
+
+    /// The day timestamp for a given day offset.
+    pub fn day(&self, offset: u64) -> SimTime {
+        SimTime::from_unix((self.window_start.day_index() + offset) * 86_400)
+    }
+
+    /// The deterministic mean attack intensity for a day offset —
+    /// linear growth, Mirai-era uplift, plus named spike multipliers.
+    pub fn mean_for_day(&self, offset: u64) -> f64 {
+        let frac = offset as f64 / self.days().max(1) as f64;
+        let mut mean = self.base_rate * (1.0 + (self.growth - 1.0) * frac);
+        let day_time = self.day(offset);
+        if day_time >= mirai_era_start() {
+            mean *= 1.5;
+        }
+        for spike in SPIKES {
+            if spike.is_misconfiguration {
+                continue;
+            }
+            let start = SimTime::from_ymd(spike.year, spike.month, spike.day);
+            let end = start + SimDuration::days(spike.duration_days);
+            if day_time >= start && day_time < end {
+                mean *= spike.intensity;
+            }
+        }
+        mean
+    }
+
+    /// Sample the number of attacks for a day (Poisson via inversion,
+    /// adequate for the small means used here).
+    pub fn sample_attacks<R: Rng + ?Sized>(&self, rng: &mut R, offset: u64) -> usize {
+        let mean = self.mean_for_day(offset);
+        poisson(rng, mean)
+    }
+
+    /// The named spike (if any) active on the given day.
+    pub fn spike_on(&self, offset: u64) -> Option<&'static Spike> {
+        let day_time = self.day(offset);
+        SPIKES.iter().find(|spike| {
+            let start = SimTime::from_ymd(spike.year, spike.month, spike.day);
+            let end = start + SimDuration::days(spike.duration_days);
+            day_time >= start && day_time < end
+        })
+    }
+}
+
+/// Knuth's Poisson sampler (fine for means up to a few hundred).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 500.0 {
+        // Normal approximation for very large means.
+        let normal = (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()
+            + rng.gen::<f64>()
+            + rng.gen::<f64>()
+            + rng.gen::<f64>()
+            - 3.0)
+            * (mean).sqrt()
+            / 0.707;
+        return (mean + normal).max(0.0) as usize;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn spikes_are_inside_the_study_window() {
+        let cal = AttackCalendar::study(10.0);
+        for spike in SPIKES {
+            let t = SimTime::from_ymd(spike.year, spike.month, spike.day);
+            assert!(t >= cal.window_start && t < cal.window_end, "{}", spike.label);
+        }
+    }
+
+    #[test]
+    fn intensity_grows_about_sixfold() {
+        let cal = AttackCalendar::study(10.0);
+        let start = cal.mean_for_day(0);
+        // Take a late day without named spikes: end of March 2017.
+        let late_offset = cal.days() - 3;
+        assert!(cal.spike_on(late_offset).is_none());
+        let late = cal.mean_for_day(late_offset);
+        // ×6 growth plus ×1.5 Mirai uplift ≈ 9× at the end.
+        let factor = late / start;
+        assert!(factor > 7.0 && factor < 10.0, "factor {factor}");
+    }
+
+    #[test]
+    fn spike_days_are_elevated() {
+        let cal = AttackCalendar::study(10.0);
+        for spike in SPIKES.iter().filter(|s| !s.is_misconfiguration) {
+            let t = SimTime::from_ymd(spike.year, spike.month, spike.day);
+            let offset = t.day_index() - cal.window_start.day_index();
+            let on = cal.mean_for_day(offset);
+            let before = cal.mean_for_day(offset - 3);
+            assert!(
+                on > before * 2.0,
+                "spike {} not elevated: {on} vs {before}",
+                spike.label
+            );
+            assert_eq!(cal.spike_on(offset).map(|s| s.label), Some(spike.label));
+        }
+    }
+
+    #[test]
+    fn misconfiguration_spike_does_not_change_attack_rate() {
+        let cal = AttackCalendar::study(10.0);
+        let t = SimTime::from_ymd(2016, 4, 18);
+        let offset = t.day_index() - cal.window_start.day_index();
+        let on = cal.mean_for_day(offset);
+        let before = cal.mean_for_day(offset - 2);
+        assert!((on / before) < 1.2, "spike A must not raise attack volume");
+        assert_eq!(cal.spike_on(offset).map(|s| s.label), Some('A'));
+    }
+
+    #[test]
+    fn poisson_sampler_mean_is_reasonable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 3000;
+        let mean = 7.0;
+        let total: usize = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+        let empirical = total as f64 / n as f64;
+        assert!((empirical - mean).abs() < 0.3, "empirical {empirical}");
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let cal = AttackCalendar::study(5.0);
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for day in 0..50 {
+            assert_eq!(cal.sample_attacks(&mut a, day), cal.sample_attacks(&mut b, day));
+        }
+    }
+}

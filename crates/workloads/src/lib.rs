@@ -1,0 +1,24 @@
+//! # bh-workloads — scenario drivers
+//!
+//! Generates the *activity* the paper measures: a DDoS attack calendar
+//! spanning December 2014 – March 2017 with the Fig. 4(c) headline spikes
+//! ([`attacks`]), an operator reaction model reproducing the §9 practices
+//! (ON/OFF probing, multi-provider blackholing, community bundling,
+//! NO_EXPORT compliance, misconfigurations — [`reaction`]), and the
+//! end-to-end driver that feeds everything through the BGP simulator and
+//! returns the collector element stream together with per-event ground
+//! truth ([`scenario`]).
+//!
+//! Ground truth is what the original study never had: every inferred
+//! event can be checked against the reaction that actually caused it.
+
+pub mod attacks;
+pub mod reaction;
+pub mod scenario;
+
+pub use attacks::{mirai_era_start, poisson, AttackCalendar, Spike, SPIKES};
+pub use reaction::{
+    capable_providers, plan_reaction, Action, CapableProvider, GroundTruthEvent, ReactionConfig,
+    TimedAction,
+};
+pub use scenario::{run, spike_table, ScenarioConfig, ScenarioOutput};

@@ -1,0 +1,108 @@
+//! Blackholing efficacy on the data plane (Fig. 9a/9b): traceroutes to a
+//! blackholed host during and after the event.
+//!
+//! ```text
+//! cargo run --release -p bh-examples --bin efficacy_traceroute
+//! ```
+
+use std::collections::BTreeSet;
+
+use bh_bench::{Study, StudyScale};
+use bh_dataplane::{run_experiment, EfficacyInput, TracerouteSim};
+use bh_examples::section;
+use bh_workloads::capable_providers;
+
+fn main() {
+    let study = Study::build(StudyScale::Small, 13);
+
+    // Pick a victim with capable providers and blackhole at all upstreams.
+    let victim = study
+        .topology
+        .ases()
+        .find(|i| !i.prefixes.is_empty() && !capable_providers(&study.topology, i.asn).is_empty())
+        .expect("victim exists");
+    let host = victim.prefixes[0].nth_addr(42).expect("allocation has hosts");
+    let dropping: BTreeSet<_> =
+        study.topology.providers_of(victim.asn).into_iter().collect();
+
+    section(&format!("one traceroute to {host} (victim {})", victim.asn));
+    let probe = study
+        .topology
+        .ases()
+        .find(|i| {
+            i.asn != victim.asn
+                && i.tier == bh_topology::Tier::Stub
+                && i.network_type != bh_topology::NetworkType::Ixp
+                && !dropping.contains(&i.asn)
+        })
+        .expect("probe exists")
+        .asn;
+    let mut tracer = TracerouteSim::new(&study.topology, 99);
+    let during = tracer.trace(probe, victim.asn, host, &dropping, true);
+    let after = tracer.trace(probe, victim.asn, host, &BTreeSet::new(), true);
+    println!("during blackholing (providers {dropping:?} discard):");
+    for (i, hop) in during.hops.iter().enumerate() {
+        println!(
+            "  {:>2}  {}  {}",
+            i + 1,
+            if hop.responded { hop.address.to_string() } else { "*".into() },
+            hop.asn
+        );
+    }
+    println!("  -> destination reached: {}", during.reached);
+    println!("after withdrawal:");
+    for (i, hop) in after.hops.iter().enumerate() {
+        println!(
+            "  {:>2}  {}  {}",
+            i + 1,
+            if hop.responded { hop.address.to_string() } else { "*".into() },
+            hop.asn
+        );
+    }
+    println!("  -> destination reached: {}", after.reached);
+
+    section("the full Fig. 9 experiment (Atlas-style probes, many events)");
+    let inputs: Vec<EfficacyInput> = study
+        .topology
+        .ases()
+        .filter(|i| !i.prefixes.is_empty())
+        .filter(|i| !capable_providers(&study.topology, i.asn).is_empty())
+        .take(60)
+        .map(|i| {
+            let mut dropping: BTreeSet<_> =
+                study.topology.providers_of(i.asn).into_iter().collect();
+            for ixp in study.topology.ixps() {
+                if ixp.has_member(i.asn) {
+                    dropping.extend(ixp.members.iter().copied().filter(|m| *m != i.asn));
+                }
+            }
+            EfficacyInput {
+                prefix: bh_bgp_types::prefix::Ipv4Prefix::host(
+                    i.prefixes[0].nth_addr(7).expect("host exists"),
+                ),
+                user: i.asn,
+                dropping,
+            }
+        })
+        .collect();
+    let report = run_experiment(&study.topology, &inputs, 17);
+    println!(
+        "{} probe measurements over {} events ({} skipped)",
+        report.measurements.len(),
+        report.measured_events,
+        report.skipped_events
+    );
+    println!(
+        "paths terminating earlier during blackholing: {:.1}% (paper: >80%)",
+        report.fraction_terminated_earlier() * 100.0
+    );
+    println!(
+        "mean shortening: {:.1} IP hops (paper ~5.9), {:.1} AS hops (paper 2-4)",
+        report.mean_ip_shortening(),
+        report.mean_as_shortening()
+    );
+    println!(
+        "dropped at destination AS or direct upstream: {:.1}% (paper: 16%)",
+        report.fraction_dropped_at_edge() * 100.0
+    );
+}

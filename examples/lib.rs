@@ -1,0 +1,6 @@
+//! Shared helpers for the example binaries.
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n==== {title} ====");
+}

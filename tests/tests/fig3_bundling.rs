@@ -1,0 +1,161 @@
+//! The Figure 3 scenario, end to end: targeted vs bundled blackholing
+//! and what each makes visible to the inference.
+
+use bh_bgp_types::community::{Community, CommunitySet};
+use bh_bgp_types::time::SimTime;
+use bh_core::{InferenceEngine, ProviderId, ReferenceData};
+use bh_integration::{fig3_topology, trigger_of};
+use bh_irr::BlackholeDictionary;
+use bh_routing::{
+    Announcement, AnnounceScope, BgpSimulator, CollectorDeployment, CollectorSession, DataSource,
+    FeedKind, SessionBehavior,
+};
+use bh_topology::IxpId;
+
+fn dictionary(topology: &bh_topology::Topology) -> BlackholeDictionary {
+    let corpus = bh_irr::CorpusGenerator::new(topology, 1).generate();
+    BlackholeDictionary::build(&corpus)
+}
+
+#[test]
+fn fig3_detection_matches_the_papers_reading() {
+    let (topology, cast) = fig3_topology();
+    let dict = dictionary(&topology);
+
+    // Collectors: a PCH-style session at the IXP route server, and a
+    // Route-Views-style session at the innocent peer.
+    let mut deployment = CollectorDeployment::default();
+    deployment.add_session(CollectorSession {
+        dataset: DataSource::Pch,
+        collector: 0,
+        peer_asn: cast.route_server,
+        peer_ip: "185.99.0.1".parse().unwrap(),
+        feed: FeedKind::RouteServerView(IxpId(0)),
+    });
+    deployment.add_session(CollectorSession {
+        dataset: DataSource::RouteViews,
+        collector: 0,
+        peer_asn: cast.as_peer,
+        peer_ip: "203.0.113.5".parse().unwrap(),
+        feed: FeedKind::Full,
+    });
+
+    let mut sim = BgpSimulator::new(&topology, deployment.clone(), 1);
+    // The innocent peer accepts /32s from its peers (it must, for the
+    // bundle to be visible — §4.2's premise).
+    sim.set_behavior(
+        cast.as_peer,
+        SessionBehavior { host_routes_from_customers: true, host_routes_from_peers: true },
+    );
+
+    let t = SimTime::from_unix(1_000);
+
+    // ASC1: targeted announcements — IXP:666 to the route server and
+    // P1:666 to P1, separately.
+    sim.announce(
+        t,
+        &Announcement {
+            origin: cast.asc1,
+            prefix: "80.10.0.1/32".parse().unwrap(),
+            communities: CommunitySet::from_classic(vec![Community::BLACKHOLE]),
+            scope: AnnounceScope::Neighbors(vec![cast.route_server]),
+            irr_registered: true,
+            prepend: 1,
+        },
+    );
+    sim.announce(
+        t,
+        &Announcement {
+            origin: cast.asc1,
+            prefix: "80.10.0.1/32".parse().unwrap(),
+            communities: CommunitySet::from_classic(vec![trigger_of(&topology, cast.p1)]),
+            scope: AnnounceScope::Neighbors(vec![cast.p1]),
+            irr_registered: true,
+            prepend: 1,
+        },
+    );
+
+    // ASC2: bundled announcement — P1:666 + P2:666 to every neighbor,
+    // including the innocent peer.
+    let mut bundle = CommunitySet::from_classic(vec![
+        trigger_of(&topology, cast.p1),
+        trigger_of(&topology, cast.p2),
+    ]);
+    bundle.insert(Community::from_parts(0, 0)); // harmless noise tag
+    sim.announce(
+        t,
+        &Announcement {
+            origin: cast.asc2,
+            prefix: "80.20.0.2/32".parse().unwrap(),
+            communities: bundle,
+            scope: AnnounceScope::AllNeighbors,
+            irr_registered: true,
+            prepend: 1,
+        },
+    );
+
+    let elems = sim.drain_elems();
+    assert!(!elems.is_empty());
+
+    let refdata = ReferenceData::build(&topology, &deployment);
+    let mut engine = InferenceEngine::new(&dict, &refdata);
+    engine.process_stream(&elems);
+    let result = engine.finish();
+
+    // Two events: one per blackholed prefix.
+    assert_eq!(result.events.len(), 2, "{:#?}", result.events);
+
+    let asc1_event = result
+        .events
+        .iter()
+        .find(|e| e.prefix == "80.10.0.1/32".parse().unwrap())
+        .expect("ASC1 event");
+    // Paper: "we can infer only the IXP blackholing provider but not
+    // ASP1, since ASP1 does not propagate the announcement".
+    assert_eq!(
+        asc1_event.providers.iter().collect::<Vec<_>>(),
+        vec![&ProviderId::Ixp(IxpId(0))]
+    );
+    assert_eq!(asc1_event.users.iter().collect::<Vec<_>>(), vec![&cast.asc1]);
+
+    let asc2_event = result
+        .events
+        .iter()
+        .find(|e| e.prefix == "80.20.0.2/32".parse().unwrap())
+        .expect("ASC2 event");
+    // Paper: "we are able to infer the blackholing at both providers by
+    // getting the BGP feed from ASpeer", despite neither propagating.
+    let mut providers: Vec<ProviderId> = asc2_event.providers.iter().copied().collect();
+    providers.sort();
+    assert_eq!(
+        providers,
+        vec![ProviderId::As(cast.p1), ProviderId::As(cast.p2)],
+        "bundled detection must find both providers"
+    );
+    assert!(asc2_event.bundled_detection);
+    assert_eq!(asc2_event.users.iter().collect::<Vec<_>>(), vec![&cast.asc2]);
+}
+
+#[test]
+fn fig3_ground_truth_acceptance_matches_detection_gap() {
+    // P1 accepts ASC1's targeted request even though no collector can see
+    // it — the inference under-counts exactly as the paper warns.
+    let (topology, cast) = fig3_topology();
+    let deployment = CollectorDeployment::default();
+    let mut sim = BgpSimulator::new(&topology, deployment, 1);
+    let outcome = sim.announce(
+        SimTime::from_unix(5),
+        &Announcement {
+            origin: cast.asc1,
+            prefix: "80.10.0.1/32".parse().unwrap(),
+            communities: CommunitySet::from_classic(vec![trigger_of(&topology, cast.p1)]),
+            scope: AnnounceScope::Neighbors(vec![cast.p1]),
+            irr_registered: true,
+            prepend: 1,
+        },
+    );
+    assert_eq!(outcome.accepted_by, vec![cast.p1]);
+    assert!(sim.is_blackholed_at(cast.p1, &"80.10.0.1/32".parse().unwrap()));
+    // And no collector elems exist at all.
+    assert!(sim.drain_elems().is_empty());
+}

@@ -1,0 +1,76 @@
+//! Property-based cross-crate invariants: random short scenarios must
+//! always satisfy the structural guarantees the analyses rely on.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use bh_bench::{Study, StudyScale};
+use bh_bgp_types::time::SimDuration;
+use bh_core::group_events;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case runs a full pipeline; keep the count low
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn pipeline_invariants_hold(seed in 0u64..500, days in 2u64..5, rate in 2.0f64..8.0) {
+        let study = Study::build(StudyScale::Tiny, seed);
+        let (output, result) = study.visibility_run(days, rate);
+
+        // 1. No false-positive prefixes.
+        let truth: BTreeSet<_> = output.ground_truth.iter().map(|t| t.prefix).collect();
+        for e in &result.events {
+            prop_assert!(truth.contains(&e.prefix), "false positive {}", e.prefix);
+        }
+
+        // 2. Time sanity: start <= end, events within the window.
+        for e in &result.events {
+            if let Some(end) = e.end {
+                prop_assert!(e.start <= end);
+            }
+            prop_assert!(!e.providers.is_empty(), "event without providers");
+            prop_assert!(e.peer_count >= 1);
+        }
+
+        // 3. Grouping invariants at any timeout.
+        for timeout in [0u64, 60, 300, 3600] {
+            let periods = group_events(&result.events, SimDuration::secs(timeout));
+            prop_assert!(periods.len() <= result.events.len());
+            let period_events: usize = periods.iter().map(|p| p.event_count).sum();
+            prop_assert_eq!(period_events, result.events.len());
+            for p in &periods {
+                prop_assert!(p.event_count >= 1);
+            }
+        }
+
+        // 4. Dataset visibility unions equal event prefixes.
+        let mut union = BTreeSet::new();
+        for vis in result.per_dataset.values() {
+            union.extend(vis.prefixes.iter().copied());
+        }
+        let event_prefixes: BTreeSet<_> = result.events.iter().map(|e| e.prefix).collect();
+        prop_assert_eq!(union, event_prefixes);
+
+        // 5. Census totals are bounded by processed announcements.
+        prop_assert!(result.census.total_observations() <= result.stats.elems);
+    }
+
+    #[test]
+    fn engine_is_deterministic(seed in 0u64..200) {
+        let study = Study::build(StudyScale::Tiny, seed);
+        let refdata = study.refdata();
+        let (output, _) = study.visibility_run(2, 4.0);
+        let a = study.infer(&refdata, &output.elems);
+        let b = study.infer(&refdata, &output.elems);
+        prop_assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            prop_assert_eq!(x.prefix, y.prefix);
+            prop_assert_eq!(x.start, y.start);
+            prop_assert_eq!(x.end, y.end);
+            prop_assert_eq!(&x.providers, &y.providers);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Visibility-bias and misconfiguration scenarios (§5.2 and §10).
+
+use std::collections::BTreeSet;
+
+use bh_bgp_types::community::{Community, CommunitySet};
+use bh_bgp_types::time::SimTime;
+use bh_core::{InferenceEngine, ReferenceData};
+use bh_dataplane::{classify_no_drop, NoDropCause};
+use bh_integration::{fig3_topology, trigger_of};
+use bh_irr::BlackholeDictionary;
+use bh_routing::{
+    Announcement, AnnounceScope, BgpSimulator, CollectorDeployment, CollectorSession, DataSource,
+    FeedKind,
+};
+use bh_topology::IxpId;
+
+fn dictionary(topology: &bh_topology::Topology) -> BlackholeDictionary {
+    let corpus = bh_irr::CorpusGenerator::new(topology, 1).generate();
+    BlackholeDictionary::build(&corpus)
+}
+
+#[test]
+fn no_export_blackholing_is_cdn_only() {
+    // A NO_EXPORT-tagged request is invisible to RIS even with a direct
+    // provider feed — only the CDN's internal session sees it (§5.2's
+    // "unique view of the CDN").
+    let (topology, cast) = fig3_topology();
+    let dict = dictionary(&topology);
+    let mut deployment = CollectorDeployment::default();
+    deployment.add_session(CollectorSession {
+        dataset: DataSource::Ris,
+        collector: 0,
+        peer_asn: cast.p1,
+        peer_ip: "198.51.100.9".parse().unwrap(),
+        feed: FeedKind::Full,
+    });
+    deployment.add_session(CollectorSession {
+        dataset: DataSource::Cdn,
+        collector: 0,
+        peer_asn: cast.p1,
+        peer_ip: "198.18.0.9".parse().unwrap(),
+        feed: FeedKind::Internal,
+    });
+    let mut sim = BgpSimulator::new(&topology, deployment.clone(), 1);
+    let mut communities = CommunitySet::from_classic(vec![trigger_of(&topology, cast.p1)]);
+    communities.insert(Community::NO_EXPORT);
+    sim.announce(
+        SimTime::from_unix(10),
+        &Announcement {
+            origin: cast.asc1,
+            prefix: "80.10.0.1/32".parse().unwrap(),
+            communities,
+            scope: AnnounceScope::Neighbors(vec![cast.p1]),
+            irr_registered: true,
+            prepend: 1,
+        },
+    );
+    let elems = sim.drain_elems();
+    assert!(elems.iter().all(|e| e.dataset == DataSource::Cdn));
+    assert!(!elems.is_empty(), "CDN must see the internal route");
+
+    let refdata = ReferenceData::build(&topology, &deployment);
+    let mut engine = InferenceEngine::new(&dict, &refdata);
+    engine.process_stream(&elems);
+    let result = engine.finish();
+    assert_eq!(result.events.len(), 1);
+    let datasets: Vec<_> = result.events[0].datasets.iter().collect();
+    assert_eq!(datasets, vec![&DataSource::Cdn], "CDN-only visibility");
+}
+
+#[test]
+fn unregistered_user_is_refused_by_route_server() {
+    // §10: "the route servers will only redistribute prefixes to other
+    // peers if the advertising AS is authorized" — a missing IRR entry
+    // means control-plane intent with zero data-plane effect.
+    let (topology, cast) = fig3_topology();
+    let mut deployment = CollectorDeployment::default();
+    deployment.add_session(CollectorSession {
+        dataset: DataSource::Pch,
+        collector: 0,
+        peer_asn: cast.route_server,
+        peer_ip: "185.99.0.1".parse().unwrap(),
+        feed: FeedKind::RouteServerView(IxpId(0)),
+    });
+    let mut sim = BgpSimulator::new(&topology, deployment, 1);
+    let outcome = sim.announce(
+        SimTime::from_unix(10),
+        &Announcement {
+            origin: cast.asc1,
+            prefix: "80.10.0.1/32".parse().unwrap(),
+            communities: CommunitySet::from_classic(vec![Community::BLACKHOLE]),
+            scope: AnnounceScope::Neighbors(vec![cast.route_server]),
+            irr_registered: false, // the misconfiguration
+            prepend: 1,
+        },
+    );
+    assert!(outcome.accepted_by.is_empty());
+    assert!(!outcome.rejected_by.is_empty());
+    assert!(sim.drain_elems().is_empty(), "nothing redistributed");
+
+    // The §10 classifier labels this case.
+    let accepted: BTreeSet<_> = outcome.accepted_by.iter().copied().collect();
+    assert_eq!(classify_no_drop(false, &accepted), Some(NoDropCause::NotRedistributed));
+    assert_eq!(classify_no_drop(true, &accepted), Some(NoDropCause::BrokenAnnouncement));
+}
+
+#[test]
+fn registered_user_is_redistributed_and_members_drop() {
+    let (topology, cast) = fig3_topology();
+    let mut deployment = CollectorDeployment::default();
+    deployment.add_session(CollectorSession {
+        dataset: DataSource::Pch,
+        collector: 0,
+        peer_asn: cast.route_server,
+        peer_ip: "185.99.0.1".parse().unwrap(),
+        feed: FeedKind::RouteServerView(IxpId(0)),
+    });
+    let mut sim = BgpSimulator::new(&topology, deployment, 1);
+    // The innocent peer (an IXP member) accepts host routes from the RS.
+    sim.set_behavior(
+        cast.as_peer,
+        bh_routing::SessionBehavior {
+            host_routes_from_customers: true,
+            host_routes_from_peers: true,
+        },
+    );
+    let prefix = "80.10.0.1/32".parse().unwrap();
+    let outcome = sim.announce(
+        SimTime::from_unix(10),
+        &Announcement {
+            origin: cast.asc1,
+            prefix,
+            communities: CommunitySet::from_classic(vec![Community::BLACKHOLE]),
+            scope: AnnounceScope::Neighbors(vec![cast.route_server]),
+            irr_registered: true,
+            prepend: 1,
+        },
+    );
+    assert_eq!(outcome.accepted_by, vec![cast.route_server]);
+    // The honoring member holds a blackhole (null next-hop) route.
+    assert!(sim.is_blackholed_at(cast.as_peer, &prefix));
+    let elems = sim.drain_elems();
+    assert!(elems.iter().any(|e| e.dataset == DataSource::Pch && e.prefix == prefix));
+}
+
+#[test]
+fn visibility_is_a_lower_bound() {
+    // A provider with no collector session anywhere, a user who targets
+    // only that provider: the activity is real but invisible — the
+    // paper's "this study provides a lower bound" caveat.
+    let (topology, cast) = fig3_topology();
+    let dict = dictionary(&topology);
+    let deployment = CollectorDeployment::default();
+    let refdata = ReferenceData::build(&topology, &deployment);
+    let mut sim = BgpSimulator::new(&topology, deployment, 1);
+    let outcome = sim.announce(
+        SimTime::from_unix(10),
+        &Announcement {
+            origin: cast.asc2,
+            prefix: "80.20.0.9/32".parse().unwrap(),
+            communities: CommunitySet::from_classic(vec![trigger_of(&topology, cast.p2)]),
+            scope: AnnounceScope::Neighbors(vec![cast.p2]),
+            irr_registered: true,
+            prepend: 1,
+        },
+    );
+    assert_eq!(outcome.accepted_by, vec![cast.p2]); // really blackholed
+    let elems = sim.drain_elems();
+    assert!(elems.is_empty()); // nothing observable
+    let mut engine = InferenceEngine::new(&dict, &refdata);
+    engine.process_stream(&elems);
+    assert!(engine.finish().events.is_empty()); // inference sees nothing
+}

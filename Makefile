@@ -1,0 +1,29 @@
+# Offline mirror of .github/workflows/ci.yml — `make check` runs the
+# same four gates CI does.
+
+CARGO ?= cargo
+
+.PHONY: check fmt fmt-check build test doc quickstart bench
+
+check: fmt-check build test doc
+
+fmt:
+	$(CARGO) fmt --all
+
+fmt-check:
+	$(CARGO) fmt --all --check
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps
+
+quickstart:
+	$(CARGO) run --release -p bh-examples --example quickstart
+
+bench:
+	$(CARGO) bench -p bh-bench

@@ -128,10 +128,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
         ExperimentInfo {
             id: ExperimentId::Fig6,
             artifact: "Fig. 6 — providers/users per country",
-            paper_claims: &[
-                "RU, US, DE lead both maps",
-                "BR and UA enter the users' top-5",
-            ],
+            paper_claims: &["RU, US, DE lead both maps", "BR and UA enter the users' top-5"],
             bench: "fig6_geography",
         },
         ExperimentInfo {
@@ -216,10 +213,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
 
 /// Look up one experiment.
 pub fn info(id: ExperimentId) -> ExperimentInfo {
-    registry()
-        .into_iter()
-        .find(|e| e.id == id)
-        .expect("registry covers all ids")
+    registry().into_iter().find(|e| e.id == id).expect("registry covers all ids")
 }
 
 #[cfg(test)]

@@ -42,7 +42,13 @@ fn bench(c: &mut Criterion) {
             .map(|p| (p.prefix_length as f64, p.fraction))
             .collect(),
     );
-    println!("{}", render_series("Fig 2: fraction of tag occurrences per prefix length", &[bh_series, other_series]));
+    println!(
+        "{}",
+        render_series(
+            "Fig 2: fraction of tag occurrences per prefix length",
+            &[bh_series, other_series]
+        )
+    );
     println!(
         "shape: blackhole-tag mass at /32: {} (paper: almost exclusively /32)",
         pct(bh_mass_at_32)
@@ -58,12 +64,10 @@ fn bench(c: &mut Criterion) {
         .iter()
         .filter(|i| {
             study.topology.as_info(i.asn).is_some_and(|info| {
-                info.blackhole_offering
-                    .as_ref()
-                    .is_some_and(|o| {
-                        o.documentation == DocumentationChannel::Undocumented
-                            && o.is_trigger(i.community)
-                    })
+                info.blackhole_offering.as_ref().is_some_and(|o| {
+                    o.documentation == DocumentationChannel::Undocumented
+                        && o.is_trigger(i.community)
+                })
             })
         })
         .count();

@@ -14,11 +14,8 @@ fn bench(c: &mut Criterion) {
     // Tiny topology but the full 2.3-year calendar, scaled attack rate.
     let (output, result) = study.longitudinal_run(2.0);
 
-    let series = daily_series(
-        &result.events,
-        window::longitudinal_start(),
-        window::longitudinal_end(),
-    );
+    let series =
+        daily_series(&result.events, window::longitudinal_start(), window::longitudinal_end());
     let to_points = |f: fn(&bh_core::DailyPoint) -> usize| -> Vec<(f64, f64)> {
         series.iter().map(|p| (p.day.day_index() as f64, f(p) as f64)).collect()
     };
@@ -39,8 +36,8 @@ fn bench(c: &mut Criterion) {
     let growth = |f: fn(&bh_core::DailyPoint) -> usize| -> f64 {
         let first: f64 =
             series.iter().take(head).map(|p| f(p) as f64).sum::<f64>() / head.max(1) as f64;
-        let last: f64 = series.iter().rev().take(head).map(|p| f(p) as f64).sum::<f64>()
-            / head.max(1) as f64;
+        let last: f64 =
+            series.iter().rev().take(head).map(|p| f(p) as f64).sum::<f64>() / head.max(1) as f64;
         if first > 0.0 {
             last / first
         } else {
@@ -53,8 +50,8 @@ fn bench(c: &mut Criterion) {
 
     // Spikes: each named attack day should beat its local baseline.
     for spike in SPIKES {
-        let day = bh_bgp_types::time::SimTime::from_ymd(spike.year, spike.month, spike.day)
-            .day_index();
+        let day =
+            bh_bgp_types::time::SimTime::from_ymd(spike.year, spike.month, spike.day).day_index();
         let idx = (day - window::longitudinal_start().day_index()) as usize;
         if idx < 7 || idx + 1 >= series.len() {
             continue;
@@ -80,11 +77,7 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("fig4/daily_series", |b| {
         b.iter(|| {
-            daily_series(
-                &result.events,
-                window::longitudinal_start(),
-                window::longitudinal_end(),
-            )
+            daily_series(&result.events, window::longitudinal_start(), window::longitudinal_end())
         })
     });
 }

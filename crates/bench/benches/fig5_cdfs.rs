@@ -58,11 +58,8 @@ fn bench(c: &mut Criterion) {
     let mut total_prefixes = 0usize;
     let mut content_users = 0usize;
     for ty in [NetworkType::Content, NetworkType::TransitAccess, NetworkType::Enterprise] {
-        let values: Vec<f64> = per_user
-            .iter()
-            .filter(|(_, t, _)| *t == ty)
-            .map(|(_, _, n)| *n as f64)
-            .collect();
+        let values: Vec<f64> =
+            per_user.iter().filter(|(_, t, _)| *t == ty).map(|(_, _, n)| *n as f64).collect();
         if !values.is_empty() {
             series.push(Series::new(ty.label(), Ecdf::new(values).points()));
         }

@@ -13,8 +13,7 @@ fn bench(c: &mut Criterion) {
 
     let (providers, users) = per_country(&result.events, &refdata);
     let top = |map: &std::collections::BTreeMap<&'static str, usize>| -> Vec<(String, usize)> {
-        let mut v: Vec<(String, usize)> =
-            map.iter().map(|(c, n)| (c.to_string(), *n)).collect();
+        let mut v: Vec<(String, usize)> = map.iter().map(|(c, n)| (c.to_string(), *n)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(8);
         v
@@ -37,8 +36,7 @@ fn bench(c: &mut Criterion) {
     }
     println!("{}", table.render());
 
-    let top3_providers: Vec<&str> =
-        top_providers.iter().take(3).map(|(c, _)| c.as_str()).collect();
+    let top3_providers: Vec<&str> = top_providers.iter().take(3).map(|(c, _)| c.as_str()).collect();
     let top5_users: Vec<&str> = top_users.iter().take(5).map(|(c, _)| c.as_str()).collect();
     println!(
         "shape: provider top-3 {:?} should be a subset of {{RU,US,DE,GB,NL}} (paper: RU,US,DE lead)",

@@ -23,10 +23,8 @@ fn bench(c: &mut Criterion) {
     let profiles = generator.profile_all(&prefixes);
     let (hist, none) = service_histogram(&profiles);
 
-    let mut table = Table::new(
-        "Fig 7a: services on blackholed prefixes",
-        &["Service", "#Prefixes", "Share"],
-    );
+    let mut table =
+        Table::new("Fig 7a: services on blackholed prefixes", &["Service", "#Prefixes", "Share"]);
     for service in Service::ALL {
         let n = hist.get(&service).copied().unwrap_or(0);
         table.row(vec![

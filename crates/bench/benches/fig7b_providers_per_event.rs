@@ -12,10 +12,8 @@ fn bench(c: &mut Criterion) {
 
     let hist = providers_per_event(&result.events);
     let total: usize = hist.values().sum();
-    let mut table = Table::new(
-        "Fig 7b: #blackholing providers per event",
-        &["#Providers", "#Events", "Share"],
-    );
+    let mut table =
+        Table::new("Fig 7b: #blackholing providers per event", &["#Providers", "#Events", "Share"]);
     for (k, n) in &hist {
         table.row(vec![k.to_string(), n.to_string(), pct(*n as f64 / total.max(1) as f64)]);
     }

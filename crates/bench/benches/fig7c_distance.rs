@@ -51,9 +51,7 @@ fn bench(c: &mut Criterion) {
         pct(1.0 - ablated.events.len() as f64 / result.events.len().max(1) as f64)
     );
 
-    c.bench_function("fig7c/distance_histogram", |b| {
-        b.iter(|| distance_histogram(&result.events))
-    });
+    c.bench_function("fig7c/distance_histogram", |b| b.iter(|| distance_histogram(&result.events)));
     c.bench_function("fig7c/inference_no_bundling", |b| {
         b.iter(|| {
             study.infer_with_config(

@@ -21,8 +21,7 @@ fn bench(c: &mut Criterion) {
     let ungrouped: Vec<f64> =
         durations(&result.events, now).iter().map(|d| d.as_mins_f64()).collect();
     let grouped_periods = group_events(&result.events, SimDuration::mins(5));
-    let grouped: Vec<f64> =
-        grouped_periods.iter().map(|p| p.duration(now).as_mins_f64()).collect();
+    let grouped: Vec<f64> = grouped_periods.iter().map(|p| p.duration(now).as_mins_f64()).collect();
     let ungrouped_cdf = Ecdf::new(ungrouped);
     let grouped_cdf = Ecdf::new(grouped);
     println!(

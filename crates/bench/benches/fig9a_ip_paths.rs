@@ -44,11 +44,8 @@ fn bench(c: &mut Criterion) {
     assert!(!inputs.is_empty(), "no accepted blackholings to measure");
 
     let report = run_experiment(&study.topology, &inputs, 0xF19A);
-    let after_during: Vec<f64> = report
-        .measurements
-        .iter()
-        .map(|m| m.ip_delta_after_during() as f64)
-        .collect();
+    let after_during: Vec<f64> =
+        report.measurements.iter().map(|m| m.ip_delta_after_during() as f64).collect();
     let control: Vec<f64> =
         report.measurements.iter().map(|m| m.ip_delta_control() as f64).collect();
     println!(

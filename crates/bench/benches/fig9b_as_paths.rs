@@ -40,11 +40,8 @@ fn bench(c: &mut Criterion) {
     assert!(!inputs.is_empty());
 
     let report = run_experiment(&study.topology, &inputs, 0xF19B);
-    let as_deltas: Vec<f64> = report
-        .measurements
-        .iter()
-        .map(|m| m.as_delta_after_during() as f64)
-        .collect();
+    let as_deltas: Vec<f64> =
+        report.measurements.iter().map(|m| m.as_delta_after_during() as f64).collect();
     let as_control: Vec<f64> =
         report.measurements.iter().map(|m| m.as_delta_control() as f64).collect();
     println!(

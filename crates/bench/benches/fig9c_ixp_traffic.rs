@@ -39,10 +39,8 @@ fn bench(c: &mut Criterion) {
         }
     }
 
-    let total_dropped: u64 =
-        series.values().flatten().map(|p| p.dropped).sum();
-    let total_forwarded: u64 =
-        series.values().flatten().map(|p| p.forwarded).sum();
+    let total_dropped: u64 = series.values().flatten().map(|p| p.dropped).sum();
+    let total_forwarded: u64 = series.values().flatten().map(|p| p.forwarded).sum();
     println!(
         "\nshape: dropped share {} (paper: >50% of traffic for announced /32s dropped)",
         pct(total_dropped as f64 / (total_dropped + total_forwarded).max(1) as f64)

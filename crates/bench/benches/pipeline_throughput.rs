@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("pipeline");
     group.throughput(Throughput::Elements(elems.len() as u64));
-    group.bench_function("inference_throughput", |b| {
-        b.iter(|| study.infer(&refdata, elems))
-    });
+    group.bench_function("inference_throughput", |b| b.iter(|| study.infer(&refdata, elems)));
     group.bench_function("mrt_write", |b| {
         b.iter(|| {
             let mut buf = Vec::with_capacity(1 << 20);
@@ -41,9 +39,7 @@ fn bench(c: &mut Criterion) {
     let tiny = Study::build(StudyScale::Tiny, 7);
     let mut group = c.benchmark_group("propagation");
     group.sample_size(10);
-    group.bench_function("scenario_4days_tiny", |b| {
-        b.iter(|| tiny.visibility_run(4, 6.0))
-    });
+    group.bench_function("scenario_4days_tiny", |b| b.iter(|| tiny.visibility_run(4, 6.0)));
     group.finish();
 }
 

@@ -10,12 +10,8 @@ use bh_dataplane::reputation_feed;
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
     let (_output, result) = study.visibility_run(8, 6.0);
-    let blackholed = result
-        .events
-        .iter()
-        .map(|e| e.prefix)
-        .collect::<std::collections::BTreeSet<_>>()
-        .len();
+    let blackholed =
+        result.events.iter().map(|e| e.prefix).collect::<std::collections::BTreeSet<_>>().len();
 
     // Scale the feed the way the paper's population scales (20K prefixes
     // in March 2017 → 400–900 daily matches).
@@ -35,11 +31,9 @@ fn bench(c: &mut Criterion) {
     }
     println!("{}", table.render());
 
-    let mean_matches: f64 = feed
-        .iter()
-        .map(|d| (d.probers + d.scanners - d.both) as f64)
-        .sum::<f64>()
-        / feed.len() as f64;
+    let mean_matches: f64 =
+        feed.iter().map(|d| (d.probers + d.scanners - d.both) as f64).sum::<f64>()
+            / feed.len() as f64;
     let prober_share: f64 = feed
         .iter()
         .map(|d| d.probers as f64 / (d.probers + d.scanners - d.both) as f64)
@@ -55,9 +49,7 @@ fn bench(c: &mut Criterion) {
          suspicious IPs covers ~2% of blackholed prefixes)\n"
     );
 
-    c.bench_function("sec8/feed_generation", |b| {
-        b.iter(|| reputation_feed(0x5EC8, 240, 20_000))
-    });
+    c.bench_function("sec8/feed_generation", |b| b.iter(|| reputation_feed(0x5EC8, 240, 20_000)));
 }
 
 criterion_group! {

@@ -41,12 +41,8 @@ fn print_table1(study: &Study) {
 
     // Shape checks vs the paper.
     let cdn = rows.iter().find(|r| r.source == DataSource::Cdn).expect("CDN row");
-    let max_other = rows
-        .iter()
-        .filter(|r| r.source != DataSource::Cdn)
-        .map(|r| r.prefixes)
-        .max()
-        .unwrap_or(0);
+    let max_other =
+        rows.iter().filter(|r| r.source != DataSource::Cdn).map(|r| r.prefixes).max().unwrap_or(0);
     println!(
         "shape: CDN prefixes {} >= max(other) {} -> {} (paper: CDN sees the most)",
         count(cdn.prefixes),
@@ -63,9 +59,7 @@ fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
     print_table1(&study);
     let deployment = study.deployment();
-    c.bench_function("table1/compute", |b| {
-        b.iter(|| table1(&study.topology, &deployment))
-    });
+    c.bench_function("table1/compute", |b| b.iter(|| table1(&study.topology, &deployment)));
 }
 
 criterion_group! {

@@ -20,11 +20,8 @@ fn print_table2(study: &Study) {
     let mut networks: BTreeMap<NetworkType, usize> = BTreeMap::new();
     let mut communities: BTreeMap<NetworkType, std::collections::BTreeSet<_>> = BTreeMap::new();
     for (asn, meta) in study.dict.providers() {
-        let ty = study
-            .topology
-            .as_info(asn)
-            .map(|i| i.network_type)
-            .unwrap_or(NetworkType::Unknown);
+        let ty =
+            study.topology.as_info(asn).map(|i| i.network_type).unwrap_or(NetworkType::Unknown);
         *networks.entry(ty).or_default() += 1;
         communities.entry(ty).or_default().extend(meta.communities.iter().copied());
     }

@@ -28,10 +28,8 @@ fn bench(c: &mut Criterion) {
     }
     println!("{}", table.render());
 
-    let transit = rows
-        .iter()
-        .find(|r| r.network_type == NetworkType::TransitAccess)
-        .expect("transit row");
+    let transit =
+        rows.iter().find(|r| r.network_type == NetworkType::TransitAccess).expect("transit row");
     let ixp = rows.iter().find(|r| r.network_type == NetworkType::Ixp).expect("ixp row");
     let total_prefixes: usize = rows.iter().map(|r| r.prefixes).sum();
     println!(

@@ -127,9 +127,8 @@ impl Study {
     /// days at `rate` attacks/day inside the Aug-2016+ window.
     pub fn visibility_run(&self, days: u64, rate: f64) -> (ScenarioOutput, InferenceResult) {
         let mut config = ScenarioConfig::visibility_window(self.seed ^ 0x7777, rate);
-        config.calendar.window_end = SimTime::from_unix(
-            (config.calendar.window_start.day_index() + days) * 86_400,
-        );
+        config.calendar.window_end =
+            SimTime::from_unix((config.calendar.window_start.day_index() + days) * 86_400);
         let output = self.run_scenario(&config);
         let refdata = self.refdata();
         let result = self.infer(&refdata, &output.elems);

@@ -351,7 +351,7 @@ mod tests {
         assert_eq!(p.distance_from_peer(asn(6939)), Some(0)); // direct peering
         assert_eq!(p.distance_from_peer(asn(3356)), Some(2));
         assert_eq!(p.distance_from_peer(asn(174)), None); // "no path" → bundling
-        // Prepending shouldn't inflate the distance.
+                                                          // Prepending shouldn't inflate the distance.
         let p = path("6939 6939 1299 3356");
         assert_eq!(p.distance_from_peer(asn(3356)), Some(2));
     }

@@ -45,7 +45,8 @@ impl Asn {
     ///
     /// 64512–65534 (16-bit) and 4200000000–4294967294 (32-bit).
     pub const fn is_private(self) -> bool {
-        (self.0 >= 64_512 && self.0 <= 65_534) || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
+        (self.0 >= 64_512 && self.0 <= 65_534)
+            || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
     }
 
     /// Is this ASN reserved (not assignable to an operator)?
@@ -102,10 +103,7 @@ impl FromStr for Asn {
             .or_else(|| s.strip_prefix("as"))
             .or_else(|| s.strip_prefix("As"))
             .unwrap_or(s);
-        digits
-            .parse::<u32>()
-            .map(Asn)
-            .map_err(|_| ParseError::new(format!("invalid ASN: {s:?}")))
+        digits.parse::<u32>().map(Asn).map_err(|_| ParseError::new(format!("invalid ASN: {s:?}")))
     }
 }
 

@@ -92,12 +92,10 @@ impl FromStr for Community {
         let (hi, lo) = s
             .split_once(':')
             .ok_or_else(|| ParseError::new(format!("missing ':' in community {s:?}")))?;
-        let hi: u16 = hi
-            .parse()
-            .map_err(|_| ParseError::new(format!("bad high half in community {s:?}")))?;
-        let lo: u16 = lo
-            .parse()
-            .map_err(|_| ParseError::new(format!("bad low half in community {s:?}")))?;
+        let hi: u16 =
+            hi.parse().map_err(|_| ParseError::new(format!("bad high half in community {s:?}")))?;
+        let lo: u16 =
+            lo.parse().map_err(|_| ParseError::new(format!("bad low half in community {s:?}")))?;
         Ok(Community::from_parts(hi, lo))
     }
 }

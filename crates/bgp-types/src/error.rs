@@ -105,10 +105,7 @@ mod tests {
     #[test]
     fn ensure_fails_when_short() {
         let err = CodecError::ensure("prefix", 1, 4).unwrap_err();
-        assert_eq!(
-            err,
-            CodecError::Truncated { what: "prefix", needed: 4, available: 1 }
-        );
+        assert_eq!(err, CodecError::Truncated { what: "prefix", needed: 4, available: 1 });
         assert!(err.to_string().contains("prefix"));
     }
 

@@ -28,8 +28,8 @@
 //! networking stack (state machines over explicit wire formats, no hidden
 //! machinery).
 
-pub mod asn;
 pub mod as_path;
+pub mod asn;
 pub mod attrs;
 pub mod bogon;
 pub mod community;

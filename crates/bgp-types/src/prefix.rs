@@ -142,18 +142,15 @@ impl FromStr for Ipv4Prefix {
         let addr: Ipv4Addr = addr
             .parse()
             .map_err(|_| ParseError::new(format!("bad IPv4 address in prefix: {s:?}")))?;
-        let len: u8 = len
-            .parse()
-            .map_err(|_| ParseError::new(format!("bad prefix length in: {s:?}")))?;
+        let len: u8 =
+            len.parse().map_err(|_| ParseError::new(format!("bad prefix length in: {s:?}")))?;
         Ipv4Prefix::new(addr, len)
     }
 }
 
 impl Ord for Ipv4Prefix {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.network
-            .cmp(&other.network)
-            .then(self.length.cmp(&other.length))
+        self.network.cmp(&other.network).then(self.length.cmp(&other.length))
     }
 }
 
@@ -231,9 +228,8 @@ impl FromStr for Ipv6Prefix {
         let addr: Ipv6Addr = addr
             .parse()
             .map_err(|_| ParseError::new(format!("bad IPv6 address in prefix: {s:?}")))?;
-        let len: u8 = len
-            .parse()
-            .map_err(|_| ParseError::new(format!("bad prefix length in: {s:?}")))?;
+        let len: u8 =
+            len.parse().map_err(|_| ParseError::new(format!("bad prefix length in: {s:?}")))?;
         Ipv6Prefix::new(addr, len)
     }
 }

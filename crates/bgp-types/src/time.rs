@@ -12,7 +12,9 @@ use std::ops::{Add, AddAssign, Sub};
 use serde::{Deserialize, Serialize};
 
 /// A duration in whole seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimDuration(pub u64);
 
@@ -74,7 +76,9 @@ impl fmt::Display for SimDuration {
 }
 
 /// A point in simulated time: Unix seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimTime(pub u64);
 

@@ -165,12 +165,7 @@ impl<T> PrefixTrie<T> {
     /// (network, length) order.
     pub fn iter(&self) -> Vec<(Ipv4Prefix, &T)> {
         let mut out = Vec::with_capacity(self.len);
-        fn rec<'a, T>(
-            node: &'a Node<T>,
-            bits: u32,
-            depth: u8,
-            out: &mut Vec<(Ipv4Prefix, &'a T)>,
-        ) {
+        fn rec<'a, T>(node: &'a Node<T>, bits: u32, depth: u8, out: &mut Vec<(Ipv4Prefix, &'a T)>) {
             if let Some(v) = node.value.as_ref() {
                 out.push((Ipv4Prefix::from_raw(bits, depth), v));
             }

@@ -114,7 +114,10 @@ fn decode_as_path(mut body: Bytes) -> Result<AsPath, CodecError> {
             1 => segments.push(AsPathSegment::Set(asns)),
             2 => segments.push(AsPathSegment::Sequence(asns)),
             other => {
-                return Err(CodecError::BadValue { what: "as-path segment type", value: other as u64 })
+                return Err(CodecError::BadValue {
+                    what: "as-path segment type",
+                    value: other as u64,
+                })
             }
         }
     }
@@ -354,11 +357,8 @@ pub fn decode_update_message(mut buf: Bytes) -> Result<Option<BgpUpdate>, CodecE
     let attrs_len = body.get_u16() as usize;
     CodecError::ensure("attributes", body.remaining(), attrs_len)?;
     let attrs_buf = body.split_to(attrs_len);
-    let attrs = if attrs_len > 0 {
-        decode_attributes(attrs_buf)?
-    } else {
-        PathAttributes::default()
-    };
+    let attrs =
+        if attrs_len > 0 { decode_attributes(attrs_buf)? } else { PathAttributes::default() };
 
     let mut announced = Vec::new();
     while body.has_remaining() {
@@ -402,7 +402,14 @@ mod tests {
 
     #[test]
     fn nlri_round_trip_various_lengths() {
-        for s in ["0.0.0.0/0", "10.0.0.0/8", "10.20.0.0/15", "192.0.2.0/24", "192.0.2.55/32", "128.0.0.0/1"] {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "10.20.0.0/15",
+            "192.0.2.0/24",
+            "192.0.2.55/32",
+            "128.0.0.0/1",
+        ] {
             let p: Ipv4Prefix = s.parse().unwrap();
             let mut buf = BytesMut::new();
             encode_nlri(&mut buf, &p);

@@ -85,11 +85,7 @@ pub fn table3(result: &InferenceResult, refdata: &ReferenceData) -> Vec<Visibili
             .filter(|(s, _)| **s != source)
             .flat_map(|(_, v)| v.prefixes.iter().copied())
             .collect();
-        let direct = vis
-            .providers
-            .iter()
-            .filter(|p| provider_feeds(Some(source), p))
-            .count();
+        let direct = vis.providers.iter().filter(|p| provider_feeds(Some(source), p)).count();
         rows.push(VisibilityRow {
             source: source.label().to_string(),
             providers: vis.providers.len(),
@@ -280,9 +276,7 @@ pub fn prefixes_per_user(
             map.entry(*user).or_default().insert(event.prefix);
         }
     }
-    map.into_iter()
-        .map(|(asn, set)| (asn, refdata.network_type(asn), set.len()))
-        .collect()
+    map.into_iter().map(|(asn, set)| (asn, refdata.network_type(asn), set.len())).collect()
 }
 
 /// Per-country counts of providers and users (Fig. 6).
@@ -385,7 +379,13 @@ mod tests {
             // Active on days 0 and 1.
             event("1.1.1.1/32", vec![ProviderId::As(Asn::new(1))], vec![10], 10, Some(day + 10)),
             // Active on day 1 only.
-            event("2.2.2.2/32", vec![ProviderId::As(Asn::new(2))], vec![11], day + 5, Some(day + 500)),
+            event(
+                "2.2.2.2/32",
+                vec![ProviderId::As(Asn::new(2))],
+                vec![11],
+                day + 5,
+                Some(day + 500),
+            ),
             // Open event: active from day 2 to the end of the window.
             event("3.3.3.3/32", vec![ProviderId::As(Asn::new(1))], vec![10], 2 * day + 5, None),
         ];
@@ -401,7 +401,13 @@ mod tests {
     fn providers_per_event_histogram() {
         let events = vec![
             event("1.1.1.1/32", vec![ProviderId::As(Asn::new(1))], vec![], 0, Some(1)),
-            event("2.2.2.2/32", vec![ProviderId::As(Asn::new(1)), ProviderId::As(Asn::new(2))], vec![], 0, Some(1)),
+            event(
+                "2.2.2.2/32",
+                vec![ProviderId::As(Asn::new(1)), ProviderId::As(Asn::new(2))],
+                vec![],
+                0,
+                Some(1),
+            ),
             event("3.3.3.3/32", vec![ProviderId::As(Asn::new(3))], vec![], 0, Some(1)),
         ];
         let hist = providers_per_event(&events);
@@ -422,7 +428,8 @@ mod tests {
         assert_eq!(ixp_row.providers, 1);
         assert_eq!(ixp_row.users, 2);
         assert_eq!(ixp_row.prefixes, 2);
-        let transit_row = rows.iter().find(|row| row.network_type == NetworkType::TransitAccess).unwrap();
+        let transit_row =
+            rows.iter().find(|row| row.network_type == NetworkType::TransitAccess).unwrap();
         assert_eq!(transit_row.providers, 0);
     }
 

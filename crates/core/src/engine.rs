@@ -232,14 +232,13 @@ impl<'a> InferenceEngine<'a> {
                     // inside the IXP's peering LAN.
                     if path.contains(candidate) {
                         let user = path.hop_before(candidate);
-                        let distance =
-                            if engine.refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp) {
-                                DetectionDistance::Hops(0)
-                            } else {
-                                DetectionDistance::Hops(
-                                    (path.distance_from_peer(candidate).unwrap_or(0) + 1) as u8,
-                                )
-                            };
+                        let distance = if engine.refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp) {
+                            DetectionDistance::Hops(0)
+                        } else {
+                            DetectionDistance::Hops(
+                                (path.distance_from_peer(candidate).unwrap_or(0) + 1) as u8,
+                            )
+                        };
                         detections.push(Detection {
                             provider: ProviderId::Ixp(ixp),
                             user,
@@ -346,10 +345,10 @@ impl<'a> InferenceEngine<'a> {
         }
         self.stats.tagged_announcements += 1;
 
-        let oe = self.open.entry(elem.prefix).or_insert_with(|| OpenEvent {
-            start: start_time,
-            ..Default::default()
-        });
+        let oe = self
+            .open
+            .entry(elem.prefix)
+            .or_insert_with(|| OpenEvent { start: start_time, ..Default::default() });
         if self.config.per_peer_state {
             oe.open_peers.insert(peer);
         } else {
@@ -506,9 +505,7 @@ mod tests {
         assert_eq!(result.events[0].users, BTreeSet::from([Asn::new(64_999)]));
         // Distance counts deprepended hops: peer(100)=pos0, provider pos1
         // → distance 2 per the paper's 1-indexed convention.
-        assert!(result.events[0]
-            .distances
-            .contains(&DetectionDistance::Hops(2)));
+        assert!(result.events[0].distances.contains(&DetectionDistance::Hops(2)));
     }
 
     #[test]
@@ -550,10 +547,7 @@ mod tests {
         engine.process(&announce("8.8.8.8/32", 100, "100 502 300", vec![shared], 100));
         let result = engine.finish();
         assert_eq!(result.events.len(), 1);
-        assert_eq!(
-            result.events[0].providers,
-            BTreeSet::from([ProviderId::As(Asn::new(502))])
-        );
+        assert_eq!(result.events[0].providers, BTreeSet::from([ProviderId::As(Asn::new(502))]));
     }
 
     #[test]
@@ -606,8 +600,7 @@ mod tests {
     fn rib_initialization_uses_time_zero() {
         let s = setup();
         let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
-        let rib =
-            vec![announce("9.9.9.9/32", 10_000, "100 64777 64999", vec![s.community], 100)];
+        let rib = vec![announce("9.9.9.9/32", 10_000, "100 64777 64999", vec![s.community], 100)];
         engine.initialize_from_rib(&rib);
         engine.process(&withdraw("9.9.9.9/32", 10_500, 100));
         let result = engine.finish();
@@ -621,13 +614,7 @@ mod tests {
         let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
         for k in 0..3u64 {
             let t0 = 1000 + k * 300;
-            engine.process(&announce(
-                "9.9.9.9/32",
-                t0,
-                "100 64777 64999",
-                vec![s.community],
-                100,
-            ));
+            engine.process(&announce("9.9.9.9/32", t0, "100 64777 64999", vec![s.community], 100));
             engine.process(&withdraw("9.9.9.9/32", t0 + 60, 100));
         }
         let result = engine.finish();
@@ -678,10 +665,7 @@ mod tests {
         engine.process(&elem);
         let result = engine.finish();
         assert_eq!(result.events.len(), 1);
-        assert_eq!(
-            result.events[0].providers,
-            BTreeSet::from([ProviderId::Ixp(ixp.id)])
-        );
+        assert_eq!(result.events[0].providers, BTreeSet::from([ProviderId::Ixp(ixp.id)]));
         assert_eq!(result.events[0].users, BTreeSet::from([member]));
     }
 
@@ -719,7 +703,13 @@ mod tests {
         let s = setup();
         let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
         let other = Community::from_parts(555, 80);
-        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community, other], 100));
+        engine.process(&announce(
+            "9.9.9.9/32",
+            100,
+            "100 64777 64999",
+            vec![s.community, other],
+            100,
+        ));
         engine.process(&announce("7.0.0.0/16", 100, "100 300", vec![other], 100));
         let result = engine.finish();
         assert_eq!(result.census.occurrences(s.community), 1);
@@ -734,13 +724,7 @@ mod tests {
         let c2 = Community::from_parts(888, 666);
         dict.insert_validated(Asn::new(64_888), c2);
         let mut engine = InferenceEngine::new(&dict, &s.refdata);
-        engine.process(&announce(
-            "9.9.9.9/32",
-            100,
-            "100 64999",
-            vec![s.community, c2],
-            100,
-        ));
+        engine.process(&announce("9.9.9.9/32", 100, "100 64999", vec![s.community, c2], 100));
         let result = engine.finish();
         assert_eq!(result.events.len(), 1);
         assert_eq!(result.events[0].providers.len(), 2);

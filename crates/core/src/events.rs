@@ -216,28 +216,20 @@ mod tests {
 
     #[test]
     fn grouping_is_per_prefix() {
-        let events = vec![
-            event("1.2.3.4/32", 0, Some(60)),
-            event("5.6.7.8/32", 30, Some(90)),
-        ];
+        let events = vec![event("1.2.3.4/32", 0, Some(60)), event("5.6.7.8/32", 30, Some(90))];
         let grouped = group_events(&events, SimDuration::mins(5));
         assert_eq!(grouped.len(), 2);
     }
 
     #[test]
     fn open_events_keep_period_open() {
-        let events = vec![
-            event("1.2.3.4/32", 0, Some(60)),
-            event("1.2.3.4/32", 120, None),
-        ];
+        let events = vec![event("1.2.3.4/32", 0, Some(60)), event("1.2.3.4/32", 120, None)];
         let grouped = group_events(&events, SimDuration::mins(5));
         assert_eq!(grouped.len(), 1);
         assert_eq!(grouped[0].end, None);
         // A later event for the same prefix joins the open period.
-        let events = vec![
-            event("1.2.3.4/32", 0, None),
-            event("1.2.3.4/32", 100_000, Some(100_060)),
-        ];
+        let events =
+            vec![event("1.2.3.4/32", 0, None), event("1.2.3.4/32", 100_000, Some(100_060))];
         let grouped = group_events(&events, SimDuration::mins(5));
         assert_eq!(grouped.len(), 1);
         assert_eq!(grouped[0].event_count, 2);

@@ -47,30 +47,27 @@ pub fn select_probes(
     let mut probes = Vec::new();
     let mut used: Vec<Asn> = vec![user];
 
-    let pick =
-        |pool: Vec<Asn>, group: ProbeGroup, probes: &mut Vec<Probe>, used: &mut Vec<Asn>, rng: &mut StdRng| {
-            let filtered: Vec<Asn> = pool.into_iter().filter(|a| !used.contains(a)).collect();
-            for asn in filtered.choose_multiple(rng, per_group) {
-                probes.push(Probe { asn: *asn, group });
-                used.push(*asn);
-            }
-        };
+    let pick = |pool: Vec<Asn>,
+                group: ProbeGroup,
+                probes: &mut Vec<Probe>,
+                used: &mut Vec<Asn>,
+                rng: &mut StdRng| {
+        let filtered: Vec<Asn> = pool.into_iter().filter(|a| !used.contains(a)).collect();
+        for asn in filtered.choose_multiple(rng, per_group) {
+            probes.push(Probe { asn: *asn, group });
+            used.push(*asn);
+        }
+    };
 
     // Inside the user AS: the user itself hosts probes (one vantage).
     probes.push(Probe { asn: user, group: ProbeGroup::InsideUser });
 
-    let downstream: Vec<Asn> = topology
-        .customer_cone(user)
-        .into_iter()
-        .filter(|a| *a != user)
-        .collect();
+    let downstream: Vec<Asn> =
+        topology.customer_cone(user).into_iter().filter(|a| *a != user).collect();
     pick(downstream, ProbeGroup::DownstreamCone, &mut probes, &mut used, rng);
 
-    let upstream: Vec<Asn> = topology
-        .provider_cone(user)
-        .into_iter()
-        .filter(|a| *a != user)
-        .collect();
+    let upstream: Vec<Asn> =
+        topology.provider_cone(user).into_iter().filter(|a| *a != user).collect();
     pick(upstream, ProbeGroup::UpstreamCone, &mut probes, &mut used, rng);
 
     let peering: Vec<Asn> = topology.peers_of(user);
@@ -127,11 +124,7 @@ mod tests {
     #[test]
     fn upstream_probes_are_in_the_provider_cone() {
         let t = TopologyBuilder::new(TopologyConfig::tiny(17)).build();
-        let user = t
-            .ases()
-            .find(|i| !t.providers_of(i.asn).is_empty())
-            .unwrap()
-            .asn;
+        let user = t.ases().find(|i| !t.providers_of(i.asn).is_empty()).unwrap().asn;
         let cone = t.provider_cone(user);
         let mut rng = StdRng::seed_from_u64(9);
         let probes = select_probes(&t, user, 4, &mut rng);

@@ -126,10 +126,7 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-fn fraction<'a, T: 'a>(
-    values: impl Iterator<Item = &'a T>,
-    predicate: impl Fn(&T) -> bool,
-) -> f64 {
+fn fraction<'a, T: 'a>(values: impl Iterator<Item = &'a T>, predicate: impl Fn(&T) -> bool) -> f64 {
     let mut hit = 0usize;
     let mut n = 0usize;
     for v in values {
@@ -146,11 +143,7 @@ fn fraction<'a, T: 'a>(
 }
 
 /// Run the experiment over a set of events.
-pub fn run_experiment(
-    topology: &Topology,
-    events: &[EfficacyInput],
-    seed: u64,
-) -> EfficacyReport {
+pub fn run_experiment(topology: &Topology, events: &[EfficacyInput], seed: u64) -> EfficacyReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut tracer = TracerouteSim::new(topology, seed ^ 0xda7a);
     let mut report = EfficacyReport::default();
@@ -161,11 +154,8 @@ pub fn run_experiment(
             report.skipped_events += 1;
             continue;
         };
-        let control_addr = event
-            .prefix
-            .sibling_host()
-            .and_then(|p| p.nth_addr(0))
-            .unwrap_or(target);
+        let control_addr =
+            event.prefix.sibling_host().and_then(|p| p.nth_addr(0)).unwrap_or(target);
         let probes = select_probes(topology, event.user, 4, &mut rng);
         let mut measured_any = false;
         for probe in probes {
@@ -186,8 +176,7 @@ pub fn run_experiment(
             let dropped_at_edge = {
                 let last_as = during.hops.last().map(|h| h.asn);
                 let upstreams = topology.providers_of(event.user);
-                last_as == Some(event.user)
-                    || last_as.is_some_and(|a| upstreams.contains(&a))
+                last_as == Some(event.user) || last_as.is_some_and(|a| upstreams.contains(&a))
             };
             report.measurements.push(ProbeMeasurement {
                 probe: probe.asn,
@@ -232,8 +221,7 @@ mod tests {
             if capable_providers(topology, info.asn).is_empty() {
                 continue;
             }
-            let mut dropping: BTreeSet<Asn> =
-                topology.providers_of(info.asn).into_iter().collect();
+            let mut dropping: BTreeSet<Asn> = topology.providers_of(info.asn).into_iter().collect();
             for ixp in topology.ixps() {
                 if ixp.has_member(info.asn) {
                     dropping.extend(ixp.members.iter().copied().filter(|m| *m != info.asn));
@@ -297,10 +285,7 @@ mod tests {
         let t = TopologyBuilder::new(TopologyConfig::tiny(23)).build();
         let evs = events(&t, 10);
         let report = run_experiment(&t, &evs, 7);
-        for f in [
-            report.fraction_terminated_earlier(),
-            report.fraction_dropped_at_edge(),
-        ] {
+        for f in [report.fraction_terminated_earlier(), report.fraction_dropped_at_edge()] {
             assert!((0.0..=1.0).contains(&f));
         }
         assert_eq!(report.measured_events + report.skipped_events, evs.len());

@@ -98,24 +98,20 @@ impl FlowSim {
     /// that stays blackholed throughout (the Fig. 9(c) setting), starting
     /// at `start`.
     pub fn week_series(&mut self, start: SimTime, senders: usize) -> Vec<HourPoint> {
-        let sender_set: Vec<MemberBehavior> = self
-            .members
-            .iter()
-            .take(senders.min(self.members.len()))
-            .cloned()
-            .collect();
+        let sender_set: Vec<MemberBehavior> =
+            self.members.iter().take(senders.min(self.members.len())).cloned().collect();
         let mut out = Vec::with_capacity(24 * 7);
         for hour in 0..(24 * 7) {
             let time = start + SimDuration::hours(hour);
             // Diurnal modulation: peak in the evening, trough at night.
             let tod = (hour % 24) as f64;
-            let diurnal = 0.6 + 0.4 * (-((tod - 19.0) * (tod - 19.0)) / 40.0).exp()
+            let diurnal = 0.6
+                + 0.4 * (-((tod - 19.0) * (tod - 19.0)) / 40.0).exp()
                 + 0.25 * (-((tod - 12.0) * (tod - 12.0)) / 60.0).exp();
             let mut dropped = 0u64;
             let mut forwarded = 0u64;
             for member in &sender_set {
-                let packets = member.mean_rate * 3600.0 * diurnal
-                    * self.rng.gen_range(0.85..1.15);
+                let packets = member.mean_rate * 3600.0 * diurnal * self.rng.gen_range(0.85..1.15);
                 let sampled = (packets / SAMPLING_RATE as f64).round() as u64;
                 if member.ignores.is_some() {
                     forwarded += sampled;
@@ -200,17 +196,16 @@ mod tests {
 
     fn big_ixp() -> Ixp {
         let t = TopologyBuilder::new(TopologyConfig::tiny(61)).build();
-        t.ixps()
-            .iter()
-            .max_by_key(|ixp| ixp.members.len())
-            .expect("topology has IXPs")
-            .clone()
+        t.ixps().iter().max_by_key(|ixp| ixp.members.len()).expect("topology has IXPs").clone()
     }
 
     #[test]
     fn week_series_shape() {
         let ixp = big_ixp();
-        let mut sim = FlowSim::new(&ixp, 0.35, 3);
+        // Seed chosen so the deterministic first-`senders` slice contains
+        // both honoring and ignoring members under the vendored SplitMix64
+        // stream (which differs from upstream rand's ChaCha StdRng).
+        let mut sim = FlowSim::new(&ixp, 0.35, 5);
         let series = sim.week_series(SimTime::from_ymd(2017, 3, 20), 10);
         assert_eq!(series.len(), 168);
         let total_dropped: u64 = series.iter().map(|p| p.dropped).sum();
@@ -248,14 +243,8 @@ mod tests {
 
     #[test]
     fn no_drop_classification() {
-        assert_eq!(
-            classify_no_drop(false, &BTreeSet::new()),
-            Some(NoDropCause::NotRedistributed)
-        );
-        assert_eq!(
-            classify_no_drop(true, &BTreeSet::new()),
-            Some(NoDropCause::BrokenAnnouncement)
-        );
+        assert_eq!(classify_no_drop(false, &BTreeSet::new()), Some(NoDropCause::NotRedistributed));
+        assert_eq!(classify_no_drop(true, &BTreeSet::new()), Some(NoDropCause::BrokenAnnouncement));
         assert_eq!(classify_no_drop(true, &BTreeSet::from([Asn::new(1)])), None);
     }
 

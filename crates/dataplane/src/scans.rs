@@ -284,7 +284,10 @@ mod tests {
         let mut generator = ScanGenerator::new(seed);
         let prefixes: Vec<Ipv4Prefix> = (0..n)
             .map(|i| {
-                Ipv4Prefix::from_raw(((50 + (i >> 16)) as u32) << 24 | (i as u32 & 0xFFFF) << 8 | 7, 32)
+                Ipv4Prefix::from_raw(
+                    ((50 + (i >> 16)) as u32) << 24 | (i as u32 & 0xFFFF) << 8 | 7,
+                    32,
+                )
             })
             .collect();
         generator.profile_all(&prefixes)
@@ -334,8 +337,7 @@ mod tests {
     #[test]
     fn alexa_hosting_is_rare_with_papers_tlds() {
         let profiles = profiles(20_000, 4);
-        let http_count =
-            profiles.iter().filter(|p| p.services.contains(&Service::Http)).count();
+        let http_count = profiles.iter().filter(|p| p.services.contains(&Service::Http)).count();
         let alexa: Vec<_> = profiles.iter().filter_map(|p| p.alexa_domain.as_ref()).collect();
         let fraction = alexa.len() as f64 / http_count as f64;
         assert!((0.015..0.05).contains(&fraction), "alexa fraction {fraction}");

@@ -43,12 +43,8 @@ impl Traceroute {
     /// The paper's "path length": hops to the last *responding*
     /// interface (the destination counts when reached).
     pub fn ip_path_length(&self) -> usize {
-        let last_responding = self
-            .hops
-            .iter()
-            .rposition(|h| h.responded)
-            .map(|i| i + 1)
-            .unwrap_or(0);
+        let last_responding =
+            self.hops.iter().rposition(|h| h.responded).map(|i| i + 1).unwrap_or(0);
         if self.reached {
             self.hops.len() + 1
         } else {
@@ -110,9 +106,7 @@ impl<'a> TracerouteSim<'a> {
 
     fn tree_for(&mut self, origin: Asn) -> &ForwardingTree {
         let topology = self.topology;
-        self.trees
-            .entry(origin)
-            .or_insert_with(|| ForwardingTree::toward(topology, origin))
+        self.trees.entry(origin).or_insert_with(|| ForwardingTree::toward(topology, origin))
     }
 
     /// Trace from `src` toward `target` (owned by `dst_origin`).
@@ -154,8 +148,7 @@ impl<'a> TracerouteSim<'a> {
                 }
                 let _ = i;
             }
-            let dst_blackholed =
-                as_path.len() > 1 && as_path.iter().any(|a| dropping.contains(a));
+            let dst_blackholed = as_path.len() > 1 && as_path.iter().any(|a| dropping.contains(a));
             reached = dst_responds && !dst_blackholed;
         }
         Traceroute { src, target, hops, reached }
@@ -170,15 +163,17 @@ mod tests {
 
     fn setup() -> (Topology, Asn, Asn, Ipv4Addr) {
         let t = TopologyBuilder::new(TopologyConfig::tiny(91)).build();
-        let dst_info = t
-            .ases()
-            .find(|i| !i.prefixes.is_empty() && i.tier == bh_topology::Tier::Stub)
-            .unwrap();
+        let dst_info =
+            t.ases().find(|i| !i.prefixes.is_empty() && i.tier == bh_topology::Tier::Stub).unwrap();
         let dst = dst_info.asn;
         let target = dst_info.prefixes[0].nth_addr(9).unwrap();
         let src = t
             .ases()
-            .find(|i| i.asn != dst && i.tier == bh_topology::Tier::Stub && i.network_type != bh_topology::NetworkType::Ixp)
+            .find(|i| {
+                i.asn != dst
+                    && i.tier == bh_topology::Tier::Stub
+                    && i.network_type != bh_topology::NetworkType::Ixp
+            })
             .unwrap()
             .asn;
         (t, src, dst, target)
@@ -203,13 +198,8 @@ mod tests {
         let clean = sim.trace(src, dst, target, &BTreeSet::new(), true);
         // Drop at the AS right before the destination on the clean path.
         let drop_as = clean.hops[clean.hops.len() - 1].asn;
-        let penult = clean
-            .hops
-            .iter()
-            .rev()
-            .find(|h| h.asn != drop_as)
-            .map(|h| h.asn)
-            .unwrap_or(drop_as);
+        let penult =
+            clean.hops.iter().rev().find(|h| h.asn != drop_as).map(|h| h.asn).unwrap_or(drop_as);
         let dropping = BTreeSet::from([penult]);
         let during = sim.trace(src, dst, target, &dropping, true);
         assert!(!during.reached, "blackholed target must be unreachable");

@@ -5,7 +5,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use bh_bgp_types::asn::Asn;
-use bh_bgp_types::community::Community;
+use bh_bgp_types::community::{Community, LargeCommunity};
 use bh_topology::{DocumentationChannel, Topology};
 
 /// A RADb-style `aut-num` object: header lines plus `remarks:` lines.
@@ -48,6 +48,8 @@ pub struct PrivateNote {
     pub asn: Asn,
     /// Its blackhole communities.
     pub communities: Vec<Community>,
+    /// Its RFC 8092 large-community trigger, if the operator uses one.
+    pub large: Option<LargeCommunity>,
 }
 
 /// The full corpus.
@@ -84,11 +86,7 @@ const BLACKHOLE_PHRASES: &[&str] = &[
     "{c} => discard all traffic (blackhole) toward the prefix",
 ];
 
-const REGIONAL_SUFFIXES: &[&str] = &[
-    " (Europe only)",
-    " (US region)",
-    " (Asia-Pacific scope)",
-];
+const REGIONAL_SUFFIXES: &[&str] = &[" (Europe only)", " (US region)", " (Asia-Pacific scope)"];
 
 const OTHER_PHRASES: &[&str] = &[
     "{c} - set local-preference 80 inside our network",
@@ -149,6 +147,7 @@ impl<'a> CorpusGenerator<'a> {
                     corpus.private_notes.push(PrivateNote {
                         asn: info.asn,
                         communities: offering.communities.clone(),
+                        large: offering.large_community,
                     });
                 }
                 Some(DocumentationChannel::Undocumented) | None => {
@@ -217,13 +216,11 @@ impl<'a> CorpusGenerator<'a> {
     fn render_web(&mut self, asn: Asn) -> WebPage {
         let info = self.topology.as_info(asn).expect("AS exists");
         let offering = info.blackhole_offering.as_ref().expect("web channel implies offering");
-        let mut paragraphs = vec![
-            format!(
-                "AS{} routing policy. We provide IP transit and related services. \
+        let mut paragraphs = vec![format!(
+            "AS{} routing policy. We provide IP transit and related services. \
                  Our looking glass is available to customers.",
-                asn.value()
-            ),
-        ];
+            asn.value()
+        )];
         let c = offering.primary_community();
         paragraphs.push(format!(
             "DDoS protection: our blackholing service lets customers mitigate attacks. \
@@ -236,6 +233,11 @@ impl<'a> CorpusGenerator<'a> {
                 "Regional blackhole: community {extra} limits the null-route to a single region."
             ));
         }
+        if let Some(large) = offering.large_community {
+            paragraphs.push(format!(
+                "RFC 8092 users: the large community {large} also triggers blackholing."
+            ));
+        }
         if let Some(ip) = offering.blackhole_ip {
             paragraphs.push(format!("The blackhole next-hop address is {ip}."));
         }
@@ -246,7 +248,8 @@ impl<'a> CorpusGenerator<'a> {
         );
         // Some pages also document non-blackhole communities.
         for c in info.tag_communities.iter().take(2) {
-            paragraphs.push(format!("Community {c} is used for traffic engineering towards peers."));
+            paragraphs
+                .push(format!("Community {c} is used for traffic engineering towards peers."));
         }
         WebPage { asn, paragraphs }
     }
@@ -313,7 +316,10 @@ mod tests {
                         );
                     }
                 }
-                assert!(!c.web_pages.iter().any(|p| p.asn == info.asn && p.text().contains(&needle)));
+                assert!(!c
+                    .web_pages
+                    .iter()
+                    .any(|p| p.asn == info.asn && p.text().contains(&needle)));
             }
         }
     }

@@ -4,7 +4,7 @@
 //! them either via published information by the ASes or private
 //! communication, and we refer to them as documented communities. … we
 //! augment the dictionary of documented communities with information about
-//! which networks provide [shared] communit[ies]."
+//! which networks provide \[shared\] communit\[ies\]."
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -75,9 +75,8 @@ impl BlackholeDictionary {
                             meta.communities.push(c);
                         }
                         if let Some(len) = m.min_accepted_length {
-                            meta.min_accepted_length = Some(
-                                meta.min_accepted_length.map_or(len, |old| old.min(len)),
-                            );
+                            meta.min_accepted_length =
+                                Some(meta.min_accepted_length.map_or(len, |old| old.min(len)));
                         }
                     }
                     if let Some(l) = m.large {
@@ -115,10 +114,7 @@ impl BlackholeDictionary {
 
     /// Candidate providers for a large community.
     pub fn providers_for_large(&self, large: LargeCommunity) -> Vec<Asn> {
-        self.by_large
-            .get(&large)
-            .map(|set| set.iter().copied().collect())
-            .unwrap_or_default()
+        self.by_large.get(&large).map(|set| set.iter().copied().collect()).unwrap_or_default()
     }
 
     /// Is this a known blackhole community?
@@ -204,9 +200,7 @@ impl BlackholeDictionary {
         for entry in self.entries() {
             for asn in &entry.providers {
                 let genuine = topology.as_info(*asn).is_some_and(|info| {
-                    info.blackhole_offering
-                        .as_ref()
-                        .is_some_and(|o| o.is_trigger(entry.community))
+                    info.blackhole_offering.as_ref().is_some_and(|o| o.is_trigger(entry.community))
                 });
                 if !genuine {
                     v.false_positives.push((*asn, entry.community));

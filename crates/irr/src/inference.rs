@@ -251,16 +251,10 @@ mod tests {
             census.record(&[te], 16);
         }
         let series = census.fig2_series(&dict);
-        let bh_at_32 = series
-            .iter()
-            .find(|p| p.community == bh && p.prefix_length == 32)
-            .unwrap();
+        let bh_at_32 = series.iter().find(|p| p.community == bh && p.prefix_length == 32).unwrap();
         assert!(bh_at_32.is_blackhole);
         assert!(bh_at_32.fraction > 0.9);
-        let te_at_24 = series
-            .iter()
-            .find(|p| p.community == te && p.prefix_length == 24)
-            .unwrap();
+        let te_at_24 = series.iter().find(|p| p.community == te && p.prefix_length == 24).unwrap();
         assert!(!te_at_24.is_blackhole);
         assert!(te_at_24.fraction > 0.7);
     }

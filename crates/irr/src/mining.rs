@@ -1,6 +1,6 @@
 //! Text mining: the NLTK substitute.
 //!
-//! The paper "appl[ies] natural language processing techniques … to extract
+//! The paper "appl\[ies\] natural language processing techniques … to extract
 //! all community values relevant for BGP blackholing by searching for
 //! lemmas of certain text patterns, and certain keywords e.g. 'blackhole',
 //! or 'null route'". This module implements the same idea from scratch:
@@ -70,11 +70,9 @@ pub fn line_is_blackhole(tokens: &[String]) -> bool {
     if tokens.iter().any(|t| is_blackhole_token(t)) {
         return true;
     }
-    tokens.windows(2).any(|w| {
-        BLACKHOLE_BIGRAMS
-            .iter()
-            .any(|(a, b)| w[0].starts_with(a) && w[1].starts_with(b))
-    })
+    tokens
+        .windows(2)
+        .any(|w| BLACKHOLE_BIGRAMS.iter().any(|(a, b)| w[0].starts_with(a) && w[1].starts_with(b)))
 }
 
 /// Parse a community token: `A:B` (classic) or `A:B:C` (large).
@@ -107,11 +105,8 @@ fn extract_min_length(line: &str) -> Option<u8> {
     let bytes = line.as_bytes();
     for (i, _) in line.match_indices('/') {
         let rest = &bytes[i + 1..];
-        let digits: String = rest
-            .iter()
-            .take_while(|b| b.is_ascii_digit())
-            .map(|&b| b as char)
-            .collect();
+        let digits: String =
+            rest.iter().take_while(|b| b.is_ascii_digit()).map(|&b| b as char).collect();
         if let Ok(v) = digits.parse::<u8>() {
             if (8..=32).contains(&v) {
                 lengths.push(v);
@@ -147,17 +142,22 @@ impl DictionaryMiner {
                     min_accepted_length: None,
                 });
             }
+            if let Some(large) = note.large {
+                out.push(MinedCommunity {
+                    asn: note.asn,
+                    community: None,
+                    large: Some(large),
+                    kind: MinedKind::Blackhole,
+                    min_accepted_length: None,
+                });
+            }
         }
         out
     }
 
     /// Mine one IRR object (only `remarks:` lines carry policy prose).
     pub fn mine_irr(&self, obj: &IrrObject, out: &mut Vec<MinedCommunity>) {
-        let remarks = obj
-            .lines
-            .iter()
-            .filter_map(|l| l.strip_prefix("remarks:"))
-            .map(str::trim);
+        let remarks = obj.lines.iter().filter_map(|l| l.strip_prefix("remarks:")).map(str::trim);
         self.mine_lines(obj.asn, remarks, out);
     }
 
@@ -198,10 +198,7 @@ mod tests {
     use super::*;
 
     fn mine_line(line: &str) -> Vec<MinedCommunity> {
-        let obj = IrrObject {
-            asn: Asn::new(3356),
-            lines: vec![format!("remarks:     {line}")],
-        };
+        let obj = IrrObject { asn: Asn::new(3356), lines: vec![format!("remarks:     {line}")] };
         let mut out = Vec::new();
         DictionaryMiner.mine_irr(&obj, &mut out);
         out
@@ -242,10 +239,7 @@ mod tests {
 
     #[test]
     fn community_token_parsing() {
-        assert_eq!(
-            parse_community_token("3356:9999").0,
-            Some(Community::from_parts(3356, 9999))
-        );
+        assert_eq!(parse_community_token("3356:9999").0, Some(Community::from_parts(3356, 9999)));
         assert_eq!(
             parse_community_token("196608:666:0").1,
             Some(LargeCommunity::new(196_608, 666, 0))

@@ -106,8 +106,7 @@ mod round_trip_tests {
                 .unwrap();
         }
 
-        let records: Vec<MrtRecord> =
-            MrtReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
+        let records: Vec<MrtRecord> = MrtReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
         assert_eq!(records.len(), 4);
         assert!(matches!(records[0].body, MrtRecordBody::PeerIndexTable(_)));
         match &records[1].body {

@@ -45,7 +45,13 @@ pub struct MrtReader<R: Read> {
 impl<R: Read> MrtReader<R> {
     /// Strict reader.
     pub fn new(source: R) -> Self {
-        MrtReader { source, mode: ReadMode::Strict, records_read: 0, records_skipped: 0, finished: false }
+        MrtReader {
+            source,
+            mode: ReadMode::Strict,
+            records_read: 0,
+            records_skipped: 0,
+            finished: false,
+        }
     }
 
     /// Tolerant reader (skips undecodable payloads).
@@ -222,7 +228,11 @@ fn decode_body(ty: u16, subtype: u16, mut body: Bytes) -> Result<MrtRecordBody, 
                         new_state,
                     }))
                 }
-                other => Ok(MrtRecordBody::Unknown { mrt_type: ty, subtype: other, length: original_len }),
+                other => Ok(MrtRecordBody::Unknown {
+                    mrt_type: ty,
+                    subtype: other,
+                    length: original_len,
+                }),
             }
         }
         (mrt_type::TABLE_DUMP_V2, td2_subtype::PEER_INDEX_TABLE) => {
@@ -353,10 +363,7 @@ mod tests {
         buf.extend_from_slice(&[1, 2, 3]);
         let mut r = MrtReader::new(&buf[..]);
         let rec = r.next_record().unwrap().unwrap();
-        assert!(matches!(
-            rec.body,
-            MrtRecordBody::Unknown { mrt_type: 99, subtype: 0, length: 3 }
-        ));
+        assert!(matches!(rec.body, MrtRecordBody::Unknown { mrt_type: 99, subtype: 0, length: 3 }));
     }
 
     #[test]

@@ -214,8 +214,11 @@ mod tests {
     fn header_framing_is_correct() {
         let mut buf = Vec::new();
         let mut w = MrtWriter::new(&mut buf);
-        let table =
-            PeerIndexTable::new([9, 9, 9, 9], "x", vec![PeerEntry::new(Asn::new(1), "10.0.0.1".parse().unwrap())]);
+        let table = PeerIndexTable::new(
+            [9, 9, 9, 9],
+            "x",
+            vec![PeerEntry::new(Asn::new(1), "10.0.0.1".parse().unwrap())],
+        );
         w.write_peer_index_table(SimTime::from_unix(42), &table).unwrap();
         // timestamp
         assert_eq!(u32::from_be_bytes(buf[0..4].try_into().unwrap()), 42);

@@ -129,7 +129,11 @@ pub fn mrt_round_trip(elems: &[BgpElem]) -> Result<Vec<BgpElem>, MrtError> {
 /// A timestamp suitable for archive names.
 pub fn archive_stamp(time: SimTime) -> String {
     let (y, m, d) = time.ymd();
-    format!("{y:04}{m:02}{d:02}.{:02}{:02}", (time.unix() % 86_400) / 3600, (time.unix() % 3600) / 60)
+    format!(
+        "{y:04}{m:02}{d:02}.{:02}{:02}",
+        (time.unix() % 86_400) / 3600,
+        (time.unix() % 3600) / 60
+    )
 }
 
 #[cfg(test)]

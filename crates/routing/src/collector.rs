@@ -153,7 +153,10 @@ pub fn deploy(topology: &Topology, config: &CollectorConfig) -> CollectorDeploym
         .map(|i| i.asn)
         .collect();
 
-    let place_core_platform = |dataset: DataSource, count: usize, rng: &mut StdRng, deployment: &mut CollectorDeployment| {
+    let place_core_platform = |dataset: DataSource,
+                               count: usize,
+                               rng: &mut StdRng,
+                               deployment: &mut CollectorDeployment| {
         let picks: Vec<Asn> = core.choose_multiple(rng, count.min(core.len())).copied().collect();
         for (i, asn) in picks.iter().enumerate() {
             let feed = if rng.gen_bool(config.full_table_fraction) {
@@ -178,11 +181,8 @@ pub fn deploy(topology: &Topology, config: &CollectorConfig) -> CollectorDeploym
         if !rng.gen_bool(config.pch_ixp_coverage) {
             continue;
         }
-        let peer_ip = ixp
-            .peering_lan
-            .nth_addr(1)
-            .map(IpAddr::V4)
-            .expect("peering LAN has addresses");
+        let peer_ip =
+            ixp.peering_lan.nth_addr(1).map(IpAddr::V4).expect("peering LAN has addresses");
         deployment.add_session(CollectorSession {
             dataset: DataSource::Pch,
             collector: i as u16,
@@ -193,12 +193,10 @@ pub fn deploy(topology: &Topology, config: &CollectorConfig) -> CollectorDeploym
     }
 
     // CDN: feeds across every network type, internal view.
-    let all: Vec<Asn> = topology
-        .ases()
-        .filter(|i| i.network_type != NetworkType::Ixp)
-        .map(|i| i.asn)
-        .collect();
-    let picks: Vec<Asn> = all.choose_multiple(&mut rng, config.cdn_peers.min(all.len())).copied().collect();
+    let all: Vec<Asn> =
+        topology.ases().filter(|i| i.network_type != NetworkType::Ixp).map(|i| i.asn).collect();
+    let picks: Vec<Asn> =
+        all.choose_multiple(&mut rng, config.cdn_peers.min(all.len())).copied().collect();
     for (i, asn) in picks.iter().enumerate() {
         deployment.add_session(CollectorSession {
             dataset: DataSource::Cdn,
@@ -288,9 +286,7 @@ mod tests {
             assert_eq!(s.feed, FeedKind::Internal);
         }
         // At least one non-transit network feeds the CDN.
-        let has_edge = peers
-            .iter()
-            .any(|asn| t.as_info(*asn).unwrap().tier == Tier::Stub);
+        let has_edge = peers.iter().any(|asn| t.as_info(*asn).unwrap().tier == Tier::Stub);
         assert!(has_edge);
     }
 

@@ -25,12 +25,8 @@ pub enum DataSource {
 
 impl DataSource {
     /// All sources in the paper's table order.
-    pub const ALL: [DataSource; 4] = [
-        DataSource::Cdn,
-        DataSource::Ris,
-        DataSource::RouteViews,
-        DataSource::Pch,
-    ];
+    pub const ALL: [DataSource; 4] =
+        [DataSource::Cdn, DataSource::Ris, DataSource::RouteViews, DataSource::Pch];
 
     /// Table row label.
     pub fn label(self) -> &'static str {

@@ -33,5 +33,5 @@ pub use collector::{deploy, CollectorConfig, CollectorDeployment, CollectorSessi
 pub use elem::{BgpElem, DataSource, ElemType, PeerKey};
 pub use paths::ForwardingTree;
 pub use policy::{ImportDecision, ImportOutcome, RejectReason, SessionBehavior};
-pub use sim::{Announcement, AnnounceOutcome, AnnounceScope, BgpSimulator};
+pub use sim::{AnnounceOutcome, AnnounceScope, Announcement, BgpSimulator};
 pub use stats::{table1, table1_totals, DatasetStats, DatasetTotals};

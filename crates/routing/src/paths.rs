@@ -14,8 +14,8 @@
 //! 3. provider-route distances propagate *down* customer links from any
 //!    routed AS (Dijkstra-ordered).
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use bh_bgp_types::asn::Asn;
 use bh_topology::{Relationship, Topology};
@@ -291,8 +291,7 @@ mod tests {
         for info in t.ases() {
             if let Some(path) = tree.path_from(info.asn) {
                 // Each hop must strictly decrease the remaining distance.
-                let dists: Vec<u32> =
-                    path.iter().map(|asn| tree.distance(*asn).unwrap()).collect();
+                let dists: Vec<u32> = path.iter().map(|asn| tree.distance(*asn).unwrap()).collect();
                 for w in dists.windows(2) {
                     assert!(w[0] > w[1], "distance not decreasing: {dists:?}");
                 }

@@ -150,10 +150,7 @@ pub fn import_decision(
         } else if !auth_ok(offering.auth, auth_ctx) {
             trigger_rejection = Some(RejectReason::AuthFailed);
         } else {
-            return ImportOutcome {
-                decision: ImportDecision::Blackhole,
-                trigger_rejection: None,
-            };
+            return ImportOutcome { decision: ImportDecision::Blackhole, trigger_rejection: None };
         }
         // The trigger did not fire; the route still goes through the
         // ordinary filters below (e.g. the accidental /16 "blackhole the
@@ -182,9 +179,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     use bh_bgp_types::community::Community;
-    use bh_topology::{
-        AsInfo, BlackholeOffering, DocumentationChannel, NetworkType, Tier,
-    };
+    use bh_topology::{AsInfo, BlackholeOffering, DocumentationChannel, NetworkType, Tier};
 
     use super::*;
 
@@ -239,10 +234,7 @@ mod tests {
     fn local_pref_ordering() {
         assert!(local_pref_for(Relationship::Customer) > local_pref_for(Relationship::Peer));
         assert!(local_pref_for(Relationship::Peer) > local_pref_for(Relationship::Provider));
-        assert_eq!(
-            local_pref_for(Relationship::Peer),
-            local_pref_for(Relationship::RouteServer)
-        );
+        assert_eq!(local_pref_for(Relationship::Peer), local_pref_for(Relationship::RouteServer));
     }
 
     #[test]
@@ -336,10 +328,27 @@ mod tests {
         let good = ctx(&t, user, user, Some(user), false);
         let bad = ctx(&t, other, other, Some(user), false);
         assert_eq!(
-            import_decision(provider, Relationship::Customer, &prefix, &communities, SessionBehavior::default(), &t, &good).decision,
+            import_decision(
+                provider,
+                Relationship::Customer,
+                &prefix,
+                &communities,
+                SessionBehavior::default(),
+                &t,
+                &good
+            )
+            .decision,
             ImportDecision::Blackhole
         );
-        let bad_outcome = import_decision(provider, Relationship::Customer, &prefix, &communities, SessionBehavior::default(), &t, &bad);
+        let bad_outcome = import_decision(
+            provider,
+            Relationship::Customer,
+            &prefix,
+            &communities,
+            SessionBehavior::default(),
+            &t,
+            &bad,
+        );
         assert_ne!(bad_outcome.decision, ImportDecision::Blackhole);
         assert_eq!(bad_outcome.trigger_rejection, Some(RejectReason::AuthFailed));
     }
@@ -352,10 +361,27 @@ mod tests {
         let registered = ctx(&t, user, user, Some(user), true);
         let unregistered = ctx(&t, user, user, Some(user), false);
         assert_eq!(
-            import_decision(provider, Relationship::Customer, &prefix, &communities, SessionBehavior::default(), &t, &registered).decision,
+            import_decision(
+                provider,
+                Relationship::Customer,
+                &prefix,
+                &communities,
+                SessionBehavior::default(),
+                &t,
+                &registered
+            )
+            .decision,
             ImportDecision::Blackhole
         );
-        let rejected = import_decision(provider, Relationship::Customer, &prefix, &communities, SessionBehavior::default(), &t, &unregistered);
+        let rejected = import_decision(
+            provider,
+            Relationship::Customer,
+            &prefix,
+            &communities,
+            SessionBehavior::default(),
+            &t,
+            &unregistered,
+        );
         assert_ne!(rejected.decision, ImportDecision::Blackhole);
         assert_eq!(rejected.trigger_rejection, Some(RejectReason::AuthFailed));
     }
@@ -390,18 +416,45 @@ mod tests {
         // From customer with default behavior: accepted as regular
         // (this is what makes bundling visible).
         assert_eq!(
-            import_decision(provider, Relationship::Customer, &prefix, &communities, SessionBehavior::default(), &t, &auth).decision,
+            import_decision(
+                provider,
+                Relationship::Customer,
+                &prefix,
+                &communities,
+                SessionBehavior::default(),
+                &t,
+                &auth
+            )
+            .decision,
             ImportDecision::Regular
         );
         // From peer with default behavior: too specific.
         assert_eq!(
-            import_decision(provider, Relationship::Peer, &prefix, &communities, SessionBehavior::default(), &t, &auth).decision,
+            import_decision(
+                provider,
+                Relationship::Peer,
+                &prefix,
+                &communities,
+                SessionBehavior::default(),
+                &t,
+                &auth
+            )
+            .decision,
             ImportDecision::Reject(RejectReason::TooSpecific)
         );
         // Peer that accepts host routes.
         let lenient = SessionBehavior { host_routes_from_peers: true, ..Default::default() };
         assert_eq!(
-            import_decision(provider, Relationship::Peer, &prefix, &communities, lenient, &t, &auth).decision,
+            import_decision(
+                provider,
+                Relationship::Peer,
+                &prefix,
+                &communities,
+                lenient,
+                &t,
+                &auth
+            )
+            .decision,
             ImportDecision::Regular
         );
     }
@@ -412,7 +465,15 @@ mod tests {
         let prefix: Ipv4Prefix = "30.0.0.0/16".parse().unwrap();
         let auth = ctx(&t, user, user, Some(user), true);
         for rel in [Relationship::Customer, Relationship::Peer, Relationship::Provider] {
-            let outcome = import_decision(provider, rel, &prefix, &CommunitySet::new(), SessionBehavior::default(), &t, &auth);
+            let outcome = import_decision(
+                provider,
+                rel,
+                &prefix,
+                &CommunitySet::new(),
+                SessionBehavior::default(),
+                &t,
+                &auth,
+            );
             assert_eq!(outcome.decision, ImportDecision::Regular);
             assert_eq!(outcome.trigger_rejection, None);
         }

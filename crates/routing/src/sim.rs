@@ -285,7 +285,11 @@ impl<'a> BgpSimulator<'a> {
                     .get_mut(&(origin, announcement.prefix))
                     .expect("entry exists")
                     .remove(&n);
-                queue.push_back(Work::Withdraw { to: n, from: origin, prefix: announcement.prefix });
+                queue.push_back(Work::Withdraw {
+                    to: n,
+                    from: origin,
+                    prefix: announcement.prefix,
+                });
             }
         }
 
@@ -326,11 +330,7 @@ impl<'a> BgpSimulator<'a> {
     }
 
     fn rel_between(&self, me: Asn, neighbor: Asn) -> Option<Relationship> {
-        self.topology
-            .neighbors(me)
-            .iter()
-            .find(|(n, _)| *n == neighbor)
-            .map(|(_, rel)| *rel)
+        self.topology.neighbors(me).iter().find(|(n, _)| *n == neighbor).map(|(_, rel)| *rel)
     }
 
     fn process_announce(
@@ -401,19 +401,15 @@ impl<'a> BgpSimulator<'a> {
                 // interface). Anywhere else the flag must not travel: a
                 // transit AS holding a propagated /32 merely routes toward
                 // the provider that discards.
-                route.is_blackhole =
-                    route.is_blackhole && rel == Relationship::RouteServer && route.next_hop.is_some();
+                route.is_blackhole = route.is_blackhole
+                    && rel == Relationship::RouteServer
+                    && route.next_hop.is_some();
             }
         }
         route.learned_rel = rel;
         route.local_pref = local_pref_for(rel);
 
-        let ps = self
-            .state
-            .entry(me)
-            .or_default()
-            .entry(prefix)
-            .or_default();
+        let ps = self.state.entry(me).or_default().entry(prefix).or_default();
         let unchanged = ps.candidates.get(&from) == Some(&route);
         ps.candidates.insert(from, route);
         if unchanged {
@@ -457,14 +453,15 @@ impl<'a> BgpSimulator<'a> {
 
     /// After a candidate change at `me`: recompute best, update neighbor
     /// advertisements, and refresh collector emissions.
-    fn after_change(&mut self, time: SimTime, me: Asn, prefix: Ipv4Prefix, queue: &mut VecDeque<Work>) {
+    fn after_change(
+        &mut self,
+        time: SimTime,
+        me: Asn,
+        prefix: Ipv4Prefix,
+        queue: &mut VecDeque<Work>,
+    ) {
         let offering = self.topology.as_info(me).and_then(|i| i.blackhole_offering.clone());
-        let ps = self
-            .state
-            .get(&me)
-            .and_then(|m| m.get(&prefix))
-            .cloned()
-            .unwrap_or_default();
+        let ps = self.state.get(&me).and_then(|m| m.get(&prefix)).cloned().unwrap_or_default();
         let best = ps.best().cloned();
 
         // Determine the outbound advertisement per neighbor.
@@ -572,12 +569,7 @@ impl<'a> BgpSimulator<'a> {
                             // Internal sessions prefer the blackhole
                             // candidate when one exists (it is the
                             // operationally interesting route).
-                            Some(
-                                ps.candidates
-                                    .values()
-                                    .find(|r| r.is_blackhole)
-                                    .unwrap_or(b),
-                            )
+                            Some(ps.candidates.values().find(|r| r.is_blackhole).unwrap_or(b))
                         }
                         (FeedKind::RouteServerView(_), Some(_)) => unreachable!(),
                     };
@@ -790,10 +782,7 @@ impl<'a> BgpSimulator<'a> {
             if !matches!(session.feed, FeedKind::RouteServerView(_)) {
                 continue;
             }
-            let peer_ip = ixp
-                .member_lan_ip(announcer)
-                .map(IpAddr::V4)
-                .unwrap_or(session.peer_ip);
+            let peer_ip = ixp.member_lan_ip(announcer).map(IpAddr::V4).unwrap_or(session.peer_ip);
             let key: EmitKey =
                 (session.dataset, session.collector, session.peer_asn, prefix, announcer);
             let visible = route.map(|r| {
@@ -851,7 +840,10 @@ mod tests {
         let user = Asn::new(30);
         let peer_as = Asn::new(40);
 
-        let mk = |asn: Asn, tier: Tier, prefixes: Vec<&str>, offering: Option<BlackholeOffering>| AsInfo {
+        let mk = |asn: Asn,
+                  tier: Tier,
+                  prefixes: Vec<&str>,
+                  offering: Option<BlackholeOffering>| AsInfo {
             asn,
             tier,
             network_type: NetworkType::TransitAccess,
@@ -889,14 +881,7 @@ mod tests {
             (p2, user, Relationship::Customer),
             (user, peer_as, Relationship::Peer),
         ];
-        Fixture {
-            topology: Topology::assemble(ases, edges, vec![]),
-            t1a,
-            p1,
-            p2,
-            user,
-            peer_as,
-        }
+        Fixture { topology: Topology::assemble(ases, edges, vec![]), t1a, p1, p2, user, peer_as }
     }
 
     fn session(dataset: DataSource, asn: Asn, feed: FeedKind) -> CollectorSession {
@@ -1018,9 +1003,7 @@ mod tests {
         let announce = elems.iter().find(|e| e.is_announce()).expect("T1a sees the /32");
         assert_eq!(announce.prefix, "30.0.1.1/32".parse().unwrap());
         // The trigger was stripped.
-        assert!(!announce
-            .communities
-            .contains(Community::from_parts(f.p2.value() as u16, 666)));
+        assert!(!announce.communities.contains(Community::from_parts(f.p2.value() as u16, 666)));
         // Provider is on the path.
         assert!(announce.as_path.contains(f.p2));
     }
@@ -1053,9 +1036,7 @@ mod tests {
             },
         );
         let elems = sim.drain_elems();
-        let seen = elems
-            .iter()
-            .find(|e| e.is_announce() && e.peer_asn == f.peer_as);
+        let seen = elems.iter().find(|e| e.is_announce() && e.peer_asn == f.peer_as);
         // peerAS accepts the /32 from its peer only if its session
         // behavior allows host routes from peers; the chosen seed does.
         let announce = seen.expect("bundled announcement visible at peerAS");
@@ -1122,9 +1103,7 @@ mod tests {
         assert_eq!(announce.peer_asn, f.p2);
         // Direct feeds retain the tag (stripping applies on neighbor
         // export, not on the provider's own collector session).
-        assert!(announce
-            .communities
-            .contains(Community::from_parts(f.p2.value() as u16, 666)));
+        assert!(announce.communities.contains(Community::from_parts(f.p2.value() as u16, 666)));
         assert_eq!(announce.as_path.distance_from_peer(f.p2), Some(0));
     }
 
@@ -1148,10 +1127,8 @@ mod tests {
         );
         sim.withdraw(SimTime::from_unix(200), f.user, prefix);
         let elems = sim.drain_elems();
-        let withdraw = elems
-            .iter()
-            .find(|e| e.elem_type == ElemType::Withdraw)
-            .expect("withdraw elem");
+        let withdraw =
+            elems.iter().find(|e| e.elem_type == ElemType::Withdraw).expect("withdraw elem");
         assert_eq!(withdraw.prefix, prefix);
         assert_eq!(withdraw.time, SimTime::from_unix(200));
         assert!(!sim.is_blackholed_at(f.p2, &prefix));
@@ -1236,10 +1213,8 @@ mod tests {
         assert!(!sim.is_blackholed_at(f.p2, &prefix));
         let elems = sim.drain_elems();
         // Two announcements at the direct feed: tagged then untagged.
-        let announces: Vec<_> = elems
-            .iter()
-            .filter(|e| e.is_announce() && e.peer_asn == f.p2)
-            .collect();
+        let announces: Vec<_> =
+            elems.iter().filter(|e| e.is_announce() && e.peer_asn == f.p2).collect();
         assert_eq!(announces.len(), 2);
         assert!(announces[0].communities.len() > 0);
         assert!(announces[1].communities.is_empty());
@@ -1268,10 +1243,10 @@ mod tests {
         let victim = t.as_info(member).unwrap().prefixes[0];
         let host = victim.nth_addr(7).map(Ipv4Prefix::host).unwrap();
 
-        let d = crate::collector::deploy(&t, &CollectorConfig {
-            pch_ixp_coverage: 1.0,
-            ..CollectorConfig::tiny(5)
-        });
+        let d = crate::collector::deploy(
+            &t,
+            &CollectorConfig { pch_ixp_coverage: 1.0, ..CollectorConfig::tiny(5) },
+        );
         let mut sim = BgpSimulator::new(&t, d, 9);
         let trigger = t
             .as_info(ixp.route_server_asn)
@@ -1293,10 +1268,8 @@ mod tests {
         );
         assert!(outcome.accepted_by.contains(&ixp.route_server_asn));
         let elems = sim.drain_elems();
-        let pch: Vec<_> = elems
-            .iter()
-            .filter(|e| e.dataset == DataSource::Pch && e.prefix == host)
-            .collect();
+        let pch: Vec<_> =
+            elems.iter().filter(|e| e.dataset == DataSource::Pch && e.prefix == host).collect();
         assert!(!pch.is_empty(), "PCH route-server view sees the blackhole");
         for e in &pch {
             assert_eq!(e.peer_asn, member, "attributed to the announcing member");
@@ -1324,17 +1297,14 @@ mod tests {
             })
             .expect("blackholing IXP exists")
             .clone();
-        let member = *ixp
-            .members
-            .iter()
-            .find(|m| !t.as_info(**m).unwrap().prefixes.is_empty())
-            .unwrap();
+        let member =
+            *ixp.members.iter().find(|m| !t.as_info(**m).unwrap().prefixes.is_empty()).unwrap();
         let victim = t.as_info(member).unwrap().prefixes[0];
         let host = victim.nth_addr(7).map(Ipv4Prefix::host).unwrap();
-        let d = crate::collector::deploy(&t, &CollectorConfig {
-            pch_ixp_coverage: 1.0,
-            ..CollectorConfig::tiny(5)
-        });
+        let d = crate::collector::deploy(
+            &t,
+            &CollectorConfig { pch_ixp_coverage: 1.0, ..CollectorConfig::tiny(5) },
+        );
         let mut sim = BgpSimulator::new(&t, d, 9);
         let trigger = t
             .as_info(ixp.route_server_asn)

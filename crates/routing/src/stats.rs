@@ -122,9 +122,8 @@ pub fn table1_totals(topology: &Topology, deployment: &CollectorDeployment) -> D
     }
     // Union of prefixes: recompute from rows is not possible (sets are
     // internal), so rebuild: any Full/Internal session sees everything.
-    let any_full = deployment
-        .sessions()
-        .any(|s| matches!(s.feed, FeedKind::Full | FeedKind::Internal));
+    let any_full =
+        deployment.sessions().any(|s| matches!(s.feed, FeedKind::Full | FeedKind::Internal));
     let prefix_union = if any_full {
         topology.ases().map(|i| i.prefixes.len()).sum()
     } else {

@@ -32,7 +32,9 @@ use bh_bgp_types::asn::Asn;
 use bh_bgp_types::community::{Community, LargeCommunity};
 
 use crate::addressing::AddressAllocator;
-use crate::geo::{sample_country, IXP_COUNTRY_WEIGHTS, PROVIDER_COUNTRY_WEIGHTS, USER_COUNTRY_WEIGHTS};
+use crate::geo::{
+    sample_country, IXP_COUNTRY_WEIGHTS, PROVIDER_COUNTRY_WEIGHTS, USER_COUNTRY_WEIGHTS,
+};
 use crate::graph::Topology;
 use crate::types::{
     AsInfo, BlackholeAuth, BlackholeOffering, DocumentationChannel, Ixp, IxpId, NetworkType,
@@ -194,9 +196,8 @@ impl TopologyBuilder {
         for _ in 0..cfg.tier1_count {
             let asn = self.fresh_asn();
             let prefix_count = self.rng.gen_range(3..=6);
-            let prefixes = (0..prefix_count)
-                .map(|_| self.alloc.alloc(self.rng.gen_range(11..=14)))
-                .collect();
+            let prefixes =
+                (0..prefix_count).map(|_| self.alloc.alloc(self.rng.gen_range(11..=14))).collect();
             ases.insert(
                 asn,
                 AsInfo {
@@ -223,9 +224,8 @@ impl TopologyBuilder {
         for _ in 0..cfg.transit_count {
             let asn = self.fresh_asn();
             let prefix_count = self.rng.gen_range(1..=3);
-            let prefixes = (0..prefix_count)
-                .map(|_| self.alloc.alloc(self.rng.gen_range(14..=18)))
-                .collect();
+            let prefixes =
+                (0..prefix_count).map(|_| self.alloc.alloc(self.rng.gen_range(14..=18))).collect();
             // Providers: preferential mix of tier-1 and earlier transits.
             let provider_count = self.rng.gen_range(1..=3).min(1 + transits.len());
             let mut providers: Vec<Asn> = Vec::new();
@@ -267,10 +267,10 @@ impl TopologyBuilder {
 
         // ---- Stubs of each type --------------------------------------------
         let stub_of = |builder: &mut Self,
-                           ty: NetworkType,
-                           count: usize,
-                           ases: &mut BTreeMap<Asn, AsInfo>,
-                           edges: &mut Vec<(Asn, Asn, Relationship)>|
+                       ty: NetworkType,
+                       count: usize,
+                       ases: &mut BTreeMap<Asn, AsInfo>,
+                       edges: &mut Vec<(Asn, Asn, Relationship)>|
          -> Vec<Asn> {
             let mut out = Vec::with_capacity(count);
             for _ in 0..count {
@@ -323,11 +323,24 @@ impl TopologyBuilder {
             out
         };
 
-        let contents = stub_of(&mut self, NetworkType::Content, cfg.content_count, &mut ases, &mut edges);
-        let enterprises =
-            stub_of(&mut self, NetworkType::Enterprise, cfg.enterprise_count, &mut ases, &mut edges);
-        let edus = stub_of(&mut self, NetworkType::EducationResearchNfp, cfg.edu_count, &mut ases, &mut edges);
-        let unknowns = stub_of(&mut self, NetworkType::Unknown, cfg.unknown_count, &mut ases, &mut edges);
+        let contents =
+            stub_of(&mut self, NetworkType::Content, cfg.content_count, &mut ases, &mut edges);
+        let enterprises = stub_of(
+            &mut self,
+            NetworkType::Enterprise,
+            cfg.enterprise_count,
+            &mut ases,
+            &mut edges,
+        );
+        let edus = stub_of(
+            &mut self,
+            NetworkType::EducationResearchNfp,
+            cfg.edu_count,
+            &mut ases,
+            &mut edges,
+        );
+        let unknowns =
+            stub_of(&mut self, NetworkType::Unknown, cfg.unknown_count, &mut ases, &mut edges);
 
         // ---- IXPs ----------------------------------------------------------
         let mut ixps = Vec::with_capacity(cfg.ixp_count);
@@ -398,7 +411,16 @@ impl TopologyBuilder {
         }
 
         // ---- Blackhole offerings (ground truth) ----------------------------
-        self.assign_offerings(&mut ases, &ixps, &tier1, &transits, &contents, &edus, &enterprises, &unknowns);
+        self.assign_offerings(
+            &mut ases,
+            &ixps,
+            &tier1,
+            &transits,
+            &contents,
+            &edus,
+            &enterprises,
+            &unknowns,
+        );
 
         // ---- Non-blackhole tag communities ----------------------------------
         // Transit networks tag customer/peer routes; this census is the
@@ -409,14 +431,12 @@ impl TopologyBuilder {
             let n_tags = self.rng.gen_range(1..=4);
             for k in 0..n_tags {
                 let value = match k {
-                    0 => 100 + self.rng.gen_range(0..10),  // relationship tags
-                    1 => 2000 + self.rng.gen_range(0..50), // location tags
+                    0 => 100 + self.rng.gen_range(0..10),   // relationship tags
+                    1 => 2000 + self.rng.gen_range(0..50),  // location tags
                     _ => 3000 + self.rng.gen_range(0..100), // TE tags
                 };
-                info.tag_communities.push(Community::from_parts(
-                    (asn.value() & 0xFFFF) as u16,
-                    value as u16,
-                ));
+                info.tag_communities
+                    .push(Community::from_parts((asn.value() & 0xFFFF) as u16, value as u16));
             }
         }
 
@@ -490,7 +510,10 @@ impl TopologyBuilder {
             if documented && self.rng.gen_bool(0.10) {
                 // Regional variant (e.g. blackhole only in EU).
                 let base = communities[0];
-                communities.push(Community::from_parts(base.asn_part(), base.value_part().wrapping_add(1)));
+                communities.push(Community::from_parts(
+                    base.asn_part(),
+                    base.value_part().wrapping_add(1),
+                ));
             }
             let documentation = if !documented {
                 DocumentationChannel::Undocumented
@@ -523,7 +546,8 @@ impl TopologyBuilder {
             });
             if i == 0 {
                 // Attach the decoy peering tag.
-                info.tag_communities.push(Community::from_parts((asn.value() & 0xFFFF) as u16, 666));
+                info.tag_communities
+                    .push(Community::from_parts((asn.value() & 0xFFFF) as u16, 666));
             }
         }
 
@@ -551,9 +575,9 @@ impl TopologyBuilder {
 
         // Edge types.
         let assign_edge = |builder: &mut Self,
-                               pool: &[Asn],
-                               counts: crate::gen::ProviderCounts,
-                               ases: &mut BTreeMap<Asn, AsInfo>| {
+                           pool: &[Asn],
+                           counts: crate::gen::ProviderCounts,
+                           ases: &mut BTreeMap<Asn, AsInfo>| {
             let total = counts.documented + counts.undocumented;
             for (i, asn) in pool.iter().take(total).enumerate() {
                 let documented = i < counts.documented;
@@ -670,8 +694,7 @@ mod tests {
     #[test]
     fn tier1_clique_is_complete() {
         let t = build_tiny();
-        let tier1: Vec<Asn> =
-            t.ases().filter(|i| i.tier == Tier::Tier1).map(|i| i.asn).collect();
+        let tier1: Vec<Asn> = t.ases().filter(|i| i.tier == Tier::Tier1).map(|i| i.asn).collect();
         for &a in &tier1 {
             for &b in &tier1 {
                 if a != b {
@@ -700,8 +723,7 @@ mod tests {
     fn everyone_can_reach_tier1() {
         // Connectivity: the provider cone of any non-IXP AS intersects tier-1.
         let t = build_tiny();
-        let tier1: Vec<Asn> =
-            t.ases().filter(|i| i.tier == Tier::Tier1).map(|i| i.asn).collect();
+        let tier1: Vec<Asn> = t.ases().filter(|i| i.tier == Tier::Tier1).map(|i| i.asn).collect();
         for info in t.ases() {
             if info.network_type == NetworkType::Ixp {
                 continue;
@@ -762,10 +784,7 @@ mod tests {
             info.blackhole_offering
                 .as_ref()
                 .is_some_and(|o| o.primary_community().value_part() == 9999)
-                && info
-                    .tag_communities
-                    .iter()
-                    .any(|c| c.value_part() == 666)
+                && info.tag_communities.iter().any(|c| c.value_part() == 666)
         });
         assert!(decoy.is_some(), "Level3-style decoy must exist");
     }

@@ -102,11 +102,7 @@ impl Topology {
     }
 
     fn rel_neighbors(&self, asn: Asn, rel: Relationship) -> Vec<Asn> {
-        self.neighbors(asn)
-            .iter()
-            .filter(|(_, r)| *r == rel)
-            .map(|(n, _)| *n)
-            .collect()
+        self.neighbors(asn).iter().filter(|(_, r)| *r == rel).map(|(n, _)| *n).collect()
     }
 
     /// The customer cone of an AS: itself plus everything reachable by
@@ -192,29 +188,18 @@ impl Topology {
 
     /// ASes of a given ground-truth network type.
     pub fn ases_of_type(&self, ty: NetworkType) -> Vec<Asn> {
-        self.ases
-            .values()
-            .filter(|info| info.network_type == ty)
-            .map(|info| info.asn)
-            .collect()
+        self.ases.values().filter(|info| info.network_type == ty).map(|info| info.asn).collect()
     }
 
     /// All blackholing providers (ground truth).
     pub fn blackholing_providers(&self) -> Vec<Asn> {
-        self.ases
-            .values()
-            .filter(|info| info.offers_blackholing())
-            .map(|info| info.asn)
-            .collect()
+        self.ases.values().filter(|info| info.offers_blackholing()).map(|info| info.asn).collect()
     }
 
     /// "Routed transit ASes": ASes with at least one customer — the paper's
     /// denominator for adoption growth (§6).
     pub fn transit_as_count(&self) -> usize {
-        self.ases
-            .keys()
-            .filter(|&&asn| !self.customers_of(asn).is_empty())
-            .count()
+        self.ases.keys().filter(|&&asn| !self.customers_of(asn).is_empty()).count()
     }
 
     /// Degree statistics, used by the CAIDA-style classifier.

@@ -183,7 +183,9 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
     }
     if mean > 500.0 {
         // Normal approximation for very large means.
-        let normal = (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()
+        let normal = (rng.gen::<f64>()
+            + rng.gen::<f64>()
+            + rng.gen::<f64>()
             + rng.gen::<f64>()
             + rng.gen::<f64>()
             + rng.gen::<f64>()
@@ -241,11 +243,7 @@ mod tests {
             let offset = t.day_index() - cal.window_start.day_index();
             let on = cal.mean_for_day(offset);
             let before = cal.mean_for_day(offset - 3);
-            assert!(
-                on > before * 2.0,
-                "spike {} not elevated: {on} vs {before}",
-                spike.label
-            );
+            assert!(on > before * 2.0, "spike {} not elevated: {on} vs {before}", spike.label);
             assert_eq!(cal.spike_on(offset).map(|s| s.label), Some(spike.label));
         }
     }

@@ -23,7 +23,7 @@ use bh_bgp_types::asn::Asn;
 use bh_bgp_types::community::{Community, CommunitySet};
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::{SimDuration, SimTime};
-use bh_routing::{Announcement, AnnounceScope};
+use bh_routing::{AnnounceScope, Announcement};
 use bh_topology::Topology;
 
 /// One scheduled routing action.
@@ -200,9 +200,7 @@ pub fn plan_reaction(
     let mut victim_prefixes: Vec<Ipv4Prefix> = Vec::new();
     if rng.gen_bool(config.whole_prefix_probability) && allocation.length() <= 24 {
         let base = allocation.nth_addr(0).expect("allocation non-empty");
-        victim_prefixes.push(
-            Ipv4Prefix::new(base, 24).expect("/24 inside allocation"),
-        );
+        victim_prefixes.push(Ipv4Prefix::new(base, 24).expect("/24 inside allocation"));
     } else {
         let host_count = 1 + crate::attacks::poisson(rng, intensity.clamp(0.0, 12.0));
         for _ in 0..host_count {
@@ -224,8 +222,7 @@ pub fn plan_reaction(
             let max = providers.len().min(8);
             2 + crate::attacks::poisson(rng, 0.8).min(max - 2)
         };
-        let mut picked: Vec<&CapableProvider> =
-            providers.choose_multiple(rng, count).collect();
+        let mut picked: Vec<&CapableProvider> = providers.choose_multiple(rng, count).collect();
         picked.sort_by_key(|p| p.provider);
         picked
     };
@@ -317,7 +314,11 @@ pub fn plan_reaction(
             } else {
                 Action::Withdraw { origin: user, prefix }
             };
-            actions.push(TimedAction { time: off, action: withdraw_action, truth: Some(truth_index) });
+            actions.push(TimedAction {
+                time: off,
+                action: withdraw_action,
+                truth: Some(truth_index),
+            });
         }
     }
     actions

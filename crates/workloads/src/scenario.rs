@@ -10,7 +10,7 @@ use bh_bgp_types::asn::Asn;
 use bh_bgp_types::community::CommunitySet;
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::{SimDuration, SimTime};
-use bh_routing::{Announcement, AnnounceScope, BgpElem, BgpSimulator, CollectorDeployment};
+use bh_routing::{AnnounceScope, Announcement, BgpElem, BgpSimulator, CollectorDeployment};
 use bh_topology::{NetworkType, Tier, Topology};
 
 use crate::attacks::{AttackCalendar, SPIKES};
@@ -143,10 +143,8 @@ pub fn run(
     let picker = WeightedIndex::new(&weights).expect("non-empty user pool");
 
     // ---- base prefixes (census anchoring) --------------------------------
-    let mut base: Vec<(Asn, Ipv4Prefix)> = topology
-        .ases()
-        .flat_map(|i| i.prefixes.iter().map(move |p| (i.asn, *p)))
-        .collect();
+    let mut base: Vec<(Asn, Ipv4Prefix)> =
+        topology.ases().flat_map(|i| i.prefixes.iter().map(move |p| (i.asn, *p))).collect();
     base.sort();
     let base_sample: Vec<(Asn, Ipv4Prefix)> = base
         .choose_multiple(&mut rng, config.base_prefix_sample.min(base.len()))
@@ -198,7 +196,8 @@ pub fn run(
         // Spike A: the accidental full-table blackholing (<2 minutes).
         if config.include_spikes {
             if let Some(spike) = config.calendar.spike_on(day) {
-                if spike.is_misconfiguration && config.calendar.day(day).ymd() == (spike.year, spike.month, spike.day)
+                if spike.is_misconfiguration
+                    && config.calendar.day(day).ymd() == (spike.year, spike.month, spike.day)
                 {
                     actions.extend(plan_accident(&mut rng, topology, day_start, &mut truths));
                 }
@@ -208,10 +207,8 @@ pub fn run(
 
     // ---- execute ----------------------------------------------------------
     actions.sort_by_key(|a| a.time.unix());
-    let announcements = actions
-        .iter()
-        .filter(|a| matches!(a.action, Action::Announce(_)))
-        .count() as u64;
+    let announcements =
+        actions.iter().filter(|a| matches!(a.action, Action::Announce(_))).count() as u64;
     for timed in &actions {
         match &timed.action {
             Action::Announce(a) => {

@@ -2,7 +2,7 @@
 //! 2014 to March 2017 with the headline DDoS spikes.
 //!
 //! ```text
-//! cargo run --release -p bh-examples --bin ddos_timeline
+//! cargo run --release -p bh-examples --example ddos_timeline
 //! ```
 
 use bh_bench::{Study, StudyScale};
@@ -23,11 +23,8 @@ fn main() {
     );
 
     section("monthly activity (mean per day)");
-    let series = daily_series(
-        &result.events,
-        window::longitudinal_start(),
-        window::longitudinal_end(),
-    );
+    let series =
+        daily_series(&result.events, window::longitudinal_start(), window::longitudinal_end());
     println!("{:<9} {:>10} {:>8} {:>10}", "month", "providers", "users", "prefixes");
     let mut month_key = (0i64, 0u32);
     let mut acc = (0usize, 0usize, 0usize, 0usize);

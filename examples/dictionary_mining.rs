@@ -1,7 +1,7 @@
 //! Dictionary mining walkthrough (§4.1 of the paper).
 //!
 //! ```text
-//! cargo run --release -p bh-examples --bin dictionary_mining
+//! cargo run --release -p bh-examples --example dictionary_mining
 //! ```
 //!
 //! Shows a raw IRR object from the corpus, the mined dictionary, the
@@ -41,7 +41,10 @@ fn main() {
         study.dict.provider_count()
     );
     let shared: Vec<_> = study.dict.entries().filter(|e| e.is_ambiguous()).collect();
-    println!("{} shared/ambiguous communities (resolved via AS path at inference time):", shared.len());
+    println!(
+        "{} shared/ambiguous communities (resolved via AS path at inference time):",
+        shared.len()
+    );
     for entry in shared.iter().take(5) {
         println!("  {} -> {} candidate providers", entry.community, entry.providers.len());
     }
@@ -56,10 +59,8 @@ fn main() {
                 .is_some_and(|o| o.primary_community().value_part() == 9999)
         })
         .expect("Level3-style decoy exists");
-    let tag = bh_bgp_types::community::Community::from_parts(
-        (decoy.asn.value() & 0xFFFF) as u16,
-        666,
-    );
+    let tag =
+        bh_bgp_types::community::Community::from_parts((decoy.asn.value() & 0xFFFF) as u16, 666);
     println!(
         "{} blackholes with {} but tags peering routes with {tag}",
         decoy.asn,

@@ -2,7 +2,7 @@
 //! blackholed host during and after the event.
 //!
 //! ```text
-//! cargo run --release -p bh-examples --bin efficacy_traceroute
+//! cargo run --release -p bh-examples --example efficacy_traceroute
 //! ```
 
 use std::collections::BTreeSet;
@@ -22,8 +22,7 @@ fn main() {
         .find(|i| !i.prefixes.is_empty() && !capable_providers(&study.topology, i.asn).is_empty())
         .expect("victim exists");
     let host = victim.prefixes[0].nth_addr(42).expect("allocation has hosts");
-    let dropping: BTreeSet<_> =
-        study.topology.providers_of(victim.asn).into_iter().collect();
+    let dropping: BTreeSet<_> = study.topology.providers_of(victim.asn).into_iter().collect();
 
     section(&format!("one traceroute to {host} (victim {})", victim.asn));
     let probe = study

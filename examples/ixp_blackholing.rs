@@ -3,7 +3,7 @@
 //! members drop, non-honoring members leak.
 //!
 //! ```text
-//! cargo run --release -p bh-examples --bin ixp_blackholing
+//! cargo run --release -p bh-examples --example ixp_blackholing
 //! ```
 
 use bh_bench::{Study, StudyScale};
@@ -11,9 +11,9 @@ use bh_bgp_types::community::{Community, CommunitySet};
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::SimTime;
 use bh_core::{InferenceEngine, ProviderId};
-use bh_examples::section;
-use bh_routing::{Announcement, AnnounceScope, BgpSimulator, DataSource};
 use bh_dataplane::FlowSim;
+use bh_examples::section;
+use bh_routing::{AnnounceScope, Announcement, BgpSimulator, DataSource};
 
 fn main() {
     let study = Study::build(StudyScale::Small, 19);
@@ -39,8 +39,11 @@ fn main() {
     section(&format!("the IXP: {} ({} members)", ixp.name, ixp.members.len()));
     println!("route server: {}", ixp.route_server_asn);
     println!("peering LAN:  {} (published via PeeringDB)", ixp.peering_lan);
-    println!("trigger:      {} (RFC 7999: {})", offering.primary_community(),
-        offering.primary_community() == Community::BLACKHOLE);
+    println!(
+        "trigger:      {} (RFC 7999: {})",
+        offering.primary_community(),
+        offering.primary_community() == Community::BLACKHOLE
+    );
     println!("blackhole IP: {:?}", offering.blackhole_ip);
 
     section("a member blackholes a host route");
@@ -50,9 +53,7 @@ fn main() {
         .find(|m| !study.topology.as_info(**m).expect("member exists").prefixes.is_empty())
         .expect("member with prefixes");
     let victim: Ipv4Prefix = Ipv4Prefix::host(
-        study.topology.as_info(member).unwrap().prefixes[0]
-            .nth_addr(66)
-            .expect("host exists"),
+        study.topology.as_info(member).unwrap().prefixes[0].nth_addr(66).expect("host exists"),
     );
     let deployment = study.deployment();
     let mut sim = BgpSimulator::new(&study.topology, deployment.clone(), 19);
@@ -69,11 +70,7 @@ fn main() {
     );
     println!("member {member} announces {victim} to the route server");
     println!("accepted by: {:?}", outcome.accepted_by);
-    let honoring = ixp
-        .members
-        .iter()
-        .filter(|m| sim.is_blackholed_at(**m, &victim))
-        .count();
+    let honoring = ixp.members.iter().filter(|m| sim.is_blackholed_at(**m, &victim)).count();
     println!("{honoring}/{} members installed the null route", ixp.members.len());
 
     section("what PCH sees, and what the inference concludes");
@@ -111,5 +108,8 @@ fn main() {
     );
     let leak = flows.leak_concentration();
     let top: f64 = leak.iter().take(10).map(|(_, s)| s).sum();
-    println!("top-10 leaking members carry {:.0}% of the leak (paper: ~80% from <10 members)", top * 100.0);
+    println!(
+        "top-10 leaking members carry {:.0}% of the leak (paper: ~80% from <10 members)",
+        top * 100.0
+    );
 }

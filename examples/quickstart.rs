@@ -1,7 +1,7 @@
 //! Quickstart: the whole pipeline in one screen.
 //!
 //! ```text
-//! cargo run --release -p bh-examples --bin quickstart
+//! cargo run --release -p bh-examples --example quickstart
 //! ```
 //!
 //! Builds a synthetic Internet, mines the blackhole-community dictionary

@@ -11,14 +11,10 @@ fn grouping_collapses_probing_pulses() {
     let (output, result) = study.visibility_run(4, 8.0);
 
     let periods = group_events(&result.events, SimDuration::mins(5));
-    assert!(
-        periods.len() <= result.events.len(),
-        "grouping must never create periods"
-    );
+    assert!(periods.len() <= result.events.len(), "grouping must never create periods");
     // The probing pattern dominates the reaction model, so grouping must
     // shrink the count substantially when multi-phase truths exist.
-    let multi_phase_truths =
-        output.ground_truth.iter().filter(|t| t.phases.len() > 1).count();
+    let multi_phase_truths = output.ground_truth.iter().filter(|t| t.phases.len() > 1).count();
     if multi_phase_truths > 5 {
         assert!(
             periods.len() < result.events.len(),
@@ -52,12 +48,8 @@ fn ungrouped_durations_reflect_probing_pulse_lengths() {
     // Ground truth pulse lengths are 20–100s; inferred closed events for
     // multi-phase prefixes should be in that ballpark (within BGP-echo
     // tolerance of a few minutes for correlated closes).
-    let probing_prefixes: std::collections::BTreeSet<_> = output
-        .ground_truth
-        .iter()
-        .filter(|t| t.phases.len() > 2)
-        .map(|t| t.prefix)
-        .collect();
+    let probing_prefixes: std::collections::BTreeSet<_> =
+        output.ground_truth.iter().filter(|t| t.phases.len() > 2).map(|t| t.prefix).collect();
     let mut short = 0usize;
     let mut total = 0usize;
     for e in &result.events {
@@ -70,10 +62,7 @@ fn ungrouped_durations_reflect_probing_pulse_lengths() {
         }
     }
     if total >= 10 {
-        assert!(
-            short * 3 >= total * 2,
-            "only {short}/{total} probing events are short"
-        );
+        assert!(short * 3 >= total * 2, "only {short}/{total} probing events are short");
     }
 }
 

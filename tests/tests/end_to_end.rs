@@ -18,8 +18,7 @@ fn inference_finds_most_visible_ground_truth_events() {
     // tagged) — visibility limits recall, exactly as §5.2 documents.
     let truth_prefixes: BTreeSet<Ipv4Prefix> =
         output.ground_truth.iter().map(|t| t.prefix).collect();
-    let inferred_prefixes: BTreeSet<Ipv4Prefix> =
-        result.events.iter().map(|e| e.prefix).collect();
+    let inferred_prefixes: BTreeSet<Ipv4Prefix> = result.events.iter().map(|e| e.prefix).collect();
 
     // Precision on prefixes: everything inferred is real ground truth.
     for p in &inferred_prefixes {
@@ -41,11 +40,8 @@ fn inferred_users_and_providers_match_ground_truth() {
     let (output, result) = study.visibility_run(5, 8.0);
 
     for event in &result.events {
-        let truths: Vec<_> = output
-            .ground_truth
-            .iter()
-            .filter(|t| t.prefix == event.prefix)
-            .collect();
+        let truths: Vec<_> =
+            output.ground_truth.iter().filter(|t| t.prefix == event.prefix).collect();
         assert!(!truths.is_empty(), "event without ground truth: {event:?}");
         // The inferred user must be the real announcer — or an upstream
         // that *relayed* the tagged route toward the provider (customer
@@ -54,9 +50,8 @@ fn inferred_users_and_providers_match_ground_truth() {
         // as the AS before the provider; the paper's §2 explicitly
         // allows providers to request blackholing for their cone).
         for u in &event.users {
-            let ok = truths.iter().any(|t| {
-                t.user == *u || study.topology.in_customer_cone(*u, t.user)
-            });
+            let ok =
+                truths.iter().any(|t| t.user == *u || study.topology.in_customer_cone(*u, t.user));
             assert!(ok, "user {u} unrelated to truths for {}", event.prefix);
         }
         // Every inferred AS-provider was actually requested.
@@ -136,7 +131,6 @@ fn dataset_visibility_is_subset_of_all() {
     for vis in result.per_dataset.values() {
         all_prefixes.extend(vis.prefixes.iter().copied());
     }
-    let event_prefixes: BTreeSet<Ipv4Prefix> =
-        result.events.iter().map(|e| e.prefix).collect();
+    let event_prefixes: BTreeSet<Ipv4Prefix> = result.events.iter().map(|e| e.prefix).collect();
     assert_eq!(all_prefixes, event_prefixes);
 }

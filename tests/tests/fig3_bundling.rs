@@ -7,7 +7,7 @@ use bh_core::{InferenceEngine, ProviderId, ReferenceData};
 use bh_integration::{fig3_topology, trigger_of};
 use bh_irr::BlackholeDictionary;
 use bh_routing::{
-    Announcement, AnnounceScope, BgpSimulator, CollectorDeployment, CollectorSession, DataSource,
+    AnnounceScope, Announcement, BgpSimulator, CollectorDeployment, CollectorSession, DataSource,
     FeedKind, SessionBehavior,
 };
 use bh_topology::IxpId;
@@ -112,10 +112,7 @@ fn fig3_detection_matches_the_papers_reading() {
         .expect("ASC1 event");
     // Paper: "we can infer only the IXP blackholing provider but not
     // ASP1, since ASP1 does not propagate the announcement".
-    assert_eq!(
-        asc1_event.providers.iter().collect::<Vec<_>>(),
-        vec![&ProviderId::Ixp(IxpId(0))]
-    );
+    assert_eq!(asc1_event.providers.iter().collect::<Vec<_>>(), vec![&ProviderId::Ixp(IxpId(0))]);
     assert_eq!(asc1_event.users.iter().collect::<Vec<_>>(), vec![&cast.asc1]);
 
     let asc2_event = result

@@ -9,7 +9,7 @@ use bh_dataplane::{classify_no_drop, NoDropCause};
 use bh_integration::{fig3_topology, trigger_of};
 use bh_irr::BlackholeDictionary;
 use bh_routing::{
-    Announcement, AnnounceScope, BgpSimulator, CollectorDeployment, CollectorSession, DataSource,
+    AnnounceScope, Announcement, BgpSimulator, CollectorDeployment, CollectorSession, DataSource,
     FeedKind,
 };
 use bh_topology::IxpId;

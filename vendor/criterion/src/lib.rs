@@ -1,0 +1,311 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors a small bench harness exposing the criterion surface the
+//! benches use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`Throughput`], and the `criterion_group!` / `criterion_main!`
+//! macros. Measurements are real (monotonic-clock samples with batching
+//! for sub-millisecond bodies); statistics are a median over
+//! `sample_size` samples rather than criterion's full bootstrap.
+//!
+//! Runtime knobs (environment variables read at bench startup):
+//!
+//! * `CRITERION_SAMPLE_SIZE` — override every bench's sample count.
+//! * `CRITERION_JSON` — append one JSON line per benchmark to this file.
+//! * a non-flag CLI argument filters benchmarks by substring, and
+//!   `--test` runs each benchmark once (what `cargo test` expects).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Measure `f`, recording `sample_size` samples (batched so that
+    /// one sample lasts at least ~1 ms even for nanosecond bodies).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch-size estimate.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        if self.test_mode {
+            self.samples = vec![once];
+            return;
+        }
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        sorted.get(sorted.len() / 2).copied().unwrap_or_default()
+    }
+}
+
+/// Benchmark registry and configuration (subset of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, filter: None, test_mode: false }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in sizes measurement
+    /// by sample count only.
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Apply CLI arguments (`--test`, name filters) and environment
+    /// overrides (`CRITERION_SAMPLE_SIZE`).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => self.filter = Some(a.to_string()),
+            }
+        }
+        if let Ok(n) = std::env::var("CRITERION_SAMPLE_SIZE") {
+            if let Ok(n) = n.parse::<usize>() {
+                self.sample_size = n.max(1);
+            }
+        }
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(id, None, sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { samples: Vec::new(), sample_size, test_mode: self.test_mode };
+        f(&mut bencher);
+        let median = bencher.median();
+        let mut line = format!("{id:<50} time: {}", fmt_duration(median));
+        let per_sec = |count: u64| {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                count as f64 / secs
+            } else {
+                f64::INFINITY
+            }
+        };
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let _ = write!(line, "  thrpt: {:.3e} elem/s", per_sec(n));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let _ = write!(line, "  thrpt: {:.3e} B/s", per_sec(n));
+            }
+            None => {}
+        }
+        println!("{line}");
+        self.write_json(id, median, throughput);
+    }
+
+    fn write_json(&self, id: &str, median: Duration, throughput: Option<Throughput>) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
+            eprintln!("warning: cannot open CRITERION_JSON={path}");
+            return;
+        };
+        let (kind, count) = match throughput {
+            Some(Throughput::Elements(n)) => ("elements", n),
+            Some(Throughput::Bytes(n)) => ("bytes", n),
+            None => ("none", 0),
+        };
+        let _ = writeln!(
+            file,
+            "{{\"id\":\"{id}\",\"median_ns\":{},\"throughput_kind\":\"{kind}\",\"throughput_per_iter\":{count}}}",
+            median.as_nanos(),
+        );
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Accepted for API compatibility (see [`Criterion::measurement_time`]).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{id}", self.name);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full_id, self.throughput, sample_size, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_filters() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke/fast", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+
+        c.filter = Some("no-such-bench".to_string());
+        let mut skipped = true;
+        c.bench_function("smoke/other", |b| {
+            skipped = false;
+            b.iter(|| ())
+        });
+        assert!(skipped, "filtered bench must not run");
+    }
+
+    #[test]
+    fn group_applies_throughput_and_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(2);
+        group.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(50)), "50 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.5000 ms");
+    }
+}

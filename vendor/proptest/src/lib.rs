@@ -1,0 +1,142 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors a small property-testing harness exposing the proptest
+//! surface the test suites use: the [`proptest!`] macro (including
+//! `#![proptest_config(...)]`), [`strategy::Strategy`] with `prop_map`,
+//! `any::<T>()`, range strategies, tuple strategies,
+//! [`collection::vec`], [`collection::btree_set`], [`option::of`], and
+//! the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the
+//!   assertion message) and panics immediately.
+//! * **Deterministic.** Each test derives its RNG seed from the test
+//!   name and case index, so failures reproduce exactly on re-run.
+//! * **64 cases per property** by default (the real crate runs 256);
+//!   override per-block with `#![proptest_config(ProptestConfig {
+//!   cases: N, ..ProptestConfig::default() })]`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Prelude mirroring `proptest::prelude`: glob-import this in tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs the body against `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: fully parsed form.
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        stringify!($name),
+                        case as u64,
+                    );
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "property '{}' failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    // Entry with an explicit config.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    // Entry with the default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        left,
+                        right
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Fail the current property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        left
+                    )));
+                }
+            }
+        }
+    };
+}

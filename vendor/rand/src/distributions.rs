@@ -1,0 +1,224 @@
+//! Distributions: [`Standard`], [`WeightedIndex`], and the
+//! [`uniform::SampleRange`] plumbing behind `Rng::gen_range`.
+
+use std::marker::PhantomData;
+
+use crate::{unit_f64, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution for a type: uniform over the full domain
+/// for integers, uniform on `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Error cases for [`WeightedIndex::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight iterator was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// Every weight was zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no items to sample from"),
+            WeightedError::InvalidWeight => write!(f, "a weight was invalid"),
+            WeightedError::AllWeightsZero => write!(f, "all weights were zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Borrow-or-own plumbing for [`WeightedIndex::new`], mirroring
+/// `rand::distributions::uniform::SampleBorrow`: only `X` and `&X`
+/// implement it, which keeps the weight type inferable.
+pub trait SampleBorrow<X> {
+    /// The weight value.
+    fn borrow_weight(&self) -> X;
+}
+
+impl<X: Weight> SampleBorrow<X> for X {
+    fn borrow_weight(&self) -> X {
+        *self
+    }
+}
+
+impl<X: Weight> SampleBorrow<X> for &X {
+    fn borrow_weight(&self) -> X {
+        **self
+    }
+}
+
+/// Weight types accepted by [`WeightedIndex`].
+pub trait Weight: Copy {
+    /// Convert to `f64` for cumulative bookkeeping.
+    fn to_f64(self) -> f64;
+}
+
+macro_rules! impl_weight {
+    ($($t:ty),*) => {$(
+        impl Weight for $t {
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    )*};
+}
+
+impl_weight!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Distribution over `0..n` with per-index weights, as in
+/// `rand::distributions::WeightedIndex`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex<X> {
+    cumulative: Vec<f64>,
+    total: f64,
+    _weight: PhantomData<X>,
+}
+
+impl<X: Weight> WeightedIndex<X> {
+    /// Build from any iterator of weights (owned values or references).
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: SampleBorrow<X>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = w.borrow_weight().to_f64();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total, _weight: PhantomData })
+    }
+}
+
+impl<X: Weight> Distribution<usize> for WeightedIndex<X> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let target = unit_f64(rng.next_u64()) * self.total;
+        // First cumulative weight strictly above the target; zero-weight
+        // indices have cumulative == previous and are never selected.
+        let i = self.cumulative.partition_point(|&c| c <= target);
+        i.min(self.cumulative.len() - 1)
+    }
+}
+
+/// Uniform-range plumbing behind `Rng::gen_range`.
+pub mod uniform {
+    use crate::{unit_f64, RngCore};
+
+    /// Types usable as the argument of `Rng::gen_range` (implemented for
+    /// `Range` and `RangeInclusive` of every [`SampleUniform`] type).
+    pub trait SampleRange<T> {
+        /// Draw one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Primitive types that support uniform range sampling. A single
+    /// blanket `SampleRange` impl hangs off this trait so integer
+    /// literal inference works exactly as with the real crate.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform draw from `[start, end)` (or `[start, end]` when
+        /// `inclusive`).
+        fn sample_in<R: RngCore + ?Sized>(
+            rng: &mut R,
+            start: Self,
+            end: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_in<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    start: Self,
+                    end: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (end as i128 - start as i128) as u128 + inclusive as u128;
+                    assert!(span > 0, "gen_range: empty range");
+                    let draw = (rng.next_u64() as u128 * span) >> 64;
+                    (start as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_in<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    start: Self,
+                    end: Self,
+                    _inclusive: bool,
+                ) -> Self {
+                    assert!(start <= end, "gen_range: empty range");
+                    start + (unit_f64(rng.next_u64()) as $t) * (end - start)
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_float!(f32, f64);
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for [`rand`](https://docs.rs/rand) 0.8.
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors a small deterministic PRNG exposing the rand surface the
+//! crates use: [`Rng`] (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`]
+//! (`seed_from_u64`, `from_seed`), [`rngs::StdRng`],
+//! [`seq::SliceRandom`] (`choose`, `choose_multiple`, `shuffle`), and
+//! [`distributions::WeightedIndex`].
+//!
+//! The generator is SplitMix64 — not cryptographic, but statistically
+//! solid for the simulation workloads here, and `seed_from_u64` stays
+//! deterministic across platforms, which the reproduction pipeline
+//! relies on for reproducible figures.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produce the next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution as _;
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample uniformly from `range` (`a..b` or `a..=b`, integer or float).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`. Out-of-range values behave as
+    /// if clamped to `[0, 1]` (`p >= 1` is always true, `p <= 0` or NaN
+    /// never); upstream rand panics instead, so don't rely on this.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Sample a value from an explicit [`distributions::Distribution`].
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a seed, with a convenience
+/// path from a bare `u64`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (byte array for [`rngs::StdRng`]).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build a generator by expanding a `u64` through SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64(&mut sm).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Advance a SplitMix64 state and return the next output.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map 64 random bits onto `[0, 1)` with 53-bit precision.
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Sample a uniform index in `[0, bound)`.
+pub(crate) fn index_below<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    debug_assert!(bound > 0);
+    // Multiply-shift (Lemire) keeps bias negligible for any sane bound.
+    let hi = ((rng.next_u64() as u128 * bound as u128) >> 64) as usize;
+    hi.min(bound - 1)
+}
+
+impl<T: distributions::uniform::SampleUniform> distributions::uniform::SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: distributions::uniform::SampleUniform> distributions::uniform::SampleRange<T>
+    for RangeInclusive<T>
+{
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_in(rng, start, end, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(3u8..=5);
+            assert!((3..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn choose_and_choose_multiple_cover_slice() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items = [1, 2, 3, 4, 5];
+        assert!(items.choose(&mut rng).is_some());
+        let picked: Vec<_> = items.choose_multiple(&mut rng, 3).copied().collect();
+        assert_eq!(picked.len(), 3);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "choose_multiple must be distinct");
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_items() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = WeightedIndex::new([1.0f64, 0.0, 9.0]).unwrap();
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    fn empty_weights_error() {
+        assert!(WeightedIndex::<f64>::new(Vec::<f64>::new()).is_err());
+        assert!(WeightedIndex::new([0.0f64, 0.0]).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Concrete generators ([`StdRng`]).
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// Deterministic SplitMix64 generator standing in for rand's `StdRng`.
+///
+/// Unlike the real `StdRng` (ChaCha-based), this one is *documented* to
+/// be reproducible across releases — the whole pipeline seeds it via
+/// [`SeedableRng::seed_from_u64`] to regenerate identical figures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&seed[..8]);
+        StdRng { state: u64::from_le_bytes(first) }
+    }
+}

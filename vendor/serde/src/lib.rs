@@ -1,0 +1,35 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde).
+//!
+//! The build container has no access to crates.io. The workspace uses
+//! serde only as `#[derive(Serialize, Deserialize)]` markers on its data
+//! model (no code actually serializes through serde — rendering is done
+//! by `bh_analysis::render`), so this shim provides:
+//!
+//! * empty [`Serialize`] / [`Deserialize`] marker traits with blanket
+//!   implementations, satisfying any `T: Serialize` bound, and
+//! * no-op derive macros (re-exported from `serde_derive`) that accept
+//!   and ignore `#[serde(...)]` attributes such as
+//!   `#[serde(transparent)]`.
+//!
+//! If a future PR needs real serialization, replace this shim with a
+//! hand-rolled format writer or extend it with genuine trait methods —
+//! see `docs/VENDORING.md`.
+
+/// Marker standing in for `serde::Serialize`; blanket-implemented for
+/// every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; blanket-implemented for
+/// every sized type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` traits are blanket-implemented
+//! marker traits, so the derives have nothing to generate — they exist
+//! so `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes
+//! compile unchanged against the vendored stand-in.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// emit nothing; the shim's blanket impl already covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// emit nothing; the shim's blanket impl already covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,11 +1,11 @@
 # Offline mirror of .github/workflows/ci.yml — `make check` runs the
-# same four gates CI does.
+# same gates CI does.
 
 CARGO ?= cargo
 
-.PHONY: check fmt fmt-check build test doc quickstart bench
+.PHONY: check fmt fmt-check build test clippy doc quickstart bench
 
-check: fmt-check build test doc
+check: fmt-check build test clippy doc
 
 fmt:
 	$(CARGO) fmt --all
@@ -18,6 +18,9 @@ build:
 
 test:
 	$(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
 doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps

@@ -4,12 +4,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{pct, render_series, Series};
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_topology::DocumentationChannel;
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (_output, result) = study.visibility_run(10, 8.0);
+    let StudyRun { result, .. } = study.visibility_run(10, 8.0);
 
     // The Fig. 2 surface: fraction of occurrences per (tag, length).
     let points = result.census.fig2_series(&study.dict);

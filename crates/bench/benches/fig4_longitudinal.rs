@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{render_series, Series};
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_bgp_types::time::study as window;
 use bh_core::daily_series;
 use bh_workloads::SPIKES;
@@ -12,7 +12,7 @@ use bh_workloads::SPIKES;
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Tiny, 42);
     // Tiny topology but the full 2.3-year calendar, scaled attack rate.
-    let (output, result) = study.longitudinal_run(2.0);
+    let StudyRun { output, result, .. } = study.longitudinal_run(2.0);
 
     let series =
         daily_series(&result.events, window::longitudinal_start(), window::longitudinal_end());

@@ -4,14 +4,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{render_series, Ecdf, Series};
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_core::{prefixes_per_provider, prefixes_per_user};
 use bh_topology::NetworkType;
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (_output, result) = study.visibility_run(10, 8.0);
-    let refdata = study.refdata();
+    let StudyRun { result, refdata, .. } = study.visibility_run(10, 8.0);
 
     // Fig. 5(a): per-provider counts, transit/access vs IXP.
     let per_provider = prefixes_per_provider(&result.events, &refdata);

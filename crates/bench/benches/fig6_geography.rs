@@ -3,13 +3,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::Table;
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_core::per_country;
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (_output, result) = study.visibility_run(10, 8.0);
-    let refdata = study.refdata();
+    let StudyRun { result, refdata, .. } = study.visibility_run(10, 8.0);
 
     let (providers, users) = per_country(&result.events, &refdata);
     let top = |map: &std::collections::BTreeMap<&'static str, usize>| -> Vec<(String, usize)> {

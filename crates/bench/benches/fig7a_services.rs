@@ -3,13 +3,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{pct, Table};
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_dataplane::{service_histogram, ScanGenerator, Service};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (_output, result) = study.visibility_run(10, 8.0);
+    let StudyRun { result, .. } = study.visibility_run(10, 8.0);
 
     // The March-2017-style snapshot: all blackholed prefixes.
     let prefixes: Vec<Ipv4Prefix> = result

@@ -3,12 +3,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{pct, Table};
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_core::providers_per_event;
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (_output, result) = study.visibility_run(10, 8.0);
+    let StudyRun { result, .. } = study.visibility_run(10, 8.0);
 
     let hist = providers_per_event(&result.events);
     let total: usize = hist.values().sum();

@@ -5,13 +5,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{pct, Table};
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_core::{distance_histogram, DetectionDistance, EngineConfig};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (output, result) = study.visibility_run(10, 8.0);
-    let refdata = study.refdata();
+    let StudyRun { output, result, refdata } = study.visibility_run(10, 8.0);
 
     let hist = distance_histogram(&result.events);
     let total: usize = hist.values().sum();

@@ -5,14 +5,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{pct, render_series, Ecdf, Histogram, Series};
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_bgp_types::time::{SimDuration, SimTime};
 use bh_core::{durations, group_events, EngineConfig};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (output, result) = study.visibility_run(10, 8.0);
-    let refdata = study.refdata();
+    let StudyRun { output, result, refdata } = study.visibility_run(10, 8.0);
     let now = SimTime::from_unix(
         (bh_bgp_types::time::study::visibility_start().day_index() + 10) * 86_400,
     );

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{pct, render_series, Ecdf, Series};
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_dataplane::{run_experiment, EfficacyInput};
 
 /// Build efficacy inputs from inferred events + ground-truth acceptance.
@@ -39,7 +39,7 @@ fn efficacy_inputs(study: &Study, output: &bh_workloads::ScenarioOutput) -> Vec<
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (output, _result) = study.visibility_run(8, 6.0);
+    let StudyRun { output, .. } = study.visibility_run(8, 6.0);
     let inputs = efficacy_inputs(&study, &output);
     assert!(!inputs.is_empty(), "no accepted blackholings to measure");
 

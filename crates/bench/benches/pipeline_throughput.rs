@@ -1,16 +1,21 @@
 //! Pipeline throughput: the systems-performance benches — MRT codec
-//! throughput, propagation rate, and inference rate (elements/second).
+//! throughput, propagation rate, and inference rate (elements/second)
+//! in all three execution modes: **batch** (one-shot over a
+//! materialized slice), **streaming** (incremental push with mid-stream
+//! event draining), and **sharded** (prefix-partitioned worker threads).
 //! Not a paper artifact; these quantify the implementation itself.
+
+use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_routing::archive::{mrt_round_trip, write_updates};
+use bh_routing::{BgpElem, DataSource, ElemSource, MrtElemSource, SliceSource};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (output, _result) = study.visibility_run(6, 6.0);
-    let refdata = study.refdata();
+    let StudyRun { output, refdata, .. } = study.visibility_run(6, 6.0);
     let elems = &output.elems;
     println!(
         "pipeline input: {} elems from {} announcements over {} days",
@@ -21,7 +26,34 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("pipeline");
     group.throughput(Throughput::Elements(elems.len() as u64));
-    group.bench_function("inference_throughput", |b| b.iter(|| study.infer(&refdata, elems)));
+    // Batch: materialized slice in, one result out (the old API shape).
+    group.bench_function("inference_batch", |b| b.iter(|| study.infer(&refdata, elems)));
+    // Streaming: push one element at a time, hand closed events to the
+    // consumer every ~4k elements — the constant-memory online mode.
+    group.bench_function("inference_streaming", |b| {
+        b.iter(|| {
+            let mut session = study.session(&refdata).build();
+            let mut source = SliceSource::new(elems);
+            let mut handed_out = 0usize;
+            let mut n = 0u64;
+            while let Some(elem) = source.next_elem() {
+                session.push(elem);
+                n += 1;
+                if n.is_multiple_of(4096) {
+                    handed_out += session.drain_closed().len();
+                }
+            }
+            let result = session.finish();
+            handed_out + result.events.len()
+        })
+    });
+    // Sharded: prefix-partitioned across worker threads, deterministic
+    // merge (bit-identical to batch; see tests/pipeline_properties).
+    for shards in [2usize, 4] {
+        group.bench_function(&format!("inference_sharded{shards}"), |b| {
+            b.iter(|| study.infer_sharded(&refdata, elems, shards))
+        });
+    }
     group.bench_function("mrt_write", |b| {
         b.iter(|| {
             let mut buf = Vec::with_capacity(1 << 20);
@@ -31,6 +63,34 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("mrt_round_trip", |b| {
         b.iter(|| mrt_round_trip(elems).expect("round trip succeeds"))
+    });
+    // The full historical path: per-collector MRT archives (the shape
+    // real pipelines download) → streaming sources → one session, with
+    // no intermediate Vec<BgpElem>. The wire format does not carry the
+    // platform/collector labels, so one archive per (dataset,
+    // collector) keeps every PeerKey intact — same workload as above.
+    let mut by_collector: BTreeMap<(DataSource, u16), Vec<BgpElem>> = BTreeMap::new();
+    for elem in elems {
+        by_collector.entry((elem.dataset, elem.collector)).or_default().push(elem.clone());
+    }
+    let archives: Vec<(DataSource, u16, Vec<u8>)> = by_collector
+        .into_iter()
+        .map(|((dataset, collector), collector_elems)| {
+            let mut buf = Vec::new();
+            write_updates(&mut buf, &collector_elems).expect("write succeeds");
+            (dataset, collector, buf)
+        })
+        .collect();
+    group.bench_function("inference_from_mrt_stream", |b| {
+        b.iter(|| {
+            let mut session = study.session(&refdata).build();
+            for (dataset, collector, archive) in &archives {
+                let mut source = MrtElemSource::new(&archive[..], *dataset, *collector);
+                session.ingest(&mut source);
+                assert!(source.error().is_none());
+            }
+            session.finish().events.len()
+        })
     });
     group.finish();
 

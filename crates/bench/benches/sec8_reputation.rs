@@ -4,12 +4,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::Table;
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_dataplane::reputation_feed;
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (_output, result) = study.visibility_run(8, 6.0);
+    let StudyRun { result, .. } = study.visibility_run(8, 6.0);
     let blackholed =
         result.events.iter().map(|e| e.prefix).collect::<std::collections::BTreeSet<_>>().len();
 

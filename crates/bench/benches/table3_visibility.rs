@@ -7,13 +7,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{count, pct, Table};
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_core::table3;
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (output, result) = study.visibility_run(10, 8.0);
-    let refdata = study.refdata();
+    let StudyRun { output, result, refdata } = study.visibility_run(10, 8.0);
 
     let rows = table3(&result, &refdata);
     let mut table = Table::new(

@@ -3,14 +3,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{count, pct, Table};
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_core::table4;
 use bh_topology::NetworkType;
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let (_output, result) = study.visibility_run(10, 8.0);
-    let refdata = study.refdata();
+    let StudyRun { result, refdata, .. } = study.visibility_run(10, 8.0);
 
     let rows = table4(&result.events, &refdata);
     let mut table = Table::new(

@@ -8,4 +8,4 @@
 
 pub mod pipeline;
 
-pub use pipeline::{Study, StudyScale};
+pub use pipeline::{Study, StudyRun, StudyScale};

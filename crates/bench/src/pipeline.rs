@@ -6,13 +6,22 @@
 //! 2. operators document their blackhole communities (corpus),
 //! 3. the dictionary is mined from the corpus (§4.1),
 //! 4. attacks happen and operators react (scenario → BGP simulation),
-//! 5. collectors observe, the engine infers (§4.2),
+//! 5. collectors observe, the session infers (§4.2),
 //! 6. analytics reproduce the tables and figures.
+//!
+//! Scenario runs build **one** collector deployment and thread it
+//! through simulation *and* reference data, so the metadata the
+//! inference consults always matches the sessions that observed the
+//! stream (and the deployment is computed once, not twice).
+
+use std::sync::Arc;
 
 use bh_bgp_types::time::SimTime;
-use bh_core::{EngineConfig, InferenceEngine, InferenceResult, ReferenceData};
+use bh_core::{
+    EngineConfig, InferenceResult, InferenceSession, ReferenceData, SessionBuilder, ShardedSession,
+};
 use bh_irr::{BlackholeDictionary, CorpusGenerator};
-use bh_routing::{deploy, BgpElem, CollectorConfig, CollectorDeployment};
+use bh_routing::{deploy, BgpElem, CollectorConfig, CollectorDeployment, SliceSource};
 use bh_topology::{Topology, TopologyBuilder, TopologyConfig};
 use bh_workloads::{run, ScenarioConfig, ScenarioOutput};
 
@@ -76,10 +85,23 @@ pub struct Study {
     pub topology: Topology,
     /// Collector deployment (kept for re-deployments).
     pub collector_config: CollectorConfig,
-    /// The mined, documented dictionary.
-    pub dict: BlackholeDictionary,
+    /// The mined, documented dictionary (shared by every session).
+    pub dict: Arc<BlackholeDictionary>,
     /// Base RNG seed.
     pub seed: u64,
+}
+
+/// One scenario run, end to end: the collector stream, the inference
+/// result, and the reference data that matches the deployment which
+/// observed the stream.
+pub struct StudyRun {
+    /// Scenario output (elements + ground truth).
+    pub output: ScenarioOutput,
+    /// Inference over the whole stream.
+    pub result: InferenceResult,
+    /// The reference data the inference used (built from the same
+    /// deployment that produced `output`).
+    pub refdata: Arc<ReferenceData>,
 }
 
 impl Study {
@@ -87,62 +109,89 @@ impl Study {
     pub fn build(scale: StudyScale, seed: u64) -> Self {
         let topology = TopologyBuilder::new(scale.topology_config(seed)).build();
         let corpus = CorpusGenerator::new(&topology, seed ^ 0x1212).generate();
-        let dict = BlackholeDictionary::build(&corpus);
+        let dict = Arc::new(BlackholeDictionary::build(&corpus));
         Study { topology, collector_config: scale.collector_config(seed ^ 0x3434), dict, seed }
     }
 
-    /// A fresh collector deployment.
+    /// A fresh collector deployment (deterministic for a given study).
     pub fn deployment(&self) -> CollectorDeployment {
         deploy(&self.topology, &self.collector_config)
     }
 
-    /// Reference data matching the deployment.
-    pub fn refdata(&self) -> ReferenceData {
-        ReferenceData::build(&self.topology, &self.deployment())
+    /// Reference data matching a specific deployment.
+    pub fn refdata_for(&self, deployment: &CollectorDeployment) -> Arc<ReferenceData> {
+        Arc::new(ReferenceData::build(&self.topology, deployment))
     }
 
-    /// Run a scenario (attacks → reactions → propagation → collectors).
-    pub fn run_scenario(&self, config: &ScenarioConfig) -> ScenarioOutput {
-        run(&self.topology, self.deployment(), config)
+    /// Reference data for a fresh (deterministic) deployment.
+    pub fn refdata(&self) -> Arc<ReferenceData> {
+        self.refdata_for(&self.deployment())
     }
 
-    /// Run the inference engine over an element stream.
-    pub fn infer(&self, refdata: &ReferenceData, elems: &[BgpElem]) -> InferenceResult {
+    /// A session builder over this study's dictionary and the given
+    /// reference data.
+    pub fn session(&self, refdata: &Arc<ReferenceData>) -> SessionBuilder {
+        SessionBuilder::new(self.dict.clone(), refdata.clone())
+    }
+
+    /// A sharded session over `shards` prefix-partitioned workers.
+    pub fn sharded_session(&self, refdata: &Arc<ReferenceData>, shards: usize) -> ShardedSession {
+        self.session(refdata).build_sharded(shards)
+    }
+
+    /// One-shot inference over an in-memory element stream.
+    pub fn infer(&self, refdata: &Arc<ReferenceData>, elems: &[BgpElem]) -> InferenceResult {
         self.infer_with_config(refdata, elems, EngineConfig::default())
     }
 
-    /// Inference with explicit engine configuration (ablations).
+    /// Inference with explicit session configuration (ablations).
     pub fn infer_with_config(
         &self,
-        refdata: &ReferenceData,
+        refdata: &Arc<ReferenceData>,
         elems: &[BgpElem],
         config: EngineConfig,
     ) -> InferenceResult {
-        let mut engine = InferenceEngine::with_config(&self.dict, refdata, config);
-        engine.process_stream(elems);
-        engine.finish()
+        let mut session: InferenceSession = self.session(refdata).config(config).build();
+        session.ingest(&mut SliceSource::new(elems));
+        session.finish()
+    }
+
+    /// Sharded inference over an in-memory element stream.
+    pub fn infer_sharded(
+        &self,
+        refdata: &Arc<ReferenceData>,
+        elems: &[BgpElem],
+        shards: usize,
+    ) -> InferenceResult {
+        let mut session = self.sharded_session(refdata, shards);
+        session.ingest(&mut SliceSource::new(elems));
+        session.finish()
+    }
+
+    /// Run a scenario and infer over its stream with ONE deployment:
+    /// the same collector set observes and parameterizes the refdata.
+    fn scenario_run(&self, config: &ScenarioConfig) -> StudyRun {
+        let deployment = self.deployment();
+        let refdata = self.refdata_for(&deployment);
+        let output = run(&self.topology, deployment, config);
+        let result = self.infer(&refdata, &output.elems);
+        StudyRun { output, result, refdata }
     }
 
     /// The standard short visibility run used by most benches: `days`
     /// days at `rate` attacks/day inside the Aug-2016+ window.
-    pub fn visibility_run(&self, days: u64, rate: f64) -> (ScenarioOutput, InferenceResult) {
+    pub fn visibility_run(&self, days: u64, rate: f64) -> StudyRun {
         let mut config = ScenarioConfig::visibility_window(self.seed ^ 0x7777, rate);
         config.calendar.window_end =
             SimTime::from_unix((config.calendar.window_start.day_index() + days) * 86_400);
-        let output = self.run_scenario(&config);
-        let refdata = self.refdata();
-        let result = self.infer(&refdata, &output.elems);
-        (output, result)
+        self.scenario_run(&config)
     }
 
     /// The longitudinal run (Fig. 4): the full Dec 2014 – Mar 2017 window
     /// at `rate` attacks/day (scaled down vs. reality; shape-preserving).
-    pub fn longitudinal_run(&self, rate: f64) -> (ScenarioOutput, InferenceResult) {
+    pub fn longitudinal_run(&self, rate: f64) -> StudyRun {
         let config = ScenarioConfig::study(self.seed ^ 0x9999, rate);
-        let output = self.run_scenario(&config);
-        let refdata = self.refdata();
-        let result = self.infer(&refdata, &output.elems);
-        (output, result)
+        self.scenario_run(&config)
     }
 }
 
@@ -153,12 +202,12 @@ mod tests {
     #[test]
     fn tiny_study_builds_and_infers() {
         let study = Study::build(StudyScale::Tiny, 5);
-        let (output, result) = study.visibility_run(4, 6.0);
-        assert!(!output.ground_truth.is_empty());
+        let run = study.visibility_run(4, 6.0);
+        assert!(!run.output.ground_truth.is_empty());
         assert!(
-            !result.events.is_empty(),
+            !run.result.events.is_empty(),
             "inference found no events from {} truths",
-            output.ground_truth.len()
+            run.output.ground_truth.len()
         );
     }
 
@@ -169,5 +218,31 @@ mod tests {
         assert!(v.precision() >= 0.99, "precision {}", v.precision());
         assert!(v.recall() >= 0.95, "recall {}", v.recall());
         assert_eq!(v.undocumented_leaks, 0);
+    }
+
+    #[test]
+    fn run_refdata_matches_observing_deployment() {
+        let study = Study::build(StudyScale::Tiny, 9);
+        let run = study.visibility_run(2, 4.0);
+        // The refdata threaded through the run reflects the exact
+        // deployment that observed the stream: every session peer is a
+        // direct feed of its platform (deploy() is deterministic, so a
+        // fresh deployment reproduces the one the run used).
+        for session in study.deployment().sessions() {
+            assert!(
+                run.refdata.has_direct_feed(session.dataset, session.peer_asn),
+                "session {:?}/{} missing from refdata",
+                session.dataset,
+                session.peer_asn
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_infer_matches_batch() {
+        let study = Study::build(StudyScale::Tiny, 11);
+        let run = study.visibility_run(2, 4.0);
+        let sharded = study.infer_sharded(&run.refdata, &run.output.elems, 4);
+        assert_eq!(sharded, run.result);
     }
 }

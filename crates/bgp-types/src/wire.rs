@@ -173,7 +173,7 @@ pub fn encode_attributes(attrs: &PathAttributes) -> BytesMut {
         out.put_slice(&id.octets());
     }
 
-    if attrs.communities.len() > 0 {
+    if !attrs.communities.is_empty() {
         put_attr_header(&mut out, opt, type_code::COMMUNITIES, attrs.communities.len() * 4);
         for c in attrs.communities.iter() {
             out.put_u32(c.raw());
@@ -333,7 +333,7 @@ pub fn decode_update_message(mut buf: Bytes) -> Result<Option<BgpUpdate>, CodecE
         return Err(CodecError::BadValue { what: "bgp marker", value: marker[0] as u64 });
     }
     let msg_len = buf.get_u16() as usize;
-    if msg_len < BGP_HEADER_LEN || msg_len > BGP_MAX_MESSAGE_LEN {
+    if !(BGP_HEADER_LEN..=BGP_MAX_MESSAGE_LEN).contains(&msg_len) {
         return Err(CodecError::BadLength { what: "bgp message length", value: msg_len });
     }
     let kind = buf.get_u8();

@@ -9,9 +9,9 @@ use bh_bgp_types::time::{SimDuration, SimTime};
 use bh_routing::DataSource;
 use bh_topology::NetworkType;
 
-use crate::engine::InferenceResult;
 use crate::events::{BlackholeEvent, DetectionDistance, ProviderId};
 use crate::refdata::ReferenceData;
+use crate::session::InferenceResult;
 
 /// One row of Table 3: per-platform blackholing visibility.
 #[derive(Debug, Clone, PartialEq)]
@@ -342,7 +342,7 @@ mod tests {
     use bh_routing::{deploy, CollectorConfig};
     use bh_topology::{IxpId, TopologyBuilder, TopologyConfig};
 
-    use crate::engine::DatasetVisibility;
+    use crate::session::DatasetVisibility;
 
     use super::*;
 

@@ -44,7 +44,7 @@ pub enum DetectionDistance {
 
 /// One inferred blackholing event for one prefix (correlated across all
 /// observing collector peers).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlackholeEvent {
     /// The blackholed prefix.
     pub prefix: Ipv4Prefix,
@@ -76,7 +76,7 @@ impl BlackholeEvent {
 
     /// Was the event active at any point during `[from, to)`?
     pub fn active_during(&self, from: SimTime, to: SimTime) -> bool {
-        self.start < to && self.end.map_or(true, |e| e > from)
+        self.start < to && self.end.is_none_or(|e| e > from)
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! Implements the full methodology of Giotsas et al. (IMC 2017), §4:
 //!
-//! 1. **Dictionary-driven detection** ([`engine`]): announcements carrying
+//! 1. **Dictionary-driven detection** ([`session`]): announcements carrying
 //!    a community from the documented blackhole dictionary are candidate
 //!    blackholings; shared/ambiguous communities are resolved via the AS
 //!    path; IXP blackholing is detected via the route-server ASN on the
@@ -10,7 +10,7 @@
 //!    *user* is the AS-hop before the provider (prepending removed), the
 //!    peer-as for route-server views, or the origin for bundled
 //!    detections.
-//! 2. **Event tracking** ([`engine`], [`events`]): per-(prefix, peer)
+//! 2. **Event tracking** ([`session`], [`events`]): per-(prefix, peer)
 //!    state machines handle announcements, explicit withdrawals, and
 //!    *implicit* withdrawals (re-announcement without the tag);
 //!    observations are correlated across peers into prefix-level
@@ -27,21 +27,47 @@
 //!    servers, PeeringDB/CAIDA classification, RIR countries, collector
 //!    session metadata) — never the simulator's ground truth.
 //!
-//! The engine consumes [`bh_routing::BgpElem`] streams — either live from
-//! the simulator or parsed back from MRT archives — making the pipeline
-//! identical in shape to a BGPStream-based deployment.
+//! The inference runs as **streaming sessions**: a
+//! [`session::SessionBuilder`] assembles an owned
+//! [`session::InferenceSession`] (dictionary/reference data behind
+//! `Arc`), elements arrive via `push` or from any
+//! [`bh_routing::ElemSource`] — the live simulator, an in-memory slice,
+//! or a constant-memory MRT archive reader — and
+//! [`shard::ShardedSession`] hash-partitions the stream by prefix across
+//! worker threads with a deterministic, bit-identical merge.
 
 pub mod analytics;
-pub mod engine;
 pub mod events;
 pub mod refdata;
+pub mod session;
+pub mod shard;
 
 pub use analytics::{
     daily_series, distance_histogram, durations, per_country, prefixes_per_provider,
     prefixes_per_user, providers_per_event, table3, table4, DailyPoint, TypeRow, VisibilityRow,
 };
-pub use engine::{
-    DatasetVisibility, Detection, EngineConfig, EngineStats, InferenceEngine, InferenceResult,
-};
 pub use events::{group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, ProviderId};
 pub use refdata::ReferenceData;
+pub use session::{
+    DatasetVisibility, Detection, EngineConfig, EngineStats, InferenceResult, InferenceSession,
+    SessionBuilder, SessionCheckpoint,
+};
+pub use shard::ShardedSession;
+
+/// Everything a pipeline consumer needs, in one import:
+/// `use bh_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::analytics::{
+        daily_series, distance_histogram, durations, per_country, prefixes_per_provider,
+        prefixes_per_user, providers_per_event, table3, table4, DailyPoint, TypeRow, VisibilityRow,
+    };
+    pub use crate::events::{
+        group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, ProviderId,
+    };
+    pub use crate::refdata::ReferenceData;
+    pub use crate::session::{
+        DatasetVisibility, Detection, EngineConfig, EngineStats, InferenceResult, InferenceSession,
+        SessionBuilder, SessionCheckpoint,
+    };
+    pub use crate::shard::ShardedSession;
+}

@@ -1,4 +1,7 @@
-//! The blackholing inference engine — §4.2 of the paper, faithfully:
+//! Streaming inference sessions — §4.2 of the paper as an *online*
+//! algorithm.
+//!
+//! The methodology, faithfully:
 //!
 //! * dictionary-driven tagging of announcements,
 //! * disambiguation of shared communities via the AS path,
@@ -12,8 +15,19 @@
 //! * initialization from a RIB dump with "starting time zero",
 //! * a community/prefix-length census feeding the extended-dictionary
 //!   inference (Fig. 2).
+//!
+//! The API shape: a [`SessionBuilder`] assembles an owned
+//! [`InferenceSession`] (dictionary and reference data behind [`Arc`], so
+//! sessions are `Send` and outlive no borrow). Elements arrive one at a
+//! time via [`InferenceSession::push`] — or from any
+//! [`ElemSource`] via [`InferenceSession::ingest`] — and finished events
+//! can be handed to consumers mid-stream with
+//! [`InferenceSession::drain_closed`]. [`InferenceSession::checkpoint`]
+//! snapshots the mutable state so a long-running scan can be suspended
+//! and resumed ([`SessionBuilder::resume`]).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use bh_bgp_types::asn::Asn;
 use bh_bgp_types::bogon::BogonFilter;
@@ -21,10 +35,11 @@ use bh_bgp_types::community::Community;
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::SimTime;
 use bh_irr::{BlackholeDictionary, CommunityPrefixCensus};
-use bh_routing::{BgpElem, DataSource, ElemType, PeerKey};
+use bh_routing::{BgpElem, DataSource, ElemSource, ElemType, PeerKey};
 
 use crate::events::{BlackholeEvent, DetectionDistance, ProviderId};
 use crate::refdata::ReferenceData;
+use crate::shard::ShardedSession;
 
 /// One provider detection extracted from a single announcement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,7 +54,7 @@ pub struct Detection {
     pub community: Community,
 }
 
-/// Counters for engine behavior (useful for pipeline benchmarking and
+/// Counters for session behavior (useful for pipeline benchmarking and
 /// methodology diagnostics).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -60,8 +75,21 @@ pub struct EngineStats {
     pub bundled_detections: u64,
 }
 
+impl EngineStats {
+    /// Fold another session's counters into this one (shard merging).
+    pub fn merge(&mut self, other: EngineStats) {
+        self.elems += other.elems;
+        self.tagged_announcements += other.tagged_announcements;
+        self.cleaned += other.cleaned;
+        self.ambiguous_unresolved += other.ambiguous_unresolved;
+        self.implicit_withdrawals += other.implicit_withdrawals;
+        self.explicit_withdrawals += other.explicit_withdrawals;
+        self.bundled_detections += other.bundled_detections;
+    }
+}
+
 /// Per-dataset visibility accumulators (Table 3 inputs).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DatasetVisibility {
     /// Providers observed via this platform.
     pub providers: BTreeSet<ProviderId>,
@@ -71,7 +99,16 @@ pub struct DatasetVisibility {
     pub prefixes: BTreeSet<Ipv4Prefix>,
 }
 
-#[derive(Debug, Default)]
+impl DatasetVisibility {
+    /// Union another accumulator into this one (shard merging).
+    pub fn merge(&mut self, other: &DatasetVisibility) {
+        self.providers.extend(other.providers.iter().copied());
+        self.users.extend(other.users.iter().copied());
+        self.prefixes.extend(other.prefixes.iter().copied());
+    }
+}
+
+#[derive(Debug, Clone, Default)]
 struct OpenEvent {
     providers: BTreeSet<ProviderId>,
     users: BTreeSet<Asn>,
@@ -102,12 +139,81 @@ impl Default for EngineConfig {
     }
 }
 
-/// The engine.
-pub struct InferenceEngine<'a> {
-    dict: &'a BlackholeDictionary,
-    refdata: &'a ReferenceData,
-    config: EngineConfig,
-    bogons: BogonFilter,
+/// Detection distance per the paper's 1-indexed convention, saturating
+/// rather than wrapping on pathological (>254-hop) paths.
+fn detection_hops(distance_from_peer: usize) -> DetectionDistance {
+    DetectionDistance::Hops(u8::try_from(distance_from_peer.saturating_add(1)).unwrap_or(u8::MAX))
+}
+
+/// Builds [`InferenceSession`]s (and their sharded parallel variant).
+///
+/// The dictionary and reference data travel behind [`Arc`]: one snapshot
+/// is shared by every session and shard worker, with no lifetime tie
+/// between the session and its inputs.
+#[derive(Clone)]
+pub struct SessionBuilder {
+    pub(crate) dict: Arc<BlackholeDictionary>,
+    pub(crate) refdata: Arc<ReferenceData>,
+    pub(crate) config: EngineConfig,
+}
+
+impl SessionBuilder {
+    /// Start from a dictionary and reference-data snapshot.
+    pub fn new(dict: Arc<BlackholeDictionary>, refdata: Arc<ReferenceData>) -> Self {
+        SessionBuilder { dict, refdata, config: EngineConfig::default() }
+    }
+
+    /// Replace the whole configuration (ablations).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Toggle bundling detection (Fig. 7(c) ablation).
+    pub fn bundling_detection(mut self, on: bool) -> Self {
+        self.config.bundling_detection = on;
+        self
+    }
+
+    /// Toggle per-(prefix, peer) state tracking (Fig. 8 ablation).
+    pub fn per_peer_state(mut self, on: bool) -> Self {
+        self.config.per_peer_state = on;
+        self
+    }
+
+    /// Build a fresh single-threaded session.
+    pub fn build(self) -> InferenceSession {
+        InferenceSession {
+            dict: self.dict,
+            refdata: self.refdata,
+            config: self.config,
+            bogons: BogonFilter::new(),
+            state: SessionState::default(),
+        }
+    }
+
+    /// Build a session that resumes from a [`SessionCheckpoint`].
+    ///
+    /// The checkpoint's configuration wins over the builder's: the
+    /// resumed session continues the stream under exactly the semantics
+    /// the snapshotted state was built with (mixing per-peer modes
+    /// mid-stream would strand open events).
+    pub fn resume(self, checkpoint: SessionCheckpoint) -> InferenceSession {
+        let mut session = self.config(checkpoint.config).build();
+        session.state = checkpoint.state;
+        session
+    }
+
+    /// Build a [`ShardedSession`] that hash-partitions the element
+    /// stream by prefix across `shards` worker threads.
+    pub fn build_sharded(self, shards: usize) -> ShardedSession {
+        ShardedSession::spawn(self, shards)
+    }
+}
+
+/// The mutable inference state — everything a checkpoint must capture.
+#[derive(Debug, Clone, Default)]
+struct SessionState {
     census: CommunityPrefixCensus,
     open: HashMap<Ipv4Prefix, OpenEvent>,
     closed: Vec<BlackholeEvent>,
@@ -115,44 +221,66 @@ pub struct InferenceEngine<'a> {
     stats: EngineStats,
 }
 
-impl<'a> InferenceEngine<'a> {
-    /// Build an engine with default configuration.
-    pub fn new(dict: &'a BlackholeDictionary, refdata: &'a ReferenceData) -> Self {
-        Self::with_config(dict, refdata, EngineConfig::default())
+/// An opaque snapshot of a session's mutable state.
+///
+/// Produced by [`InferenceSession::checkpoint`]; a new session picks it
+/// up via [`SessionBuilder::resume`] and continues the stream exactly
+/// where the original left off — including the original's
+/// configuration, which travels with the snapshot. Closed events not
+/// yet handed out by [`InferenceSession::drain_closed`] travel with the
+/// checkpoint too.
+#[derive(Debug, Clone)]
+pub struct SessionCheckpoint {
+    state: SessionState,
+    config: EngineConfig,
+}
+
+impl SessionCheckpoint {
+    /// Events still open (active) at snapshot time.
+    pub fn open_events(&self) -> usize {
+        self.state.open.len()
     }
 
-    /// Build with explicit configuration (ablations).
-    pub fn with_config(
-        dict: &'a BlackholeDictionary,
-        refdata: &'a ReferenceData,
-        config: EngineConfig,
-    ) -> Self {
-        InferenceEngine {
-            dict,
-            refdata,
-            config,
-            bogons: BogonFilter::new(),
-            census: CommunityPrefixCensus::new(),
-            open: HashMap::new(),
-            closed: Vec::new(),
-            per_dataset: BTreeMap::new(),
-            stats: EngineStats::default(),
-        }
+    /// Closed events captured in the snapshot (not yet drained).
+    pub fn pending_closed(&self) -> usize {
+        self.state.closed.len()
+    }
+}
+
+/// The streaming inference session — the owned replacement for the old
+/// borrowed `InferenceEngine<'a>`.
+pub struct InferenceSession {
+    dict: Arc<BlackholeDictionary>,
+    refdata: Arc<ReferenceData>,
+    config: EngineConfig,
+    bogons: BogonFilter,
+    state: SessionState,
+}
+
+impl InferenceSession {
+    /// Shorthand for `SessionBuilder::new(dict, refdata).build()`.
+    pub fn new(dict: Arc<BlackholeDictionary>, refdata: Arc<ReferenceData>) -> Self {
+        SessionBuilder::new(dict, refdata).build()
     }
 
-    /// Engine statistics so far.
+    /// Session statistics so far.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.state.stats
     }
 
     /// The community/prefix-length census (Fig. 2, extended dictionary).
     pub fn census(&self) -> &CommunityPrefixCensus {
-        &self.census
+        &self.state.census
     }
 
     /// Per-dataset visibility accumulators.
     pub fn dataset_visibility(&self) -> &BTreeMap<DataSource, DatasetVisibility> {
-        &self.per_dataset
+        &self.state.per_dataset
+    }
+
+    /// Events currently open (active, not yet ended).
+    pub fn open_event_count(&self) -> usize {
+        self.state.open.len()
     }
 
     /// Initialize from a RIB dump: tagged prefixes present in the table
@@ -160,42 +288,67 @@ impl<'a> InferenceEngine<'a> {
     /// time … we use an initial starting time of zero").
     pub fn initialize_from_rib(&mut self, state: &[BgpElem]) {
         for elem in state {
-            if elem.elem_type == ElemType::Announce {
-                self.process_announce(elem, SimTime::ZERO);
-            }
+            self.push_rib(elem);
+        }
+    }
+
+    /// Push one RIB-dump entry (start time zero); the streaming sibling
+    /// of [`InferenceSession::initialize_from_rib`].
+    pub fn push_rib(&mut self, elem: &BgpElem) {
+        if elem.elem_type == ElemType::Announce {
+            self.process_announce(elem, SimTime::ZERO);
         }
     }
 
     /// Process one element in arrival order.
-    pub fn process(&mut self, elem: &BgpElem) {
+    pub fn push(&mut self, elem: &BgpElem) {
         match elem.elem_type {
             ElemType::Announce => self.process_announce(elem, elem.time),
             ElemType::Withdraw => self.process_withdraw(elem),
         }
     }
 
-    /// Process a whole stream.
-    pub fn process_stream(&mut self, elems: &[BgpElem]) {
-        for elem in elems {
-            self.process(elem);
+    /// Drain every element of a source, in order; returns how many were
+    /// processed. Constant memory for streaming sources.
+    pub fn ingest<S: ElemSource + ?Sized>(&mut self, source: &mut S) -> u64 {
+        let mut n = 0;
+        while let Some(elem) = source.next_elem() {
+            self.push(elem);
+            n += 1;
         }
+        n
+    }
+
+    /// Hand out the events closed so far and forget them; the mid-stream
+    /// consumer API. The union of everything drained plus the events of
+    /// the final [`InferenceSession::finish`] equals exactly what one
+    /// batch run would have produced.
+    pub fn drain_closed(&mut self) -> Vec<BlackholeEvent> {
+        std::mem::take(&mut self.state.closed)
+    }
+
+    /// Snapshot the mutable state (and configuration) for later
+    /// [`SessionBuilder::resume`].
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint { state: self.state.clone(), config: self.config }
     }
 
     /// Finish: close nothing (events still active stay open with
-    /// `end: None`) and return every event plus final census and stats.
+    /// `end: None`) and return every remaining event plus final census
+    /// and stats.
     pub fn finish(mut self) -> InferenceResult {
-        let mut events = std::mem::take(&mut self.closed);
-        let open: Vec<Ipv4Prefix> = self.open.keys().copied().collect();
+        let mut events = std::mem::take(&mut self.state.closed);
+        let open: Vec<Ipv4Prefix> = self.state.open.keys().copied().collect();
         for prefix in open {
-            let oe = self.open.remove(&prefix).expect("key exists");
+            let oe = self.state.open.remove(&prefix).expect("key exists");
             events.push(Self::to_event(prefix, oe, None));
         }
         events.sort_by_key(|e| (e.start, e.prefix));
         InferenceResult {
             events,
-            census: self.census,
-            stats: self.stats,
-            per_dataset: self.per_dataset,
+            census: self.state.census,
+            stats: self.state.stats,
+            per_dataset: self.state.per_dataset,
         }
     }
 
@@ -220,24 +373,23 @@ impl<'a> InferenceEngine<'a> {
         let mut detections: Vec<Detection> = Vec::new();
         let path = elem.as_path.without_prepending();
 
-        let mut consider = |engine: &mut Self, community: Community, candidates: Vec<Asn>| {
+        let mut consider = |session: &mut Self, community: Community, candidates: Vec<Asn>| {
             if candidates.is_empty() {
                 return;
             }
             let unambiguous = candidates.len() == 1;
             let mut resolved_any = false;
             for candidate in candidates {
-                if let Some(ixp) = engine.refdata.ixp_of_route_server(candidate) {
+                if let Some(ixp) = session.refdata.ixp_of_route_server(candidate) {
                     // IXP provider: route-server ASN on path, or peer-ip
                     // inside the IXP's peering LAN.
                     if path.contains(candidate) {
                         let user = path.hop_before(candidate);
-                        let distance = if engine.refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp) {
+                        let distance = if session.refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp)
+                        {
                             DetectionDistance::Hops(0)
                         } else {
-                            DetectionDistance::Hops(
-                                (path.distance_from_peer(candidate).unwrap_or(0) + 1) as u8,
-                            )
+                            detection_hops(path.distance_from_peer(candidate).unwrap_or(0))
                         };
                         detections.push(Detection {
                             provider: ProviderId::Ixp(ixp),
@@ -246,7 +398,7 @@ impl<'a> InferenceEngine<'a> {
                             community,
                         });
                         resolved_any = true;
-                    } else if engine.refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp) {
+                    } else if session.refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp) {
                         detections.push(Detection {
                             provider: ProviderId::Ixp(ixp),
                             user: Some(elem.peer_asn),
@@ -266,20 +418,18 @@ impl<'a> InferenceEngine<'a> {
                         .and_then(|pos| {
                             flat[pos + 1..]
                                 .iter()
-                                .find(|a| engine.refdata.ixp_of_route_server(**a).is_none())
+                                .find(|a| session.refdata.ixp_of_route_server(**a).is_none())
                                 .copied()
                         })
                         .or(Some(candidate));
                     detections.push(Detection {
                         provider: ProviderId::As(candidate),
                         user,
-                        distance: DetectionDistance::Hops(
-                            (path.distance_from_peer(candidate).unwrap_or(0) + 1) as u8,
-                        ),
+                        distance: detection_hops(path.distance_from_peer(candidate).unwrap_or(0)),
                         community,
                     });
                     resolved_any = true;
-                } else if unambiguous && engine.config.bundling_detection {
+                } else if unambiguous && session.config.bundling_detection {
                     // Bundled community: the provider never propagated the
                     // route, but the unambiguous tag identifies it.
                     detections.push(Detection {
@@ -288,12 +438,12 @@ impl<'a> InferenceEngine<'a> {
                         distance: DetectionDistance::NoPath,
                         community,
                     });
-                    engine.stats.bundled_detections += 1;
+                    session.state.stats.bundled_detections += 1;
                     resolved_any = true;
                 }
             }
             if !resolved_any {
-                engine.stats.ambiguous_unresolved += 1;
+                session.state.stats.ambiguous_unresolved += 1;
             }
         };
 
@@ -316,15 +466,15 @@ impl<'a> InferenceEngine<'a> {
     }
 
     fn process_announce(&mut self, elem: &BgpElem, start_time: SimTime) {
-        self.stats.elems += 1;
+        self.state.stats.elems += 1;
         // Data cleaning (§3): bogons and <-/8 never considered.
         if !self.bogons.is_routable(&elem.prefix) {
-            self.stats.cleaned += 1;
+            self.state.stats.cleaned += 1;
             return;
         }
         // Census of every community on every announcement (Fig. 2 input).
         let communities: Vec<Community> = elem.communities.iter().collect();
-        self.census.record(&communities, elem.prefix.length());
+        self.state.census.record(&communities, elem.prefix.length());
 
         let detections = self.detect(elem);
         let peer = elem.peer_key();
@@ -332,20 +482,21 @@ impl<'a> InferenceEngine<'a> {
         if detections.is_empty() {
             // Implicit withdrawal: previously blackholed at this peer,
             // now announced without tags (§4.2).
-            if let Some(oe) = self.open.get_mut(&elem.prefix) {
+            if let Some(oe) = self.state.open.get_mut(&elem.prefix) {
                 if oe.open_peers.remove(&peer) {
-                    self.stats.implicit_withdrawals += 1;
+                    self.state.stats.implicit_withdrawals += 1;
                     if oe.open_peers.is_empty() {
-                        let oe = self.open.remove(&elem.prefix).expect("open event exists");
-                        self.closed.push(Self::to_event(elem.prefix, oe, Some(elem.time)));
+                        let oe = self.state.open.remove(&elem.prefix).expect("open event exists");
+                        self.state.closed.push(Self::to_event(elem.prefix, oe, Some(elem.time)));
                     }
                 }
             }
             return;
         }
-        self.stats.tagged_announcements += 1;
+        self.state.stats.tagged_announcements += 1;
 
         let oe = self
+            .state
             .open
             .entry(elem.prefix)
             .or_insert_with(|| OpenEvent { start: start_time, ..Default::default() });
@@ -362,7 +513,7 @@ impl<'a> InferenceEngine<'a> {
         }
         oe.all_peers.insert(peer);
         oe.datasets.insert(elem.dataset);
-        let vis = self.per_dataset.entry(elem.dataset).or_default();
+        let vis = self.state.per_dataset.entry(elem.dataset).or_default();
         vis.prefixes.insert(elem.prefix);
         for d in &detections {
             oe.providers.insert(d.provider);
@@ -379,48 +530,80 @@ impl<'a> InferenceEngine<'a> {
     }
 
     fn process_withdraw(&mut self, elem: &BgpElem) {
-        self.stats.elems += 1;
+        self.state.stats.elems += 1;
         let peer = if self.config.per_peer_state {
             elem.peer_key()
         } else {
             PeerKey { dataset: elem.dataset, collector: 0, peer_asn: Asn::new(0) }
         };
-        if let Some(oe) = self.open.get_mut(&elem.prefix) {
+        if let Some(oe) = self.state.open.get_mut(&elem.prefix) {
             if oe.open_peers.remove(&peer) {
-                self.stats.explicit_withdrawals += 1;
+                self.state.stats.explicit_withdrawals += 1;
                 if oe.open_peers.is_empty() {
-                    let oe = self.open.remove(&elem.prefix).expect("open event exists");
-                    self.closed.push(Self::to_event(elem.prefix, oe, Some(elem.time)));
+                    let oe = self.state.open.remove(&elem.prefix).expect("open event exists");
+                    self.state.closed.push(Self::to_event(elem.prefix, oe, Some(elem.time)));
                 }
             }
         }
     }
 }
 
-/// Everything the engine produced.
+/// Everything a session produced.
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferenceResult {
     /// All inferred events (closed ones have `end: Some(_)`).
     pub events: Vec<BlackholeEvent>,
     /// The community/prefix-length census.
     pub census: CommunityPrefixCensus,
-    /// Engine counters.
+    /// Session counters.
     pub stats: EngineStats,
     /// Per-dataset visibility (Table 3 inputs).
     pub per_dataset: BTreeMap<DataSource, DatasetVisibility>,
+}
+
+impl InferenceResult {
+    /// Fold another result into this one: events concatenate (callers
+    /// re-sort), census/stats/visibility merge commutatively. The
+    /// deterministic-merge half of the sharded runner.
+    pub fn merge(&mut self, other: InferenceResult) {
+        self.events.extend(other.events);
+        self.census.merge(&other.census);
+        self.stats.merge(other.stats);
+        for (dataset, vis) in &other.per_dataset {
+            self.per_dataset.entry(*dataset).or_default().merge(vis);
+        }
+    }
+
+    /// An empty result (the merge identity).
+    pub fn empty() -> Self {
+        InferenceResult {
+            events: Vec::new(),
+            census: CommunityPrefixCensus::new(),
+            stats: EngineStats::default(),
+            per_dataset: BTreeMap::new(),
+        }
+    }
+
+    /// Restore the canonical event order after merging shards: stable
+    /// sort by `(start, prefix)` — identical to what a single-threaded
+    /// [`InferenceSession::finish`] produces.
+    pub fn sort_events(&mut self) {
+        self.events.sort_by_key(|e| (e.start, e.prefix));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use bh_bgp_types::as_path::AsPath;
     use bh_bgp_types::community::CommunitySet;
-    use bh_routing::{deploy, CollectorConfig};
+    use bh_routing::{deploy, CollectorConfig, SliceSource};
     use bh_topology::{TopologyBuilder, TopologyConfig};
 
     use super::*;
 
     struct Setup {
-        dict: BlackholeDictionary,
-        refdata: ReferenceData,
+        dict: Arc<BlackholeDictionary>,
+        refdata: Arc<ReferenceData>,
         provider: Asn,
         community: Community,
     }
@@ -428,12 +611,22 @@ mod tests {
     fn setup() -> Setup {
         let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
         let d = deploy(&t, &CollectorConfig::tiny(4));
-        let refdata = ReferenceData::build(&t, &d);
+        let refdata = Arc::new(ReferenceData::build(&t, &d));
         let mut dict = BlackholeDictionary::default();
         let provider = Asn::new(64_777); // not in the topology: pure unit test
         let community = Community::from_parts(777, 666);
         dict.insert_validated(provider, community);
-        Setup { dict, refdata, provider, community }
+        Setup { dict: Arc::new(dict), refdata, provider, community }
+    }
+
+    impl Setup {
+        fn session(&self) -> InferenceSession {
+            InferenceSession::new(self.dict.clone(), self.refdata.clone())
+        }
+
+        fn builder(&self) -> SessionBuilder {
+            SessionBuilder::new(self.dict.clone(), self.refdata.clone())
+        }
     }
 
     fn announce(
@@ -475,10 +668,10 @@ mod tests {
     #[test]
     fn basic_event_lifecycle() {
         let s = setup();
-        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
-        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
-        engine.process(&withdraw("9.9.9.9/32", 160, 100));
-        let result = engine.finish();
+        let mut session = s.session();
+        session.push(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        session.push(&withdraw("9.9.9.9/32", 160, 100));
+        let result = session.finish();
         assert_eq!(result.events.len(), 1);
         let e = &result.events[0];
         assert_eq!(e.prefix, "9.9.9.9/32".parse().unwrap());
@@ -493,15 +686,15 @@ mod tests {
     #[test]
     fn user_is_hop_before_provider_after_deprepending() {
         let s = setup();
-        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
-        engine.process(&announce(
+        let mut session = s.session();
+        session.push(&announce(
             "9.9.9.9/32",
             100,
             "100 64777 64777 64999 64999 64999",
             vec![s.community],
             100,
         ));
-        let result = engine.finish();
+        let result = session.finish();
         assert_eq!(result.events[0].users, BTreeSet::from([Asn::new(64_999)]));
         // Distance counts deprepended hops: peer(100)=pos0, provider pos1
         // → distance 2 per the paper's 1-indexed convention.
@@ -509,11 +702,30 @@ mod tests {
     }
 
     #[test]
+    fn pathological_path_distance_saturates_instead_of_wrapping() {
+        // A >254-hop path must clamp the detection distance at u8::MAX,
+        // not wrap around (regression: the old `as u8` cast wrapped).
+        let s = setup();
+        let mut session = s.session();
+        let mut hops: Vec<String> = (1..=300u32).map(|k| (1000 + k).to_string()).collect();
+        hops.push(s.provider.value().to_string());
+        hops.push("64999".to_string());
+        session.push(&announce("9.9.9.9/32", 100, &hops.join(" "), vec![s.community], 1001));
+        let result = session.finish();
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(
+            result.events[0].distances,
+            BTreeSet::from([DetectionDistance::Hops(u8::MAX)]),
+            "301-hop distance must saturate at 255"
+        );
+    }
+
+    #[test]
     fn bundled_detection_when_provider_absent() {
         let s = setup();
-        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
-        engine.process(&announce("9.9.9.9/32", 100, "100 200 64999", vec![s.community], 100));
-        let result = engine.finish();
+        let mut session = s.session();
+        session.push(&announce("9.9.9.9/32", 100, "100 200 64999", vec![s.community], 100));
+        let result = session.finish();
         assert_eq!(result.events.len(), 1);
         let e = &result.events[0];
         assert!(e.bundled_detection);
@@ -525,27 +737,26 @@ mod tests {
     #[test]
     fn bundling_ablation_disables_no_path_detection() {
         let s = setup();
-        let config = EngineConfig { bundling_detection: false, ..Default::default() };
-        let mut engine = InferenceEngine::with_config(&s.dict, &s.refdata, config);
-        engine.process(&announce("9.9.9.9/32", 100, "100 200 64999", vec![s.community], 100));
-        let result = engine.finish();
+        let mut session = s.builder().bundling_detection(false).build();
+        session.push(&announce("9.9.9.9/32", 100, "100 200 64999", vec![s.community], 100));
+        let result = session.finish();
         assert!(result.events.is_empty());
     }
 
     #[test]
     fn ambiguous_community_requires_path_presence() {
         let s = setup();
-        let mut dict = s.dict.clone();
+        let mut dict = (*s.dict).clone();
         let shared = Community::from_parts(0, 666);
         dict.insert_validated(Asn::new(501), shared);
         dict.insert_validated(Asn::new(502), shared);
-        let mut engine = InferenceEngine::new(&dict, &s.refdata);
+        let mut session = InferenceSession::new(Arc::new(dict), s.refdata.clone());
         // Neither 501 nor 502 on path: skipped.
-        engine.process(&announce("9.9.9.9/32", 100, "100 200 300", vec![shared], 100));
-        assert_eq!(engine.stats().ambiguous_unresolved, 1);
+        session.push(&announce("9.9.9.9/32", 100, "100 200 300", vec![shared], 100));
+        assert_eq!(session.stats().ambiguous_unresolved, 1);
         // 502 on path: resolved to 502 only.
-        engine.process(&announce("8.8.8.8/32", 100, "100 502 300", vec![shared], 100));
-        let result = engine.finish();
+        session.push(&announce("8.8.8.8/32", 100, "100 502 300", vec![shared], 100));
+        let result = session.finish();
         assert_eq!(result.events.len(), 1);
         assert_eq!(result.events[0].providers, BTreeSet::from([ProviderId::As(Asn::new(502))]));
     }
@@ -553,11 +764,11 @@ mod tests {
     #[test]
     fn implicit_withdrawal_closes_event() {
         let s = setup();
-        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
-        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        let mut session = s.session();
+        session.push(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
         // Re-announcement without the tag: implicit withdrawal.
-        engine.process(&announce("9.9.9.9/32", 200, "100 64777 64999", vec![], 100));
-        let result = engine.finish();
+        session.push(&announce("9.9.9.9/32", 200, "100 64777 64999", vec![], 100));
+        let result = session.finish();
         assert_eq!(result.events.len(), 1);
         assert_eq!(result.events[0].end, Some(SimTime::from_unix(200)));
         assert_eq!(result.stats.implicit_withdrawals, 1);
@@ -566,17 +777,15 @@ mod tests {
     #[test]
     fn per_peer_correlation_takes_last_close() {
         let s = setup();
-        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
-        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
-        engine.process(&announce("9.9.9.9/32", 110, "200 64777 64999", vec![s.community], 200));
+        let mut session = s.session();
+        session.push(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        session.push(&announce("9.9.9.9/32", 110, "200 64777 64999", vec![s.community], 200));
         // First peer withdraws early; second keeps it until 500.
-        engine.process(&withdraw("9.9.9.9/32", 150, 100));
-        {
-            // Still open: only one of two peers closed.
-            assert_eq!(engine.open.len(), 1);
-        }
-        engine.process(&withdraw("9.9.9.9/32", 500, 200));
-        let result = engine.finish();
+        session.push(&withdraw("9.9.9.9/32", 150, 100));
+        // Still open: only one of two peers closed.
+        assert_eq!(session.open_event_count(), 1);
+        session.push(&withdraw("9.9.9.9/32", 500, 200));
+        let result = session.finish();
         assert_eq!(result.events.len(), 1);
         assert_eq!(result.events[0].start, SimTime::from_unix(100));
         assert_eq!(result.events[0].end, Some(SimTime::from_unix(500)));
@@ -586,12 +795,11 @@ mod tests {
     #[test]
     fn per_peer_ablation_closes_on_first_withdrawal() {
         let s = setup();
-        let config = EngineConfig { per_peer_state: false, ..Default::default() };
-        let mut engine = InferenceEngine::with_config(&s.dict, &s.refdata, config);
-        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
-        engine.process(&announce("9.9.9.9/32", 110, "200 64777 64999", vec![s.community], 200));
-        engine.process(&withdraw("9.9.9.9/32", 150, 100));
-        let result = engine.finish();
+        let mut session = s.builder().per_peer_state(false).build();
+        session.push(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        session.push(&announce("9.9.9.9/32", 110, "200 64777 64999", vec![s.community], 200));
+        session.push(&withdraw("9.9.9.9/32", 150, 100));
+        let result = session.finish();
         // Collapsed state: the early withdrawal ends the event.
         assert_eq!(result.events[0].end, Some(SimTime::from_unix(150)));
     }
@@ -599,11 +807,11 @@ mod tests {
     #[test]
     fn rib_initialization_uses_time_zero() {
         let s = setup();
-        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        let mut session = s.session();
         let rib = vec![announce("9.9.9.9/32", 10_000, "100 64777 64999", vec![s.community], 100)];
-        engine.initialize_from_rib(&rib);
-        engine.process(&withdraw("9.9.9.9/32", 10_500, 100));
-        let result = engine.finish();
+        session.initialize_from_rib(&rib);
+        session.push(&withdraw("9.9.9.9/32", 10_500, 100));
+        let result = session.finish();
         assert_eq!(result.events[0].start, SimTime::ZERO);
         assert_eq!(result.events[0].end, Some(SimTime::from_unix(10_500)));
     }
@@ -611,13 +819,13 @@ mod tests {
     #[test]
     fn on_off_pattern_yields_multiple_events() {
         let s = setup();
-        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        let mut session = s.session();
         for k in 0..3u64 {
             let t0 = 1000 + k * 300;
-            engine.process(&announce("9.9.9.9/32", t0, "100 64777 64999", vec![s.community], 100));
-            engine.process(&withdraw("9.9.9.9/32", t0 + 60, 100));
+            session.push(&announce("9.9.9.9/32", t0, "100 64777 64999", vec![s.community], 100));
+            session.push(&withdraw("9.9.9.9/32", t0 + 60, 100));
         }
-        let result = engine.finish();
+        let result = session.finish();
         assert_eq!(result.events.len(), 3);
         for e in &result.events {
             assert_eq!(e.duration(SimTime::ZERO).as_secs(), 60);
@@ -627,9 +835,9 @@ mod tests {
     #[test]
     fn open_events_survive_finish_with_no_end() {
         let s = setup();
-        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
-        engine.process(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
-        let result = engine.finish();
+        let mut session = s.session();
+        session.push(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        let result = session.finish();
         assert_eq!(result.events.len(), 1);
         assert_eq!(result.events[0].end, None);
     }
@@ -637,9 +845,9 @@ mod tests {
     #[test]
     fn bogon_announcements_are_cleaned() {
         let s = setup();
-        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
-        engine.process(&announce("10.0.0.1/32", 100, "100 64777 64999", vec![s.community], 100));
-        let result = engine.finish();
+        let mut session = s.session();
+        session.push(&announce("10.0.0.1/32", 100, "100 64777 64999", vec![s.community], 100));
+        let result = session.finish();
         assert!(result.events.is_empty());
         assert_eq!(result.stats.cleaned, 1);
     }
@@ -649,11 +857,11 @@ mod tests {
         // Use a real generated topology so refdata has IXPs.
         let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
         let d = deploy(&t, &CollectorConfig::tiny(4));
-        let refdata = ReferenceData::build(&t, &d);
+        let refdata = Arc::new(ReferenceData::build(&t, &d));
         let ixp = t.ixps()[0].clone();
         let mut dict = BlackholeDictionary::default();
         dict.insert_validated(ixp.route_server_asn, Community::BLACKHOLE);
-        let mut engine = InferenceEngine::new(&dict, &refdata);
+        let mut session = InferenceSession::new(Arc::new(dict), refdata);
         let member = ixp.members[0];
         let elem = announce(
             "9.9.9.9/32",
@@ -662,8 +870,8 @@ mod tests {
             vec![Community::BLACKHOLE],
             100,
         );
-        engine.process(&elem);
-        let result = engine.finish();
+        session.push(&elem);
+        let result = session.finish();
         assert_eq!(result.events.len(), 1);
         assert_eq!(result.events[0].providers, BTreeSet::from([ProviderId::Ixp(ixp.id)]));
         assert_eq!(result.events[0].users, BTreeSet::from([member]));
@@ -673,11 +881,11 @@ mod tests {
     fn ixp_detection_via_peer_ip_in_lan() {
         let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
         let d = deploy(&t, &CollectorConfig::tiny(4));
-        let refdata = ReferenceData::build(&t, &d);
+        let refdata = Arc::new(ReferenceData::build(&t, &d));
         let ixp = t.ixps()[0].clone();
         let mut dict = BlackholeDictionary::default();
         dict.insert_validated(ixp.route_server_asn, Community::BLACKHOLE);
-        let mut engine = InferenceEngine::new(&dict, &refdata);
+        let mut session = InferenceSession::new(Arc::new(dict), refdata);
         let member = ixp.members[0];
         let mut elem = announce(
             "9.9.9.9/32",
@@ -688,8 +896,8 @@ mod tests {
         );
         elem.peer_ip = ixp.member_lan_ip(member).map(std::net::IpAddr::V4).unwrap();
         elem.dataset = DataSource::Pch;
-        engine.process(&elem);
-        let result = engine.finish();
+        session.push(&elem);
+        let result = session.finish();
         assert_eq!(result.events.len(), 1);
         let e = &result.events[0];
         assert_eq!(e.providers, BTreeSet::from([ProviderId::Ixp(ixp.id)]));
@@ -701,17 +909,17 @@ mod tests {
     #[test]
     fn census_records_all_tagged_and_untagged_communities() {
         let s = setup();
-        let mut engine = InferenceEngine::new(&s.dict, &s.refdata);
+        let mut session = s.session();
         let other = Community::from_parts(555, 80);
-        engine.process(&announce(
+        session.push(&announce(
             "9.9.9.9/32",
             100,
             "100 64777 64999",
             vec![s.community, other],
             100,
         ));
-        engine.process(&announce("7.0.0.0/16", 100, "100 300", vec![other], 100));
-        let result = engine.finish();
+        session.push(&announce("7.0.0.0/16", 100, "100 300", vec![other], 100));
+        let result = session.finish();
         assert_eq!(result.census.occurrences(s.community), 1);
         assert_eq!(result.census.occurrences(other), 2);
         assert!(result.census.cooccurs(other, s.community));
@@ -720,13 +928,111 @@ mod tests {
     #[test]
     fn multi_provider_bundle_yields_multi_provider_event() {
         let s = setup();
-        let mut dict = s.dict.clone();
+        let mut dict = (*s.dict).clone();
         let c2 = Community::from_parts(888, 666);
         dict.insert_validated(Asn::new(64_888), c2);
-        let mut engine = InferenceEngine::new(&dict, &s.refdata);
-        engine.process(&announce("9.9.9.9/32", 100, "100 64999", vec![s.community, c2], 100));
-        let result = engine.finish();
+        let mut session = InferenceSession::new(Arc::new(dict), s.refdata.clone());
+        session.push(&announce("9.9.9.9/32", 100, "100 64999", vec![s.community, c2], 100));
+        let result = session.finish();
         assert_eq!(result.events.len(), 1);
         assert_eq!(result.events[0].providers.len(), 2);
+    }
+
+    #[test]
+    fn ingest_equals_push_loop() {
+        let s = setup();
+        let elems = vec![
+            announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100),
+            withdraw("9.9.9.9/32", 160, 100),
+            announce("8.8.8.8/32", 200, "100 64777 64999", vec![s.community], 100),
+        ];
+        let mut by_push = s.session();
+        for e in &elems {
+            by_push.push(e);
+        }
+        let mut by_ingest = s.session();
+        assert_eq!(by_ingest.ingest(&mut SliceSource::new(&elems)), 3);
+        assert_eq!(by_push.finish(), by_ingest.finish());
+    }
+
+    #[test]
+    fn drain_closed_hands_out_events_mid_stream() {
+        let s = setup();
+        let mut session = s.session();
+        session.push(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        session.push(&withdraw("9.9.9.9/32", 160, 100));
+        let drained = session.drain_closed();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].end, Some(SimTime::from_unix(160)));
+        // Drained events do not reappear.
+        assert!(session.drain_closed().is_empty());
+        session.push(&announce("8.8.8.8/32", 200, "100 64777 64999", vec![s.community], 100));
+        let result = session.finish();
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(result.events[0].prefix, "8.8.8.8/32".parse().unwrap());
+        // Stats keep covering the whole stream.
+        assert_eq!(result.stats.elems, 3);
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_exactly() {
+        let s = setup();
+        let elems = vec![
+            announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100),
+            announce("8.8.8.8/32", 120, "100 64777 64999", vec![s.community], 100),
+            withdraw("9.9.9.9/32", 160, 100),
+            withdraw("8.8.8.8/32", 180, 100),
+        ];
+        // One shot.
+        let mut oneshot = s.session();
+        for e in &elems {
+            oneshot.push(e);
+        }
+        let expected = oneshot.finish();
+
+        // Suspend after two elements, resume in a fresh session.
+        let mut first = s.session();
+        first.push(&elems[0]);
+        first.push(&elems[1]);
+        let checkpoint = first.checkpoint();
+        assert_eq!(checkpoint.open_events(), 2);
+        assert_eq!(checkpoint.pending_closed(), 0);
+        drop(first);
+        let mut resumed = s.builder().resume(checkpoint);
+        resumed.push(&elems[2]);
+        resumed.push(&elems[3]);
+        assert_eq!(resumed.finish(), expected);
+    }
+
+    #[test]
+    fn resume_keeps_the_checkpointed_configuration() {
+        // An ablated (collapsed-peer) session checkpointed mid-stream
+        // must resume with the same semantics even if the resuming
+        // builder was left at defaults — otherwise real-peer withdrawals
+        // could never match the collapsed PeerKey and events would
+        // stay open forever.
+        let s = setup();
+        let mut ablated = s.builder().per_peer_state(false).build();
+        ablated.push(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        ablated.push(&announce("9.9.9.9/32", 110, "200 64777 64999", vec![s.community], 200));
+        let checkpoint = ablated.checkpoint();
+        // Resume from a default-config builder: checkpoint config wins.
+        let mut resumed = s.builder().resume(checkpoint);
+        resumed.push(&withdraw("9.9.9.9/32", 150, 100));
+        let result = resumed.finish();
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(result.events[0].end, Some(SimTime::from_unix(150)));
+    }
+
+    #[test]
+    fn checkpoint_carries_undrained_closed_events() {
+        let s = setup();
+        let mut session = s.session();
+        session.push(&announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100));
+        session.push(&withdraw("9.9.9.9/32", 160, 100));
+        let checkpoint = session.checkpoint();
+        assert_eq!(checkpoint.pending_closed(), 1);
+        let resumed = s.builder().resume(checkpoint);
+        assert_eq!(resumed.finish().events.len(), 1);
     }
 }

@@ -1,0 +1,299 @@
+//! The sharded parallel runner: hash-partition the element stream by
+//! prefix across worker threads, each owning an
+//! [`InferenceSession`](crate::InferenceSession), and merge
+//! deterministically.
+//!
+//! Correctness rests on two facts about the §4.2 method:
+//!
+//! 1. All mutable inference state is keyed by prefix (the per-(prefix,
+//!    peer) machines, the open-event table), so routing *every element
+//!    of one prefix to the same shard* preserves the exact per-prefix
+//!    arrival order — the only order the state machines observe.
+//! 2. The cross-prefix outputs (census, stats, per-dataset visibility)
+//!    are commutative accumulators, and the event list has a canonical
+//!    order (stable sort by `(start, prefix)`), so shard merging is
+//!    deterministic and bit-identical to a single-threaded run — a
+//!    property test in `tests/` asserts exactly that.
+//!
+//! Elements cross thread boundaries in batches to amortize channel
+//! overhead; the partition hash is a fixed multiplicative hash of the
+//! prefix bits (never `RandomState`), so shard assignment is stable
+//! across runs and machines.
+
+use std::sync::mpsc;
+use std::thread::{self, JoinHandle};
+
+use bh_bgp_types::prefix::Ipv4Prefix;
+use bh_routing::{BgpElem, ElemSource};
+
+use crate::session::{InferenceResult, SessionBuilder};
+
+/// Elements buffered per shard before a batch crosses the channel.
+const BATCH: usize = 512;
+
+enum ShardMsg {
+    /// Live stream elements, in per-prefix arrival order.
+    Elems(Vec<BgpElem>),
+    /// RIB-dump entries (start time zero).
+    Rib(Vec<BgpElem>),
+}
+
+/// A parallel inference session over `N` prefix-partitioned workers.
+///
+/// Built via [`SessionBuilder::build_sharded`]; exposes the same
+/// one-pass surface as [`InferenceSession`](crate::InferenceSession)
+/// (`push` / `push_rib` / `ingest` / `finish`). Mid-stream draining and
+/// checkpointing remain single-session features — the sharded runner
+/// targets offline archive scans where only the final result matters.
+pub struct ShardedSession {
+    senders: Vec<mpsc::Sender<ShardMsg>>,
+    workers: Vec<JoinHandle<InferenceResult>>,
+    buffers: Vec<Vec<BgpElem>>,
+    pushed: u64,
+}
+
+impl ShardedSession {
+    /// Spawn `shards` workers (clamped to at least 1), each owning a
+    /// session built from `builder`.
+    pub(crate) fn spawn(builder: SessionBuilder, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel::<ShardMsg>();
+            let worker_builder = builder.clone();
+            workers.push(thread::spawn(move || {
+                let mut session = worker_builder.build();
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ShardMsg::Elems(batch) => {
+                            for elem in &batch {
+                                session.push(elem);
+                            }
+                        }
+                        ShardMsg::Rib(batch) => {
+                            for elem in &batch {
+                                session.push_rib(elem);
+                            }
+                        }
+                    }
+                }
+                session.finish()
+            }));
+            senders.push(tx);
+        }
+        ShardedSession { senders, workers, buffers: vec![Vec::new(); shards], pushed: 0 }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Elements pushed so far (stream + RIB).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Deterministic shard assignment: a fixed multiplicative hash of
+    /// the prefix bits and length.
+    fn shard_of(&self, prefix: &Ipv4Prefix) -> usize {
+        let key = ((prefix.network_bits() as u64) << 8) | prefix.length() as u64;
+        let hashed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((hashed >> 32) % self.senders.len() as u64) as usize
+    }
+
+    /// Route one element to its prefix's shard.
+    pub fn push(&mut self, elem: &BgpElem) {
+        let shard = self.shard_of(&elem.prefix);
+        self.buffers[shard].push(elem.clone());
+        self.pushed += 1;
+        if self.buffers[shard].len() >= BATCH {
+            let batch = std::mem::take(&mut self.buffers[shard]);
+            let _ = self.senders[shard].send(ShardMsg::Elems(batch));
+        }
+    }
+
+    /// Initialize from a RIB dump (start time zero), sharded like the
+    /// live stream. Call before pushing updates, mirroring the paper's
+    /// "Initialization Based on BGP Table Dump".
+    pub fn initialize_from_rib(&mut self, state: &[BgpElem]) {
+        // Flush live buffers first so RIB entries cannot overtake
+        // elements already pushed to the same shard.
+        self.flush();
+        let mut batches: Vec<Vec<BgpElem>> = vec![Vec::new(); self.senders.len()];
+        for elem in state {
+            batches[self.shard_of(&elem.prefix)].push(elem.clone());
+        }
+        for (shard, batch) in batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.pushed += batch.len() as u64;
+                let _ = self.senders[shard].send(ShardMsg::Rib(batch));
+            }
+        }
+    }
+
+    /// Drain every element of a source through the shards; returns how
+    /// many were processed.
+    pub fn ingest<S: ElemSource + ?Sized>(&mut self, source: &mut S) -> u64 {
+        let mut n = 0;
+        while let Some(elem) = source.next_elem() {
+            self.push(elem);
+            n += 1;
+        }
+        n
+    }
+
+    fn flush(&mut self) {
+        for (shard, buffer) in self.buffers.iter_mut().enumerate() {
+            if !buffer.is_empty() {
+                let _ = self.senders[shard].send(ShardMsg::Elems(std::mem::take(buffer)));
+            }
+        }
+    }
+
+    /// Flush, close the channels, join the workers, and merge their
+    /// results into one — bit-identical to a single-threaded run over
+    /// the same stream.
+    pub fn finish(mut self) -> InferenceResult {
+        self.flush();
+        drop(std::mem::take(&mut self.senders)); // close channels: workers finish
+        let mut merged = InferenceResult::empty();
+        for worker in self.workers.drain(..) {
+            let result = worker.join().expect("shard worker panicked");
+            merged.merge(result);
+        }
+        // Equal (start, prefix) keys can only collide within one shard
+        // (a prefix never splits), and each worker already emits them in
+        // single-threaded order — so the stable sort reproduces the
+        // canonical order exactly.
+        merged.sort_events();
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use bh_bgp_types::as_path::AsPath;
+    use bh_bgp_types::asn::Asn;
+    use bh_bgp_types::community::{Community, CommunitySet};
+    use bh_bgp_types::time::SimTime;
+    use bh_irr::BlackholeDictionary;
+    use bh_routing::{deploy, CollectorConfig, DataSource, ElemType};
+    use bh_topology::{TopologyBuilder, TopologyConfig};
+
+    use super::*;
+    use crate::refdata::ReferenceData;
+
+    fn builder() -> (SessionBuilder, Community) {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
+        let d = deploy(&t, &CollectorConfig::tiny(4));
+        let refdata = Arc::new(ReferenceData::build(&t, &d));
+        let mut dict = BlackholeDictionary::default();
+        let community = Community::from_parts(777, 666);
+        dict.insert_validated(Asn::new(64_777), community);
+        (SessionBuilder::new(Arc::new(dict), refdata), community)
+    }
+
+    fn announce(prefix: &str, time: u64, communities: Vec<Community>, peer: u32) -> BgpElem {
+        BgpElem {
+            time: SimTime::from_unix(time),
+            dataset: DataSource::Ris,
+            collector: 0,
+            peer_asn: Asn::new(peer),
+            peer_ip: "198.51.100.7".parse().unwrap(),
+            elem_type: ElemType::Announce,
+            prefix: prefix.parse().unwrap(),
+            as_path: "100 64777 64999".parse().unwrap(),
+            communities: CommunitySet::from_classic(communities),
+            next_hop: None,
+        }
+    }
+
+    fn withdraw(prefix: &str, time: u64, peer: u32) -> BgpElem {
+        BgpElem {
+            time: SimTime::from_unix(time),
+            dataset: DataSource::Ris,
+            collector: 0,
+            peer_asn: Asn::new(peer),
+            peer_ip: "198.51.100.7".parse().unwrap(),
+            elem_type: ElemType::Withdraw,
+            prefix: prefix.parse().unwrap(),
+            as_path: AsPath::empty(),
+            communities: CommunitySet::new(),
+            next_hop: None,
+        }
+    }
+
+    /// Synthetic multi-prefix stream with on/off pulses and stragglers.
+    fn stream(community: Community) -> Vec<BgpElem> {
+        let mut elems = Vec::new();
+        for k in 0..40u64 {
+            let prefix = format!("9.9.{}.{}/32", k % 7, k % 23);
+            elems.push(announce(&prefix, 100 + k, vec![community], 100 + (k % 3) as u32));
+            if k % 2 == 0 {
+                elems.push(withdraw(&prefix, 200 + k, 100 + (k % 3) as u32));
+            }
+        }
+        elems.sort_by_key(|e| e.time);
+        elems
+    }
+
+    #[test]
+    fn sharded_matches_single_threaded_exactly() {
+        let (b, community) = builder();
+        let elems = stream(community);
+
+        let mut single = b.clone().build();
+        for e in &elems {
+            single.push(e);
+        }
+        let expected = single.finish();
+
+        for shards in [1, 2, 4, 7] {
+            let mut sharded = b.clone().build_sharded(shards);
+            assert_eq!(sharded.shard_count(), shards);
+            for e in &elems {
+                sharded.push(e);
+            }
+            assert_eq!(sharded.pushed(), elems.len() as u64);
+            assert_eq!(sharded.finish(), expected, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_rib_initialization_matches_single_threaded() {
+        let (b, community) = builder();
+        let rib: Vec<BgpElem> = (0..9u64)
+            .map(|k| announce(&format!("9.9.9.{k}/32"), 5_000, vec![community], 7))
+            .collect();
+        let updates: Vec<BgpElem> =
+            (0..9u64).map(|k| withdraw(&format!("9.9.9.{k}/32"), 6_000 + k, 7)).collect();
+
+        let mut single = b.clone().build();
+        single.initialize_from_rib(&rib);
+        for e in &updates {
+            single.push(e);
+        }
+        let expected = single.finish();
+        assert!(expected.events.iter().all(|e| e.start == SimTime::ZERO));
+
+        let mut sharded = b.build_sharded(4);
+        sharded.initialize_from_rib(&rib);
+        for e in &updates {
+            sharded.push(e);
+        }
+        assert_eq!(sharded.finish(), expected);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let (b, community) = builder();
+        let mut sharded = b.build_sharded(0);
+        assert_eq!(sharded.shard_count(), 1);
+        sharded.push(&announce("9.9.9.9/32", 10, vec![community], 1));
+        assert_eq!(sharded.finish().events.len(), 1);
+    }
+}

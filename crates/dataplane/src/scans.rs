@@ -244,8 +244,8 @@ pub fn service_histogram(profiles: &[PrefixProfile]) -> (BTreeMap<Service, usize
 }
 
 /// Daily suspicious-activity feed (§8: on a daily basis 400–900 matches,
-/// >90 % probers, ~2 % both; 500–800 IPs in login attempts; union ≈2 %
-/// of blackholed prefixes).
+/// more than 90 % probers, ~2 % both; 500–800 IPs in login attempts;
+/// union ≈2 % of blackholed prefixes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReputationDay {
     /// Day offset.

@@ -18,7 +18,7 @@ use crate::dictionary::BlackholeDictionary;
 /// Census of community usage across BGP announcements: per community, a
 /// histogram over announced prefix lengths, plus co-occurrence with other
 /// communities on the same announcement.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommunityPrefixCensus {
     counts: BTreeMap<Community, [u64; 33]>,
     cooccur: BTreeMap<Community, BTreeSet<Community>>,

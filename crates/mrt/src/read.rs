@@ -116,6 +116,22 @@ impl<R: Read> MrtReader<R> {
         Ok(Bytes::from(body))
     }
 
+    /// Decode records until the next BGP4MP *message* (the record type
+    /// that carries routing updates), or `Ok(None)` at EOF.
+    ///
+    /// This is the streaming entry point for updates-file consumers:
+    /// state changes, RIB records, and unknown record types are skipped
+    /// without buffering, so archives of any size are read with constant
+    /// memory.
+    pub fn next_message(&mut self) -> Result<Option<(SimTime, Bgp4mpMessage)>, MrtError> {
+        while let Some(record) = self.next_record()? {
+            if let MrtRecordBody::Message(msg) = record.body {
+                return Ok(Some((record.timestamp, msg)));
+            }
+        }
+        Ok(None)
+    }
+
     /// Decode the next record, or `Ok(None)` at EOF.
     pub fn next_record(&mut self) -> Result<Option<MrtRecord>, MrtError> {
         loop {
@@ -451,6 +467,32 @@ mod tests {
             }
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn next_message_skips_non_message_records() {
+        // State change, then an update: next_message lands on the update.
+        let mut buf = Vec::new();
+        {
+            let mut w = MrtWriter::new(&mut buf);
+            w.write_state_change(
+                SimTime::from_unix(1),
+                Asn::new(6939),
+                "10.0.0.1".parse().unwrap(),
+                Asn::new(65000),
+                "10.0.0.2".parse().unwrap(),
+                BgpState::Idle,
+                BgpState::Established,
+            )
+            .unwrap();
+        }
+        buf.extend_from_slice(&one_update_archive());
+        let mut r = MrtReader::new(&buf[..]);
+        let (time, msg) = r.next_message().unwrap().unwrap();
+        assert_eq!(time, SimTime::from_unix(5));
+        assert_eq!(msg.peer_asn, Asn::new(6939));
+        assert!(msg.update.is_some());
+        assert!(r.next_message().unwrap().is_none());
     }
 
     #[test]

@@ -230,6 +230,11 @@ pub struct RibPeerEntry {
 }
 
 /// The decoded body of an MRT record.
+///
+/// The `Message` variant dominates the enum's size, but records are
+/// transient parse outputs on the hot decode path — boxing it would cost
+/// an allocation per record for no retained-memory benefit.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MrtRecordBody {
     /// BGP4MP MESSAGE / MESSAGE_AS4.

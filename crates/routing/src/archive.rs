@@ -5,16 +5,17 @@
 //! path) — both exercised by the integration tests, proving the wire
 //! format carries everything the inference needs.
 
-use std::collections::BTreeMap;
-use std::io::Write;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::IpAddr;
 
 use bh_bgp_types::attrs::PathAttributes;
 use bh_bgp_types::time::SimTime;
 use bh_bgp_types::update::BgpUpdate;
-use bh_mrt::{MrtError, MrtReader, MrtRecordBody, MrtWriter};
+use bh_mrt::{Bgp4mpMessage, MrtError, MrtReader, MrtWriter};
 
 use crate::elem::{BgpElem, DataSource, ElemType};
+use crate::source::ElemSource;
 
 /// Write a stream of elems as `BGP4MP/MESSAGE_AS4` records, one archive
 /// per call (callers typically split by platform).
@@ -50,53 +51,140 @@ pub fn write_updates<W: Write>(sink: W, elems: &[BgpElem]) -> Result<u64, MrtErr
     Ok(writer.records_written())
 }
 
-/// Read an archive produced by [`write_updates`] back into elems.
+/// Flatten one BGP4MP message into elems, labelled with the archive's
+/// platform/collector identity.
+fn elems_of_message(
+    time: SimTime,
+    msg: &Bgp4mpMessage,
+    dataset: DataSource,
+    collector: u16,
+    out: &mut VecDeque<BgpElem>,
+) {
+    let Some(update) = &msg.update else { return };
+    for prefix in update.announced_v4() {
+        out.push_back(BgpElem {
+            time,
+            dataset,
+            collector,
+            peer_asn: msg.peer_asn,
+            peer_ip: msg.peer_ip,
+            elem_type: ElemType::Announce,
+            prefix: *prefix,
+            as_path: update.attrs.as_path.clone(),
+            communities: update.attrs.communities.clone(),
+            next_hop: update.attrs.next_hop,
+        });
+    }
+    for prefix in update.withdrawn_v4() {
+        out.push_back(BgpElem {
+            time,
+            dataset,
+            collector,
+            peer_asn: msg.peer_asn,
+            peer_ip: msg.peer_ip,
+            elem_type: ElemType::Withdraw,
+            prefix: *prefix,
+            as_path: Default::default(),
+            communities: Default::default(),
+            next_hop: None,
+        });
+    }
+}
+
+/// A streaming [`ElemSource`] over an MRT updates archive: records are
+/// decoded one at a time from any [`Read`] (a file, a socket, a
+/// decompressor), so archives of any size are consumed with constant
+/// memory — the historical-path equivalent of a live BGPStream feed.
 ///
 /// The MRT wire format does not carry the platform/collector labels, so
 /// the caller supplies them (matching how real pipelines know which
 /// archive belongs to which collector).
-pub fn read_updates<R: std::io::Read>(
+///
+/// Decode errors end the stream; inspect [`MrtElemSource::error`] (or
+/// recover it with [`MrtElemSource::take_error`]) after exhaustion to
+/// distinguish clean EOF from a torn archive.
+pub struct MrtElemSource<R: Read> {
+    reader: MrtReader<R>,
+    dataset: DataSource,
+    collector: u16,
+    queue: VecDeque<BgpElem>,
+    current: Option<BgpElem>,
+    error: Option<MrtError>,
+}
+
+impl<R: Read> MrtElemSource<R> {
+    /// Strict streaming reader (the first malformed record ends the
+    /// stream with an error).
+    pub fn new(source: R, dataset: DataSource, collector: u16) -> Self {
+        Self::from_reader(MrtReader::new(source), dataset, collector)
+    }
+
+    /// Tolerant streaming reader (skips undecodable payloads, like
+    /// production pipelines surviving archive noise).
+    pub fn tolerant(source: R, dataset: DataSource, collector: u16) -> Self {
+        Self::from_reader(MrtReader::tolerant(source), dataset, collector)
+    }
+
+    fn from_reader(reader: MrtReader<R>, dataset: DataSource, collector: u16) -> Self {
+        MrtElemSource {
+            reader,
+            dataset,
+            collector,
+            queue: VecDeque::new(),
+            current: None,
+            error: None,
+        }
+    }
+
+    /// The decode error that ended the stream, if any.
+    pub fn error(&self) -> Option<&MrtError> {
+        self.error.as_ref()
+    }
+
+    /// Recover the decode error that ended the stream, if any.
+    pub fn take_error(&mut self) -> Option<MrtError> {
+        self.error.take()
+    }
+}
+
+impl<R: Read> ElemSource for MrtElemSource<R> {
+    fn next_elem(&mut self) -> Option<&BgpElem> {
+        while self.queue.is_empty() {
+            if self.error.is_some() {
+                return None;
+            }
+            match self.reader.next_message() {
+                Ok(Some((time, msg))) => {
+                    elems_of_message(time, &msg, self.dataset, self.collector, &mut self.queue);
+                }
+                Ok(None) => return None,
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+        }
+        self.current = self.queue.pop_front();
+        self.current.as_ref()
+    }
+}
+
+/// Read an archive produced by [`write_updates`] back into elems — the
+/// materializing convenience over [`MrtElemSource`].
+pub fn read_updates<R: Read>(
     source: R,
     dataset: DataSource,
     collector: u16,
 ) -> Result<Vec<BgpElem>, MrtError> {
+    let mut src = MrtElemSource::new(source, dataset, collector);
     let mut out = Vec::new();
-    for record in MrtReader::new(source) {
-        let record = record?;
-        let MrtRecordBody::Message(msg) = record.body else {
-            continue;
-        };
-        let Some(update) = msg.update else { continue };
-        for prefix in update.announced_v4() {
-            out.push(BgpElem {
-                time: record.timestamp,
-                dataset,
-                collector,
-                peer_asn: msg.peer_asn,
-                peer_ip: msg.peer_ip,
-                elem_type: ElemType::Announce,
-                prefix: *prefix,
-                as_path: update.attrs.as_path.clone(),
-                communities: update.attrs.communities.clone(),
-                next_hop: update.attrs.next_hop,
-            });
-        }
-        for prefix in update.withdrawn_v4() {
-            out.push(BgpElem {
-                time: record.timestamp,
-                dataset,
-                collector,
-                peer_asn: msg.peer_asn,
-                peer_ip: msg.peer_ip,
-                elem_type: ElemType::Withdraw,
-                prefix: *prefix,
-                as_path: Default::default(),
-                communities: Default::default(),
-                next_hop: None,
-            });
-        }
+    while let Some(elem) = src.next_elem() {
+        out.push(elem.clone());
     }
-    Ok(out)
+    match src.take_error() {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
 }
 
 /// Split elems by platform — the shape real archives come in.
@@ -178,6 +266,39 @@ mod tests {
         assert_eq!(back[0].peer_ip, elems[0].peer_ip);
         assert_eq!(back[0].time, elems[0].time);
         assert_eq!(back[1].elem_type, ElemType::Withdraw);
+    }
+
+    #[test]
+    fn streaming_source_matches_materializing_read() {
+        let elems = sample_elems();
+        let mut buf = Vec::new();
+        write_updates(&mut buf, &elems).unwrap();
+
+        let mut src = MrtElemSource::new(&buf[..], DataSource::Ris, 3);
+        let mut streamed = Vec::new();
+        while let Some(elem) = src.next_elem() {
+            streamed.push(elem.clone());
+        }
+        assert!(src.error().is_none());
+        assert_eq!(streamed, read_updates(&buf[..], DataSource::Ris, 3).unwrap());
+        assert_eq!(streamed.len(), 2);
+    }
+
+    #[test]
+    fn streaming_source_surfaces_torn_archives() {
+        let elems = sample_elems();
+        let mut buf = Vec::new();
+        write_updates(&mut buf, &elems).unwrap();
+        buf.truncate(buf.len() - 4); // tear the final record
+
+        let mut src = MrtElemSource::new(&buf[..], DataSource::Ris, 3);
+        let mut n = 0;
+        while src.next_elem().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1, "the intact first record still streams");
+        assert!(src.take_error().is_some(), "the tear is reported");
+        assert!(read_updates(&buf[..], DataSource::Ris, 3).is_err());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! * valley-free *forwarding* paths for the data-plane crates —
 //!   [`paths`];
 //! * combinatorial dataset statistics (Table 1) — [`stats`];
-//! * MRT export of the element stream — [`archive`].
+//! * MRT export of the element stream, plus a constant-memory streaming
+//!   reader — [`archive`];
+//! * source-agnostic element streams for the inference — [`source`].
 
 pub mod archive;
 pub mod collector;
@@ -27,11 +29,14 @@ pub mod elem;
 pub mod paths;
 pub mod policy;
 pub mod sim;
+pub mod source;
 pub mod stats;
 
+pub use archive::MrtElemSource;
 pub use collector::{deploy, CollectorConfig, CollectorDeployment, CollectorSession, FeedKind};
 pub use elem::{BgpElem, DataSource, ElemType, PeerKey};
 pub use paths::ForwardingTree;
 pub use policy::{ImportDecision, ImportOutcome, RejectReason, SessionBehavior};
 pub use sim::{AnnounceOutcome, AnnounceScope, Announcement, BgpSimulator};
+pub use source::{collect_source, ElemSource, IterSource, SliceSource};
 pub use stats::{table1, table1_totals, DatasetStats, DatasetTotals};

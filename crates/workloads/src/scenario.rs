@@ -95,6 +95,14 @@ pub struct ScenarioOutput {
     pub announcements: u64,
 }
 
+impl ScenarioOutput {
+    /// The collector stream as an [`bh_routing::ElemSource`] — the
+    /// simulator-backed producer for streaming inference sessions.
+    pub fn elem_source(&self) -> bh_routing::SliceSource<'_> {
+        bh_routing::SliceSource::new(&self.elems)
+    }
+}
+
 /// Run a scenario on a fresh simulator over `topology`.
 pub fn run(
     topology: &Topology,
@@ -375,7 +383,7 @@ mod tests {
         let tagged = out
             .elems
             .iter()
-            .filter(|e| e.elem_type == ElemType::Announce && e.communities.len() > 0)
+            .filter(|e| e.elem_type == ElemType::Announce && !e.communities.is_empty())
             .count();
         assert!(tagged > 0, "no tagged announcements visible");
         // At least two platforms observe something.

@@ -5,7 +5,7 @@
 //! cargo run --release -p bh-examples --example ddos_timeline
 //! ```
 
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_bgp_types::time::study as window;
 use bh_core::daily_series;
 use bh_examples::section;
@@ -14,7 +14,7 @@ use bh_workloads::SPIKES;
 fn main() {
     section("simulating Dec 2014 - Mar 2017 (scaled)");
     let study = Study::build(StudyScale::Tiny, 11);
-    let (output, result) = study.longitudinal_run(2.0);
+    let StudyRun { output, result, .. } = study.longitudinal_run(2.0);
     println!(
         "{} ground-truth reactions, {} inferred events over {} days",
         output.ground_truth.len(),

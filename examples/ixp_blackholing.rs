@@ -10,7 +10,7 @@ use bh_bench::{Study, StudyScale};
 use bh_bgp_types::community::{Community, CommunitySet};
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::SimTime;
-use bh_core::{InferenceEngine, ProviderId};
+use bh_core::prelude::*;
 use bh_dataplane::FlowSim;
 use bh_examples::section;
 use bh_routing::{AnnounceScope, Announcement, BgpSimulator, DataSource};
@@ -78,9 +78,9 @@ fn main() {
     let pch = elems.iter().filter(|e| e.dataset == DataSource::Pch).count();
     println!("{} elems total, {pch} at PCH route-server views", elems.len());
     let refdata = study.refdata();
-    let mut engine = InferenceEngine::new(&study.dict, &refdata);
-    engine.process_stream(&elems);
-    let result = engine.finish();
+    let mut session = study.session(&refdata).build();
+    session.ingest(&mut bh_routing::SliceSource::new(&elems));
+    let result = session.finish();
     for event in &result.events {
         println!(
             "inferred: prefix {} provider {:?} user {:?} datasets {:?}",

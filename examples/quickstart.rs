@@ -10,8 +10,8 @@
 //! streams, and prints the headline numbers.
 
 use bh_analysis::{pct, Table};
-use bh_bench::{Study, StudyScale};
-use bh_core::table3;
+use bh_bench::{Study, StudyRun, StudyScale};
+use bh_core::prelude::*;
 use bh_examples::section;
 
 fn main() {
@@ -33,7 +33,7 @@ fn main() {
     );
 
     section("2. one week of attacks and reactions");
-    let (output, result) = study.visibility_run(7, 10.0);
+    let StudyRun { output, result, refdata } = study.visibility_run(7, 10.0);
     println!(
         "scenario: {} announcements over {} days; {} ground-truth reactions",
         output.announcements,
@@ -55,7 +55,6 @@ fn main() {
     );
 
     section("4. visibility (Table 3 shape)");
-    let refdata = study.refdata();
     let rows = table3(&result, &refdata);
     let mut table = Table::new(
         "per-platform blackholing visibility",

@@ -1,14 +1,14 @@
 //! Duration and grouping shapes (Fig. 8) on a generated scenario, checked
 //! against ground truth.
 
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_bgp_types::time::{SimDuration, SimTime};
 use bh_core::group_events;
 
 #[test]
 fn grouping_collapses_probing_pulses() {
     let study = Study::build(StudyScale::Tiny, 41);
-    let (output, result) = study.visibility_run(4, 8.0);
+    let StudyRun { output, result, .. } = study.visibility_run(4, 8.0);
 
     let periods = group_events(&result.events, SimDuration::mins(5));
     assert!(periods.len() <= result.events.len(), "grouping must never create periods");
@@ -42,7 +42,7 @@ fn grouping_collapses_probing_pulses() {
 #[test]
 fn ungrouped_durations_reflect_probing_pulse_lengths() {
     let study = Study::build(StudyScale::Tiny, 43);
-    let (output, result) = study.visibility_run(4, 8.0);
+    let StudyRun { output, result, .. } = study.visibility_run(4, 8.0);
     let now = SimTime::from_unix(u64::MAX / 2);
 
     // Ground truth pulse lengths are 20–100s; inferred closed events for
@@ -69,7 +69,7 @@ fn ungrouped_durations_reflect_probing_pulse_lengths() {
 #[test]
 fn grouped_period_counts_match_ground_truth_reactions() {
     let study = Study::build(StudyScale::Tiny, 47);
-    let (output, result) = study.visibility_run(3, 6.0);
+    let StudyRun { output, result, .. } = study.visibility_run(3, 6.0);
     let periods = group_events(&result.events, SimDuration::mins(5));
 
     // Each visible ground-truth reaction (prefix) produces at least one

@@ -4,14 +4,14 @@
 
 use std::collections::BTreeSet;
 
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_routing::archive::{merge_streams, read_updates, split_by_dataset, write_updates};
 
 #[test]
 fn inference_finds_most_visible_ground_truth_events() {
     let study = Study::build(StudyScale::Tiny, 31);
-    let (output, result) = study.visibility_run(6, 8.0);
+    let StudyRun { output, result, .. } = study.visibility_run(6, 8.0);
     assert!(!output.ground_truth.is_empty());
 
     // Ground truth prefixes that were *visible* (some elems carried them
@@ -37,7 +37,7 @@ fn inference_finds_most_visible_ground_truth_events() {
 #[test]
 fn inferred_users_and_providers_match_ground_truth() {
     let study = Study::build(StudyScale::Tiny, 32);
-    let (output, result) = study.visibility_run(5, 8.0);
+    let StudyRun { output, result, .. } = study.visibility_run(5, 8.0);
 
     for event in &result.events {
         let truths: Vec<_> =
@@ -70,8 +70,7 @@ fn inferred_users_and_providers_match_ground_truth() {
 #[test]
 fn mrt_archive_round_trip_preserves_inference() {
     let study = Study::build(StudyScale::Tiny, 33);
-    let (output, live_result) = study.visibility_run(4, 6.0);
-    let refdata = study.refdata();
+    let StudyRun { output, result: live_result, refdata } = study.visibility_run(4, 6.0);
 
     // Split by platform (like real archives), write MRT, read back,
     // merge by time, re-run inference.
@@ -99,7 +98,7 @@ fn mrt_archive_round_trip_preserves_inference() {
 #[test]
 fn event_time_bounds_are_consistent_with_ground_truth() {
     let study = Study::build(StudyScale::Tiny, 34);
-    let (output, result) = study.visibility_run(4, 6.0);
+    let StudyRun { output, result, .. } = study.visibility_run(4, 6.0);
     for event in &result.events {
         if let Some(end) = event.end {
             assert!(event.start <= end, "negative duration: {event:?}");
@@ -126,7 +125,7 @@ fn event_time_bounds_are_consistent_with_ground_truth() {
 #[test]
 fn dataset_visibility_is_subset_of_all() {
     let study = Study::build(StudyScale::Tiny, 35);
-    let (_output, result) = study.visibility_run(4, 6.0);
+    let StudyRun { result, .. } = study.visibility_run(4, 6.0);
     let mut all_prefixes = BTreeSet::new();
     for vis in result.per_dataset.values() {
         all_prefixes.extend(vis.prefixes.iter().copied());

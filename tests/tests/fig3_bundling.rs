@@ -1,9 +1,11 @@
 //! The Figure 3 scenario, end to end: targeted vs bundled blackholing
 //! and what each makes visible to the inference.
 
+use std::sync::Arc;
+
 use bh_bgp_types::community::{Community, CommunitySet};
 use bh_bgp_types::time::SimTime;
-use bh_core::{InferenceEngine, ProviderId, ReferenceData};
+use bh_core::{InferenceSession, ProviderId, ReferenceData};
 use bh_integration::{fig3_topology, trigger_of};
 use bh_irr::BlackholeDictionary;
 use bh_routing::{
@@ -12,9 +14,9 @@ use bh_routing::{
 };
 use bh_topology::IxpId;
 
-fn dictionary(topology: &bh_topology::Topology) -> BlackholeDictionary {
+fn dictionary(topology: &bh_topology::Topology) -> Arc<BlackholeDictionary> {
     let corpus = bh_irr::CorpusGenerator::new(topology, 1).generate();
-    BlackholeDictionary::build(&corpus)
+    Arc::new(BlackholeDictionary::build(&corpus))
 }
 
 #[test]
@@ -97,10 +99,10 @@ fn fig3_detection_matches_the_papers_reading() {
     let elems = sim.drain_elems();
     assert!(!elems.is_empty());
 
-    let refdata = ReferenceData::build(&topology, &deployment);
-    let mut engine = InferenceEngine::new(&dict, &refdata);
-    engine.process_stream(&elems);
-    let result = engine.finish();
+    let refdata = Arc::new(ReferenceData::build(&topology, &deployment));
+    let mut session = InferenceSession::new(dict, refdata);
+    session.ingest(&mut bh_routing::SliceSource::new(&elems));
+    let result = session.finish();
 
     // Two events: one per blackholed prefix.
     assert_eq!(result.events.len(), 2, "{:#?}", result.events);

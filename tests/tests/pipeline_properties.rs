@@ -2,23 +2,23 @@
 //! always satisfy the structural guarantees the analyses rely on.
 
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
-use bh_bench::{Study, StudyScale};
+use bh_bench::{Study, StudyRun, StudyScale};
 use bh_bgp_types::time::SimDuration;
 use bh_core::group_events;
 
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 8, // each case runs a full pipeline; keep the count low
-        .. ProptestConfig::default()
     })]
 
     #[test]
     fn pipeline_invariants_hold(seed in 0u64..500, days in 2u64..5, rate in 2.0f64..8.0) {
         let study = Study::build(StudyScale::Tiny, seed);
-        let (output, result) = study.visibility_run(days, rate);
+        let StudyRun { output, result, .. } = study.visibility_run(days, rate);
 
         // 1. No false-positive prefixes.
         let truth: BTreeSet<_> = output.ground_truth.iter().map(|t| t.prefix).collect();
@@ -59,18 +59,50 @@ proptest! {
     }
 
     #[test]
-    fn engine_is_deterministic(seed in 0u64..200) {
+    fn session_is_deterministic(seed in 0u64..200) {
         let study = Study::build(StudyScale::Tiny, seed);
         let refdata = study.refdata();
-        let (output, _) = study.visibility_run(2, 4.0);
+        let StudyRun { output, .. } = study.visibility_run(2, 4.0);
         let a = study.infer(&refdata, &output.elems);
         let b = study.infer(&refdata, &output.elems);
-        prop_assert_eq!(a.events.len(), b.events.len());
-        for (x, y) in a.events.iter().zip(&b.events) {
-            prop_assert_eq!(x.prefix, y.prefix);
-            prop_assert_eq!(x.start, y.start);
-            prop_assert_eq!(x.end, y.end);
-            prop_assert_eq!(&x.providers, &y.providers);
-        }
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// One Small-scale environment shared by every sharding case: building
+/// the ~230-AS topology and corpus dominates the test's wall-clock, and
+/// the property varies the scenario, not the Internet.
+fn small_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::build(StudyScale::Small, 42))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 3, // each case simulates days of BGP at Small scale
+    })]
+
+    /// The acceptance property of the sharded runner: hash-partitioning
+    /// a `StudyScale::Small` visibility run across N >= 4 worker threads
+    /// produces a bit-identical `InferenceResult` — same events in the
+    /// same order, same census, same counters, same per-dataset
+    /// visibility — as the single-threaded session.
+    #[test]
+    fn sharded_session_is_bit_identical_to_single_threaded(
+        days in 2u64..4,
+        rate in 2.0f64..6.0,
+        shards in 4usize..9,
+    ) {
+        let study = small_study();
+        let StudyRun { output, result, refdata } = study.visibility_run(days, rate);
+        prop_assert!(!result.events.is_empty(), "degenerate run: nothing inferred");
+
+        let sharded = study.infer_sharded(&refdata, &output.elems, shards);
+        prop_assert_eq!(&sharded.events, &result.events);
+        prop_assert_eq!(&sharded.census, &result.census);
+        prop_assert_eq!(sharded.stats, result.stats);
+        prop_assert_eq!(&sharded.per_dataset, &result.per_dataset);
+        // And the whole-result comparison, in case fields are added.
+        prop_assert_eq!(sharded, result);
     }
 }

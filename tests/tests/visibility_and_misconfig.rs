@@ -1,10 +1,11 @@
 //! Visibility-bias and misconfiguration scenarios (§5.2 and §10).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use bh_bgp_types::community::{Community, CommunitySet};
 use bh_bgp_types::time::SimTime;
-use bh_core::{InferenceEngine, ReferenceData};
+use bh_core::{InferenceSession, ReferenceData};
 use bh_dataplane::{classify_no_drop, NoDropCause};
 use bh_integration::{fig3_topology, trigger_of};
 use bh_irr::BlackholeDictionary;
@@ -14,9 +15,13 @@ use bh_routing::{
 };
 use bh_topology::IxpId;
 
-fn dictionary(topology: &bh_topology::Topology) -> BlackholeDictionary {
+fn output_source(elems: &[bh_routing::BgpElem]) -> bh_routing::SliceSource<'_> {
+    bh_routing::SliceSource::new(elems)
+}
+
+fn dictionary(topology: &bh_topology::Topology) -> Arc<BlackholeDictionary> {
     let corpus = bh_irr::CorpusGenerator::new(topology, 1).generate();
-    BlackholeDictionary::build(&corpus)
+    Arc::new(BlackholeDictionary::build(&corpus))
 }
 
 #[test]
@@ -59,10 +64,10 @@ fn no_export_blackholing_is_cdn_only() {
     assert!(elems.iter().all(|e| e.dataset == DataSource::Cdn));
     assert!(!elems.is_empty(), "CDN must see the internal route");
 
-    let refdata = ReferenceData::build(&topology, &deployment);
-    let mut engine = InferenceEngine::new(&dict, &refdata);
-    engine.process_stream(&elems);
-    let result = engine.finish();
+    let refdata = Arc::new(ReferenceData::build(&topology, &deployment));
+    let mut session = InferenceSession::new(dict, refdata);
+    session.ingest(&mut output_source(&elems));
+    let result = session.finish();
     assert_eq!(result.events.len(), 1);
     let datasets: Vec<_> = result.events[0].datasets.iter().collect();
     assert_eq!(datasets, vec![&DataSource::Cdn], "CDN-only visibility");
@@ -151,7 +156,7 @@ fn visibility_is_a_lower_bound() {
     let (topology, cast) = fig3_topology();
     let dict = dictionary(&topology);
     let deployment = CollectorDeployment::default();
-    let refdata = ReferenceData::build(&topology, &deployment);
+    let refdata = Arc::new(ReferenceData::build(&topology, &deployment));
     let mut sim = BgpSimulator::new(&topology, deployment, 1);
     let outcome = sim.announce(
         SimTime::from_unix(10),
@@ -167,7 +172,7 @@ fn visibility_is_a_lower_bound() {
     assert_eq!(outcome.accepted_by, vec![cast.p2]); // really blackholed
     let elems = sim.drain_elems();
     assert!(elems.is_empty()); // nothing observable
-    let mut engine = InferenceEngine::new(&dict, &refdata);
-    engine.process_stream(&elems);
-    assert!(engine.finish().events.is_empty()); // inference sees nothing
+    let mut session = InferenceSession::new(dict, refdata);
+    session.ingest(&mut output_source(&elems));
+    assert!(session.finish().events.is_empty()); // inference sees nothing
 }

@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: check fmt fmt-check build test clippy doc quickstart bench
+.PHONY: check fmt fmt-check build test clippy doc quickstart bench bench-check
 
-check: fmt-check build test clippy doc
+check: fmt-check build test clippy bench-check doc
 
 fmt:
 	$(CARGO) fmt --all
@@ -30,3 +30,8 @@ quickstart:
 
 bench:
 	$(CARGO) bench -p bh-bench
+
+# Compile (but do not run) the 17 harness=false bench targets, so they
+# cannot silently rot: clippy lints them, this proves they still link.
+bench-check:
+	$(CARGO) bench -p bh-bench --no-run

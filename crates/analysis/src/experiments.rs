@@ -52,6 +52,11 @@ pub struct ExperimentInfo {
     pub paper_claims: &'static [&'static str],
     /// The bench target that regenerates it.
     pub bench: &'static str,
+    /// The mergeable one-pass form that computes the artifact while the
+    /// event stream is still running (a `bh_core` `EventAccumulator`, or
+    /// the in-session census for Fig. 2); `None` for artifacts derived
+    /// from non-event data (datasets, the dictionary, the data plane).
+    pub one_pass: Option<&'static str>,
 }
 
 /// All experiments in paper order.
@@ -65,6 +70,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "PCH has the most IP peers; RIS/RV are core-biased",
             ],
             bench: "table1_datasets",
+            one_pass: None,
         },
         ExperimentInfo {
             id: ExperimentId::Table2,
@@ -75,6 +81,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "~51% of community values use the ASN:666 convention",
             ],
             bench: "table2_dictionary",
+            one_pass: None,
         },
         ExperimentInfo {
             id: ExperimentId::Table3,
@@ -85,6 +92,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "PCH has the highest direct-feed fraction",
             ],
             bench: "table3_visibility",
+            one_pass: Some("VisibilityAccumulator"),
         },
         ExperimentInfo {
             id: ExperimentId::Table4,
@@ -95,6 +103,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "IXPs have a 100% direct-feed fraction",
             ],
             bench: "table4_types",
+            one_pass: Some("TypeAccumulator"),
         },
         ExperimentInfo {
             id: ExperimentId::Fig2,
@@ -105,6 +114,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "inferred candidates: exclusively >/24 + co-occurrence",
             ],
             bench: "fig2_prefix_length",
+            one_pass: Some("CommunityPrefixCensus (maintained in-session)"),
         },
         ExperimentInfo {
             id: ExperimentId::Fig4,
@@ -115,6 +125,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "prefixes/day grow ~6x with attack-correlated spikes",
             ],
             bench: "fig4_longitudinal",
+            one_pass: Some("DailySeriesAccumulator"),
         },
         ExperimentInfo {
             id: ExperimentId::Fig5,
@@ -124,12 +135,14 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "content users originate disproportionately many prefixes",
             ],
             bench: "fig5_cdfs",
+            one_pass: Some("ProviderPrefixAccumulator + UserPrefixAccumulator"),
         },
         ExperimentInfo {
             id: ExperimentId::Fig6,
             artifact: "Fig. 6 — providers/users per country",
             paper_claims: &["RU, US, DE lead both maps", "BR and UA enter the users' top-5"],
             bench: "fig6_geography",
+            one_pass: Some("CountryAccumulator"),
         },
         ExperimentInfo {
             id: ExperimentId::Fig7a,
@@ -140,6 +153,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "tarpits accept everything (~4%)",
             ],
             bench: "fig7a_services",
+            one_pass: Some("PrefixSetAccumulator (scan-input census)"),
         },
         ExperimentInfo {
             id: ExperimentId::Fig7b,
@@ -149,6 +163,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "~2% involve more than 10",
             ],
             bench: "fig7b_providers_per_event",
+            one_pass: Some("ProvidersPerEventAccumulator"),
         },
         ExperimentInfo {
             id: ExperimentId::Fig7c,
@@ -159,6 +174,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "~30% propagate 1–6 hops",
             ],
             bench: "fig7c_distance",
+            one_pass: Some("DistanceAccumulator"),
         },
         ExperimentInfo {
             id: ExperimentId::Fig8,
@@ -169,6 +185,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "three regimes: minutes, long-lived, very long-lived",
             ],
             bench: "fig8_durations",
+            one_pass: Some("DurationAccumulator + PeriodAccumulator"),
         },
         ExperimentInfo {
             id: ExperimentId::Fig9a,
@@ -178,6 +195,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "average shortening ≈ 5.9 IP hops",
             ],
             bench: "fig9a_ip_paths",
+            one_pass: None,
         },
         ExperimentInfo {
             id: ExperimentId::Fig9b,
@@ -187,6 +205,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "~16% dropped at destination AS or direct upstream",
             ],
             bench: "fig9b_as_paths",
+            one_pass: None,
         },
         ExperimentInfo {
             id: ExperimentId::Fig9c,
@@ -197,6 +216,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "~1/3 of traffic-sending ASes drop",
             ],
             bench: "fig9c_ixp_traffic",
+            one_pass: None,
         },
         ExperimentInfo {
             id: ExperimentId::Reputation,
@@ -207,6 +227,7 @@ pub fn registry() -> Vec<ExperimentInfo> {
                 "union ≈ 2% of blackholed prefixes",
             ],
             bench: "sec8_reputation",
+            one_pass: Some("PrefixSetAccumulator (reputation-input census)"),
         },
     ]
 }
@@ -247,5 +268,24 @@ mod tests {
             assert!(!e.paper_claims.is_empty(), "{:?} has no claims", e.id);
             assert!(!e.bench.is_empty());
         }
+    }
+
+    #[test]
+    fn event_derived_artifacts_have_one_pass_forms() {
+        // Every artifact computed from inferred events streams through a
+        // mergeable accumulator; the non-event artifacts are exactly the
+        // dataset overview, the dictionary, and the data-plane figures.
+        let batch_only: Vec<ExperimentId> =
+            registry().into_iter().filter(|e| e.one_pass.is_none()).map(|e| e.id).collect();
+        assert_eq!(
+            batch_only,
+            vec![
+                ExperimentId::Table1,
+                ExperimentId::Table2,
+                ExperimentId::Fig9a,
+                ExperimentId::Fig9b,
+                ExperimentId::Fig9c,
+            ]
+        );
     }
 }

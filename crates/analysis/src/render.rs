@@ -20,9 +20,13 @@ impl Table {
         }
     }
 
-    /// Append a row (must match the header count).
-    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+    /// Append a row. The cell count must match the header count:
+    /// debug builds assert it (a mismatched row is always a caller
+    /// bug), and release builds pad or truncate to the header arity so
+    /// [`Table::render`] never indexes out of bounds.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        cells.resize(self.headers.len(), String::new());
         self.rows.push(cells);
         self
     }
@@ -138,10 +142,24 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "row arity mismatch")]
-    fn table_rejects_bad_rows() {
+    fn table_rejects_bad_rows_in_debug() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn table_pads_bad_rows_in_release() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(t.len(), 2);
+        // Short rows pad, long rows truncate; render stays well-formed.
+        let rendered = t.render();
+        assert!(rendered.contains("only-one"));
+        assert!(!rendered.contains('3'));
     }
 
     #[test]

@@ -1,7 +1,15 @@
 //! Statistics primitives: ECDFs, histograms, percentiles.
+//!
+//! Both [`Ecdf`] and [`Histogram`] are *mergeable incremental* forms:
+//! they grow one sample at a time ([`Ecdf::push`] /
+//! [`Histogram::record`]) and two instances fed disjoint sample sets
+//! merge ([`Ecdf::merge`] / [`Histogram::merge`]) into exactly what one
+//! instance fed the union would hold — the same contract as
+//! `bh_core`'s `EventAccumulator`s, so per-shard statistics fold
+//! together losslessly.
 
 /// An empirical CDF over `f64` samples.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }
@@ -12,6 +20,50 @@ impl Ecdf {
         samples.retain(|v| !v.is_nan());
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs left"));
         Ecdf { sorted: samples }
+    }
+
+    /// An empty ECDF ready for incremental [`Ecdf::push`].
+    pub fn empty() -> Self {
+        Ecdf { sorted: Vec::new() }
+    }
+
+    /// Add one sample, keeping the sorted invariant (NaNs are dropped).
+    ///
+    /// Each push is a sorted insert — O(n) element moves — so this is
+    /// for trickles of samples between reads. Bulk loads should use
+    /// [`Ecdf::new`] (sort once) and per-shard folds should build one
+    /// `Ecdf` per shard and combine with the linear-time
+    /// [`Ecdf::merge`].
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        self.sorted.insert(idx, x);
+    }
+
+    /// Fold another ECDF in: the result equals an ECDF built from the
+    /// concatenated sample sets (linear-time sorted merge).
+    pub fn merge(&mut self, other: Ecdf) {
+        let mine = std::mem::take(&mut self.sorted);
+        let mut a = mine.into_iter().peekable();
+        let mut b = other.sorted.into_iter().peekable();
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if *x <= *y {
+                        out.push(a.next().expect("peeked"));
+                    } else {
+                        out.push(b.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => out.extend(a.by_ref()),
+                (None, Some(_)) => out.extend(b.by_ref()),
+                (None, None) => break,
+            }
+        }
+        self.sorted = out;
     }
 
     /// Number of samples.
@@ -83,7 +135,7 @@ pub fn mean(values: &[f64]) -> f64 {
 }
 
 /// A histogram over fixed bins.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     edges: Vec<f64>,
     counts: Vec<u64>,
@@ -132,6 +184,18 @@ impl Histogram {
         for x in xs {
             self.record(x);
         }
+    }
+
+    /// Fold another histogram over the *same bin edges* in: bin counts
+    /// and under/overflow add, so the result equals one histogram fed
+    /// both sample sets. Panics when the edges differ.
+    pub fn merge(&mut self, other: Histogram) {
+        assert_eq!(self.edges, other.edges, "histogram merge requires identical bin edges");
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
     }
 
     /// `(bin_low, bin_high, count)` triples.
@@ -232,6 +296,54 @@ mod tests {
         let r0 = bins[0].1 / bins[0].0;
         let r5 = bins[5].1 / bins[5].0;
         assert!((r0 - r5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_push_matches_batch_construction() {
+        let samples = [5.0, 1.0, f64::NAN, 9.0, 4.0, 4.0, 2.0];
+        let mut incremental = Ecdf::empty();
+        for x in samples {
+            incremental.push(x);
+        }
+        assert_eq!(incremental, Ecdf::new(samples.to_vec()));
+    }
+
+    #[test]
+    fn ecdf_merge_equals_concatenated_batch() {
+        let left = vec![5.0, 1.0, 9.0];
+        let right = vec![4.0, 4.0, 2.0, 7.5];
+        let mut merged = Ecdf::new(left.clone());
+        merged.merge(Ecdf::new(right.clone()));
+        let mut all = left;
+        all.extend(right);
+        assert_eq!(merged, Ecdf::new(all));
+        // Merging an empty ECDF is the identity, both ways.
+        let mut e = merged.clone();
+        e.merge(Ecdf::empty());
+        assert_eq!(e, merged);
+        let mut empty = Ecdf::empty();
+        empty.merge(merged.clone());
+        assert_eq!(empty, merged);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        a.record_all([0.0, 1.9, -1.0]);
+        let mut b = Histogram::linear(0.0, 10.0, 5);
+        b.record_all([2.0, 9.99, 10.0, 55.0]);
+        a.merge(b);
+        let mut combined = Histogram::linear(0.0, 10.0, 5);
+        combined.record_all([0.0, 1.9, 2.0, 9.99, -1.0, 10.0, 55.0]);
+        assert_eq!(a, combined);
+        assert_eq!(a.total(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bin edges")]
+    fn histogram_merge_rejects_mismatched_edges() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        a.merge(Histogram::linear(0.0, 10.0, 4));
     }
 
     #[test]

@@ -5,15 +5,19 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{render_series, Ecdf, Series};
 use bh_bench::{Study, StudyRun, StudyScale};
-use bh_core::{prefixes_per_provider, prefixes_per_user};
+use bh_core::{
+    prefixes_per_provider, prefixes_per_user, EventAccumulator, ProviderPrefixAccumulator,
+    UserPrefixAccumulator,
+};
 use bh_topology::NetworkType;
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let StudyRun { result, refdata, .. } = study.visibility_run(10, 8.0);
+    let StudyRun { result, refdata, report, .. } = study.visibility_run(10, 8.0);
 
     // Fig. 5(a): per-provider counts, transit/access vs IXP.
     let per_provider = prefixes_per_provider(&result.events, &refdata);
+    assert_eq!(per_provider, report.prefixes_per_provider, "streamed == batch (providers)");
     let transit: Vec<f64> = per_provider
         .iter()
         .filter(|(_, ty, _)| *ty == NetworkType::TransitAccess)
@@ -24,8 +28,14 @@ fn bench(c: &mut Criterion) {
         .filter(|(_, ty, _)| *ty == NetworkType::Ixp)
         .map(|(_, _, n)| *n as f64)
         .collect();
-    let transit_cdf = Ecdf::new(transit);
+    let transit_cdf = Ecdf::new(transit.clone());
     let ixp_cdf = Ecdf::new(ixp);
+    // The mergeable ECDF form: incremental pushes build the same CDF.
+    let mut incremental = Ecdf::empty();
+    for v in &transit {
+        incremental.push(*v);
+    }
+    assert_eq!(incremental.points(), transit_cdf.points());
     println!(
         "{}",
         render_series(
@@ -52,6 +62,7 @@ fn bench(c: &mut Criterion) {
 
     // Fig. 5(b): per-user counts, split by user type.
     let per_user = prefixes_per_user(&result.events, &refdata);
+    assert_eq!(per_user, report.prefixes_per_user, "streamed == batch (users)");
     let mut series = Vec::new();
     let mut content_prefixes = 0usize;
     let mut total_prefixes = 0usize;
@@ -86,6 +97,17 @@ fn bench(c: &mut Criterion) {
                 prefixes_per_provider(&result.events, &refdata),
                 prefixes_per_user(&result.events, &refdata),
             )
+        })
+    });
+    c.bench_function("fig5/streaming_accumulators", |b| {
+        b.iter(|| {
+            let mut providers = ProviderPrefixAccumulator::new(refdata.clone());
+            let mut users = UserPrefixAccumulator::new(refdata.clone());
+            for event in &result.events {
+                providers.observe(event);
+                users.observe(event);
+            }
+            (providers.finalize(), users.finalize())
         })
     });
 }

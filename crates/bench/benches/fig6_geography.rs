@@ -4,13 +4,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::Table;
 use bh_bench::{Study, StudyRun, StudyScale};
-use bh_core::per_country;
+use bh_core::{per_country, CountryAccumulator, EventAccumulator};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let StudyRun { result, refdata, .. } = study.visibility_run(10, 8.0);
+    let StudyRun { result, refdata, report, .. } = study.visibility_run(10, 8.0);
 
     let (providers, users) = per_country(&result.events, &refdata);
+    assert_eq!(
+        (providers.clone(), users.clone()),
+        (report.provider_countries.clone(), report.user_countries.clone()),
+        "streamed accumulator must equal the batch maps"
+    );
     let top = |map: &std::collections::BTreeMap<&'static str, usize>| -> Vec<(String, usize)> {
         let mut v: Vec<(String, usize)> = map.iter().map(|(c, n)| (c.to_string(), *n)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -47,6 +52,15 @@ fn bench(c: &mut Criterion) {
     );
 
     c.bench_function("fig6/per_country", |b| b.iter(|| per_country(&result.events, &refdata)));
+    c.bench_function("fig6/streaming_accumulator", |b| {
+        b.iter(|| {
+            let mut acc = CountryAccumulator::new(refdata.clone());
+            for event in &result.events {
+                acc.observe(event);
+            }
+            acc.finalize()
+        })
+    });
 }
 
 criterion_group! {

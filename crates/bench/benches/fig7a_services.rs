@@ -5,20 +5,17 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use bh_analysis::{pct, Table};
 use bh_bench::{Study, StudyRun, StudyScale};
 use bh_bgp_types::prefix::Ipv4Prefix;
+use bh_core::blackholed_prefixes;
 use bh_dataplane::{service_histogram, ScanGenerator, Service};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let StudyRun { result, .. } = study.visibility_run(10, 8.0);
+    let StudyRun { result, report, .. } = study.visibility_run(10, 8.0);
 
-    // The March-2017-style snapshot: all blackholed prefixes.
-    let prefixes: Vec<Ipv4Prefix> = result
-        .events
-        .iter()
-        .map(|e| e.prefix)
-        .collect::<std::collections::BTreeSet<_>>()
-        .into_iter()
-        .collect();
+    // The March-2017-style snapshot: all blackholed prefixes, from the
+    // one-pass census accumulator (== the batch fold, asserted here).
+    assert_eq!(blackholed_prefixes(&result.events), report.blackholed_prefixes);
+    let prefixes: Vec<Ipv4Prefix> = report.blackholed_prefixes.iter().copied().collect();
     let mut generator = ScanGenerator::new(0xCA5);
     let profiles = generator.profile_all(&prefixes);
     let (hist, none) = service_histogram(&profiles);

@@ -4,13 +4,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{pct, Table};
 use bh_bench::{Study, StudyRun, StudyScale};
-use bh_core::providers_per_event;
+use bh_core::{providers_per_event, EventAccumulator, ProvidersPerEventAccumulator};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let StudyRun { result, .. } = study.visibility_run(10, 8.0);
+    let StudyRun { result, report, .. } = study.visibility_run(10, 8.0);
 
     let hist = providers_per_event(&result.events);
+    assert_eq!(hist, report.providers_per_event, "streamed accumulator must equal the batch");
     let total: usize = hist.values().sum();
     let mut table =
         Table::new("Fig 7b: #blackholing providers per event", &["#Providers", "#Events", "Share"]);
@@ -29,6 +30,15 @@ fn bench(c: &mut Criterion) {
     );
 
     c.bench_function("fig7b/histogram", |b| b.iter(|| providers_per_event(&result.events)));
+    c.bench_function("fig7b/streaming_accumulator", |b| {
+        b.iter(|| {
+            let mut acc = ProvidersPerEventAccumulator::default();
+            for event in &result.events {
+                acc.observe(event);
+            }
+            acc.finalize()
+        })
+    });
 }
 
 criterion_group! {

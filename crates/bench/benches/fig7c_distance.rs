@@ -6,13 +6,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{pct, Table};
 use bh_bench::{Study, StudyRun, StudyScale};
-use bh_core::{distance_histogram, DetectionDistance, EngineConfig};
+use bh_core::{
+    distance_histogram, DetectionDistance, DistanceAccumulator, EngineConfig, EventAccumulator,
+};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let StudyRun { output, result, refdata } = study.visibility_run(10, 8.0);
+    let StudyRun { output, result, refdata, report, .. } = study.visibility_run(10, 8.0);
 
     let hist = distance_histogram(&result.events);
+    assert_eq!(hist, report.distance_histogram, "streamed accumulator must equal the batch");
     let total: usize = hist.values().sum();
     let mut table = Table::new(
         "Fig 7c: AS distance collector <-> blackholing provider",
@@ -51,6 +54,15 @@ fn bench(c: &mut Criterion) {
     );
 
     c.bench_function("fig7c/distance_histogram", |b| b.iter(|| distance_histogram(&result.events)));
+    c.bench_function("fig7c/streaming_accumulator", |b| {
+        b.iter(|| {
+            let mut acc = DistanceAccumulator::default();
+            for event in &result.events {
+                acc.observe(event);
+            }
+            acc.finalize()
+        })
+    });
     c.bench_function("fig7c/inference_no_bundling", |b| {
         b.iter(|| {
             study.infer_with_config(

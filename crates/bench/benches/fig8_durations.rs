@@ -7,11 +7,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use bh_analysis::{pct, render_series, Ecdf, Histogram, Series};
 use bh_bench::{Study, StudyRun, StudyScale};
 use bh_bgp_types::time::{SimDuration, SimTime};
-use bh_core::{durations, group_events, EngineConfig};
+use bh_core::{durations, group_events, EngineConfig, EventAccumulator, PeriodAccumulator};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let StudyRun { output, result, refdata } = study.visibility_run(10, 8.0);
+    let StudyRun { output, result, refdata, report, .. } = study.visibility_run(10, 8.0);
     let now = SimTime::from_unix(
         (bh_bgp_types::time::study::visibility_start().day_index() + 10) * 86_400,
     );
@@ -20,6 +20,10 @@ fn bench(c: &mut Criterion) {
     let ungrouped: Vec<f64> =
         durations(&result.events, now).iter().map(|d| d.as_mins_f64()).collect();
     let grouped_periods = group_events(&result.events, SimDuration::mins(5));
+    assert_eq!(
+        grouped_periods, report.periods,
+        "streamed period accumulator must equal the batch grouping"
+    );
     let grouped: Vec<f64> = grouped_periods.iter().map(|p| p.duration(now).as_mins_f64()).collect();
     let ungrouped_cdf = Ecdf::new(ungrouped);
     let grouped_cdf = Ecdf::new(grouped);
@@ -87,6 +91,17 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("fig8/group_events", |b| {
         b.iter(|| group_events(&result.events, SimDuration::mins(5)))
+    });
+    // One-pass form: the gap-tolerant coalescing accumulator, fed event
+    // by event (what drains out of a streaming session).
+    c.bench_function("fig8/streaming_period_accumulator", |b| {
+        b.iter(|| {
+            let mut acc = PeriodAccumulator::new(SimDuration::mins(5));
+            for event in &result.events {
+                acc.observe(event);
+            }
+            acc.finalize()
+        })
     });
 }
 

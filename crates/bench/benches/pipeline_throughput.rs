@@ -1,9 +1,13 @@
 //! Pipeline throughput: the systems-performance benches — MRT codec
 //! throughput, propagation rate, and inference rate (elements/second)
-//! in all three execution modes: **batch** (one-shot over a
-//! materialized slice), **streaming** (incremental push with mid-stream
-//! event draining), and **sharded** (prefix-partitioned worker threads).
-//! Not a paper artifact; these quantify the implementation itself.
+//! in every execution mode: **batch** (one-shot over a materialized
+//! slice), **streaming** (incremental push with mid-stream event
+//! draining), **streaming with inline analytics** (closed events drain
+//! straight into the AnalyticsPipeline accumulators; the full event Vec
+//! is never materialized), **sharded** (prefix-partitioned worker
+//! threads), and **sharded with inline analytics** (per-shard pipelines
+//! merged at the barrier). Not a paper artifact; these quantify the
+//! implementation itself.
 
 use std::collections::BTreeMap;
 
@@ -15,7 +19,7 @@ use bh_routing::{BgpElem, DataSource, ElemSource, MrtElemSource, SliceSource};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let StudyRun { output, refdata, .. } = study.visibility_run(6, 6.0);
+    let StudyRun { output, refdata, analytics, .. } = study.visibility_run(6, 6.0);
     let elems = &output.elems;
     println!(
         "pipeline input: {} elems from {} announcements over {} days",
@@ -47,6 +51,17 @@ fn bench(c: &mut Criterion) {
             handed_out + result.events.len()
         })
     });
+    // Streaming with inline analytics: closed events drain straight
+    // into the AnalyticsPipeline accumulators, so every paper figure
+    // falls out of the same pass and the full event Vec is NEVER
+    // materialized — the constant-memory archive-scan mode.
+    group.bench_function("inference_streaming_analytics", |b| {
+        b.iter(|| {
+            let (summary, report) =
+                study.infer_streaming_analytics(&refdata, elems, analytics, 4096);
+            (summary.stats.elems, report.table3.len())
+        })
+    });
     // Sharded: prefix-partitioned across worker threads, deterministic
     // merge (bit-identical to batch; see tests/pipeline_properties).
     for shards in [2usize, 4] {
@@ -54,6 +69,14 @@ fn bench(c: &mut Criterion) {
             b.iter(|| study.infer_sharded(&refdata, elems, shards))
         });
     }
+    // Sharded with inline analytics: per-shard pipelines, merged
+    // deterministically at the barrier — no per-shard event Vec either.
+    group.bench_function("inference_sharded_analytics4", |b| {
+        b.iter(|| {
+            let (summary, report) = study.infer_sharded_analytics(&refdata, elems, analytics, 4);
+            (summary.stats.elems, report.table3.len())
+        })
+    });
     group.bench_function("mrt_write", |b| {
         b.iter(|| {
             let mut buf = Vec::with_capacity(1 << 20);

@@ -5,13 +5,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::Table;
 use bh_bench::{Study, StudyRun, StudyScale};
+use bh_core::blackholed_prefixes;
 use bh_dataplane::reputation_feed;
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let StudyRun { result, .. } = study.visibility_run(8, 6.0);
-    let blackholed =
-        result.events.iter().map(|e| e.prefix).collect::<std::collections::BTreeSet<_>>().len();
+    let StudyRun { result, report, .. } = study.visibility_run(8, 6.0);
+    // The blackholed-prefix census from the one-pass accumulator (== the
+    // batch fold over materialized events, asserted here).
+    assert_eq!(blackholed_prefixes(&result.events), report.blackholed_prefixes);
+    let blackholed = report.blackholed_prefixes.len();
 
     // Scale the feed the way the paper's population scales (20K prefixes
     // in March 2017 → 400–900 daily matches).

@@ -8,13 +8,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{count, pct, Table};
 use bh_bench::{Study, StudyRun, StudyScale};
-use bh_core::table3;
+use bh_core::{table3, EventAccumulator, VisibilityAccumulator};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let StudyRun { output, result, refdata } = study.visibility_run(10, 8.0);
+    let StudyRun { output, result, refdata, report, .. } = study.visibility_run(10, 8.0);
 
     let rows = table3(&result, &refdata);
+    assert_eq!(rows, report.table3, "streamed accumulator must equal the batch rows");
     let mut table = Table::new(
         "Table 3: Blackhole dataset overview (IPv4)",
         &[
@@ -67,6 +68,15 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let result = study.infer(&refdata, &output.elems);
             table3(&result, &refdata)
+        })
+    });
+    // One-pass form: fold the session's visibility map through the
+    // mergeable accumulator (what the streaming pipeline does inline).
+    c.bench_function("table3/streaming_accumulator", |b| {
+        b.iter(|| {
+            let mut acc = VisibilityAccumulator::new(refdata.clone());
+            acc.observe_visibility(&result.per_dataset);
+            acc.finalize()
         })
     });
 }

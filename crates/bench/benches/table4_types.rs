@@ -4,14 +4,15 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use bh_analysis::{count, pct, Table};
 use bh_bench::{Study, StudyRun, StudyScale};
-use bh_core::table4;
+use bh_core::{table4, EventAccumulator, TypeAccumulator};
 use bh_topology::NetworkType;
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
-    let StudyRun { result, refdata, .. } = study.visibility_run(10, 8.0);
+    let StudyRun { result, refdata, report, .. } = study.visibility_run(10, 8.0);
 
     let rows = table4(&result.events, &refdata);
+    assert_eq!(rows, report.table4, "streamed accumulator must equal the batch rows");
     let mut table = Table::new(
         "Table 4: Blackhole visibility by provider type (IPv4)",
         &["Network Type", "#Bh prov.", "#Bh users", "#Bh pref.", "Direct feed"],
@@ -47,6 +48,15 @@ fn bench(c: &mut Criterion) {
     );
 
     c.bench_function("table4/compute", |b| b.iter(|| table4(&result.events, &refdata)));
+    c.bench_function("table4/streaming_accumulator", |b| {
+        b.iter(|| {
+            let mut acc = TypeAccumulator::new(refdata.clone());
+            for event in &result.events {
+                acc.observe(event);
+            }
+            acc.finalize()
+        })
+    });
 }
 
 criterion_group! {

@@ -18,10 +18,12 @@ use std::sync::Arc;
 
 use bh_bgp_types::time::SimTime;
 use bh_core::{
-    EngineConfig, InferenceResult, InferenceSession, ReferenceData, SessionBuilder, ShardedSession,
+    AnalyticsConfig, AnalyticsPipeline, AnalyticsReport, EngineConfig, EventAccumulator,
+    InferenceResult, InferenceSession, ReferenceData, SessionBuilder, ShardedSession,
+    StreamSummary,
 };
 use bh_irr::{BlackholeDictionary, CorpusGenerator};
-use bh_routing::{deploy, BgpElem, CollectorConfig, CollectorDeployment, SliceSource};
+use bh_routing::{deploy, BgpElem, CollectorConfig, CollectorDeployment, ElemSource, SliceSource};
 use bh_topology::{Topology, TopologyBuilder, TopologyConfig};
 use bh_workloads::{run, ScenarioConfig, ScenarioOutput};
 
@@ -92,8 +94,8 @@ pub struct Study {
 }
 
 /// One scenario run, end to end: the collector stream, the inference
-/// result, and the reference data that matches the deployment which
-/// observed the stream.
+/// result, the accumulator-computed analytics report, and the reference
+/// data that matches the deployment which observed the stream.
 pub struct StudyRun {
     /// Scenario output (elements + ground truth).
     pub output: ScenarioOutput,
@@ -102,6 +104,13 @@ pub struct StudyRun {
     /// The reference data the inference used (built from the same
     /// deployment that produced `output`).
     pub refdata: Arc<ReferenceData>,
+    /// The analytics window/now/grouping parameters of this run (the
+    /// scenario calendar, with the paper's 5-minute grouping timeout).
+    pub analytics: AnalyticsConfig,
+    /// Every paper table/figure of this run, computed by the
+    /// [`AnalyticsPipeline`] accumulators — field for field equal to the
+    /// batch functions over `result`.
+    pub report: AnalyticsReport,
 }
 
 impl Study {
@@ -168,14 +177,77 @@ impl Study {
         session.finish()
     }
 
+    /// An [`AnalyticsPipeline`] with every paper-metric accumulator
+    /// registered over this study's reference data.
+    pub fn analytics_pipeline(
+        &self,
+        refdata: &Arc<ReferenceData>,
+        config: AnalyticsConfig,
+    ) -> AnalyticsPipeline {
+        AnalyticsPipeline::new(refdata.clone(), config)
+    }
+
+    /// One-pass streaming inference **and** analytics: closed events are
+    /// drained into the pipeline every `drain_every` elements and the
+    /// session finishes straight into it, so the full event `Vec` is
+    /// never materialized. Returns the summary (census, counters,
+    /// visibility) and the finalized report.
+    pub fn infer_streaming_analytics(
+        &self,
+        refdata: &Arc<ReferenceData>,
+        elems: &[BgpElem],
+        config: AnalyticsConfig,
+        drain_every: u64,
+    ) -> (StreamSummary, AnalyticsReport) {
+        let mut session = self.session(refdata).build();
+        let mut pipeline = self.analytics_pipeline(refdata, config);
+        let mut source = SliceSource::new(elems);
+        let mut n = 0u64;
+        while let Some(elem) = source.next_elem() {
+            session.push(elem);
+            n += 1;
+            if n.is_multiple_of(drain_every.max(1)) {
+                session.drain_closed_into(&mut pipeline);
+            }
+        }
+        let summary = session.finish_with(&mut pipeline);
+        (summary, pipeline.finalize())
+    }
+
+    /// Sharded one-pass inference and analytics: each worker streams its
+    /// closed events through its own pipeline clone; the per-shard
+    /// pipelines merge deterministically at the barrier.
+    pub fn infer_sharded_analytics(
+        &self,
+        refdata: &Arc<ReferenceData>,
+        elems: &[BgpElem],
+        config: AnalyticsConfig,
+        shards: usize,
+    ) -> (StreamSummary, AnalyticsReport) {
+        let pipeline = self.analytics_pipeline(refdata, config);
+        let mut session = self.session(refdata).build_sharded_with(shards, pipeline);
+        session.ingest(&mut SliceSource::new(elems));
+        let (summary, merged) = session.finish_parts();
+        (summary, merged.finalize())
+    }
+
     /// Run a scenario and infer over its stream with ONE deployment:
     /// the same collector set observes and parameterizes the refdata.
+    /// The analytics report comes from the same accumulators the
+    /// streaming paths use, fed from the materialized result; the fold
+    /// is one pass over the events — milliseconds against the
+    /// multi-second simulation — so every run carries its report.
     fn scenario_run(&self, config: &ScenarioConfig) -> StudyRun {
         let deployment = self.deployment();
         let refdata = self.refdata_for(&deployment);
+        let analytics =
+            AnalyticsConfig::window(config.calendar.window_start, config.calendar.window_end);
         let output = run(&self.topology, deployment, config);
         let result = self.infer(&refdata, &output.elems);
-        StudyRun { output, result, refdata }
+        let mut pipeline = self.analytics_pipeline(&refdata, analytics);
+        pipeline.observe_result(&result);
+        let report = pipeline.finalize();
+        StudyRun { output, result, refdata, analytics, report }
     }
 
     /// The standard short visibility run used by most benches: `days`
@@ -244,5 +316,39 @@ mod tests {
         let run = study.visibility_run(2, 4.0);
         let sharded = study.infer_sharded(&run.refdata, &run.output.elems, 4);
         assert_eq!(sharded, run.result);
+    }
+
+    #[test]
+    fn run_report_matches_batch_analytics() {
+        use bh_core::{daily_series, group_events, table3, table4};
+
+        let study = Study::build(StudyScale::Tiny, 13);
+        let run = study.visibility_run(3, 6.0);
+        assert!(!run.result.events.is_empty());
+        // The report the run carries equals the batch functions.
+        assert_eq!(run.report.table3, table3(&run.result, &run.refdata));
+        assert_eq!(run.report.table4, table4(&run.result.events, &run.refdata));
+        assert_eq!(
+            run.report.daily,
+            daily_series(&run.result.events, run.analytics.window_start, run.analytics.window_end)
+        );
+        assert_eq!(
+            run.report.periods,
+            group_events(&run.result.events, run.analytics.grouping_timeout)
+        );
+    }
+
+    #[test]
+    fn streaming_analytics_match_run_report() {
+        let study = Study::build(StudyScale::Tiny, 17);
+        let run = study.visibility_run(2, 5.0);
+        let (summary, report) =
+            study.infer_streaming_analytics(&run.refdata, &run.output.elems, run.analytics, 512);
+        assert_eq!(summary.stats, run.result.stats);
+        assert_eq!(report, run.report);
+        let (sharded_summary, sharded_report) =
+            study.infer_sharded_analytics(&run.refdata, &run.output.elems, run.analytics, 4);
+        assert_eq!(sharded_summary.per_dataset, run.result.per_dataset);
+        assert_eq!(sharded_report, run.report);
     }
 }

@@ -103,7 +103,7 @@ impl BogonFilter {
     }
 
     fn contains_martian(&self, prefix: &Ipv4Prefix) -> bool {
-        self.blocks.iter().iter().any(|(block, _)| prefix.contains(block) && prefix != block)
+        self.blocks.iter().any(|(block, _)| prefix.contains(&block) && *prefix != block)
     }
 
     /// Is the prefix clean (routable)?

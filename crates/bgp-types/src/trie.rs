@@ -162,25 +162,63 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Iterate all stored `(prefix, value)` pairs in lexicographic
-    /// (network, length) order.
-    pub fn iter(&self) -> Vec<(Ipv4Prefix, &T)> {
-        let mut out = Vec::with_capacity(self.len);
-        fn rec<'a, T>(node: &'a Node<T>, bits: u32, depth: u8, out: &mut Vec<(Ipv4Prefix, &'a T)>) {
-            if let Some(v) = node.value.as_ref() {
-                out.push((Ipv4Prefix::from_raw(bits, depth), v));
-            }
-            if let Some(child) = node.children[0].as_deref() {
-                rec(child, bits, depth + 1, out);
-            }
-            if let Some(child) = node.children[1].as_deref() {
-                rec(child, bits | (1 << (31 - depth as u32)), depth + 1, out);
-            }
-        }
-        rec(&self.root, 0, 0, &mut out);
-        out.sort_by_key(|(p, _)| *p);
-        out
+    /// (network, length) order — lazily, with no allocation beyond the
+    /// traversal stack (at most one frame per trie level).
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { stack: vec![(&self.root, 0, 0)], remaining: self.len }
     }
 }
+
+impl<'a, T> IntoIterator for &'a PrefixTrie<T> {
+    type Item = (Ipv4Prefix, &'a T);
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Lazy pre-order traversal of a [`PrefixTrie`].
+///
+/// Pre-order (node value, then the 0-child subtree, then the 1-child
+/// subtree) *is* lexicographic `(network, length)` order: a node's
+/// prefix sorts before every descendant (same network bits, shorter
+/// length), and the 0-subtree's networks all sort below the 1-subtree's.
+#[derive(Debug, Clone)]
+pub struct Iter<'a, T> {
+    /// Nodes still to visit, each with the network bits and depth of its
+    /// position; the top of the stack is the next node in order.
+    stack: Vec<(&'a Node<T>, u32, u8)>,
+    remaining: usize,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (Ipv4Prefix, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, bits, depth)) = self.stack.pop() {
+            // Push the 1-child first so the 0-child pops (and yields)
+            // before it.
+            if let Some(child) = node.children[1].as_deref() {
+                self.stack.push((child, bits | (1 << (31 - depth as u32)), depth + 1));
+            }
+            if let Some(child) = node.children[0].as_deref() {
+                self.stack.push((child, bits, depth + 1));
+            }
+            if let Some(v) = node.value.as_ref() {
+                self.remaining -= 1;
+                return Some((Ipv4Prefix::from_raw(bits, depth), v));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<T> ExactSizeIterator for Iter<'_, T> {}
 
 #[cfg(test)]
 mod tests {
@@ -262,12 +300,19 @@ mod tests {
         for (i, s) in prefixes.iter().enumerate() {
             t.insert(p4(s), i);
         }
-        let items = t.iter();
-        assert_eq!(items.len(), 4);
-        let keys: Vec<_> = items.iter().map(|(p, _)| *p).collect();
+        let mut iter = t.iter();
+        assert_eq!(iter.len(), 4);
+        assert_eq!(iter.size_hint(), (4, Some(4)));
+        assert_eq!(iter.next().map(|(p, _)| p), Some(p4("0.0.0.0/0")));
+        assert_eq!(iter.len(), 3, "lazy iterator tracks remaining items");
+        let keys: Vec<_> = t.iter().map(|(p, _)| p).collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 4);
+        // Values ride along, and `&trie` iterates too.
+        let total: usize = (&t).into_iter().map(|(_, v)| *v).sum();
+        assert_eq!(total, 6);
     }
 
     #[test]
@@ -277,7 +322,7 @@ mod tests {
         t.remove(&p4("10.1.2.3/32"));
         // Tree fully pruned: nothing matches and iteration is empty.
         assert!(t.longest_match(addr("10.1.2.3")).is_none());
-        assert!(t.iter().is_empty());
+        assert!(t.iter().next().is_none());
     }
 
     #[test]

@@ -184,7 +184,7 @@ proptest! {
             prop_assert!(trie.remove(p).is_some());
         }
         prop_assert!(trie.is_empty());
-        prop_assert!(trie.iter().is_empty());
+        prop_assert!(trie.iter().next().is_none());
     }
 
     #[test]

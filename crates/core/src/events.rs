@@ -83,7 +83,7 @@ impl BlackholeEvent {
 /// A grouped blackholing *period*: consecutive events for the same prefix
 /// whose gaps are at most the grouping timeout (the paper uses 5 minutes
 /// to collapse the operators' ON/OFF probing pattern).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlackholePeriod {
     /// The prefix.
     pub prefix: Ipv4Prefix,
@@ -107,53 +107,124 @@ impl BlackholePeriod {
 }
 
 /// Group events into periods with the given timeout. Events must belong
-/// to one run of the engine; grouping is per prefix.
+/// to one run of the engine; grouping is per prefix. Thin wrapper over
+/// [`PeriodAccumulator`], the incremental form.
 pub fn group_events(events: &[BlackholeEvent], timeout: SimDuration) -> Vec<BlackholePeriod> {
-    let mut by_prefix: std::collections::BTreeMap<Ipv4Prefix, Vec<&BlackholeEvent>> =
-        std::collections::BTreeMap::new();
+    let mut acc = PeriodAccumulator::new(timeout);
     for event in events {
-        by_prefix.entry(event.prefix).or_default().push(event);
+        use crate::accumulate::EventAccumulator;
+        acc.observe(event);
     }
-    let mut periods = Vec::new();
-    for (prefix, mut group) in by_prefix {
-        group.sort_by_key(|e| e.start);
-        let mut current: Option<BlackholePeriod> = None;
-        for event in group {
-            match current.as_mut() {
-                Some(period)
-                    if period.end.is_none()
-                        || event.start.since(period.end.expect("checked")) <= timeout =>
-                {
-                    // Extend the open period.
-                    period.end = match (period.end, event.end) {
-                        (_, None) => None,
-                        (None, Some(_)) => None,
-                        (Some(a), Some(b)) => Some(a.max(b)),
-                    };
-                    period.event_count += 1;
-                    period.providers.extend(event.providers.iter().copied());
-                    period.users.extend(event.users.iter().copied());
-                }
-                _ => {
-                    if let Some(done) = current.take() {
-                        periods.push(done);
-                    }
-                    current = Some(BlackholePeriod {
-                        prefix,
-                        start: event.start,
-                        end: event.end,
-                        event_count: 1,
-                        providers: event.providers.clone(),
-                        users: event.users.clone(),
-                    });
-                }
+    crate::accumulate::EventAccumulator::finalize(acc)
+}
+
+/// The §9 grouping as a mergeable accumulator: per prefix it maintains a
+/// set of disjoint periods (pairwise separated by more than the
+/// timeout), coalescing each incoming event interval with every period
+/// it overlaps or comes within the timeout of. Gap-tolerant interval
+/// coalescing is associative and commutative, so events may arrive in
+/// any order — including split across shards and merged — and the
+/// finalized periods equal the sorted-sweep batch grouping exactly.
+#[derive(Debug, Clone)]
+pub struct PeriodAccumulator {
+    timeout: SimDuration,
+    by_prefix: std::collections::BTreeMap<Ipv4Prefix, Vec<BlackholePeriod>>,
+}
+
+impl PeriodAccumulator {
+    /// An empty accumulator with the given grouping timeout.
+    pub fn new(timeout: SimDuration) -> Self {
+        PeriodAccumulator { timeout, by_prefix: std::collections::BTreeMap::new() }
+    }
+
+    /// Can two periods of one prefix be coalesced? True when the gap
+    /// between their closest edges is at most the timeout (an open
+    /// period reaches everything after it).
+    fn mergeable(a: &BlackholePeriod, b: &BlackholePeriod, timeout: SimDuration) -> bool {
+        let a_reaches_b = match a.end {
+            None => true,
+            Some(end) => b.start.since(end) <= timeout,
+        };
+        let b_reaches_a = match b.end {
+            None => true,
+            Some(end) => a.start.since(end) <= timeout,
+        };
+        a_reaches_b && b_reaches_a
+    }
+
+    fn coalesce(mut a: BlackholePeriod, b: BlackholePeriod) -> BlackholePeriod {
+        a.start = a.start.min(b.start);
+        a.end = match (a.end, b.end) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            _ => None,
+        };
+        a.event_count += b.event_count;
+        a.providers.extend(b.providers);
+        a.users.extend(b.users);
+        a
+    }
+
+    fn insert(&mut self, period: BlackholePeriod) {
+        let runs = self.by_prefix.entry(period.prefix).or_default();
+        let mut merged = period;
+        let mut keep = Vec::with_capacity(runs.len() + 1);
+        for run in runs.drain(..) {
+            if Self::mergeable(&run, &merged, self.timeout) {
+                merged = Self::coalesce(merged, run);
+            } else {
+                keep.push(run);
             }
         }
-        if let Some(done) = current.take() {
-            periods.push(done);
+        keep.push(merged);
+        keep.sort_by_key(|p| p.start);
+        *runs = keep;
+    }
+
+    /// Periods accumulated so far.
+    pub fn period_count(&self) -> usize {
+        self.by_prefix.values().map(Vec::len).sum()
+    }
+}
+
+impl crate::accumulate::EventAccumulator for PeriodAccumulator {
+    type Output = Vec<BlackholePeriod>;
+
+    fn observe(&mut self, event: &BlackholeEvent) {
+        self.insert(BlackholePeriod {
+            prefix: event.prefix,
+            start: event.start,
+            end: event.end,
+            event_count: 1,
+            providers: event.providers.clone(),
+            users: event.users.clone(),
+        });
+    }
+
+    fn observe_owned(&mut self, event: BlackholeEvent) {
+        self.insert(BlackholePeriod {
+            prefix: event.prefix,
+            start: event.start,
+            end: event.end,
+            event_count: 1,
+            providers: event.providers,
+            users: event.users,
+        });
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.timeout, other.timeout, "period accumulators must share one timeout");
+        for (_, periods) in other.by_prefix {
+            for period in periods {
+                self.insert(period);
+            }
         }
     }
-    periods
+
+    /// All periods, ordered by `(prefix, start)` — identical to the
+    /// batch sweep over sorted events.
+    fn finalize(self) -> Vec<BlackholePeriod> {
+        self.by_prefix.into_values().flatten().collect()
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +304,41 @@ mod tests {
         let grouped = group_events(&events, SimDuration::mins(5));
         assert_eq!(grouped.len(), 1);
         assert_eq!(grouped[0].event_count, 2);
+    }
+
+    #[test]
+    fn period_accumulator_is_order_insensitive_and_mergeable() {
+        use crate::accumulate::EventAccumulator;
+        let events = vec![
+            event("1.2.3.4/32", 0, Some(60)),
+            event("1.2.3.4/32", 180, Some(240)),
+            event("1.2.3.4/32", 360, Some(420)),
+            event("5.6.7.8/32", 30, None),
+            event("5.6.7.8/32", 100_000, Some(100_060)),
+        ];
+        let batch = group_events(&events, SimDuration::mins(5));
+
+        // Reversed observation order.
+        let mut reversed = PeriodAccumulator::new(SimDuration::mins(5));
+        for e in events.iter().rev() {
+            reversed.observe(e);
+        }
+        assert_eq!(EventAccumulator::finalize(reversed), batch);
+
+        // Split across two accumulators and merged (both merge orders).
+        for flip in [false, true] {
+            let mut a = PeriodAccumulator::new(SimDuration::mins(5));
+            let mut b = PeriodAccumulator::new(SimDuration::mins(5));
+            for (k, e) in events.iter().enumerate() {
+                if (k % 2 == 0) != flip {
+                    a.observe(e);
+                } else {
+                    b.observe(e);
+                }
+            }
+            a.merge(b);
+            assert_eq!(EventAccumulator::finalize(a), batch);
+        }
     }
 
     #[test]

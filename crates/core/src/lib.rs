@@ -17,11 +17,17 @@
 //!    [`events::BlackholeEvent`]s; RIB-dump initialization uses start
 //!    time zero; the 5-minute grouping of §9 collapses operators' ON/OFF
 //!    probing into [`events::BlackholePeriod`]s.
-//! 3. **Analytics** ([`analytics`]): Table 3 (per-dataset visibility),
-//!    Table 4 (by provider type), Fig. 4 (daily adoption series), Fig. 5
-//!    (prefix-count CDies per provider/user), Fig. 6 (per-country),
-//!    Fig. 7(b) (providers per event), Fig. 7(c) (AS-distance incl. the
-//!    bundling "no-path" share), Fig. 8 (durations).
+//! 3. **Analytics** ([`analytics`], [`accumulate`]): Table 3
+//!    (per-dataset visibility), Table 4 (by provider type), Fig. 4
+//!    (daily adoption series), Fig. 5 (prefix-count CDFs per
+//!    provider/user), Fig. 6 (per-country), Fig. 7(b) (providers per
+//!    event), Fig. 7(c) (AS-distance incl. the bundling "no-path"
+//!    share), Fig. 8 (durations and §9 grouped periods). Every metric
+//!    is a mergeable one-pass [`accumulate::EventAccumulator`]; the
+//!    batch functions are thin wrappers, and the
+//!    [`accumulate::AnalyticsPipeline`] multiplexes one event stream
+//!    into all of them — from `drain_closed_into` mid-stream or per
+//!    shard with a deterministic merge at the barrier.
 //! 4. **Reference data** ([`refdata`]): the *public* metadata the
 //!    methodology is allowed to consult (PeeringDB LANs and route
 //!    servers, PeeringDB/CAIDA classification, RIR countries, collector
@@ -36,38 +42,56 @@
 //! [`shard::ShardedSession`] hash-partitions the stream by prefix across
 //! worker threads with a deterministic, bit-identical merge.
 
+pub mod accumulate;
 pub mod analytics;
 pub mod events;
 pub mod refdata;
 pub mod session;
 pub mod shard;
 
-pub use analytics::{
-    daily_series, distance_histogram, durations, per_country, prefixes_per_provider,
-    prefixes_per_user, providers_per_event, table3, table4, DailyPoint, TypeRow, VisibilityRow,
+pub use accumulate::{
+    AnalyticsConfig, AnalyticsPipeline, AnalyticsReport, EventAccumulator, EventCollector,
 };
-pub use events::{group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, ProviderId};
+pub use analytics::{
+    blackholed_prefixes, daily_series, distance_histogram, durations, per_country,
+    prefixes_per_provider, prefixes_per_user, providers_per_event, table3, table4,
+    CountryAccumulator, DailyPoint, DailySeriesAccumulator, DistanceAccumulator,
+    DurationAccumulator, PrefixSetAccumulator, ProviderPrefixAccumulator,
+    ProvidersPerEventAccumulator, TypeAccumulator, TypeRow, UserPrefixAccumulator,
+    VisibilityAccumulator, VisibilityRow,
+};
+pub use events::{
+    group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, PeriodAccumulator, ProviderId,
+};
 pub use refdata::ReferenceData;
 pub use session::{
     DatasetVisibility, Detection, EngineConfig, EngineStats, InferenceResult, InferenceSession,
-    SessionBuilder, SessionCheckpoint,
+    SessionBuilder, SessionCheckpoint, StreamSummary,
 };
 pub use shard::ShardedSession;
 
 /// Everything a pipeline consumer needs, in one import:
 /// `use bh_core::prelude::*;`.
 pub mod prelude {
+    pub use crate::accumulate::{
+        AnalyticsConfig, AnalyticsPipeline, AnalyticsReport, EventAccumulator, EventCollector,
+    };
     pub use crate::analytics::{
-        daily_series, distance_histogram, durations, per_country, prefixes_per_provider,
-        prefixes_per_user, providers_per_event, table3, table4, DailyPoint, TypeRow, VisibilityRow,
+        blackholed_prefixes, daily_series, distance_histogram, durations, per_country,
+        prefixes_per_provider, prefixes_per_user, providers_per_event, table3, table4,
+        CountryAccumulator, DailyPoint, DailySeriesAccumulator, DistanceAccumulator,
+        DurationAccumulator, PrefixSetAccumulator, ProviderPrefixAccumulator,
+        ProvidersPerEventAccumulator, TypeAccumulator, TypeRow, UserPrefixAccumulator,
+        VisibilityAccumulator, VisibilityRow,
     };
     pub use crate::events::{
-        group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, ProviderId,
+        group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, PeriodAccumulator,
+        ProviderId,
     };
     pub use crate::refdata::ReferenceData;
     pub use crate::session::{
         DatasetVisibility, Detection, EngineConfig, EngineStats, InferenceResult, InferenceSession,
-        SessionBuilder, SessionCheckpoint,
+        SessionBuilder, SessionCheckpoint, StreamSummary,
     };
     pub use crate::shard::ShardedSession;
 }

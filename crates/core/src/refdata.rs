@@ -17,6 +17,7 @@ use bh_routing::{CollectorDeployment, DataSource, FeedKind};
 use bh_topology::{Classifier, IxpId, LanIndex, NetworkType, Topology};
 
 /// Public metadata snapshot consumed by the inference engine.
+#[derive(Debug)]
 pub struct ReferenceData {
     lan_index: LanIndex,
     route_servers: BTreeMap<Asn, IxpId>,

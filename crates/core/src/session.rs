@@ -37,6 +37,7 @@ use bh_bgp_types::time::SimTime;
 use bh_irr::{BlackholeDictionary, CommunityPrefixCensus};
 use bh_routing::{BgpElem, DataSource, ElemSource, ElemType, PeerKey};
 
+use crate::accumulate::{EventAccumulator, EventCollector};
 use crate::events::{BlackholeEvent, DetectionDistance, ProviderId};
 use crate::refdata::ReferenceData;
 use crate::shard::ShardedSession;
@@ -207,7 +208,19 @@ impl SessionBuilder {
     /// Build a [`ShardedSession`] that hash-partitions the element
     /// stream by prefix across `shards` worker threads.
     pub fn build_sharded(self, shards: usize) -> ShardedSession {
-        ShardedSession::spawn(self, shards)
+        ShardedSession::spawn(self, shards, EventCollector::default())
+    }
+
+    /// Build a sharded session whose workers stream their closed events
+    /// through a clone of `accumulator` as they go — inline analytics
+    /// with no per-shard event `Vec`. The per-shard accumulators are
+    /// merged deterministically at the
+    /// [`finish_parts`](ShardedSession::finish_parts) barrier.
+    pub fn build_sharded_with<A>(self, shards: usize, accumulator: A) -> ShardedSession<A>
+    where
+        A: EventAccumulator + Clone + Send + 'static,
+    {
+        ShardedSession::spawn(self, shards, accumulator)
     }
 }
 
@@ -327,6 +340,18 @@ impl InferenceSession {
         std::mem::take(&mut self.state.closed)
     }
 
+    /// Stream the events closed so far into an accumulator and forget
+    /// them; returns how many were folded in. The constant-memory
+    /// sibling of [`InferenceSession::drain_closed`]: nothing is handed
+    /// out, so no event `Vec` ever accumulates.
+    pub fn drain_closed_into<A: EventAccumulator>(&mut self, accumulator: &mut A) -> usize {
+        let n = self.state.closed.len();
+        for event in self.state.closed.drain(..) {
+            accumulator.observe_owned(event);
+        }
+        n
+    }
+
     /// Snapshot the mutable state (and configuration) for later
     /// [`SessionBuilder::resume`].
     pub fn checkpoint(&self) -> SessionCheckpoint {
@@ -335,17 +360,34 @@ impl InferenceSession {
 
     /// Finish: close nothing (events still active stay open with
     /// `end: None`) and return every remaining event plus final census
-    /// and stats.
-    pub fn finish(mut self) -> InferenceResult {
-        let mut events = std::mem::take(&mut self.state.closed);
+    /// and stats. Thin wrapper over
+    /// [`InferenceSession::finish_with`] and an [`EventCollector`].
+    pub fn finish(self) -> InferenceResult {
+        let mut collector = EventCollector::default();
+        let summary = self.finish_with(&mut collector);
+        InferenceResult {
+            events: collector.finalize(),
+            census: summary.census,
+            stats: summary.stats,
+            per_dataset: summary.per_dataset,
+        }
+    }
+
+    /// Finish by streaming every remaining event (undrained closed ones
+    /// first, then the still-open ones with `end: None`) into an
+    /// accumulator, plus the final per-dataset visibility via
+    /// [`EventAccumulator::observe_visibility`]. Returns the summary
+    /// outputs (census, counters, visibility); the full event `Vec` is
+    /// never materialized.
+    pub fn finish_with<A: EventAccumulator>(mut self, accumulator: &mut A) -> StreamSummary {
+        self.drain_closed_into(accumulator);
         let open: Vec<Ipv4Prefix> = self.state.open.keys().copied().collect();
         for prefix in open {
             let oe = self.state.open.remove(&prefix).expect("key exists");
-            events.push(Self::to_event(prefix, oe, None));
+            accumulator.observe_owned(Self::to_event(prefix, oe, None));
         }
-        events.sort_by_key(|e| (e.start, e.prefix));
-        InferenceResult {
-            events,
+        accumulator.observe_visibility(&self.state.per_dataset);
+        StreamSummary {
             census: self.state.census,
             stats: self.state.stats,
             per_dataset: self.state.per_dataset,
@@ -548,6 +590,40 @@ impl InferenceSession {
     }
 }
 
+/// The non-event outputs of a session: what
+/// [`InferenceSession::finish_with`] returns when the events themselves
+/// streamed into an accumulator instead of materializing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    /// The community/prefix-length census.
+    pub census: CommunityPrefixCensus,
+    /// Session counters.
+    pub stats: EngineStats,
+    /// Per-dataset visibility (Table 3 inputs).
+    pub per_dataset: BTreeMap<DataSource, DatasetVisibility>,
+}
+
+impl StreamSummary {
+    /// An empty summary (the merge identity).
+    pub fn empty() -> Self {
+        StreamSummary {
+            census: CommunityPrefixCensus::new(),
+            stats: EngineStats::default(),
+            per_dataset: BTreeMap::new(),
+        }
+    }
+
+    /// Fold another summary in: census/stats/visibility all merge
+    /// commutatively (the shard barrier's summary half).
+    pub fn merge(&mut self, other: StreamSummary) {
+        self.census.merge(&other.census);
+        self.stats.merge(other.stats);
+        for (dataset, vis) in &other.per_dataset {
+            self.per_dataset.entry(*dataset).or_default().merge(vis);
+        }
+    }
+}
+
 /// Everything a session produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferenceResult {
@@ -562,33 +638,32 @@ pub struct InferenceResult {
 }
 
 impl InferenceResult {
-    /// Fold another result into this one: events concatenate (callers
-    /// re-sort), census/stats/visibility merge commutatively. The
-    /// deterministic-merge half of the sharded runner.
+    /// Fold another result into this one: events concatenate and
+    /// re-sort canonically via the [`EventCollector`], the summary
+    /// halves merge commutatively via [`StreamSummary::merge`] — so
+    /// shard-merge semantics live in exactly one place each.
     pub fn merge(&mut self, other: InferenceResult) {
-        self.events.extend(other.events);
-        self.census.merge(&other.census);
-        self.stats.merge(other.stats);
-        for (dataset, vis) in &other.per_dataset {
-            self.per_dataset.entry(*dataset).or_default().merge(vis);
+        let mut collector = EventCollector::default();
+        for event in std::mem::take(&mut self.events) {
+            collector.observe_owned(event);
         }
-    }
-
-    /// An empty result (the merge identity).
-    pub fn empty() -> Self {
-        InferenceResult {
-            events: Vec::new(),
-            census: CommunityPrefixCensus::new(),
-            stats: EngineStats::default(),
-            per_dataset: BTreeMap::new(),
+        for event in other.events {
+            collector.observe_owned(event);
         }
-    }
-
-    /// Restore the canonical event order after merging shards: stable
-    /// sort by `(start, prefix)` — identical to what a single-threaded
-    /// [`InferenceSession::finish`] produces.
-    pub fn sort_events(&mut self) {
-        self.events.sort_by_key(|e| (e.start, e.prefix));
+        let mut summary = StreamSummary {
+            census: std::mem::take(&mut self.census),
+            stats: self.stats,
+            per_dataset: std::mem::take(&mut self.per_dataset),
+        };
+        summary.merge(StreamSummary {
+            census: other.census,
+            stats: other.stats,
+            per_dataset: other.per_dataset,
+        });
+        self.events = collector.finalize();
+        self.census = summary.census;
+        self.stats = summary.stats;
+        self.per_dataset = summary.per_dataset;
     }
 }
 
@@ -1022,6 +1097,35 @@ mod tests {
         let result = resumed.finish();
         assert_eq!(result.events.len(), 1);
         assert_eq!(result.events[0].end, Some(SimTime::from_unix(150)));
+    }
+
+    #[test]
+    fn result_merge_equals_one_session_over_prefix_disjoint_streams() {
+        let s = setup();
+        // Two prefix-disjoint streams (the shard-partition property).
+        let elems_a = vec![
+            announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100),
+            withdraw("9.9.9.9/32", 160, 100),
+        ];
+        let elems_b = vec![announce("8.8.8.8/32", 120, "100 64777 64999", vec![s.community], 100)];
+
+        let mut combined = s.session();
+        for e in elems_a.iter().chain(&elems_b) {
+            combined.push(e);
+        }
+        let expected = combined.finish();
+
+        let mut session_a = s.session();
+        for e in &elems_a {
+            session_a.push(e);
+        }
+        let mut merged = session_a.finish();
+        let mut session_b = s.session();
+        for e in &elems_b {
+            session_b.push(e);
+        }
+        merged.merge(session_b.finish());
+        assert_eq!(merged, expected);
     }
 
     #[test]

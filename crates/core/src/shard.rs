@@ -9,11 +9,22 @@
 //!    peer) machines, the open-event table), so routing *every element
 //!    of one prefix to the same shard* preserves the exact per-prefix
 //!    arrival order — the only order the state machines observe.
-//! 2. The cross-prefix outputs (census, stats, per-dataset visibility)
-//!    are commutative accumulators, and the event list has a canonical
-//!    order (stable sort by `(start, prefix)`), so shard merging is
-//!    deterministic and bit-identical to a single-threaded run — a
-//!    property test in `tests/` asserts exactly that.
+//! 2. The cross-prefix outputs (census, stats, per-dataset visibility,
+//!    and every [`EventAccumulator`]) are commutative accumulators, and
+//!    the event list has a canonical order (stable sort by `(start,
+//!    prefix)`), so shard merging is deterministic and bit-identical to
+//!    a single-threaded run — property tests in `tests/` assert exactly
+//!    that.
+//!
+//! Each worker streams its closed events into its own accumulator as it
+//! goes (a clone of the prototype handed to
+//! [`SessionBuilder::build_sharded_with`]); the per-shard accumulators
+//! are folded together at the [`ShardedSession::finish_parts`] barrier
+//! in shard-index order. The default accumulator is the
+//! [`EventCollector`], which reproduces the classic
+//! `finish() -> InferenceResult` shape; an
+//! [`AnalyticsPipeline`](crate::AnalyticsPipeline) instead computes
+//! every paper figure inline, with no per-shard event `Vec` at all.
 //!
 //! Elements cross thread boundaries in batches to amortize channel
 //! overhead; the partition hash is a fixed multiplicative hash of the
@@ -26,7 +37,8 @@ use std::thread::{self, JoinHandle};
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_routing::{BgpElem, ElemSource};
 
-use crate::session::{InferenceResult, SessionBuilder};
+use crate::accumulate::{EventAccumulator, EventCollector};
+use crate::session::{InferenceResult, SessionBuilder, StreamSummary};
 
 /// Elements buffered per shard before a batch crosses the channel.
 const BATCH: usize = 512;
@@ -38,30 +50,40 @@ enum ShardMsg {
     Rib(Vec<BgpElem>),
 }
 
-/// A parallel inference session over `N` prefix-partitioned workers.
+/// A parallel inference session over `N` prefix-partitioned workers,
+/// each streaming its closed events through its own accumulator.
 ///
-/// Built via [`SessionBuilder::build_sharded`]; exposes the same
-/// one-pass surface as [`InferenceSession`](crate::InferenceSession)
-/// (`push` / `push_rib` / `ingest` / `finish`). Mid-stream draining and
-/// checkpointing remain single-session features — the sharded runner
-/// targets offline archive scans where only the final result matters.
-pub struct ShardedSession {
+/// Built via [`SessionBuilder::build_sharded`] (events collected, the
+/// classic [`finish`](ShardedSession::finish) shape) or
+/// [`SessionBuilder::build_sharded_with`] (any
+/// [`EventAccumulator`], e.g. an
+/// [`AnalyticsPipeline`](crate::AnalyticsPipeline) computing every
+/// figure inline). Exposes the same one-pass surface as
+/// [`InferenceSession`](crate::InferenceSession) (`push` / `push_rib` /
+/// `ingest`). Mid-stream draining and checkpointing remain
+/// single-session features — the sharded runner targets offline archive
+/// scans where only the final result matters.
+pub struct ShardedSession<A: EventAccumulator = EventCollector> {
     senders: Vec<mpsc::Sender<ShardMsg>>,
-    workers: Vec<JoinHandle<InferenceResult>>,
+    workers: Vec<JoinHandle<(StreamSummary, A)>>,
     buffers: Vec<Vec<BgpElem>>,
     pushed: u64,
 }
 
-impl ShardedSession {
+impl<A> ShardedSession<A>
+where
+    A: EventAccumulator + Clone + Send + 'static,
+{
     /// Spawn `shards` workers (clamped to at least 1), each owning a
-    /// session built from `builder`.
-    pub(crate) fn spawn(builder: SessionBuilder, shards: usize) -> Self {
+    /// session built from `builder` and a clone of `accumulator`.
+    pub(crate) fn spawn(builder: SessionBuilder, shards: usize, accumulator: A) -> Self {
         let shards = shards.max(1);
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for _ in 0..shards {
             let (tx, rx) = mpsc::channel::<ShardMsg>();
             let worker_builder = builder.clone();
+            let mut acc = accumulator.clone();
             workers.push(thread::spawn(move || {
                 let mut session = worker_builder.build();
                 while let Ok(msg) = rx.recv() {
@@ -77,14 +99,20 @@ impl ShardedSession {
                             }
                         }
                     }
+                    // Stream closed events into the accumulator batch by
+                    // batch: the worker never holds an event Vec.
+                    session.drain_closed_into(&mut acc);
                 }
-                session.finish()
+                let summary = session.finish_with(&mut acc);
+                (summary, acc)
             }));
             senders.push(tx);
         }
         ShardedSession { senders, workers, buffers: vec![Vec::new(); shards], pushed: 0 }
     }
+}
 
+impl<A: EventAccumulator> ShardedSession<A> {
     /// Number of worker shards.
     pub fn shard_count(&self) -> usize {
         self.senders.len()
@@ -152,23 +180,42 @@ impl ShardedSession {
         }
     }
 
-    /// Flush, close the channels, join the workers, and merge their
-    /// results into one — bit-identical to a single-threaded run over
-    /// the same stream.
-    pub fn finish(mut self) -> InferenceResult {
+    /// Flush, close the channels, join the workers, and fold their
+    /// outputs: summaries merge commutatively, per-shard accumulators
+    /// merge in shard-index order (deterministic — and order-free
+    /// anyway, since every [`EventAccumulator`] merge is commutative).
+    pub fn finish_parts(mut self) -> (StreamSummary, A) {
         self.flush();
         drop(std::mem::take(&mut self.senders)); // close channels: workers finish
-        let mut merged = InferenceResult::empty();
+        let mut summary = StreamSummary::empty();
+        let mut merged: Option<A> = None;
         for worker in self.workers.drain(..) {
-            let result = worker.join().expect("shard worker panicked");
-            merged.merge(result);
+            let (worker_summary, acc) = worker.join().expect("shard worker panicked");
+            summary.merge(worker_summary);
+            match merged.as_mut() {
+                None => merged = Some(acc),
+                Some(m) => m.merge(acc),
+            }
         }
-        // Equal (start, prefix) keys can only collide within one shard
-        // (a prefix never splits), and each worker already emits them in
-        // single-threaded order — so the stable sort reproduces the
-        // canonical order exactly.
-        merged.sort_events();
-        merged
+        (summary, merged.expect("at least one shard"))
+    }
+}
+
+impl ShardedSession<EventCollector> {
+    /// Finish into a full [`InferenceResult`] — bit-identical to a
+    /// single-threaded run over the same stream. Equal `(start, prefix)`
+    /// keys can only collide within one shard (a prefix never splits),
+    /// and each worker observes them in single-threaded closed order, so
+    /// the collector's stable sort reproduces the canonical order
+    /// exactly.
+    pub fn finish(self) -> InferenceResult {
+        let (summary, collector) = self.finish_parts();
+        InferenceResult {
+            events: collector.finalize(),
+            census: summary.census,
+            stats: summary.stats,
+            per_dataset: summary.per_dataset,
+        }
     }
 }
 
@@ -179,22 +226,23 @@ mod tests {
     use bh_bgp_types::as_path::AsPath;
     use bh_bgp_types::asn::Asn;
     use bh_bgp_types::community::{Community, CommunitySet};
-    use bh_bgp_types::time::SimTime;
+    use bh_bgp_types::time::{SimDuration, SimTime};
     use bh_irr::BlackholeDictionary;
     use bh_routing::{deploy, CollectorConfig, DataSource, ElemType};
     use bh_topology::{TopologyBuilder, TopologyConfig};
 
     use super::*;
+    use crate::accumulate::{AnalyticsConfig, AnalyticsPipeline};
     use crate::refdata::ReferenceData;
 
-    fn builder() -> (SessionBuilder, Community) {
+    fn builder() -> (SessionBuilder, Community, Arc<ReferenceData>) {
         let t = TopologyBuilder::new(TopologyConfig::tiny(31)).build();
         let d = deploy(&t, &CollectorConfig::tiny(4));
         let refdata = Arc::new(ReferenceData::build(&t, &d));
         let mut dict = BlackholeDictionary::default();
         let community = Community::from_parts(777, 666);
         dict.insert_validated(Asn::new(64_777), community);
-        (SessionBuilder::new(Arc::new(dict), refdata), community)
+        (SessionBuilder::new(Arc::new(dict), refdata.clone()), community, refdata)
     }
 
     fn announce(prefix: &str, time: u64, communities: Vec<Community>, peer: u32) -> BgpElem {
@@ -243,7 +291,7 @@ mod tests {
 
     #[test]
     fn sharded_matches_single_threaded_exactly() {
-        let (b, community) = builder();
+        let (b, community, _) = builder();
         let elems = stream(community);
 
         let mut single = b.clone().build();
@@ -265,7 +313,7 @@ mod tests {
 
     #[test]
     fn sharded_rib_initialization_matches_single_threaded() {
-        let (b, community) = builder();
+        let (b, community, _) = builder();
         let rib: Vec<BgpElem> = (0..9u64)
             .map(|k| announce(&format!("9.9.9.{k}/32"), 5_000, vec![community], 7))
             .collect();
@@ -290,10 +338,38 @@ mod tests {
 
     #[test]
     fn zero_shards_clamps_to_one() {
-        let (b, community) = builder();
+        let (b, community, _) = builder();
         let mut sharded = b.build_sharded(0);
         assert_eq!(sharded.shard_count(), 1);
         sharded.push(&announce("9.9.9.9/32", 10, vec![community], 1));
         assert_eq!(sharded.finish().events.len(), 1);
+    }
+
+    #[test]
+    fn sharded_inline_analytics_matches_batch_functions() {
+        let (b, community, refdata) = builder();
+        let elems = stream(community);
+        let config = AnalyticsConfig::window(SimTime::ZERO, SimTime::ZERO + SimDuration::days(2));
+        let pipeline = AnalyticsPipeline::new(refdata.clone(), config);
+
+        // Batch reference: full result, then the batch wrappers.
+        let mut single = b.clone().build();
+        for e in &elems {
+            single.push(e);
+        }
+        let batch = single.finish();
+        let mut reference = AnalyticsPipeline::new(refdata, config);
+        reference.observe_result(&batch);
+        let expected = reference.finalize();
+
+        let mut sharded = b.build_sharded_with(4, pipeline);
+        for e in &elems {
+            sharded.push(e);
+        }
+        let (summary, merged) = sharded.finish_parts();
+        assert_eq!(summary.stats, batch.stats);
+        assert_eq!(summary.census, batch.census);
+        assert_eq!(summary.per_dataset, batch.per_dataset);
+        assert_eq!(merged.finalize(), expected);
     }
 }

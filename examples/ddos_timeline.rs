@@ -14,7 +14,7 @@ use bh_workloads::SPIKES;
 fn main() {
     section("simulating Dec 2014 - Mar 2017 (scaled)");
     let study = Study::build(StudyScale::Tiny, 11);
-    let StudyRun { output, result, .. } = study.longitudinal_run(2.0);
+    let StudyRun { output, result, report, .. } = study.longitudinal_run(2.0);
     println!(
         "{} ground-truth reactions, {} inferred events over {} days",
         output.ground_truth.len(),
@@ -23,12 +23,17 @@ fn main() {
     );
 
     section("monthly activity (mean per day)");
-    let series =
-        daily_series(&result.events, window::longitudinal_start(), window::longitudinal_end());
+    // The run's report already carries the daily series, computed by the
+    // one-pass accumulator — identical to the batch fold.
+    let series = &report.daily;
+    assert_eq!(
+        *series,
+        daily_series(&result.events, window::longitudinal_start(), window::longitudinal_end())
+    );
     println!("{:<9} {:>10} {:>8} {:>10}", "month", "providers", "users", "prefixes");
     let mut month_key = (0i64, 0u32);
     let mut acc = (0usize, 0usize, 0usize, 0usize);
-    for p in &series {
+    for p in series {
         let (y, m, _) = p.day.ymd();
         if (y, m) != month_key {
             if acc.3 > 0 {

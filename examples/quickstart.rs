@@ -33,7 +33,7 @@ fn main() {
     );
 
     section("2. one week of attacks and reactions");
-    let StudyRun { output, result, refdata } = study.visibility_run(7, 10.0);
+    let StudyRun { output, result, refdata, report, .. } = study.visibility_run(7, 10.0);
     println!(
         "scenario: {} announcements over {} days; {} ground-truth reactions",
         output.announcements,
@@ -55,12 +55,15 @@ fn main() {
     );
 
     section("4. visibility (Table 3 shape)");
-    let rows = table3(&result, &refdata);
+    // The run's report was computed by the one-pass accumulators; it is
+    // field-for-field equal to the batch functions over the result.
+    let rows = &report.table3;
+    assert_eq!(*rows, table3(&result, &refdata));
     let mut table = Table::new(
         "per-platform blackholing visibility",
         &["Source", "Providers", "Users", "Prefixes", "Direct feeds"],
     );
-    for row in &rows {
+    for row in rows {
         table.row(vec![
             row.source.clone(),
             row.providers.to_string(),

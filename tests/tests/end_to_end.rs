@@ -70,7 +70,7 @@ fn inferred_users_and_providers_match_ground_truth() {
 #[test]
 fn mrt_archive_round_trip_preserves_inference() {
     let study = Study::build(StudyScale::Tiny, 33);
-    let StudyRun { output, result: live_result, refdata } = study.visibility_run(4, 6.0);
+    let StudyRun { output, result: live_result, refdata, .. } = study.visibility_run(4, 6.0);
 
     // Split by platform (like real archives), write MRT, read back,
     // merge by time, re-run inference.

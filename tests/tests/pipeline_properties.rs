@@ -94,7 +94,7 @@ proptest! {
         shards in 4usize..9,
     ) {
         let study = small_study();
-        let StudyRun { output, result, refdata } = study.visibility_run(days, rate);
+        let StudyRun { output, result, refdata, .. } = study.visibility_run(days, rate);
         prop_assert!(!result.events.is_empty(), "degenerate run: nothing inferred");
 
         let sharded = study.infer_sharded(&refdata, &output.elems, shards);

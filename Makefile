@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: check fmt fmt-check build test clippy doc quickstart bench bench-check
+.PHONY: check fmt fmt-check build test test-release clippy doc quickstart bench bench-check
 
 check: fmt-check build test clippy bench-check doc
 
@@ -16,8 +16,16 @@ fmt-check:
 build:
 	$(CARGO) build --release
 
+# Runs every unit test plus the integration suite under tests/
+# (fleet ingestion golden equivalence, MRT round-trip proptests, …).
 test:
 	$(CARGO) test -q
+
+# The heap-merge and proptest suites again, optimized — what the CI
+# release-test job runs (debug_assert-free, so it also exercises the
+# release-mode code paths of the merge).
+test-release:
+	$(CARGO) test -q --release
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
@@ -31,7 +39,7 @@ quickstart:
 bench:
 	$(CARGO) bench -p bh-bench
 
-# Compile (but do not run) the 17 harness=false bench targets, so they
+# Compile (but do not run) the 18 harness=false bench targets, so they
 # cannot silently rot: clippy lints them, this proves they still link.
 bench-check:
 	$(CARGO) bench -p bh-bench --no-run

@@ -1,0 +1,92 @@
+//! Fleet ingestion throughput: how fast a multi-collector MRT archive
+//! set streams into the inference, in elements/second.
+//!
+//! Three execution shapes over identical per-collector archives:
+//!
+//! * **materialized** — decode every archive into a `Vec`, sort-merge
+//!   with `merge_streams`, infer over the slice (the pre-fleet baseline;
+//!   peak memory = the whole stream);
+//! * **merged_stream** — single thread, one `MrtElemSource` per archive
+//!   under a k-way `MergedSource` heap (constant memory, one decoder);
+//! * **fleet** — one reader thread per archive with bounded channels and
+//!   backpressure (`CollectorFleet`), merged into one session or fanned
+//!   into a `ShardedSession` (constant memory, parallel decode).
+//!
+//! A second group sweeps the fleet's batch/window tunables to expose the
+//! channel-amortization tradeoff. Not a paper artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bh_bench::{Study, StudyRun, StudyScale};
+use bh_routing::{merge_streams, read_updates, FleetConfig, MergedSource, MrtElemSource};
+use bh_workloads::{fleet_with_config, CollectorArchive};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::build(StudyScale::Small, 42);
+    let StudyRun { output, refdata, .. } = study.visibility_run(6, 6.0);
+    let archives: Vec<CollectorArchive> =
+        output.fleet_archives().expect("fleet archives serialize");
+    let total_bytes: usize = archives.iter().map(|a| a.bytes.len()).sum();
+    println!(
+        "fleet input: {} elems across {} collector archives ({} KiB)",
+        output.elems.len(),
+        archives.len(),
+        total_bytes / 1024
+    );
+
+    let mut group = c.benchmark_group("fleet_ingest");
+    group.throughput(Throughput::Elements(output.elems.len() as u64));
+    group.bench_function("materialized", |b| {
+        b.iter(|| {
+            let streams: Vec<_> = archives
+                .iter()
+                .map(|a| read_updates(&a.bytes[..], a.dataset, a.collector).expect("decodes"))
+                .collect();
+            let merged = merge_streams(streams);
+            study.infer(&refdata, &merged).events.len()
+        })
+    });
+    group.bench_function("merged_stream", |b| {
+        b.iter(|| {
+            let sources: Vec<MrtElemSource<&[u8]>> = archives
+                .iter()
+                .map(|a| MrtElemSource::new(&a.bytes[..], a.dataset, a.collector))
+                .collect();
+            study.infer_source(&refdata, &mut MergedSource::new(sources)).events.len()
+        })
+    });
+    group.bench_function("fleet", |b| {
+        b.iter(|| study.infer_fleet(&refdata, &archives).events.len())
+    });
+    for shards in [2usize, 4] {
+        group.bench_function(&format!("fleet_sharded{shards}"), |b| {
+            b.iter(|| study.infer_fleet_sharded(&refdata, &archives, shards).events.len())
+        });
+    }
+    group.finish();
+
+    // Tunable sweep: batch size × backpressure window. Tiny batches pay
+    // per-send overhead; huge batches defeat pipelining (the merge sits
+    // idle while readers fill).
+    let mut group = c.benchmark_group("fleet_tunables");
+    group.throughput(Throughput::Elements(output.elems.len() as u64));
+    for (batch_elems, channel_batches) in [(64, 4), (512, 4), (4096, 2)] {
+        group.bench_function(&format!("batch{batch_elems}_window{channel_batches}"), |b| {
+            b.iter(|| {
+                let config = FleetConfig { batch_elems, channel_batches };
+                let mut stream = fleet_with_config(&archives, config).start();
+                let result = study.infer_source(&refdata, &mut stream);
+                assert!(stream.finish().is_clean());
+                result.events.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -5,17 +5,17 @@
 //! draining), **streaming with inline analytics** (closed events drain
 //! straight into the AnalyticsPipeline accumulators; the full event Vec
 //! is never materialized), **sharded** (prefix-partitioned worker
-//! threads), and **sharded with inline analytics** (per-shard pipelines
-//! merged at the barrier). Not a paper artifact; these quantify the
-//! implementation itself.
-
-use std::collections::BTreeMap;
+//! threads), **sharded with inline analytics** (per-shard pipelines
+//! merged at the barrier), and the **fleet ingestion** modes
+//! (materialized merge vs constant-memory merged stream vs parallel
+//! multi-reader CollectorFleet, optionally sharded). Not a paper
+//! artifact; these quantify the implementation itself.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use bh_bench::{Study, StudyRun, StudyScale};
-use bh_routing::archive::{mrt_round_trip, write_updates};
-use bh_routing::{BgpElem, DataSource, ElemSource, MrtElemSource, SliceSource};
+use bh_routing::archive::{mrt_round_trip, read_updates, write_updates};
+use bh_routing::{merge_streams, BgpElem, ElemSource, MergedSource, MrtElemSource, SliceSource};
 
 fn bench(c: &mut Criterion) {
     let study = Study::build(StudyScale::Small, 42);
@@ -92,28 +92,53 @@ fn bench(c: &mut Criterion) {
     // no intermediate Vec<BgpElem>. The wire format does not carry the
     // platform/collector labels, so one archive per (dataset,
     // collector) keeps every PeerKey intact — same workload as above.
-    let mut by_collector: BTreeMap<(DataSource, u16), Vec<BgpElem>> = BTreeMap::new();
-    for elem in elems {
-        by_collector.entry((elem.dataset, elem.collector)).or_default().push(elem.clone());
-    }
-    let archives: Vec<(DataSource, u16, Vec<u8>)> = by_collector
-        .into_iter()
-        .map(|((dataset, collector), collector_elems)| {
-            let mut buf = Vec::new();
-            write_updates(&mut buf, &collector_elems).expect("write succeeds");
-            (dataset, collector, buf)
-        })
-        .collect();
+    let archives = output.fleet_archives().expect("fleet archives serialize");
     group.bench_function("inference_from_mrt_stream", |b| {
         b.iter(|| {
             let mut session = study.session(&refdata).build();
-            for (dataset, collector, archive) in &archives {
-                let mut source = MrtElemSource::new(&archive[..], *dataset, *collector);
+            for archive in &archives {
+                let mut source =
+                    MrtElemSource::new(&archive.bytes[..], archive.dataset, archive.collector);
                 session.ingest(&mut source);
                 assert!(source.error().is_none());
             }
             session.finish().events.len()
         })
+    });
+    // ---- fleet ingestion modes (see also the fleet_ingest bench) -------
+    // The same per-collector archive set, ingested three ways:
+    //
+    // * materialized — decode every archive into a Vec, merge_streams,
+    //   then infer (the pre-fleet shape: peak memory = whole stream);
+    // * merged-stream — one thread, k MrtElemSources under a k-way
+    //   MergedSource heap, no Vec<BgpElem> ever (constant memory);
+    // * parallel fleet — one reader thread per archive with bounded
+    //   channels + backpressure feeding the same merge (CollectorFleet),
+    //   optionally into a sharded session.
+    group.bench_function("fleet_materialized_merge", |b| {
+        b.iter(|| {
+            let streams: Vec<Vec<BgpElem>> = archives
+                .iter()
+                .map(|a| read_updates(&a.bytes[..], a.dataset, a.collector).expect("decodes"))
+                .collect();
+            let merged = merge_streams(streams);
+            study.infer(&refdata, &merged).events.len()
+        })
+    });
+    group.bench_function("fleet_merged_stream", |b| {
+        b.iter(|| {
+            let sources: Vec<MrtElemSource<&[u8]>> = archives
+                .iter()
+                .map(|a| MrtElemSource::new(&a.bytes[..], a.dataset, a.collector))
+                .collect();
+            study.infer_source(&refdata, &mut MergedSource::new(sources)).events.len()
+        })
+    });
+    group.bench_function("fleet_parallel", |b| {
+        b.iter(|| study.infer_fleet(&refdata, &archives).events.len())
+    });
+    group.bench_function("fleet_parallel_sharded4", |b| {
+        b.iter(|| study.infer_fleet_sharded(&refdata, &archives, 4).events.len())
     });
     group.finish();
 

@@ -25,7 +25,7 @@ use bh_core::{
 use bh_irr::{BlackholeDictionary, CorpusGenerator};
 use bh_routing::{deploy, BgpElem, CollectorConfig, CollectorDeployment, ElemSource, SliceSource};
 use bh_topology::{Topology, TopologyBuilder, TopologyConfig};
-use bh_workloads::{run, ScenarioConfig, ScenarioOutput};
+use bh_workloads::{fleet_of, run, CollectorArchive, ScenarioConfig, ScenarioOutput};
 
 /// Pipeline scale: trade fidelity for wall-clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +175,63 @@ impl Study {
         let mut session = self.sharded_session(refdata, shards);
         session.ingest(&mut SliceSource::new(elems));
         session.finish()
+    }
+
+    /// One-shot inference over any element source — e.g. a
+    /// [`MergedSource`](bh_routing::MergedSource) over many archives, or
+    /// a running [`CollectorFleet`](bh_routing::CollectorFleet) stream.
+    pub fn infer_source<S: ElemSource + ?Sized>(
+        &self,
+        refdata: &Arc<ReferenceData>,
+        source: &mut S,
+    ) -> InferenceResult {
+        let mut session = self.session(refdata).build();
+        session.ingest(source);
+        session.finish()
+    }
+
+    /// Sharded inference over any element source.
+    pub fn infer_sharded_source<S: ElemSource + ?Sized>(
+        &self,
+        refdata: &Arc<ReferenceData>,
+        source: &mut S,
+        shards: usize,
+    ) -> InferenceResult {
+        let mut session = self.sharded_session(refdata, shards);
+        session.ingest(source);
+        session.finish()
+    }
+
+    /// The full multi-collector historical path: per-collector MRT
+    /// archives → [`CollectorFleet`](bh_routing::CollectorFleet) (one
+    /// reader thread per archive, bounded channels) → merged stream →
+    /// one inference session. Panics if any archive fails to decode
+    /// cleanly — benches and tests want that loud.
+    pub fn infer_fleet(
+        &self,
+        refdata: &Arc<ReferenceData>,
+        archives: &[CollectorArchive],
+    ) -> InferenceResult {
+        let mut stream = fleet_of(archives).start();
+        let result = self.infer_source(refdata, &mut stream);
+        let report = stream.finish();
+        assert!(report.is_clean(), "fleet archive error: {:?}", report.first_error());
+        result
+    }
+
+    /// The fleet path fanned out across a sharded session: N archive
+    /// readers pipelined into M prefix-partitioned inference workers.
+    pub fn infer_fleet_sharded(
+        &self,
+        refdata: &Arc<ReferenceData>,
+        archives: &[CollectorArchive],
+        shards: usize,
+    ) -> InferenceResult {
+        let mut stream = fleet_of(archives).start();
+        let result = self.infer_sharded_source(refdata, &mut stream, shards);
+        let report = stream.finish();
+        assert!(report.is_clean(), "fleet archive error: {:?}", report.first_error());
+        result
     }
 
     /// An [`AnalyticsPipeline`] with every paper-metric accumulator
@@ -336,6 +393,23 @@ mod tests {
             run.report.periods,
             group_events(&run.result.events, run.analytics.grouping_timeout)
         );
+    }
+
+    #[test]
+    fn fleet_ingestion_matches_merged_materialized() {
+        let study = Study::build(StudyScale::Tiny, 19);
+        let run = study.visibility_run(2, 4.0);
+        let archives = run.output.fleet_archives().expect("archives serialize");
+        assert!(archives.len() >= 2);
+        // The reference is the same merged order the fleet yields,
+        // materialized: MRT normalizes NEXT_HOP, which the inference
+        // ignores, so results are bit-identical.
+        let merged = bh_routing::merge_streams(
+            bh_routing::split_by_collector(&run.output.elems).into_values().collect(),
+        );
+        let expected = study.infer(&run.refdata, &merged);
+        assert_eq!(study.infer_fleet(&run.refdata, &archives), expected);
+        assert_eq!(study.infer_fleet_sharded(&run.refdata, &archives, 4), expected);
     }
 
     #[test]

@@ -20,11 +20,15 @@
 //! [`InferenceSession`] (dictionary and reference data behind [`Arc`], so
 //! sessions are `Send` and outlive no borrow). Elements arrive one at a
 //! time via [`InferenceSession::push`] — or from any
-//! [`ElemSource`] via [`InferenceSession::ingest`] — and finished events
-//! can be handed to consumers mid-stream with
-//! [`InferenceSession::drain_closed`]. [`InferenceSession::checkpoint`]
-//! snapshots the mutable state so a long-running scan can be suspended
-//! and resumed ([`SessionBuilder::resume`]).
+//! [`ElemSource`] via [`InferenceSession::ingest`], including a
+//! [`MergedSource`](bh_routing::MergedSource) or a parallel
+//! [`CollectorFleet`](bh_routing::CollectorFleet) stream merging a whole
+//! multi-collector archive set — and finished events can be handed to
+//! consumers mid-stream with [`InferenceSession::drain_closed`].
+//! [`InferenceSession::checkpoint`] snapshots the mutable state so a
+//! long-running scan can be suspended and resumed
+//! ([`SessionBuilder::resume`]) — including mid-fleet, since the fleet
+//! stream is just another source.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -1028,6 +1032,38 @@ mod tests {
         let mut by_ingest = s.session();
         assert_eq!(by_ingest.ingest(&mut SliceSource::new(&elems)), 3);
         assert_eq!(by_push.finish(), by_ingest.finish());
+    }
+
+    #[test]
+    fn merged_multi_collector_ingest_equals_materialized_merge() {
+        use bh_routing::{merge_streams, MergedSource};
+
+        let s = setup();
+        // Two collector streams, interleaved in time.
+        let mut ris = vec![
+            announce("9.9.9.9/32", 100, "100 64777 64999", vec![s.community], 100),
+            withdraw("9.9.9.9/32", 300, 100),
+        ];
+        ris[0].collector = 0;
+        ris[1].collector = 0;
+        let mut rv = vec![
+            announce("9.9.9.9/32", 200, "200 64777 64999", vec![s.community], 200),
+            withdraw("9.9.9.9/32", 400, 200),
+        ];
+        for e in &mut rv {
+            e.dataset = DataSource::RouteViews;
+            e.collector = 1;
+        }
+
+        let mut by_push = s.session();
+        for e in merge_streams(vec![ris.clone(), rv.clone()]) {
+            by_push.push(&e);
+        }
+
+        let mut by_merge = s.session();
+        let merged = &mut MergedSource::new(vec![SliceSource::new(&ris), SliceSource::new(&rv)]);
+        assert_eq!(by_merge.ingest(merged), 4);
+        assert_eq!(by_merge.finish(), by_push.finish());
     }
 
     #[test]

@@ -69,6 +69,11 @@ impl<R: Read> MrtReader<R> {
         self.records_skipped
     }
 
+    /// The reader's error-handling mode.
+    pub fn mode(&self) -> ReadMode {
+        self.mode
+    }
+
     /// Read the 12-byte common header; `Ok(None)` at clean EOF.
     fn read_header(&mut self) -> Result<Option<(SimTime, u16, u16, u32)>, MrtError> {
         let mut header = [0u8; 12];
@@ -406,6 +411,35 @@ mod tests {
         assert!(tolerant.next_record().unwrap().is_none());
         assert_eq!(tolerant.records_skipped(), 1);
         assert_eq!(tolerant.records_read(), 1);
+    }
+
+    #[test]
+    fn tolerant_mode_counts_every_skip_across_the_stream() {
+        // Corrupt records interleaved with valid ones: each skip is
+        // counted and every valid record still decodes.
+        let corrupt = |buf: &mut Vec<u8>| {
+            buf.extend_from_slice(&1u32.to_be_bytes());
+            buf.extend_from_slice(&mrt_type::BGP4MP.to_be_bytes());
+            buf.extend_from_slice(&bgp4mp_subtype::MESSAGE_AS4.to_be_bytes());
+            buf.extend_from_slice(&4u32.to_be_bytes());
+            buf.extend_from_slice(&[0xba, 0xad, 0xf0, 0x0d]);
+        };
+        let mut buf = Vec::new();
+        corrupt(&mut buf);
+        buf.extend_from_slice(&one_update_archive());
+        corrupt(&mut buf);
+        corrupt(&mut buf);
+        buf.extend_from_slice(&one_update_archive());
+
+        let mut r = MrtReader::tolerant(&buf[..]);
+        assert_eq!(r.mode(), ReadMode::Tolerant);
+        let mut read = 0;
+        while r.next_record().unwrap().is_some() {
+            read += 1;
+        }
+        assert_eq!(read, 2);
+        assert_eq!(r.records_read(), 2);
+        assert_eq!(r.records_skipped(), 3);
     }
 
     #[test]

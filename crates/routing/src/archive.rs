@@ -145,6 +145,16 @@ impl<R: Read> MrtElemSource<R> {
     pub fn take_error(&mut self) -> Option<MrtError> {
         self.error.take()
     }
+
+    /// MRT records decoded so far (fleet accounting).
+    pub fn records_read(&self) -> u64 {
+        self.reader.records_read()
+    }
+
+    /// MRT records skipped so far (tolerant readers only).
+    pub fn records_skipped(&self) -> u64 {
+        self.reader.records_skipped()
+    }
 }
 
 impl<R: Read> ElemSource for MrtElemSource<R> {
@@ -187,7 +197,7 @@ pub fn read_updates<R: Read>(
     }
 }
 
-/// Split elems by platform — the shape real archives come in.
+/// Split elems by platform — the coarse shape real archives come in.
 pub fn split_by_dataset(elems: Vec<BgpElem>) -> BTreeMap<DataSource, Vec<BgpElem>> {
     let mut out: BTreeMap<DataSource, Vec<BgpElem>> = BTreeMap::new();
     for elem in elems {
@@ -196,9 +206,31 @@ pub fn split_by_dataset(elems: Vec<BgpElem>) -> BTreeMap<DataSource, Vec<BgpElem
     out
 }
 
-/// Merge several platform streams into one time-ordered stream (stable:
-/// ties keep platform order) — the BGPStream merge the paper's pipeline
-/// performs across RIS + RV collectors.
+/// Split elems by `(dataset, collector)` — one bucket per archive a
+/// real pipeline would download, preserving per-collector arrival
+/// order. The MRT wire format does not carry these labels, so an
+/// archive per pair keeps every [`PeerKey`](crate::elem::PeerKey)
+/// reconstructible on read-back.
+pub fn split_by_collector(elems: &[BgpElem]) -> BTreeMap<(DataSource, u16), Vec<BgpElem>> {
+    let mut out: BTreeMap<(DataSource, u16), Vec<BgpElem>> = BTreeMap::new();
+    for elem in elems {
+        out.entry((elem.dataset, elem.collector)).or_default().push(elem.clone());
+    }
+    out
+}
+
+/// Merge several collector streams into one time-ordered stream (stable:
+/// ties keep `(dataset, collector)` then stream order) — the BGPStream
+/// merge the paper's pipeline performs across RIS + RV collectors.
+///
+/// This flatten-and-stable-sort is the *specification* of the merge
+/// order: [`MergedSource`](crate::merge::MergedSource) reproduces it
+/// one element at a time (and a
+/// [`CollectorFleet`](crate::fleet::CollectorFleet) in parallel), which
+/// the golden-equivalence property tests in `tests/` prove against this
+/// independent implementation. Materializing callers keep this
+/// zero-clone shape; streaming consumers should use the sources and
+/// skip the `Vec`.
 pub fn merge_streams(mut streams: Vec<Vec<BgpElem>>) -> Vec<BgpElem> {
     let mut merged: Vec<BgpElem> = streams.drain(..).flatten().collect();
     merged.sort_by_key(|e| (e.time, e.dataset, e.collector));
@@ -314,6 +346,45 @@ mod tests {
         let merged = merge_streams(vec![a, b]);
         let times: Vec<u64> = merged.iter().map(|e| e.time.unix()).collect();
         assert_eq!(times, vec![100, 200, 300, 500]);
+    }
+
+    #[test]
+    fn merge_streams_equals_stable_flatten_sort_on_unsorted_input() {
+        // The pre-MergedSource contract: streams need not be sorted, and
+        // equal keys keep flatten order (stream index, then position).
+        let mut elems = Vec::new();
+        for (t, collector, peer) in
+            [(300u64, 1u16, 1u32), (100, 1, 2), (100, 1, 3), (200, 0, 4), (100, 1, 5)]
+        {
+            let mut e = sample_elems()[0].clone();
+            e.time = SimTime::from_unix(t);
+            e.collector = collector;
+            e.peer_asn = bh_bgp_types::asn::Asn::new(peer);
+            elems.push(e);
+        }
+        let streams = vec![elems[..2].to_vec(), elems[2..].to_vec()];
+        let mut expected: Vec<BgpElem> = streams.concat();
+        expected.sort_by_key(|e| (e.time, e.dataset, e.collector));
+        assert_eq!(merge_streams(streams), expected);
+        // Equal-key order: stream 0's (100,1) before stream 1's two.
+        let peers: Vec<u32> = expected.iter().map(|e| e.peer_asn.value()).collect();
+        assert_eq!(peers, vec![2, 3, 5, 4, 1]);
+    }
+
+    #[test]
+    fn split_by_collector_partitions_per_archive() {
+        let mut elems = sample_elems();
+        elems[1].collector = 4;
+        elems.push({
+            let mut e = elems[0].clone();
+            e.dataset = DataSource::Cdn;
+            e
+        });
+        let split = split_by_collector(&elems);
+        assert_eq!(split.len(), 3);
+        assert_eq!(split[&(DataSource::Ris, 3)].len(), 1);
+        assert_eq!(split[&(DataSource::Ris, 4)].len(), 1);
+        assert_eq!(split[&(DataSource::Cdn, 3)].len(), 1);
     }
 
     #[test]

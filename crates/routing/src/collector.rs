@@ -94,6 +94,13 @@ impl CollectorDeployment {
         self.by_asn.entry(session.peer_asn).or_default().push(session);
         self.session_count += 1;
     }
+
+    /// Every `(dataset, collector)` pair with at least one session — the
+    /// archive set a fleet ingestion run covers, including collectors
+    /// that happened to observe nothing (their archives are just empty).
+    pub fn collector_ids(&self) -> std::collections::BTreeSet<(DataSource, u16)> {
+        self.sessions().map(|s| (s.dataset, s.collector)).collect()
+    }
 }
 
 /// Deployment configuration (counts are clamped to the topology size).
@@ -288,6 +295,20 @@ mod tests {
         // At least one non-transit network feeds the CDN.
         let has_edge = peers.iter().any(|asn| t.as_info(*asn).unwrap().tier == Tier::Stub);
         assert!(has_edge);
+    }
+
+    #[test]
+    fn collector_ids_cover_every_session() {
+        let (_, d) = deployment();
+        let ids = d.collector_ids();
+        assert!(!ids.is_empty());
+        for s in d.sessions() {
+            assert!(ids.contains(&(s.dataset, s.collector)));
+        }
+        // Several platforms run collectors in the tiny deployment.
+        let datasets: std::collections::BTreeSet<DataSource> =
+            ids.iter().map(|(d, _)| *d).collect();
+        assert!(datasets.len() >= 2);
     }
 
     #[test]

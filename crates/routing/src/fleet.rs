@@ -1,0 +1,462 @@
+//! The collector fleet: parallel, bounded-memory ingestion of many MRT
+//! archives — the historical-path equivalent of subscribing to the whole
+//! RIS + Route Views collector fleet at once.
+//!
+//! One reader thread per archive decodes MRT records into [`BgpElem`]s
+//! and ships them over a **bounded** channel in small batches; the
+//! consumer side wraps every channel in a [`ChannelSource`] and merges
+//! them with a [`MergedSource`], so the inference sees one globally
+//! time-ordered stream. Memory is bounded end to end: each reader holds
+//! one record plus one outgoing batch, each channel holds at most
+//! [`FleetConfig::channel_batches`] batches (backpressure — a fast
+//! collector blocks until the merge catches up), and the merge buffers
+//! one element per archive. No `Vec<BgpElem>` of the whole stream ever
+//! exists.
+//!
+//! ```no_run
+//! use bh_routing::{CollectorFleet, DataSource, ElemSource};
+//! # fn archive_bytes() -> Vec<u8> { Vec::new() }
+//!
+//! let mut fleet = CollectorFleet::new();
+//! fleet.add_archive(std::io::Cursor::new(archive_bytes()), DataSource::Ris, 0);
+//! fleet.add_archive(std::io::Cursor::new(archive_bytes()), DataSource::RouteViews, 1);
+//! let mut stream = fleet.start();
+//! while let Some(elem) = stream.next_elem() {
+//!     /* feed an InferenceSession / ShardedSession */
+//! }
+//! let report = stream.finish();
+//! assert!(report.is_clean());
+//! ```
+
+use std::collections::VecDeque;
+use std::io::Read;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::thread::JoinHandle;
+use std::{sync::mpsc, thread};
+
+use bh_mrt::MrtError;
+
+use crate::archive::MrtElemSource;
+use crate::elem::{BgpElem, DataSource};
+use crate::merge::MergedSource;
+use crate::source::ElemSource;
+
+/// Fleet tunables. The defaults suit archive scans: batches big enough
+/// to amortize the channel, channels small enough that a stalled
+/// consumer stops every reader within a few batches.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Elements per cross-thread batch.
+    pub batch_elems: usize,
+    /// Bounded channel capacity, in batches (the backpressure window).
+    pub channel_batches: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { batch_elems: 512, channel_batches: 4 }
+    }
+}
+
+/// What one reader thread reports when it finishes (or gives up).
+#[derive(Debug)]
+pub struct ArchiveReport {
+    /// Platform label the archive was ingested under.
+    pub dataset: DataSource,
+    /// Collector label the archive was ingested under.
+    pub collector: u16,
+    /// Elements shipped to the merge (decoded elements the consumer
+    /// hung up on before receiving are not counted).
+    pub elems: u64,
+    /// MRT records decoded.
+    pub records_read: u64,
+    /// MRT records skipped (tolerant readers only).
+    pub records_skipped: u64,
+    /// The decode error that ended the archive, if any.
+    pub error: Option<MrtError>,
+}
+
+/// The per-archive reports of a finished fleet run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// One entry per archive, in the order they were added.
+    pub archives: Vec<ArchiveReport>,
+}
+
+impl FleetReport {
+    /// Total elements shipped across all archives.
+    pub fn total_elems(&self) -> u64 {
+        self.archives.iter().map(|a| a.elems).sum()
+    }
+
+    /// Total records skipped by tolerant readers.
+    pub fn records_skipped(&self) -> u64 {
+        self.archives.iter().map(|a| a.records_skipped).sum()
+    }
+
+    /// The first archive error, if any archive ended on one.
+    pub fn first_error(&self) -> Option<&MrtError> {
+        self.archives.iter().find_map(|a| a.error.as_ref())
+    }
+
+    /// Did every archive stream to clean EOF?
+    pub fn is_clean(&self) -> bool {
+        self.first_error().is_none()
+    }
+}
+
+/// An [`ElemSource`] over a channel of element batches — the receiving
+/// half of one fleet reader, usable standalone for any producer thread.
+pub struct ChannelSource {
+    receiver: Receiver<Vec<BgpElem>>,
+    queue: VecDeque<BgpElem>,
+    current: Option<BgpElem>,
+}
+
+impl ChannelSource {
+    /// Wrap the receiving end of a batch channel.
+    pub fn new(receiver: Receiver<Vec<BgpElem>>) -> Self {
+        ChannelSource { receiver, queue: VecDeque::new(), current: None }
+    }
+}
+
+impl ElemSource for ChannelSource {
+    fn next_elem(&mut self) -> Option<&BgpElem> {
+        while self.queue.is_empty() {
+            match self.receiver.recv() {
+                Ok(batch) => self.queue.extend(batch),
+                Err(_) => return None, // sender done (or reader stopped)
+            }
+        }
+        self.current = self.queue.pop_front();
+        self.current.as_ref()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.queue.len(), None)
+    }
+}
+
+/// A fleet of MRT archive readers, one thread per archive.
+///
+/// Add archives with [`CollectorFleet::add_archive`] (strict decoding)
+/// or [`CollectorFleet::add_archive_tolerant`] (production-style noise
+/// survival); each call spawns its reader immediately, so decoding
+/// overlaps with fleet assembly. [`CollectorFleet::start`] hands back
+/// the merged stream.
+pub struct CollectorFleet {
+    config: FleetConfig,
+    labels: Vec<(DataSource, u16)>,
+    readers: Vec<JoinHandle<ReaderTail>>,
+    receivers: Vec<ChannelSource>,
+}
+
+/// What a reader thread returns to be joined into an [`ArchiveReport`].
+struct ReaderTail {
+    elems: u64,
+    records_read: u64,
+    records_skipped: u64,
+    error: Option<MrtError>,
+}
+
+impl Default for CollectorFleet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CollectorFleet {
+    /// An empty fleet with default tunables.
+    pub fn new() -> Self {
+        Self::with_config(FleetConfig::default())
+    }
+
+    /// An empty fleet with explicit tunables.
+    pub fn with_config(config: FleetConfig) -> Self {
+        CollectorFleet {
+            config: FleetConfig {
+                batch_elems: config.batch_elems.max(1),
+                channel_batches: config.channel_batches.max(1),
+            },
+            labels: Vec::new(),
+            readers: Vec::new(),
+            receivers: Vec::new(),
+        }
+    }
+
+    /// Archives added so far.
+    pub fn archive_count(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// Add one strict-decoded archive labelled `(dataset, collector)`
+    /// and spawn its reader thread.
+    pub fn add_archive<R: Read + Send + 'static>(
+        &mut self,
+        source: R,
+        dataset: DataSource,
+        collector: u16,
+    ) {
+        self.spawn(MrtElemSource::new(source, dataset, collector), dataset, collector);
+    }
+
+    /// Add one tolerant-decoded archive (undecodable payloads are
+    /// skipped and counted, mirroring [`bh_mrt::MrtReader::tolerant`]).
+    pub fn add_archive_tolerant<R: Read + Send + 'static>(
+        &mut self,
+        source: R,
+        dataset: DataSource,
+        collector: u16,
+    ) {
+        self.spawn(MrtElemSource::tolerant(source, dataset, collector), dataset, collector);
+    }
+
+    fn spawn<R: Read + Send + 'static>(
+        &mut self,
+        mut source: MrtElemSource<R>,
+        dataset: DataSource,
+        collector: u16,
+    ) {
+        let (sender, receiver): (SyncSender<Vec<BgpElem>>, _) =
+            mpsc::sync_channel(self.config.channel_batches);
+        let batch_elems = self.config.batch_elems;
+        let handle = thread::spawn(move || {
+            let mut batch: Vec<BgpElem> = Vec::with_capacity(batch_elems);
+            let mut elems = 0u64;
+            let mut consumer_alive = true;
+            while let Some(elem) = source.next_elem() {
+                batch.push(elem.clone());
+                if batch.len() >= batch_elems {
+                    // Bounded send: blocks when the window is full — the
+                    // backpressure that keeps a fast reader from racing
+                    // ahead of the merge. Only shipped batches count.
+                    let shipped = batch.len() as u64;
+                    if sender
+                        .send(std::mem::replace(&mut batch, Vec::with_capacity(batch_elems)))
+                        .is_err()
+                    {
+                        consumer_alive = false;
+                        break; // consumer hung up: stop decoding
+                    }
+                    elems += shipped;
+                }
+            }
+            if consumer_alive && !batch.is_empty() {
+                let shipped = batch.len() as u64;
+                if sender.send(batch).is_ok() {
+                    elems += shipped;
+                }
+            }
+            ReaderTail {
+                elems,
+                records_read: source.records_read(),
+                records_skipped: source.records_skipped(),
+                error: source.take_error(),
+            }
+        });
+        self.labels.push((dataset, collector));
+        self.readers.push(handle);
+        self.receivers.push(ChannelSource::new(receiver));
+    }
+
+    /// Merge the readers into one time-ordered [`FleetSource`].
+    pub fn start(self) -> FleetSource {
+        FleetSource {
+            merged: MergedSource::new(self.receivers),
+            labels: self.labels,
+            readers: self.readers,
+        }
+    }
+}
+
+/// The merged, globally time-ordered stream of a running fleet.
+///
+/// An ordinary [`ElemSource`]: feed it to
+/// `InferenceSession::ingest` / `ShardedSession::ingest` directly.
+/// After the stream ends (or mid-stream, to abort), call
+/// [`FleetSource::finish`] to join the readers and collect the
+/// per-archive [`FleetReport`] — dropping the source instead also shuts
+/// the readers down cleanly (their bounded sends fail), but discards
+/// the reports.
+pub struct FleetSource {
+    merged: MergedSource<ChannelSource>,
+    labels: Vec<(DataSource, u16)>,
+    readers: Vec<JoinHandle<ReaderTail>>,
+}
+
+impl FleetSource {
+    /// Number of archives feeding the merge.
+    pub fn archive_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Join every reader and report per-archive accounting. Safe to call
+    /// mid-stream: the channels close first, so blocked readers unblock
+    /// and wind down.
+    pub fn finish(self) -> FleetReport {
+        drop(self.merged); // close the receivers: blocked senders fail fast
+        let archives = self
+            .labels
+            .into_iter()
+            .zip(self.readers)
+            .map(|((dataset, collector), handle)| {
+                let tail = handle.join().expect("fleet reader panicked");
+                ArchiveReport {
+                    dataset,
+                    collector,
+                    elems: tail.elems,
+                    records_read: tail.records_read,
+                    records_skipped: tail.records_skipped,
+                    error: tail.error,
+                }
+            })
+            .collect();
+        FleetReport { archives }
+    }
+}
+
+impl ElemSource for FleetSource {
+    fn next_elem(&mut self) -> Option<&BgpElem> {
+        self.merged.next_elem()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.merged.size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Cursor;
+
+    use bh_bgp_types::community::{Community, CommunitySet};
+    use bh_bgp_types::time::SimTime;
+
+    use super::*;
+    use crate::archive::{merge_streams, write_updates};
+    use crate::elem::ElemType;
+    use crate::source::collect_source;
+
+    fn elem(t: u64, dataset: DataSource, collector: u16, peer: u32) -> BgpElem {
+        BgpElem {
+            time: SimTime::from_unix(t),
+            dataset,
+            collector,
+            peer_asn: bh_bgp_types::asn::Asn::new(peer),
+            peer_ip: "198.51.100.9".parse().unwrap(),
+            elem_type: ElemType::Announce,
+            prefix: "130.149.0.0/17".parse().unwrap(),
+            as_path: "100 200 300".parse().unwrap(),
+            communities: CommunitySet::from_classic(vec![Community::from_parts(100, 666)]),
+            next_hop: Some("198.51.100.9".parse().unwrap()),
+        }
+    }
+
+    fn archive_of(elems: &[BgpElem]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_updates(&mut buf, elems).expect("write succeeds");
+        buf
+    }
+
+    #[test]
+    fn fleet_yields_the_merge_streams_order() {
+        let a: Vec<BgpElem> = (0..40).map(|k| elem(10 + k * 3, DataSource::Ris, 0, 11)).collect();
+        let b: Vec<BgpElem> =
+            (0..40).map(|k| elem(11 + k * 2, DataSource::RouteViews, 1, 22)).collect();
+        let c: Vec<BgpElem> = (0..10).map(|k| elem(10 + k * 9, DataSource::Pch, 2, 33)).collect();
+
+        let mut fleet = CollectorFleet::with_config(FleetConfig {
+            batch_elems: 7, // force multiple batches per archive
+            channel_batches: 2,
+        });
+        fleet.add_archive(Cursor::new(archive_of(&a)), DataSource::Ris, 0);
+        fleet.add_archive(Cursor::new(archive_of(&b)), DataSource::RouteViews, 1);
+        fleet.add_archive(Cursor::new(archive_of(&c)), DataSource::Pch, 2);
+        assert_eq!(fleet.archive_count(), 3);
+
+        let mut stream = fleet.start();
+        assert_eq!(stream.archive_count(), 3);
+        let streamed = collect_source(&mut stream);
+        let report = stream.finish();
+        assert!(report.is_clean());
+        assert_eq!(report.total_elems(), 90);
+        assert_eq!(report.archives.len(), 3);
+        assert_eq!(report.archives[0].dataset, DataSource::Ris);
+        assert!(report.archives.iter().all(|a| a.records_read > 0));
+
+        let expected = merge_streams(vec![a, b, c]);
+        assert_eq!(streamed, expected, "fleet order must equal the materialized merge");
+    }
+
+    #[test]
+    fn empty_archives_stream_nothing_but_report() {
+        let mut fleet = CollectorFleet::new();
+        fleet.add_archive(Cursor::new(Vec::new()), DataSource::Cdn, 7);
+        let mut stream = fleet.start();
+        assert!(stream.next_elem().is_none());
+        let report = stream.finish();
+        assert!(report.is_clean());
+        assert_eq!(report.total_elems(), 0);
+        assert_eq!(report.archives[0].collector, 7);
+    }
+
+    #[test]
+    fn torn_archive_is_reported_not_hidden() {
+        let elems: Vec<BgpElem> = (0..5).map(|k| elem(k, DataSource::Ris, 0, 9)).collect();
+        let mut torn = archive_of(&elems);
+        torn.truncate(torn.len() - 4);
+
+        let mut fleet = CollectorFleet::new();
+        fleet.add_archive(Cursor::new(torn), DataSource::Ris, 0);
+        let mut stream = fleet.start();
+        let streamed = collect_source(&mut stream);
+        assert_eq!(streamed.len(), 4, "intact records still stream");
+        let report = stream.finish();
+        assert!(!report.is_clean());
+        assert!(report.first_error().is_some());
+    }
+
+    #[test]
+    fn finish_mid_stream_unblocks_backpressured_readers() {
+        // A big archive with a tiny channel window: the reader will be
+        // blocked on send when we abandon the stream.
+        let elems: Vec<BgpElem> = (0..2_000).map(|k| elem(k, DataSource::Ris, 0, 9)).collect();
+        let mut fleet =
+            CollectorFleet::with_config(FleetConfig { batch_elems: 16, channel_batches: 1 });
+        fleet.add_archive(Cursor::new(archive_of(&elems)), DataSource::Ris, 0);
+        let mut stream = fleet.start();
+        for _ in 0..10 {
+            assert!(stream.next_elem().is_some());
+        }
+        let report = stream.finish(); // must not deadlock
+        assert!(report.archives[0].elems < 2_000, "reader stopped early");
+    }
+
+    #[test]
+    fn tolerant_fleet_counts_skipped_records() {
+        // A corrupt-payload record, then valid ones: tolerant readers
+        // skip and count, strict readers stop with an error.
+        let elems: Vec<BgpElem> = (0..3).map(|k| elem(k, DataSource::Ris, 0, 9)).collect();
+        let mut noisy = Vec::new();
+        noisy.extend_from_slice(&1u32.to_be_bytes());
+        noisy.extend_from_slice(&16u16.to_be_bytes()); // BGP4MP
+        noisy.extend_from_slice(&4u16.to_be_bytes()); // MESSAGE_AS4
+        noisy.extend_from_slice(&4u32.to_be_bytes());
+        noisy.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        noisy.extend_from_slice(&archive_of(&elems));
+
+        let mut fleet = CollectorFleet::new();
+        fleet.add_archive_tolerant(Cursor::new(noisy.clone()), DataSource::Ris, 0);
+        let mut stream = fleet.start();
+        assert_eq!(collect_source(&mut stream).len(), 3);
+        let report = stream.finish();
+        assert!(report.is_clean());
+        assert_eq!(report.records_skipped(), 1);
+
+        let mut strict = CollectorFleet::new();
+        strict.add_archive(Cursor::new(noisy), DataSource::Ris, 0);
+        let mut stream = strict.start();
+        assert!(collect_source(&mut stream).is_empty());
+        assert!(!stream.finish().is_clean());
+    }
+}

@@ -21,20 +21,31 @@
 //! * combinatorial dataset statistics (Table 1) — [`stats`];
 //! * MRT export of the element stream, plus a constant-memory streaming
 //!   reader — [`archive`];
-//! * source-agnostic element streams for the inference — [`source`].
+//! * source-agnostic element streams for the inference — [`source`];
+//! * k-way timestamp merging of many collector streams — [`merge`];
+//! * parallel bounded-memory ingestion of whole archive fleets —
+//!   [`fleet`].
 
 pub mod archive;
 pub mod collector;
 pub mod elem;
+pub mod fleet;
+pub mod merge;
 pub mod paths;
 pub mod policy;
 pub mod sim;
 pub mod source;
 pub mod stats;
 
-pub use archive::MrtElemSource;
+pub use archive::{
+    merge_streams, read_updates, split_by_collector, split_by_dataset, write_updates, MrtElemSource,
+};
 pub use collector::{deploy, CollectorConfig, CollectorDeployment, CollectorSession, FeedKind};
 pub use elem::{BgpElem, DataSource, ElemType, PeerKey};
+pub use fleet::{
+    ArchiveReport, ChannelSource, CollectorFleet, FleetConfig, FleetReport, FleetSource,
+};
+pub use merge::MergedSource;
 pub use paths::ForwardingTree;
 pub use policy::{ImportDecision, ImportOutcome, RejectReason, SessionBehavior};
 pub use sim::{AnnounceOutcome, AnnounceScope, Announcement, BgpSimulator};

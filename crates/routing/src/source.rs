@@ -42,6 +42,19 @@ impl<S: ElemSource + ?Sized> ElemSource for &mut S {
     }
 }
 
+/// Forward through boxes so heterogeneous source sets (e.g. the inputs
+/// of a [`MergedSource`](crate::merge::MergedSource)) can be
+/// `Vec<Box<dyn ElemSource>>`.
+impl<S: ElemSource + ?Sized> ElemSource for Box<S> {
+    fn next_elem(&mut self) -> Option<&BgpElem> {
+        (**self).next_elem()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (**self).size_hint()
+    }
+}
+
 /// An in-memory slice as a stream — zero-copy, zero-allocation.
 #[derive(Debug, Clone)]
 pub struct SliceSource<'a> {

@@ -7,16 +7,22 @@
 //! NO_EXPORT compliance, misconfigurations — [`reaction`]), and the
 //! end-to-end driver that feeds everything through the BGP simulator and
 //! returns the collector element stream together with per-event ground
-//! truth ([`scenario`]).
+//! truth ([`scenario`]), plus per-collector MRT archive partitioning so
+//! a synthetic collector fleet can be written out and re-ingested
+//! ([`fleet`]).
 //!
 //! Ground truth is what the original study never had: every inferred
 //! event can be checked against the reaction that actually caused it.
 
 pub mod attacks;
+pub mod fleet;
 pub mod reaction;
 pub mod scenario;
 
 pub use attacks::{mirai_era_start, poisson, AttackCalendar, Spike, SPIKES};
+pub use fleet::{
+    fleet_archives, fleet_archives_for, fleet_of, fleet_with_config, CollectorArchive,
+};
 pub use reaction::{
     capable_providers, plan_reaction, Action, CapableProvider, GroundTruthEvent, ReactionConfig,
     TimedAction,

@@ -1,0 +1,255 @@
+//! Multi-collector fleet ingestion: golden equivalence of the k-way
+//! merge against `merge_streams`, bit-identical inference over merged
+//! and fleet-ingested streams, checkpoint/resume taken mid-fleet, and
+//! the Small-scale end-to-end archive → fleet → sharded-analytics run.
+
+use std::io::Cursor;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use bh_bench::{Study, StudyRun, StudyScale};
+use bh_bgp_types::as_path::AsPath;
+use bh_bgp_types::asn::Asn;
+use bh_bgp_types::community::{Community, CommunitySet};
+use bh_bgp_types::time::SimTime;
+use bh_core::EventAccumulator;
+use bh_routing::archive::write_updates;
+use bh_routing::{
+    collect_source, merge_streams, split_by_collector, BgpElem, CollectorFleet, DataSource,
+    ElemSource, ElemType, FleetConfig, MergedSource, SliceSource,
+};
+use bh_workloads::{fleet_archives_for, fleet_of};
+
+// ---- arbitrary collector streams ------------------------------------------
+
+/// The collector labels an arbitrary elem set is split across.
+const LABELS: [(DataSource, u16); 6] = [
+    (DataSource::Ris, 0),
+    (DataSource::Ris, 3),
+    (DataSource::RouteViews, 1),
+    (DataSource::Pch, 0),
+    (DataSource::Cdn, 2),
+    (DataSource::Cdn, 9),
+];
+
+type ElemFields = (u64, u32, bool, u32, u8, Vec<u32>, Vec<u32>);
+
+/// Raw draws for one element; [`mk_elem`] stamps the collector label.
+fn arb_fields() -> impl Strategy<Value = ElemFields> {
+    (
+        0u64..5_000,
+        1u32..100_000,
+        any::<bool>(),
+        any::<u32>(),
+        1u8..=32,
+        prop::collection::vec(1u32..50_000, 1..4),
+        prop::collection::vec(any::<u32>(), 0..3),
+    )
+}
+
+/// Build one element under a `(dataset, collector)` label, in a shape
+/// that survives the MRT round trip verbatim (announces carry an
+/// explicit NEXT_HOP; withdrawals carry no attributes).
+fn mk_elem(fields: ElemFields, dataset: DataSource, collector: u16) -> BgpElem {
+    let (t, peer, announce, net, len, hops, comms) = fields;
+    BgpElem {
+        time: SimTime::from_unix(t),
+        dataset,
+        collector,
+        peer_asn: Asn::new(peer),
+        peer_ip: "198.51.100.7".parse().unwrap(),
+        elem_type: if announce { ElemType::Announce } else { ElemType::Withdraw },
+        prefix: bh_bgp_types::prefix::Ipv4Prefix::from_raw(net, len),
+        as_path: if announce {
+            AsPath::from_sequence(hops.into_iter().map(Asn::new).collect::<Vec<_>>())
+        } else {
+            AsPath::empty()
+        },
+        communities: if announce {
+            CommunitySet::from_classic(comms.into_iter().map(Community).collect())
+        } else {
+            CommunitySet::new()
+        },
+        next_hop: announce.then(|| "203.0.113.66".parse().unwrap()),
+    }
+}
+
+/// An arbitrary elem set split across the [`LABELS`] collector streams,
+/// each stream time-sorted (the per-collector arrival order every real
+/// archive has). Some streams come out empty — that is part of the
+/// property.
+fn arb_streams() -> impl Strategy<Value = Vec<Vec<BgpElem>>> {
+    prop::collection::vec((0usize..LABELS.len(), arb_fields()), 0..240).prop_map(|pairs| {
+        let mut streams: Vec<Vec<BgpElem>> = vec![Vec::new(); LABELS.len()];
+        for (pick, fields) in pairs {
+            let (dataset, collector) = LABELS[pick];
+            streams[pick].push(mk_elem(fields, dataset, collector));
+        }
+        for stream in &mut streams {
+            stream.sort_by_key(|e| e.time);
+        }
+        streams
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    /// Golden order: for arbitrary elem sets split across arbitrary
+    /// collector streams, the k-way `MergedSource` yields exactly the
+    /// `merge_streams` order.
+    #[test]
+    fn merged_source_yields_exact_merge_streams_order(streams in arb_streams()) {
+        let expected = merge_streams(streams.clone());
+        let sources: Vec<SliceSource<'_>> = streams.iter().map(SliceSource::from).collect();
+        let merged = collect_source(MergedSource::new(sources));
+        prop_assert_eq!(merged, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })] // spawns threads per case
+
+    /// Golden order, parallel: the `CollectorFleet` (MRT write → one
+    /// reader thread per archive → bounded channels → k-way merge)
+    /// yields the same `merge_streams` order, element for element.
+    #[test]
+    fn collector_fleet_yields_exact_merge_streams_order(streams in arb_streams()) {
+        let expected = merge_streams(streams.clone());
+
+        let mut fleet = CollectorFleet::with_config(FleetConfig {
+            batch_elems: 16, // small batches: exercise multi-batch channels
+            channel_batches: 2,
+        });
+        for (index, stream) in streams.iter().enumerate() {
+            let mut bytes = Vec::new();
+            write_updates(&mut bytes, stream).expect("archive serializes");
+            let (dataset, collector) = LABELS[index];
+            fleet.add_archive(Cursor::new(bytes), dataset, collector);
+        }
+        let mut merged_stream = fleet.start();
+        let streamed = collect_source(&mut merged_stream);
+        let report = merged_stream.finish();
+        prop_assert!(report.is_clean());
+        prop_assert_eq!(report.total_elems() as usize, expected.len());
+        // The MRT round trip preserves every elem verbatim (announces
+        // carry explicit NEXT_HOPs by construction), so exact equality.
+        prop_assert_eq!(streamed, expected);
+    }
+}
+
+// ---- bit-identical inference ----------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4 })] // full pipeline per case
+
+    /// The `InferenceResult` over a fleet-ingested scenario is
+    /// bit-identical to single-source ingestion of the materialized
+    /// merged stream — for both the sequential `MergedSource` and the
+    /// parallel `CollectorFleet`.
+    #[test]
+    fn fleet_inference_is_bit_identical_to_single_source(seed in 0u64..200) {
+        let study = Study::build(StudyScale::Tiny, seed);
+        let StudyRun { output, refdata, .. } = study.visibility_run(2, 5.0);
+
+        let streams: Vec<Vec<BgpElem>> =
+            split_by_collector(&output.elems).into_values().collect();
+        let merged = merge_streams(streams.clone());
+        let expected = study.infer(&refdata, &merged);
+
+        // Sequential k-way merge over in-memory sources.
+        let sources: Vec<SliceSource<'_>> = streams.iter().map(SliceSource::from).collect();
+        let via_merge = study.infer_source(&refdata, &mut MergedSource::new(sources));
+        prop_assert_eq!(&via_merge, &expected);
+
+        // Parallel fleet over MRT archives.
+        let archives = output.fleet_archives().expect("archives serialize");
+        let via_fleet = study.infer_fleet(&refdata, &archives);
+        prop_assert_eq!(&via_fleet, &expected);
+    }
+}
+
+// ---- checkpoint/resume mid-fleet ------------------------------------------
+
+#[test]
+fn checkpoint_resume_mid_fleet_ingest_equals_uninterrupted_run() {
+    let study = Study::build(StudyScale::Tiny, 91);
+    let StudyRun { output, refdata, .. } = study.visibility_run(3, 6.0);
+    let archives = output.fleet_archives().expect("archives serialize");
+
+    // Uninterrupted fleet run.
+    let expected = study.infer_fleet(&refdata, &archives);
+
+    // Same fleet stream, suspended mid-ingest: checkpoint the session,
+    // drop it, resume in a fresh one, and drain the *same* live stream.
+    let mut stream = fleet_of(&archives).start();
+    let mut first = study.session(&refdata).build();
+    let mut consumed = 0u64;
+    let pause_at = (output.elems.len() / 2) as u64;
+    while consumed < pause_at {
+        let Some(elem) = stream.next_elem() else { break };
+        first.push(elem);
+        consumed += 1;
+    }
+    assert_eq!(consumed, pause_at, "stream ended before the pause point");
+    let checkpoint = first.checkpoint();
+    assert!(
+        checkpoint.open_events() + checkpoint.pending_closed() > 0 || first.stats().elems > 0,
+        "degenerate: the checkpoint captured no progress"
+    );
+    drop(first);
+
+    let mut resumed = study.session(&refdata).resume(checkpoint);
+    let rest = resumed.ingest(&mut stream);
+    let report = stream.finish();
+    assert!(report.is_clean());
+    assert_eq!(consumed + rest, report.total_elems());
+    assert_eq!(resumed.finish(), expected);
+}
+
+// ---- Small-scale end-to-end -----------------------------------------------
+
+/// One Small-scale environment for the end-to-end acceptance test (the
+/// ~230-AS build cost dominates; see pipeline_properties.rs).
+fn small_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::build(StudyScale::Small, 42))
+}
+
+/// The acceptance run: scenario → per-collector MRT archives (including
+/// the deployment's silent collectors) → `CollectorFleet` →
+/// `ShardedSession` with inline analytics produces the same
+/// `AnalyticsReport` as the materialized path.
+#[test]
+fn small_scale_fleet_to_sharded_analytics_matches_materialized_path() {
+    let study = small_study();
+    let StudyRun { output, refdata, analytics, .. } = study.visibility_run(3, 5.0);
+    let archives =
+        fleet_archives_for(&study.deployment(), &output.elems).expect("archives serialize");
+    assert!(archives.len() > 8, "expected a real fleet, got {}", archives.len());
+
+    // Materialized path: decode-merge into a Vec, sharded inference with
+    // inline analytics.
+    let merged = merge_streams(split_by_collector(&output.elems).into_values().collect());
+    let (batch_summary, batch_report) =
+        study.infer_sharded_analytics(&refdata, &merged, analytics, 4);
+
+    // Fleet path: archive readers → merge → sharded session, per-shard
+    // pipelines merged at the barrier. No stream-sized Vec anywhere.
+    let pipeline = study.analytics_pipeline(&refdata, analytics);
+    let mut sharded = study.session(&refdata).build_sharded_with(4, pipeline);
+    let mut stream = fleet_of(&archives).start();
+    let ingested = sharded.ingest(&mut stream);
+    let report = stream.finish();
+    assert!(report.is_clean(), "fleet error: {:?}", report.first_error());
+    assert_eq!(ingested, output.elems.len() as u64, "every element must stream through");
+    let (fleet_summary, merged_pipeline) = sharded.finish_parts();
+    let fleet_report = merged_pipeline.finalize();
+
+    assert_eq!(fleet_summary.stats, batch_summary.stats);
+    assert_eq!(fleet_summary.census, batch_summary.census);
+    assert_eq!(fleet_summary.per_dataset, batch_summary.per_dataset);
+    assert_eq!(fleet_report, batch_report, "fleet AnalyticsReport diverged");
+    assert!(!fleet_report.table3.is_empty());
+}

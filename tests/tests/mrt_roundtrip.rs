@@ -1,0 +1,364 @@
+//! MRT codec round-trip properties: arbitrary update, withdrawal, and
+//! state-change records must survive `MrtWriter` → `MrtReader`
+//! **byte-exactly** (decode to equal values, and re-encode to the exact
+//! same archive bytes), and tolerant-mode readers must account for
+//! every skipped record without misaligning the stream.
+
+use proptest::prelude::*;
+
+use bh_bgp_types::as_path::AsPath;
+use bh_bgp_types::asn::Asn;
+use bh_bgp_types::attrs::{Origin, PathAttributes};
+use bh_bgp_types::community::{Community, CommunitySet, LargeCommunity};
+use bh_bgp_types::prefix::Ipv4Prefix;
+use bh_bgp_types::time::SimTime;
+use bh_bgp_types::update::BgpUpdate;
+use bh_mrt::{BgpState, MrtError, MrtReader, MrtRecordBody, MrtWriter};
+
+/// One archive record in writable form.
+#[derive(Debug, Clone)]
+enum Rec {
+    Update { time: SimTime, peer_asn: Asn, update: Box<BgpUpdate> },
+    StateChange { time: SimTime, peer_asn: Asn, old: BgpState, new: BgpState },
+}
+
+const PEER_IP: &str = "198.51.100.44";
+const LOCAL_IP: &str = "192.0.2.254";
+const LOCAL_ASN: u32 = 64_512;
+
+fn write_all(records: &[Rec]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut writer = MrtWriter::new(&mut buf);
+    for rec in records {
+        match rec {
+            Rec::Update { time, peer_asn, update } => writer
+                .write_update(
+                    *time,
+                    *peer_asn,
+                    PEER_IP.parse().unwrap(),
+                    Asn::new(LOCAL_ASN),
+                    LOCAL_IP.parse().unwrap(),
+                    update,
+                )
+                .expect("update writes"),
+            Rec::StateChange { time, peer_asn, old, new } => writer
+                .write_state_change(
+                    *time,
+                    *peer_asn,
+                    PEER_IP.parse().unwrap(),
+                    Asn::new(LOCAL_ASN),
+                    LOCAL_IP.parse().unwrap(),
+                    *old,
+                    *new,
+                )
+                .expect("state change writes"),
+        }
+    }
+    buf
+}
+
+type UpdateFields =
+    (u64, u32, Vec<u32>, Vec<u32>, Vec<(u32, u32, u32)>, Vec<(u32, u8)>, Vec<(u32, u8)>, u8);
+
+fn arb_update_fields() -> impl Strategy<Value = UpdateFields> {
+    (
+        0u64..4_000_000_000,
+        1u32..4_000_000_000,
+        prop::collection::vec(1u32..100_000, 0..5),
+        prop::collection::vec(any::<u32>(), 0..4),
+        prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..3),
+        prop::collection::vec((any::<u32>(), 8u8..=32), 0..3),
+        prop::collection::vec((any::<u32>(), 8u8..=32), 0..3),
+        0u8..6,
+    )
+}
+
+/// Announcements, withdrawals, or both in one UPDATE. The wire codec
+/// only carries path attributes alongside announcements (a withdraw has
+/// no attributes to speak of), so the generator does the same — that is
+/// the canonical form byte-exactness is defined over.
+fn mk_update(fields: UpdateFields) -> Rec {
+    let (t, peer, hops, comms, large, announced, withdrawn, state_pick) = fields;
+    let _ = state_pick;
+    let attrs = if announced.is_empty() {
+        PathAttributes::default()
+    } else {
+        let mut communities =
+            CommunitySet::from_classic(comms.into_iter().map(Community).collect::<Vec<_>>());
+        for (a, b, c) in large {
+            communities.insert_large(LargeCommunity::new(a, b, c));
+        }
+        PathAttributes {
+            origin: Origin::Igp,
+            as_path: AsPath::from_sequence(hops.into_iter().map(Asn::new).collect::<Vec<_>>()),
+            next_hop: Some("203.0.113.66".parse().unwrap()),
+            communities,
+            ..Default::default()
+        }
+    };
+    let mut update = BgpUpdate::new(attrs);
+    for (net, len) in announced {
+        update.announce_v4(Ipv4Prefix::from_raw(net, len));
+    }
+    for (net, len) in withdrawn {
+        update.withdraw_v4(Ipv4Prefix::from_raw(net, len));
+    }
+    Rec::Update { time: SimTime::from_unix(t), peer_asn: Asn::new(peer), update: Box::new(update) }
+}
+
+fn mk_state_change(fields: UpdateFields) -> Rec {
+    let (t, peer, _, _, _, _, _, pick) = fields;
+    const STATES: [BgpState; 6] = [
+        BgpState::Idle,
+        BgpState::Connect,
+        BgpState::Active,
+        BgpState::OpenSent,
+        BgpState::OpenConfirm,
+        BgpState::Established,
+    ];
+    Rec::StateChange {
+        time: SimTime::from_unix(t),
+        peer_asn: Asn::new(peer),
+        old: STATES[pick as usize],
+        new: STATES[(pick as usize + 3) % STATES.len()],
+    }
+}
+
+/// A mixed record stream: updates, withdrawals, and state changes.
+fn arb_records() -> impl Strategy<Value = Vec<Rec>> {
+    prop::collection::vec((any::<bool>(), arb_update_fields()), 0..24).prop_map(|draws| {
+        draws
+            .into_iter()
+            .map(
+                |(is_update, fields)| {
+                    if is_update {
+                        mk_update(fields)
+                    } else {
+                        mk_state_change(fields)
+                    }
+                },
+            )
+            .collect()
+    })
+}
+
+/// Re-serialize decoded records through the writer.
+fn rewrite(records: &[(SimTime, MrtRecordBody)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut writer = MrtWriter::new(&mut buf);
+    for (time, body) in records {
+        match body {
+            MrtRecordBody::Message(msg) => writer
+                .write_update(
+                    *time,
+                    msg.peer_asn,
+                    msg.peer_ip,
+                    msg.local_asn,
+                    msg.local_ip,
+                    msg.update.as_ref().expect("writer only emits update messages"),
+                )
+                .expect("rewrite update"),
+            MrtRecordBody::StateChange(sc) => writer
+                .write_state_change(
+                    *time,
+                    sc.peer_asn,
+                    sc.peer_ip,
+                    sc.local_asn,
+                    sc.local_ip,
+                    sc.old_state,
+                    sc.new_state,
+                )
+                .expect("rewrite state change"),
+            other => panic!("unexpected record body: {other:?}"),
+        }
+    }
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    /// Decode-equality plus byte-exactness: every field survives the
+    /// round trip, and re-encoding the decoded records reproduces the
+    /// original archive bytes exactly.
+    #[test]
+    fn records_round_trip_byte_exactly(records in arb_records()) {
+        let bytes = write_all(&records);
+        let decoded: Vec<(SimTime, MrtRecordBody)> = MrtReader::new(&bytes[..])
+            .map(|r| r.map(|rec| (rec.timestamp, rec.body)))
+            .collect::<Result<_, _>>()
+            .expect("own archives decode cleanly");
+        prop_assert_eq!(decoded.len(), records.len());
+
+        // Field-level equality against the inputs.
+        for (rec, (time, body)) in records.iter().zip(&decoded) {
+            match (rec, body) {
+                (Rec::Update { time: t, peer_asn, update }, MrtRecordBody::Message(msg)) => {
+                    prop_assert_eq!(t, time);
+                    prop_assert_eq!(*peer_asn, msg.peer_asn);
+                    prop_assert_eq!(Asn::new(LOCAL_ASN), msg.local_asn);
+                    prop_assert_eq!(
+                        update.as_ref(),
+                        msg.update.as_ref().expect("update survives")
+                    );
+                }
+                (
+                    Rec::StateChange { time: t, peer_asn, old, new },
+                    MrtRecordBody::StateChange(sc),
+                ) => {
+                    prop_assert_eq!(t, time);
+                    prop_assert_eq!(*peer_asn, sc.peer_asn);
+                    prop_assert_eq!(*old, sc.old_state);
+                    prop_assert_eq!(*new, sc.new_state);
+                }
+                (rec, body) => prop_assert!(false, "kind mismatch: {:?} vs {:?}", rec, body),
+            }
+        }
+
+        // Byte-exactness: decoded → writer → identical archive.
+        prop_assert_eq!(rewrite(&decoded), bytes);
+    }
+
+    /// A truncated tail in both modes: a cut landing *on* a record
+    /// boundary is a shorter-but-clean archive (every remaining record
+    /// decodes, no error); a cut landing *inside* a record is a framing
+    /// error (never silently skipped — that would desynchronize the
+    /// stream). Either way the records before the cut decode and
+    /// nothing is counted skipped.
+    #[test]
+    fn truncated_tail_loses_records_or_errors_in_both_modes(
+        records in arb_records(),
+        cut in 1usize..40,
+    ) {
+        let bytes = write_all(&records);
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let cut = cut.min(bytes.len() - 1).max(1);
+        let torn = &bytes[..bytes.len() - cut];
+
+        // Record boundaries of the clean archive, from the length
+        // fields: a cut is only a *tear* when it lands inside a record.
+        let mut boundaries = Vec::new();
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            boundaries.push(offset);
+            let len = u32::from_be_bytes(bytes[offset + 8..offset + 12].try_into().unwrap());
+            offset += 12 + len as usize;
+        }
+        let intact = boundaries.iter().filter(|b| **b + 12 <= torn.len()).count();
+        let clean_cut = boundaries.binary_search(&torn.len()).is_ok();
+
+        for mut reader in [MrtReader::new(torn), MrtReader::tolerant(torn)] {
+            let mut decoded = 0u64;
+            let error = loop {
+                match reader.next_record() {
+                    Ok(Some(_)) => decoded += 1,
+                    Ok(None) => break None,
+                    Err(e) => break Some(e),
+                }
+            };
+            if clean_cut {
+                prop_assert!(error.is_none(), "a boundary cut is a clean (shorter) archive");
+                prop_assert_eq!(decoded, boundaries.len() as u64 - 1);
+            } else {
+                prop_assert!(error.is_some(), "a mid-record tear must surface an error");
+                prop_assert!(matches!(error, Some(MrtError::Codec(_))));
+                prop_assert!(decoded < intact as u64 + 1);
+            }
+            prop_assert!(decoded < records.len() as u64);
+            prop_assert_eq!(reader.records_read(), decoded);
+            prop_assert_eq!(reader.records_skipped(), 0);
+        }
+    }
+
+    /// Corrupted-length records (length field inflated into the next
+    /// record's bytes) are never *invisible*: in both modes the read
+    /// either surfaces an error, counts a skip, or decodes a record
+    /// stream observably different from the clean decode — corruption
+    /// can desynchronize framing (later records may resurface as
+    /// `Unknown` garbage), but it can never reproduce the original
+    /// stream while claiming a clean read.
+    #[test]
+    fn corrupted_length_field_never_reads_back_as_the_clean_stream(
+        records in arb_records(),
+        extra in 1u32..64,
+    ) {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let bytes = write_all(&records);
+        let clean: Vec<_> = MrtReader::new(&bytes[..])
+            .collect::<Result<_, _>>()
+            .expect("clean archive decodes");
+
+        // Inflate the first record's length field (bytes 8..12).
+        let mut corrupted = bytes.clone();
+        let len = u32::from_be_bytes(corrupted[8..12].try_into().unwrap());
+        corrupted[8..12].copy_from_slice(&(len + extra).to_be_bytes());
+
+        for mut reader in [MrtReader::new(&corrupted[..]), MrtReader::tolerant(&corrupted[..])] {
+            let mut decoded = Vec::new();
+            let error = loop {
+                match reader.next_record() {
+                    Ok(Some(rec)) => decoded.push(rec),
+                    Ok(None) => break None,
+                    Err(e) => break Some(e),
+                }
+            };
+            prop_assert!(
+                error.is_some() || reader.records_skipped() > 0 || decoded != clean,
+                "corruption read back as the clean stream"
+            );
+        }
+    }
+}
+
+/// Tolerant-mode skip accounting on a deterministically noisy archive:
+/// corrupt payloads with intact framing are skipped and counted; the
+/// valid records around them all decode.
+#[test]
+fn tolerant_mode_accounts_for_skips_between_valid_records() {
+    let records = vec![
+        mk_update((
+            5,
+            6939,
+            vec![6939, 64_500],
+            vec![0x0666],
+            vec![],
+            vec![(0x0A00_0000, 24)],
+            vec![],
+            0,
+        )),
+        mk_update((9, 6939, vec![6939], vec![], vec![], vec![], vec![(0x0B00_0000, 16)], 0)),
+    ];
+    let valid = write_all(&records);
+
+    let corrupt_record = |buf: &mut Vec<u8>| {
+        buf.extend_from_slice(&3u32.to_be_bytes()); // timestamp
+        buf.extend_from_slice(&16u16.to_be_bytes()); // BGP4MP
+        buf.extend_from_slice(&4u16.to_be_bytes()); // MESSAGE_AS4
+        buf.extend_from_slice(&6u32.to_be_bytes()); // plausible length
+        buf.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+    };
+
+    let mut noisy = Vec::new();
+    corrupt_record(&mut noisy);
+    noisy.extend_from_slice(&valid);
+    corrupt_record(&mut noisy);
+    corrupt_record(&mut noisy);
+
+    let mut reader = MrtReader::tolerant(&noisy[..]);
+    let mut decoded = 0;
+    while reader.next_record().expect("tolerant reader survives noise").is_some() {
+        decoded += 1;
+    }
+    assert_eq!(decoded, 2, "both valid records decode");
+    assert_eq!(reader.records_read(), 2);
+    assert_eq!(reader.records_skipped(), 3, "every corrupt record is counted");
+
+    // Strict mode refuses at the first corrupt record.
+    let mut strict = MrtReader::new(&noisy[..]);
+    assert!(strict.next_record().is_err());
+    assert_eq!(strict.records_skipped(), 0);
+}

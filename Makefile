@@ -3,9 +3,17 @@
 
 CARGO ?= cargo
 
-.PHONY: check fmt fmt-check build test test-release clippy doc quickstart bench bench-check
+# PR number stamped into the bench trajectory file (BENCH_$(BENCH_PR).json).
+BENCH_PR ?= 6
+BENCH_JSONL ?= $(CURDIR)/target/criterion-run.jsonl
+# The perf-critical suites the trajectory tracks (the full 18-target
+# figure suite is minutes-scale; these two cover the ingest hot path).
+BENCH_SUITES = --bench pipeline_throughput --bench fleet_ingest
 
-check: fmt-check build test clippy bench-check doc
+.PHONY: check fmt fmt-check build test test-release clippy doc quickstart bench bench-check \
+	bench-json bench-baseline bench-compare
+
+check: fmt-check build test clippy bench-check doc quickstart bench-compare
 
 fmt:
 	$(CARGO) fmt --all
@@ -43,3 +51,25 @@ bench:
 # cannot silently rot: clippy lints them, this proves they still link.
 bench-check:
 	$(CARGO) bench -p bh-bench --no-run
+
+# Record the perf-critical suites into the trajectory file's "current"
+# section (BENCH_$(BENCH_PR).json at the repo root). Run bench-baseline
+# BEFORE a perf change and bench-json after it, so the file carries the
+# before/after pair.
+bench-json:
+	rm -f $(BENCH_JSONL)
+	CRITERION_JSON=$(BENCH_JSONL) $(CARGO) bench -p bh-bench $(BENCH_SUITES)
+	$(CARGO) run --release -p bh-bench --bin bench_compare -- \
+		collect $(BENCH_JSONL) BENCH_$(BENCH_PR).json --pr $(BENCH_PR) --section current
+
+# Record the pre-change baseline section of the trajectory file.
+bench-baseline:
+	rm -f $(BENCH_JSONL)
+	CRITERION_JSON=$(BENCH_JSONL) $(CARGO) bench -p bh-bench $(BENCH_SUITES)
+	$(CARGO) run --release -p bh-bench --bin bench_compare -- \
+		collect $(BENCH_JSONL) BENCH_$(BENCH_PR).json --pr $(BENCH_PR) --section baseline
+
+# Gate gross regressions across the two newest committed trajectory
+# points; a no-op while fewer than two BENCH_*.json files exist.
+bench-compare:
+	$(CARGO) run --release -p bh-bench --bin bench_compare -- check .

@@ -48,9 +48,9 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("merged_stream", |b| {
         b.iter(|| {
-            let sources: Vec<MrtElemSource<&[u8]>> = archives
+            let sources: Vec<_> = archives
                 .iter()
-                .map(|a| MrtElemSource::new(&a.bytes[..], a.dataset, a.collector))
+                .map(|a| MrtElemSource::from_bytes(a.bytes.clone(), a.dataset, a.collector))
                 .collect();
             study.infer_source(&refdata, &mut MergedSource::new(sources)).events.len()
         })

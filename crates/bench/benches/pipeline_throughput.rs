@@ -97,8 +97,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut session = study.session(&refdata).build();
             for archive in &archives {
-                let mut source =
-                    MrtElemSource::new(&archive.bytes[..], archive.dataset, archive.collector);
+                let mut source = MrtElemSource::from_bytes(
+                    archive.bytes.clone(),
+                    archive.dataset,
+                    archive.collector,
+                );
                 session.ingest(&mut source);
                 assert!(source.error().is_none());
             }
@@ -127,9 +130,9 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("fleet_merged_stream", |b| {
         b.iter(|| {
-            let sources: Vec<MrtElemSource<&[u8]>> = archives
+            let sources: Vec<_> = archives
                 .iter()
-                .map(|a| MrtElemSource::new(&a.bytes[..], a.dataset, a.collector))
+                .map(|a| MrtElemSource::from_bytes(a.bytes.clone(), a.dataset, a.collector))
                 .collect();
             study.infer_source(&refdata, &mut MergedSource::new(sources)).events.len()
         })

@@ -1,0 +1,495 @@
+//! Bench-trajectory tooling: collect criterion-shim JSONL into a
+//! `BENCH_<pr>.json` trajectory point, and compare trajectory points to
+//! gate gross performance regressions.
+//!
+//! The repo records one `BENCH_<pr>.json` per perf-relevant PR at the
+//! repo root. Each file holds a `baseline` section (the suite measured
+//! on the parent commit) and a `current` section (measured after the
+//! PR's changes), keyed by bench id with median ns/iter values:
+//!
+//! ```json
+//! {"pr": 6, "baseline": {"pipeline/inference_batch": 123456, ...},
+//!           "current":  {"pipeline/inference_batch":  61728, ...}}
+//! ```
+//!
+//! Subcommands:
+//!
+//! * `collect <jsonl> <out.json> --pr N --section baseline|current` —
+//!   fold a `CRITERION_JSON` JSONL run into one section of a trajectory
+//!   file (merging with the other section if already present). Prints a
+//!   per-bench speedup table when both sections exist.
+//! * `compare <old.json> <new.json> [--tolerance PCT]` — diff two
+//!   trajectory points (each file's `current` section, falling back to
+//!   `baseline`); exit 1 if any bench regressed by more than the
+//!   tolerance (default 25% ns/iter).
+//! * `check [dir]` — find `BENCH_*.json` under `dir` (default `.`) and
+//!   compare the newest two by PR number; a no-op when fewer than two
+//!   trajectory points exist, so `make check` passes on fresh clones.
+//!
+//! Everything here is plain `std`: the JSON involved is flat
+//! string→number maps produced by the vendored criterion shim and by
+//! this tool itself, so a minimal recursive parser suffices.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default regression gate: fail on > 25% ns/iter growth.
+const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("collect") => cmd_collect(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        _ => Err(String::from(
+            "usage: bench_compare collect <jsonl> <out.json> --pr N --section baseline|current\n\
+             \x20      bench_compare compare <old.json> <new.json> [--tolerance PCT]\n\
+             \x20      bench_compare check [dir] [--tolerance PCT]",
+        )),
+    };
+    match result {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("bench_compare: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON (objects, strings, numbers — the only shapes we emit/read)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("unexpected {other:?} in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            if b == b'\\' {
+                return Err("escape sequences are not supported".into());
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory files
+// ---------------------------------------------------------------------------
+
+/// One `BENCH_<pr>.json`: bench id → median ns/iter per section.
+#[derive(Debug, Default)]
+struct Trajectory {
+    pr: Option<f64>,
+    baseline: BTreeMap<String, f64>,
+    current: BTreeMap<String, f64>,
+}
+
+impl Trajectory {
+    fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let section = |name: &str| -> Result<BTreeMap<String, f64>, String> {
+            let mut map = BTreeMap::new();
+            if let Some(Json::Obj(fields)) = json.get(name) {
+                for (id, v) in fields {
+                    let ns = v.as_f64().ok_or_else(|| {
+                        format!("{}: {name}.{id} is not a number", path.display())
+                    })?;
+                    map.insert(id.clone(), ns);
+                }
+            }
+            Ok(map)
+        };
+        Ok(Trajectory {
+            pr: json.get("pr").and_then(Json::as_f64),
+            baseline: section("baseline")?,
+            current: section("current")?,
+        })
+    }
+
+    fn save(&self, path: &Path) -> Result<(), String> {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"pr\": {},", fmt_num(self.pr.unwrap_or(0.0)));
+        let section = |out: &mut String, name: &str, map: &BTreeMap<String, f64>, last: bool| {
+            let _ = write!(out, "  \"{name}\": {{");
+            for (i, (id, ns)) in map.iter().enumerate() {
+                let sep = if i + 1 == map.len() { "" } else { "," };
+                let _ = write!(out, "\n    \"{id}\": {}{sep}", fmt_num(*ns));
+            }
+            let _ = writeln!(out, "\n  }}{}", if last { "" } else { "," });
+        };
+        section(&mut out, "baseline", &self.baseline, self.current.is_empty());
+        if !self.current.is_empty() {
+            section(&mut out, "current", &self.current, true);
+        }
+        out.push_str("}\n");
+        std::fs::write(path, out).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// The section representing this trajectory point's final state:
+    /// `current` after the PR's changes, else the bare `baseline`.
+    fn effective(&self) -> &BTreeMap<String, f64> {
+        if self.current.is_empty() {
+            &self.baseline
+        } else {
+            &self.current
+        }
+    }
+}
+
+/// Render an ns value without a trailing `.0` for whole numbers.
+fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Parse a `CRITERION_JSON` JSONL file into bench id → median ns.
+fn load_jsonl(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut map = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let json = parse_json(line).map_err(|e| format!("{}: {e}", path.display()))?;
+        let id = match json.get("id") {
+            Some(Json::Str(id)) => id.clone(),
+            _ => return Err(format!("{}: line without string \"id\"", path.display())),
+        };
+        let ns = json
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{}: {id} without numeric \"median_ns\"", path.display()))?;
+        // Later lines win: a re-run of the same bench supersedes.
+        map.insert(id, ns);
+    }
+    if map.is_empty() {
+        return Err(format!("{}: no benchmark lines found", path.display()));
+    }
+    Ok(map)
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for arg in args {
+        if skip {
+            skip = false;
+        } else if arg.starts_with("--") {
+            skip = true;
+        } else {
+            out.push(arg);
+        }
+    }
+    out
+}
+
+fn tolerance(args: &[String]) -> Result<f64, String> {
+    match flag_value(args, "--tolerance") {
+        None => Ok(DEFAULT_TOLERANCE_PCT),
+        Some(v) => v.parse::<f64>().map_err(|_| format!("bad --tolerance {v}")),
+    }
+}
+
+fn cmd_collect(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [jsonl, out] = pos[..] else {
+        return Err("collect needs <jsonl> <out.json>".into());
+    };
+    let section = flag_value(args, "--section").unwrap_or("current");
+    if !matches!(section, "baseline" | "current") {
+        return Err(format!("--section must be baseline or current, got {section}"));
+    }
+    let out = PathBuf::from(out);
+    let measured = load_jsonl(Path::new(jsonl))?;
+    let mut trajectory = if out.exists() { Trajectory::load(&out)? } else { Trajectory::default() };
+    if let Some(pr) = flag_value(args, "--pr") {
+        trajectory.pr = Some(pr.parse::<f64>().map_err(|_| format!("bad --pr {pr}"))?);
+    }
+    let n = measured.len();
+    match section {
+        "baseline" => trajectory.baseline = measured,
+        _ => trajectory.current = measured,
+    }
+    trajectory.save(&out)?;
+    println!("wrote {n} benches to {} section \"{section}\"", out.display());
+    if !trajectory.baseline.is_empty() && !trajectory.current.is_empty() {
+        println!("\nbaseline vs current (this PR):");
+        print_diff(&trajectory.baseline, &trajectory.current, f64::INFINITY);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let [old, new] = pos[..] else {
+        return Err("compare needs <old.json> <new.json>".into());
+    };
+    let tolerance = tolerance(args)?;
+    let old_t = Trajectory::load(Path::new(old))?;
+    let new_t = Trajectory::load(Path::new(new))?;
+    println!("comparing {old} -> {new} (tolerance {tolerance}%)");
+    let regressions = print_diff(old_t.effective(), new_t.effective(), tolerance);
+    if regressions == 0 {
+        println!("ok: no bench regressed by more than {tolerance}%");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("FAIL: {regressions} bench(es) regressed by more than {tolerance}%");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let dir = pos.first().map(|s| s.as_str()).unwrap_or(".");
+    let tolerance = tolerance(args)?;
+    let mut points: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?.filter_map(Result::ok);
+    for entry in entries {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|num| num.parse::<u64>().ok())
+        {
+            points.push((n, entry.path()));
+        }
+    }
+    points.sort_unstable();
+    if points.len() < 2 {
+        println!(
+            "bench_compare: {} trajectory point(s) under {dir} — nothing to compare",
+            points.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let old = &points[points.len() - 2].1;
+    let new = &points[points.len() - 1].1;
+    cmd_compare(&[
+        old.display().to_string(),
+        new.display().to_string(),
+        "--tolerance".into(),
+        tolerance.to_string(),
+    ])
+}
+
+/// Print a diff table of two id → ns maps; return the regression count.
+fn print_diff(old: &BTreeMap<String, f64>, new: &BTreeMap<String, f64>, tolerance: f64) -> usize {
+    let mut regressions = 0;
+    for (id, new_ns) in new {
+        let Some(old_ns) = old.get(id) else {
+            println!("  {id:<50} (new bench, no reference)");
+            continue;
+        };
+        if *old_ns <= 0.0 {
+            continue;
+        }
+        let change = (new_ns - old_ns) / old_ns * 100.0;
+        let speedup = old_ns / new_ns;
+        let verdict = if change > tolerance {
+            regressions += 1;
+            "REGRESSION"
+        } else {
+            ""
+        };
+        println!("  {id:<50} {change:>+8.1}%  ({speedup:.2}x) {verdict}");
+    }
+    for id in old.keys().filter(|id| !new.contains_key(*id)) {
+        println!("  {id:<50} (dropped)");
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shim_jsonl_lines() {
+        let json = parse_json(
+            "{\"id\":\"pipeline/x\",\"median_ns\":1234,\"throughput_kind\":\"elements\",\
+             \"throughput_per_iter\":10,\"per_sec\":8103727.715,\"samples\":10}",
+        )
+        .expect("parse");
+        assert_eq!(json.get("id"), Some(&Json::Str("pipeline/x".into())));
+        assert_eq!(json.get("median_ns").and_then(Json::as_f64), Some(1234.0));
+        assert_eq!(json.get("per_sec").and_then(Json::as_f64), Some(8_103_727.715));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_numbers() {
+        assert!(parse_json("{\"a\":1} extra").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn trajectory_round_trips_through_save_and_load() {
+        let dir = std::env::temp_dir().join("bench_compare_test_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_9.json");
+        let mut t = Trajectory { pr: Some(9.0), ..Trajectory::default() };
+        t.baseline.insert("pipeline/a".into(), 1500.0);
+        t.baseline.insert("fleet/b".into(), 2e6);
+        t.current.insert("pipeline/a".into(), 750.5);
+        t.save(&path).expect("save");
+        let back = Trajectory::load(&path).expect("load");
+        assert_eq!(back.pr, Some(9.0));
+        assert_eq!(back.baseline, t.baseline);
+        assert_eq!(back.current, t.current);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn effective_prefers_current_over_baseline() {
+        let mut t = Trajectory::default();
+        t.baseline.insert("a".into(), 100.0);
+        assert_eq!(t.effective().get("a"), Some(&100.0));
+        t.current.insert("a".into(), 50.0);
+        assert_eq!(t.effective().get("a"), Some(&50.0));
+    }
+
+    #[test]
+    fn diff_counts_only_over_tolerance_regressions() {
+        let mut old = BTreeMap::new();
+        let mut new = BTreeMap::new();
+        old.insert("fine".into(), 100.0);
+        new.insert("fine".into(), 110.0); // +10% — within 25%
+        old.insert("bad".into(), 100.0);
+        new.insert("bad".into(), 200.0); // +100% — regression
+        new.insert("fresh".into(), 10.0); // no reference — ignored
+        assert_eq!(print_diff(&old, &new, 25.0), 1);
+        assert_eq!(print_diff(&old, &new, 150.0), 0);
+    }
+}

@@ -45,8 +45,22 @@ pub const MARTIAN_BLOCKS: &[(&str, &str)] = &[
 #[derive(Debug, Clone)]
 pub struct BogonFilter {
     blocks: PrefixTrie<&'static str>,
+    /// The blocks flattened to `(network, mask, prefix)` for the hot
+    /// check: one linear pass of word compares instead of a trie walk
+    /// plus a full-trie containment scan per announcement. Kept in sync
+    /// with `blocks` by every mutator.
+    flat: Vec<(u32, u32, Ipv4Prefix)>,
     /// Reject prefixes with length below this (the paper's "/8 rule").
     min_length: u8,
+}
+
+/// The network mask of a prefix length (`/0` → empty mask).
+fn mask_of(length: u8) -> u32 {
+    if length == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(length.min(32)))
+    }
 }
 
 impl Default for BogonFilter {
@@ -58,23 +72,28 @@ impl Default for BogonFilter {
 impl BogonFilter {
     /// A filter loaded with the static martian list and the /8 rule.
     pub fn new() -> Self {
-        let mut blocks = PrefixTrie::new();
+        let mut filter = BogonFilter { blocks: PrefixTrie::new(), flat: Vec::new(), min_length: 8 };
         for (prefix, why) in MARTIAN_BLOCKS {
-            blocks.insert(prefix.parse().expect("static martian table is valid"), *why);
+            filter.insert_block(prefix.parse().expect("static martian table is valid"), why);
         }
-        BogonFilter { blocks, min_length: 8 }
+        filter
     }
 
     /// A permissive filter with no blocks and no /8 rule (for tests that
     /// need to route documentation space).
     pub fn permissive() -> Self {
-        BogonFilter { blocks: PrefixTrie::new(), min_length: 0 }
+        BogonFilter { blocks: PrefixTrie::new(), flat: Vec::new(), min_length: 0 }
     }
 
     /// Add an unallocated ("full bogon") block, emulating the weekly
     /// Cymru snapshot updates.
     pub fn add_unallocated(&mut self, prefix: Ipv4Prefix) {
-        self.blocks.insert(prefix, "unallocated (full bogon snapshot)");
+        self.insert_block(prefix, "unallocated (full bogon snapshot)");
+    }
+
+    fn insert_block(&mut self, prefix: Ipv4Prefix, why: &'static str) {
+        self.blocks.insert(prefix, why);
+        self.flat.push((prefix.network_bits(), mask_of(prefix.length()), prefix));
     }
 
     /// Number of blocks currently loaded.
@@ -87,23 +106,24 @@ impl BogonFilter {
         if prefix.length() < self.min_length {
             return Err(BogonReason::TooCoarse);
         }
-        if let Some((block, _)) = self.blocks.covering(prefix) {
-            return Err(BogonReason::Bogon(block));
-        }
-        // A bogon block announced *less* specifically than stored (e.g. a
-        // /9 inside 10.0.0.0/8 is caught above; a /7 covering it is caught
-        // by the /8 rule; equal-or-more-specific is the covering case), so
-        // the remaining gap is a coarse prefix that *contains* a martian
-        // block entirely. Treat those as bogon too: they would route
-        // reserved space.
-        if self.contains_martian(prefix) {
-            return Err(BogonReason::Bogon(*prefix));
+        // One linear pass over the flattened blocks: in prefix space any
+        // overlap is containment one way or the other, so two word
+        // compares per block decide everything. A block covering the
+        // prefix (or equal to it) is the classic bogon case; a prefix
+        // *strictly containing* a block would route reserved space, so it
+        // is rejected too (a /9 inside 10.0.0.0/8 is the first case; a /7
+        // covering it falls to the /8 rule or to this one).
+        let net = prefix.network_bits();
+        let mask = mask_of(prefix.length());
+        for &(block_net, block_mask, block) in &self.flat {
+            if net & block_mask == block_net {
+                return Err(BogonReason::Bogon(block));
+            }
+            if block_net & mask == net {
+                return Err(BogonReason::Bogon(*prefix));
+            }
         }
         Ok(())
-    }
-
-    fn contains_martian(&self, prefix: &Ipv4Prefix) -> bool {
-        self.blocks.iter().any(|(block, _)| prefix.contains(&block) && *prefix != block)
     }
 
     /// Is the prefix clean (routable)?

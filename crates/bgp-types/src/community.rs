@@ -9,7 +9,9 @@
 //! "their adoption is limited" (6 of 307 networks, 1 for blackholing).
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -240,56 +242,132 @@ impl From<ExtendedCommunity> for AnyCommunity {
     }
 }
 
-/// The set of communities attached to one announcement.
-///
-/// Kept as a small sorted vector: announcements carry few communities, and
-/// deterministic iteration order keeps the whole pipeline reproducible.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct CommunitySet {
+/// Shared community storage plus a memoized content hash. Equality and
+/// hashing are defined purely over the three sorted vectors, so two
+/// inners with equal content are interchangeable.
+#[derive(Debug, Default)]
+struct SetInner {
     classic: Vec<Community>,
     large: Vec<LargeCommunity>,
     extended: Vec<ExtendedCommunity>,
+    hash: OnceLock<u64>,
+}
+
+impl SetInner {
+    /// Clone the content with a fresh (unpopulated) hash cache.
+    fn copy_content(&self) -> SetInner {
+        SetInner {
+            classic: self.classic.clone(),
+            large: self.large.clone(),
+            extended: self.extended.clone(),
+            hash: OnceLock::new(),
+        }
+    }
+}
+
+fn empty_set_inner() -> Arc<SetInner> {
+    static EMPTY: OnceLock<Arc<SetInner>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(SetInner::default())).clone()
+}
+
+/// The set of communities attached to one announcement.
+///
+/// Kept as small sorted vectors: announcements carry few communities, and
+/// deterministic iteration order keeps the whole pipeline reproducible.
+///
+/// Like [`crate::AsPath`], the storage lives behind an [`Arc`]: cloning
+/// (done per element by the merge heap, fleet reader threads, and the
+/// per-prefix fan-out) bumps a reference count, mutation is
+/// copy-on-write, and the content hash is memoized per allocation so
+/// repeated hashing (census maps, interning) is O(1) after the first.
+#[derive(Clone)]
+pub struct CommunitySet {
+    inner: Arc<SetInner>,
+}
+
+impl Default for CommunitySet {
+    fn default() -> Self {
+        CommunitySet::new()
+    }
 }
 
 impl CommunitySet {
-    /// Empty set.
+    /// Empty set. Shares one static allocation, so the per-withdrawal
+    /// empty set is free.
     pub fn new() -> Self {
-        CommunitySet::default()
+        CommunitySet { inner: empty_set_inner() }
     }
 
     /// Build from classic communities.
     pub fn from_classic(mut communities: Vec<Community>) -> Self {
         communities.sort_unstable();
         communities.dedup();
-        CommunitySet { classic: communities, large: Vec::new(), extended: Vec::new() }
+        if communities.is_empty() {
+            return CommunitySet::new();
+        }
+        CommunitySet { inner: Arc::new(SetInner { classic: communities, ..SetInner::default() }) }
+    }
+
+    /// Copy-on-write access for the mutators: splits off a private copy
+    /// if the allocation is shared, and invalidates the memoized hash
+    /// either way (the caller is about to change the content).
+    fn make_mut(&mut self) -> &mut SetInner {
+        if Arc::get_mut(&mut self.inner).is_none() {
+            self.inner = Arc::new(self.inner.copy_content());
+        }
+        let inner = Arc::get_mut(&mut self.inner).expect("just made unique");
+        inner.hash = OnceLock::new();
+        inner
+    }
+
+    /// Do two handles share one allocation? (True after a `clone`, or
+    /// when both came from the same intern-table entry.)
+    pub fn shares_allocation(&self, other: &CommunitySet) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Insert a classic community (idempotent, keeps sort order).
     pub fn insert(&mut self, c: Community) {
-        if let Err(pos) = self.classic.binary_search(&c) {
-            self.classic.insert(pos, c);
+        if self.contains(c) {
+            return;
+        }
+        let inner = self.make_mut();
+        if let Err(pos) = inner.classic.binary_search(&c) {
+            inner.classic.insert(pos, c);
         }
     }
 
     /// Insert a large community.
     pub fn insert_large(&mut self, c: LargeCommunity) {
-        if let Err(pos) = self.large.binary_search(&c) {
-            self.large.insert(pos, c);
+        if self.contains_large(c) {
+            return;
+        }
+        let inner = self.make_mut();
+        if let Err(pos) = inner.large.binary_search(&c) {
+            inner.large.insert(pos, c);
         }
     }
 
     /// Insert an extended community.
     pub fn insert_extended(&mut self, c: ExtendedCommunity) {
-        if let Err(pos) = self.extended.binary_search(&c) {
-            self.extended.insert(pos, c);
+        if self.inner.extended.binary_search(&c).is_ok() {
+            return;
+        }
+        let inner = self.make_mut();
+        if let Err(pos) = inner.extended.binary_search(&c) {
+            inner.extended.insert(pos, c);
         }
     }
 
     /// Remove a classic community; returns whether it was present.
     pub fn remove(&mut self, c: Community) -> bool {
-        match self.classic.binary_search(&c) {
+        if !self.contains(c) {
+            return false;
+        }
+        let inner = self.make_mut();
+        match inner.classic.binary_search(&c) {
             Ok(pos) => {
-                self.classic.remove(pos);
+                inner.classic.remove(pos);
                 true
             }
             Err(_) => false,
@@ -298,12 +376,12 @@ impl CommunitySet {
 
     /// Does the set contain this classic community?
     pub fn contains(&self, c: Community) -> bool {
-        self.classic.binary_search(&c).is_ok()
+        self.inner.classic.binary_search(&c).is_ok()
     }
 
     /// Does the set contain this large community?
     pub fn contains_large(&self, c: LargeCommunity) -> bool {
-        self.large.binary_search(&c).is_ok()
+        self.inner.large.binary_search(&c).is_ok()
     }
 
     /// Does the announcement carry `NO_EXPORT`?
@@ -313,52 +391,65 @@ impl CommunitySet {
 
     /// Iterate classic communities in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = Community> + '_ {
-        self.classic.iter().copied()
+        self.inner.classic.iter().copied()
     }
 
     /// Iterate large communities in sorted order.
     pub fn iter_large(&self) -> impl Iterator<Item = LargeCommunity> + '_ {
-        self.large.iter().copied()
+        self.inner.large.iter().copied()
     }
 
     /// Iterate extended communities in sorted order.
     pub fn iter_extended(&self) -> impl Iterator<Item = ExtendedCommunity> + '_ {
-        self.extended.iter().copied()
+        self.inner.extended.iter().copied()
     }
 
     /// Iterate over every community as [`AnyCommunity`].
     pub fn iter_all(&self) -> impl Iterator<Item = AnyCommunity> + '_ {
-        self.classic
+        self.inner
+            .classic
             .iter()
             .copied()
             .map(AnyCommunity::Classic)
-            .chain(self.large.iter().copied().map(AnyCommunity::Large))
-            .chain(self.extended.iter().copied().map(AnyCommunity::Extended))
+            .chain(self.inner.large.iter().copied().map(AnyCommunity::Large))
+            .chain(self.inner.extended.iter().copied().map(AnyCommunity::Extended))
     }
 
     /// Number of classic communities.
     pub fn len(&self) -> usize {
-        self.classic.len()
+        self.inner.classic.len()
     }
 
     /// Total number of communities of all families.
     pub fn total_len(&self) -> usize {
-        self.classic.len() + self.large.len() + self.extended.len()
+        self.inner.classic.len() + self.inner.large.len() + self.inner.extended.len()
     }
 
     /// Is the set completely empty?
     pub fn is_empty(&self) -> bool {
-        self.classic.is_empty() && self.large.is_empty() && self.extended.is_empty()
+        self.inner.classic.is_empty()
+            && self.inner.large.is_empty()
+            && self.inner.extended.is_empty()
     }
 
     /// Retain only classic communities satisfying the predicate —
     /// the primitive behind provider-side community stripping.
-    pub fn retain(&mut self, f: impl FnMut(&Community) -> bool) {
-        self.classic.retain(f);
+    pub fn retain(&mut self, mut f: impl FnMut(&Community) -> bool) {
+        if self.inner.classic.iter().all(&mut f) {
+            return; // nothing to strip — keep sharing the allocation
+        }
+        self.make_mut().classic.retain(f);
     }
 
     /// Union with another set (classic + large + extended).
     pub fn merge(&mut self, other: &CommunitySet) {
+        if self.shares_allocation(other) {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
         for c in other.iter() {
             self.insert(c);
         }
@@ -368,6 +459,45 @@ impl CommunitySet {
         for c in other.iter_extended() {
             self.insert_extended(c);
         }
+    }
+
+    /// The memoized content hash: a deterministic hash of all three
+    /// families, computed once per allocation. `Hash` forwards to this.
+    pub fn content_hash(&self) -> u64 {
+        *self.inner.hash.get_or_init(|| {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            self.inner.classic.hash(&mut hasher);
+            self.inner.large.hash(&mut hasher);
+            self.inner.extended.hash(&mut hasher);
+            hasher.finish()
+        })
+    }
+}
+
+impl PartialEq for CommunitySet {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.classic == other.inner.classic
+                && self.inner.large == other.inner.large
+                && self.inner.extended == other.inner.extended)
+    }
+}
+
+impl Eq for CommunitySet {}
+
+impl Hash for CommunitySet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.content_hash());
+    }
+}
+
+impl fmt::Debug for CommunitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CommunitySet")
+            .field("classic", &self.inner.classic)
+            .field("large", &self.inner.large)
+            .field("extended", &self.inner.extended)
+            .finish()
     }
 }
 
@@ -518,5 +648,47 @@ mod tests {
         set.insert_extended(ExtendedCommunity::two_octet_as(3, 3, 0));
         assert_eq!(set.iter_all().count(), 3);
         assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn clone_is_shared_and_cow_isolates_mutation() {
+        let a = CommunitySet::from_classic(vec![Community::BLACKHOLE]);
+        let b = a.clone();
+        assert!(a.shares_allocation(&b));
+        let mut c = b.clone();
+        c.insert(Community::NO_EXPORT);
+        assert!(!c.shares_allocation(&a));
+        assert_eq!(a.len(), 1, "COW must not leak into siblings");
+        assert_eq!(c.len(), 2);
+        // No-op mutations keep sharing the allocation.
+        let mut d = a.clone();
+        d.insert(Community::BLACKHOLE);
+        d.retain(|_| true);
+        assert!(!d.remove(Community::NO_ADVERTISE));
+        d.merge(&a);
+        assert!(d.shares_allocation(&a));
+    }
+
+    #[test]
+    fn equal_sets_hash_equal_regardless_of_provenance() {
+        let a = CommunitySet::from_classic(vec![
+            Community::from_parts(2, 2),
+            Community::from_parts(1, 1),
+        ]);
+        let mut b = CommunitySet::new();
+        b.insert(Community::from_parts(1, 1));
+        b.insert(Community::from_parts(2, 2));
+        assert!(!a.shares_allocation(&b));
+        assert_eq!(a, b);
+        assert_eq!(a.content_hash(), b.content_hash());
+        // The lazy hash memo is interior mutability that never affects
+        // Eq/Hash, so CommunitySet is a sound HashSet key despite the lint.
+        #[allow(clippy::mutable_key_type)]
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(a);
+        assert!(seen.contains(&b));
+        // All empty sets share the static allocation.
+        assert!(CommunitySet::new().shares_allocation(&CommunitySet::default()));
+        assert!(CommunitySet::from_classic(Vec::new()).shares_allocation(&CommunitySet::new()));
     }
 }

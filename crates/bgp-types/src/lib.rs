@@ -34,6 +34,8 @@ pub mod attrs;
 pub mod bogon;
 pub mod community;
 pub mod error;
+pub mod hash;
+pub mod intern;
 pub mod prefix;
 pub mod time;
 pub mod trie;
@@ -45,6 +47,7 @@ pub use asn::Asn;
 pub use attrs::{Origin, PathAttributes};
 pub use community::{AnyCommunity, Community, CommunitySet, ExtendedCommunity, LargeCommunity};
 pub use error::{CodecError, ParseError};
+pub use intern::{CommunitySetId, CommunitySetTable, InternTable, Internable, PathId, PathTable};
 pub use prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};
 pub use time::{SimDuration, SimTime};
 pub use trie::PrefixTrie;

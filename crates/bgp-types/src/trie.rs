@@ -4,27 +4,40 @@
 //! the routing simulator's RIB lookups, and the inference engine's
 //! covering-prefix queries (e.g. finding the non-blackholed less-specific
 //! that contains a blackholed /32, §10's control-target selection).
+//!
+//! Nodes live in one arena `Vec` with `u32` child indices instead of
+//! per-node boxed pointers: a node is 2×4 bytes of links plus the value,
+//! allocation is a `Vec` push (amortized, no per-node malloc), removal
+//! recycles slots through a free list, and a descent walks one
+//! contiguous allocation instead of chasing heap pointers.
 
 use std::net::Ipv4Addr;
 
 use crate::prefix::Ipv4Prefix;
 
+/// Sentinel child index meaning "no child".
+const NONE: u32 = u32::MAX;
+
 #[derive(Debug, Clone)]
 struct Node<T> {
     value: Option<T>,
-    children: [Option<Box<Node<T>>>; 2],
+    /// Arena indices of the 0-bit and 1-bit children ([`NONE`] = absent).
+    children: [u32; 2],
 }
 
-impl<T> Default for Node<T> {
-    fn default() -> Self {
-        Node { value: None, children: [None, None] }
+impl<T> Node<T> {
+    fn empty() -> Self {
+        Node { value: None, children: [NONE, NONE] }
     }
 }
 
 /// A map from IPv4 prefixes to values with longest-prefix-match lookup.
 #[derive(Debug, Clone)]
 pub struct PrefixTrie<T> {
-    root: Node<T>,
+    /// Node arena; index 0 is the root and is never freed.
+    nodes: Vec<Node<T>>,
+    /// Recycled arena slots, reused before the arena grows.
+    free: Vec<u32>,
     len: usize,
 }
 
@@ -37,7 +50,7 @@ impl<T> Default for PrefixTrie<T> {
 impl<T> PrefixTrie<T> {
     /// An empty trie.
     pub fn new() -> Self {
-        PrefixTrie { root: Node::default(), len: 0 }
+        PrefixTrie { nodes: vec![Node::empty()], free: Vec::new(), len: 0 }
     }
 
     /// Number of stored prefixes.
@@ -50,102 +63,123 @@ impl<T> PrefixTrie<T> {
         self.len == 0
     }
 
+    /// Live arena nodes (root included) — a capacity diagnostic: removal
+    /// recycles slots, so this does not grow across insert/remove churn.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
     fn bit(network: u32, depth: u8) -> usize {
         ((network >> (31 - depth as u32)) & 1) as usize
+    }
+
+    /// Allocate an empty node, recycling freed slots first.
+    fn alloc(&mut self) -> u32 {
+        if let Some(index) = self.free.pop() {
+            debug_assert!(self.nodes[index as usize].value.is_none());
+            debug_assert_eq!(self.nodes[index as usize].children, [NONE, NONE]);
+            index
+        } else {
+            let index = u32::try_from(self.nodes.len()).expect("more than u32::MAX trie nodes");
+            self.nodes.push(Node::empty());
+            index
+        }
     }
 
     /// Insert a prefix→value mapping; returns the previous value if the
     /// prefix was already present.
     pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
         let bits = prefix.network_bits();
-        let mut node = &mut self.root;
+        let mut index = 0u32;
         for depth in 0..prefix.length() {
             let b = Self::bit(bits, depth);
-            node = node.children[b].get_or_insert_with(Box::default);
+            let child = self.nodes[index as usize].children[b];
+            index = if child == NONE {
+                let fresh = self.alloc();
+                self.nodes[index as usize].children[b] = fresh;
+                fresh
+            } else {
+                child
+            };
         }
-        let old = node.value.replace(value);
+        let old = self.nodes[index as usize].value.replace(value);
         if old.is_none() {
             self.len += 1;
         }
         old
     }
 
-    /// Remove a prefix; returns its value if present.
+    /// Remove a prefix; returns its value if present. Emptied branches
+    /// are pruned and their arena slots recycled.
     pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<T> {
-        fn rec<T>(node: &mut Node<T>, bits: u32, depth: u8, len: u8) -> Option<T> {
-            if depth == len {
-                return node.value.take();
+        let bits = prefix.network_bits();
+        // Descent path as (parent index, child slot), for pruning.
+        let mut path: Vec<(u32, usize)> = Vec::with_capacity(prefix.length() as usize);
+        let mut index = 0u32;
+        for depth in 0..prefix.length() {
+            let b = Self::bit(bits, depth);
+            let child = self.nodes[index as usize].children[b];
+            if child == NONE {
+                return None;
             }
-            let b = PrefixTrie::<T>::bit(bits, depth);
-            let child = node.children[b].as_mut()?;
-            let out = rec(child, bits, depth + 1, len);
-            if out.is_some()
-                && child.value.is_none()
-                && child.children[0].is_none()
-                && child.children[1].is_none()
-            {
-                node.children[b] = None;
+            path.push((index, b));
+            index = child;
+        }
+        let out = self.nodes[index as usize].value.take()?;
+        self.len -= 1;
+        let mut current = index;
+        while let Some((parent, b)) = path.pop() {
+            let node = &self.nodes[current as usize];
+            if node.value.is_some() || node.children != [NONE, NONE] {
+                break;
             }
-            out
+            self.nodes[parent as usize].children[b] = NONE;
+            self.free.push(current);
+            current = parent;
         }
-        let out = rec(&mut self.root, prefix.network_bits(), 0, prefix.length());
-        if out.is_some() {
-            self.len -= 1;
-        }
-        out
+        Some(out)
     }
 
     /// Exact-match lookup.
     pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&T> {
         let bits = prefix.network_bits();
-        let mut node = &self.root;
+        let mut index = 0u32;
         for depth in 0..prefix.length() {
-            node = node.children[Self::bit(bits, depth)].as_deref()?;
+            index = self.nodes[index as usize].children[Self::bit(bits, depth)];
+            if index == NONE {
+                return None;
+            }
         }
-        node.value.as_ref()
+        self.nodes[index as usize].value.as_ref()
     }
 
     /// Longest-prefix match for a single address: the most specific stored
     /// prefix containing `addr`, with its value.
     pub fn longest_match(&self, addr: Ipv4Addr) -> Option<(Ipv4Prefix, &T)> {
-        let bits = u32::from(addr);
-        let mut node = &self.root;
-        let mut best: Option<(u8, &T)> = None;
-        if let Some(v) = node.value.as_ref() {
-            best = Some((0, v));
-        }
-        for depth in 0..32u8 {
-            match node.children[Self::bit(bits, depth)].as_deref() {
-                Some(child) => {
-                    node = child;
-                    if let Some(v) = node.value.as_ref() {
-                        best = Some((depth + 1, v));
-                    }
-                }
-                None => break,
-            }
-        }
-        best.map(|(len, v)| (Ipv4Prefix::from_raw(bits, len), v))
+        self.best_along(u32::from(addr), 32)
     }
 
     /// The most specific stored prefix that *properly or equally* covers
     /// `prefix` (i.e. contains all of it).
     pub fn covering(&self, prefix: &Ipv4Prefix) -> Option<(Ipv4Prefix, &T)> {
-        let bits = prefix.network_bits();
-        let mut node = &self.root;
+        self.best_along(prefix.network_bits(), prefix.length())
+    }
+
+    /// Deepest valued node on the descent of `bits`, at most `max_depth`
+    /// levels down.
+    fn best_along(&self, bits: u32, max_depth: u8) -> Option<(Ipv4Prefix, &T)> {
+        let mut index = 0u32;
         let mut best: Option<(u8, &T)> = None;
-        if let Some(v) = node.value.as_ref() {
+        if let Some(v) = self.nodes[0].value.as_ref() {
             best = Some((0, v));
         }
-        for depth in 0..prefix.length() {
-            match node.children[Self::bit(bits, depth)].as_deref() {
-                Some(child) => {
-                    node = child;
-                    if let Some(v) = node.value.as_ref() {
-                        best = Some((depth + 1, v));
-                    }
-                }
-                None => break,
+        for depth in 0..max_depth {
+            index = self.nodes[index as usize].children[Self::bit(bits, depth)];
+            if index == NONE {
+                break;
+            }
+            if let Some(v) = self.nodes[index as usize].value.as_ref() {
+                best = Some((depth + 1, v));
             }
         }
         best.map(|(len, v)| (Ipv4Prefix::from_raw(bits, len), v))
@@ -165,7 +199,7 @@ impl<T> PrefixTrie<T> {
     /// (network, length) order — lazily, with no allocation beyond the
     /// traversal stack (at most one frame per trie level).
     pub fn iter(&self) -> Iter<'_, T> {
-        Iter { stack: vec![(&self.root, 0, 0)], remaining: self.len }
+        Iter { trie: self, stack: vec![(0, 0, 0)], remaining: self.len }
     }
 }
 
@@ -186,9 +220,10 @@ impl<'a, T> IntoIterator for &'a PrefixTrie<T> {
 /// length), and the 0-subtree's networks all sort below the 1-subtree's.
 #[derive(Debug, Clone)]
 pub struct Iter<'a, T> {
-    /// Nodes still to visit, each with the network bits and depth of its
-    /// position; the top of the stack is the next node in order.
-    stack: Vec<(&'a Node<T>, u32, u8)>,
+    trie: &'a PrefixTrie<T>,
+    /// Arena indices still to visit, each with the network bits and depth
+    /// of its position; the top of the stack is the next node in order.
+    stack: Vec<(u32, u32, u8)>,
     remaining: usize,
 }
 
@@ -196,14 +231,15 @@ impl<'a, T> Iterator for Iter<'a, T> {
     type Item = (Ipv4Prefix, &'a T);
 
     fn next(&mut self) -> Option<Self::Item> {
-        while let Some((node, bits, depth)) = self.stack.pop() {
+        while let Some((index, bits, depth)) = self.stack.pop() {
+            let node = &self.trie.nodes[index as usize];
             // Push the 1-child first so the 0-child pops (and yields)
             // before it.
-            if let Some(child) = node.children[1].as_deref() {
-                self.stack.push((child, bits | (1 << (31 - depth as u32)), depth + 1));
+            if node.children[1] != NONE {
+                self.stack.push((node.children[1], bits | (1 << (31 - depth as u32)), depth + 1));
             }
-            if let Some(child) = node.children[0].as_deref() {
-                self.stack.push((child, bits, depth + 1));
+            if node.children[0] != NONE {
+                self.stack.push((node.children[0], bits, depth + 1));
             }
             if let Some(v) = node.value.as_ref() {
                 self.remaining -= 1;
@@ -323,6 +359,7 @@ mod tests {
         // Tree fully pruned: nothing matches and iteration is empty.
         assert!(t.longest_match(addr("10.1.2.3")).is_none());
         assert!(t.iter().next().is_none());
+        assert_eq!(t.node_count(), 1, "only the root survives");
     }
 
     #[test]
@@ -333,5 +370,24 @@ mod tests {
         t.remove(&p4("10.1.0.0/16"));
         let (p, _) = t.longest_match(addr("10.1.0.1")).unwrap();
         assert_eq!(p, p4("10.0.0.0/8"));
+    }
+
+    #[test]
+    fn arena_recycles_slots_across_churn() {
+        let mut t = PrefixTrie::new();
+        t.insert(p4("10.1.2.3/32"), 1);
+        // Insert/remove churn on a sibling branch must reuse freed slots
+        // rather than grow the arena without bound: after the first round
+        // has carved out the sibling's slots, the arena length must not
+        // move again.
+        t.insert(p4("10.1.2.4/32"), 0);
+        assert_eq!(t.remove(&p4("10.1.2.4/32")), Some(0));
+        let settled = t.nodes.len();
+        for round in 1..10 {
+            t.insert(p4("10.1.2.4/32"), round);
+            assert_eq!(t.remove(&p4("10.1.2.4/32")), Some(round));
+        }
+        assert_eq!(t.nodes.len(), settled, "arena grew past first-round size");
+        assert_eq!(t.get(&p4("10.1.2.3/32")), Some(&1));
     }
 }

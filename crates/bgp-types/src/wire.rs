@@ -16,6 +16,7 @@
 //!   how measurement pipelines must treat arbitrary archive data.
 
 use std::net::{IpAddr, Ipv4Addr};
+use std::sync::{Arc, Mutex};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -290,6 +291,88 @@ pub fn decode_attributes(mut buf: Bytes) -> Result<PathAttributes, CodecError> {
     Ok(attrs)
 }
 
+/// How many distinct attribute blocks [`AttrCache`] holds before it resets.
+///
+/// Real archive streams repeat a small working set of attribute blocks
+/// (one per active path), so a few thousand entries cover a collector dump;
+/// the flush-on-full policy keeps the worst case (adversarially unique
+/// blocks) at a bounded memory cost with no LRU bookkeeping on the hot path.
+pub const ATTR_CACHE_CAP: usize = 4096;
+
+/// A memo table for decoded attribute blocks.
+///
+/// BGP UPDATE streams are heavily repetitive: the same serialized attribute
+/// block (path + communities + next hop) arrives once per announced prefix.
+/// The cache keys on the *raw attribute bytes* — an O(1)-sliced [`Bytes`]
+/// view of the archive buffer, hashed by content — and stores the decoded
+/// [`PathAttributes`]. Because `AsPath` and `CommunitySet` are Arc-backed
+/// handles, a cache hit clones in O(1) and every element decoded from the
+/// same block *shares* one allocation, which is what makes downstream
+/// interning and hashing cheap.
+#[derive(Debug, Default)]
+pub struct AttrCache {
+    map: crate::hash::FxHashMap<Bytes, PathAttributes>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AttrCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache hits so far (attribute blocks served without re-decoding).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far (attribute blocks actually decoded).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct attribute blocks currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Decode `raw`, serving repeats from the memo table.
+    pub fn decode(&mut self, raw: Bytes) -> Result<PathAttributes, CodecError> {
+        if let Some(hit) = self.map.get(&raw) {
+            self.hits += 1;
+            return Ok(hit.clone());
+        }
+        let attrs = decode_attributes(raw.clone())?;
+        self.misses += 1;
+        if self.map.len() >= ATTR_CACHE_CAP {
+            self.map.clear();
+        }
+        self.map.insert(raw, attrs.clone());
+        Ok(attrs)
+    }
+}
+
+/// An [`AttrCache`] shared by several readers — typically one per
+/// collector archive of the same fleet. Collectors overwhelmingly carry
+/// the same attribute blocks (the same paths reach every vantage point),
+/// so a fleet-wide cache decodes each distinct block once and every
+/// reader's elements alias the same Arc-backed values. Readers lock only
+/// for the duration of one block probe; share across threads with care
+/// (parallel decoders serialize on it — per-reader caches are better
+/// there).
+pub type SharedAttrCache = Arc<Mutex<AttrCache>>;
+
+/// A fresh, empty [`SharedAttrCache`].
+pub fn shared_attr_cache() -> SharedAttrCache {
+    Arc::new(Mutex::new(AttrCache::new()))
+}
+
 /// Encode a full BGP UPDATE *message* (header + body) for the IPv4 routes
 /// of `update`. IPv6 routes are ignored by this wire path (see module docs).
 pub fn encode_update_message(update: &BgpUpdate) -> BytesMut {
@@ -326,12 +409,24 @@ pub fn encode_update_message(update: &BgpUpdate) -> BytesMut {
 /// Decode a full BGP UPDATE message (header + body) back into a
 /// [`BgpUpdate`]. Returns `Ok(None)` for non-UPDATE messages (KEEPALIVEs
 /// inside archives are legal and skipped).
-pub fn decode_update_message(mut buf: Bytes) -> Result<Option<BgpUpdate>, CodecError> {
+pub fn decode_update_message(buf: Bytes) -> Result<Option<BgpUpdate>, CodecError> {
+    decode_update_message_cached(buf, None)
+}
+
+/// [`decode_update_message`] with an optional [`AttrCache`] memoizing the
+/// attribute-block decode. `decode_update_message(b)` is exactly
+/// `decode_update_message_cached(b, None)`; passing a cache changes only
+/// *sharing* (equal blocks yield Arc-shared `PathAttributes`), never the
+/// decoded values.
+pub fn decode_update_message_cached(
+    mut buf: Bytes,
+    cache: Option<&mut AttrCache>,
+) -> Result<Option<BgpUpdate>, CodecError> {
     CodecError::ensure("bgp header", buf.remaining(), BGP_HEADER_LEN)?;
-    let marker = buf.split_to(16);
-    if marker.iter().any(|&b| b != 0xFF) {
-        return Err(CodecError::BadValue { what: "bgp marker", value: marker[0] as u64 });
+    if buf[..16] != [0xFF; 16] {
+        return Err(CodecError::BadValue { what: "bgp marker", value: buf[0] as u64 });
     }
+    buf.advance(16);
     let msg_len = buf.get_u16() as usize;
     if !(BGP_HEADER_LEN..=BGP_MAX_MESSAGE_LEN).contains(&msg_len) {
         return Err(CodecError::BadLength { what: "bgp message length", value: msg_len });
@@ -357,16 +452,18 @@ pub fn decode_update_message(mut buf: Bytes) -> Result<Option<BgpUpdate>, CodecE
     let attrs_len = body.get_u16() as usize;
     CodecError::ensure("attributes", body.remaining(), attrs_len)?;
     let attrs_buf = body.split_to(attrs_len);
-    let attrs =
-        if attrs_len > 0 { decode_attributes(attrs_buf)? } else { PathAttributes::default() };
-
-    let mut announced = Vec::new();
-    while body.has_remaining() {
-        announced.push(decode_nlri(&mut body)?);
-    }
+    let attrs = if attrs_len > 0 {
+        match cache {
+            Some(cache) => cache.decode(attrs_buf)?,
+            None => decode_attributes(attrs_buf)?,
+        }
+    } else {
+        PathAttributes::default()
+    };
 
     let mut update = BgpUpdate::new(attrs);
-    for p in announced {
+    while body.has_remaining() {
+        let p = decode_nlri(&mut body)?;
         update.announce_v4(p);
     }
     for p in withdrawn {
@@ -492,6 +589,42 @@ mod tests {
         let decoded = decode_update_message(encoded).unwrap().unwrap();
         assert_eq!(decoded.withdrawn_v4().count(), 1);
         assert_eq!(decoded.announced_v4().count(), 0);
+    }
+
+    #[test]
+    fn attr_cache_decodes_identically_and_shares_allocations() {
+        let mut update = BgpUpdate::new(sample_attrs());
+        update.announce_v4("192.0.2.0/24".parse().unwrap());
+        let encoded = encode_update_message(&update).freeze();
+
+        let mut cache = AttrCache::new();
+        let first =
+            decode_update_message_cached(encoded.clone(), Some(&mut cache)).unwrap().unwrap();
+        let second =
+            decode_update_message_cached(encoded.clone(), Some(&mut cache)).unwrap().unwrap();
+        let uncached = decode_update_message(encoded).unwrap().unwrap();
+
+        assert_eq!(first, uncached, "cache must not change decoded values");
+        assert_eq!(second, uncached);
+        assert_eq!(cache.misses(), 1, "second decode must hit the memo table");
+        assert_eq!(cache.hits(), 1);
+        assert!(
+            first.attrs.as_path.shares_allocation(&second.attrs.as_path),
+            "cache hits must hand out Arc-shared paths"
+        );
+        assert!(first.attrs.communities.shares_allocation(&second.attrs.communities));
+    }
+
+    #[test]
+    fn attr_cache_flushes_at_capacity() {
+        let mut cache = AttrCache::new();
+        for i in 0..(ATTR_CACHE_CAP + 10) {
+            let attrs = PathAttributes { med: Some(i as u32), ..Default::default() };
+            let raw = encode_attributes(&attrs).freeze();
+            assert_eq!(cache.decode(raw).unwrap(), attrs);
+        }
+        assert!(cache.len() <= ATTR_CACHE_CAP, "cache exceeded its cap");
+        assert_eq!(cache.hits(), 0);
     }
 
     #[test]

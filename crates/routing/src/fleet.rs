@@ -34,7 +34,8 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::thread::JoinHandle;
 use std::{sync::mpsc, thread};
 
-use bh_mrt::MrtError;
+use bh_mrt::{MessageStream, MrtError};
+use bytes::Bytes;
 
 use crate::archive::MrtElemSource;
 use crate::elem::{BgpElem, DataSource};
@@ -211,9 +212,36 @@ impl CollectorFleet {
         self.spawn(MrtElemSource::tolerant(source, dataset, collector), dataset, collector);
     }
 
-    fn spawn<R: Read + Send + 'static>(
+    /// Add one strict-decoded *in-memory* archive; the reader thread
+    /// slices records out of the shared buffer instead of copying them
+    /// (see [`MrtElemSource::from_bytes`]). `Bytes::from(Vec<u8>)` is
+    /// zero-copy, so handing a freshly built archive here costs nothing.
+    pub fn add_archive_bytes(
         &mut self,
-        mut source: MrtElemSource<R>,
+        archive: impl Into<Bytes>,
+        dataset: DataSource,
+        collector: u16,
+    ) {
+        self.spawn(MrtElemSource::from_bytes(archive, dataset, collector), dataset, collector);
+    }
+
+    /// Tolerant variant of [`CollectorFleet::add_archive_bytes`].
+    pub fn add_archive_bytes_tolerant(
+        &mut self,
+        archive: impl Into<Bytes>,
+        dataset: DataSource,
+        collector: u16,
+    ) {
+        self.spawn(
+            MrtElemSource::from_bytes_tolerant(archive, dataset, collector),
+            dataset,
+            collector,
+        );
+    }
+
+    fn spawn<M: MessageStream + Send + 'static>(
+        &mut self,
+        mut source: MrtElemSource<M>,
         dataset: DataSource,
         collector: u16,
     ) {
@@ -386,6 +414,24 @@ mod tests {
 
         let expected = merge_streams(vec![a, b, c]);
         assert_eq!(streamed, expected, "fleet order must equal the materialized merge");
+    }
+
+    #[test]
+    fn bytes_archives_match_the_read_path() {
+        let a: Vec<BgpElem> = (0..40).map(|k| elem(10 + k * 3, DataSource::Ris, 0, 11)).collect();
+        let b: Vec<BgpElem> =
+            (0..40).map(|k| elem(11 + k * 2, DataSource::RouteViews, 1, 22)).collect();
+
+        let mut fleet =
+            CollectorFleet::with_config(FleetConfig { batch_elems: 7, channel_batches: 2 });
+        fleet.add_archive_bytes(archive_of(&a), DataSource::Ris, 0);
+        fleet.add_archive_bytes_tolerant(archive_of(&b), DataSource::RouteViews, 1);
+        let mut stream = fleet.start();
+        let streamed = collect_source(&mut stream);
+        let report = stream.finish();
+        assert!(report.is_clean());
+        assert_eq!(report.total_elems(), 80);
+        assert_eq!(streamed, merge_streams(vec![a, b]));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::io::Cursor;
 use bh_mrt::MrtError;
 use bh_routing::archive::{archive_stamp, split_by_collector, write_updates};
 use bh_routing::{BgpElem, CollectorDeployment, CollectorFleet, DataSource, FleetConfig};
+use bytes::Bytes;
 
 use crate::scenario::ScenarioOutput;
 
@@ -28,17 +29,19 @@ pub struct CollectorArchive {
     /// BGPStream-style archive name
     /// (`<platform>.rc<collector>.updates.<stamp>.mrt`).
     pub name: String,
-    /// The MRT bytes.
-    pub bytes: Vec<u8>,
+    /// The MRT bytes, refcounted so fleet reader threads share one
+    /// allocation per archive instead of copying it.
+    pub bytes: Bytes,
     /// Elements serialized into the archive.
     pub elems: u64,
 }
 
 impl CollectorArchive {
     /// A fresh reader over the archive bytes, suitable for
-    /// [`CollectorFleet::add_archive`] (readers move to fleet threads,
-    /// so the bytes are cloned).
-    pub fn reader(&self) -> Cursor<Vec<u8>> {
+    /// [`CollectorFleet::add_archive`]. The clone is a refcount bump,
+    /// not a copy; prefer [`CollectorFleet::add_archive_bytes`] with
+    /// `bytes.clone()` directly for the zero-copy slicing path.
+    pub fn reader(&self) -> Cursor<Bytes> {
         Cursor::new(self.bytes.clone())
     }
 }
@@ -55,7 +58,7 @@ fn archive_of(
         dataset,
         collector,
         name: format!("{}.rc{collector:02}.updates.{stamp}.mrt", dataset.label().to_lowercase()),
-        bytes,
+        bytes: Bytes::from(bytes),
         elems: elems.len() as u64,
     })
 }
@@ -103,7 +106,7 @@ pub fn fleet_of(archives: &[CollectorArchive]) -> CollectorFleet {
 pub fn fleet_with_config(archives: &[CollectorArchive], config: FleetConfig) -> CollectorFleet {
     let mut fleet = CollectorFleet::with_config(config);
     for archive in archives {
-        fleet.add_archive(archive.reader(), archive.dataset, archive.collector);
+        fleet.add_archive_bytes(archive.bytes.clone(), archive.dataset, archive.collector);
     }
     fleet
 }

@@ -88,7 +88,7 @@ fn mrt_archive_round_trip_preserves_inference() {
         );
         archives.push((*dataset, *collector, buf));
     }
-    let sources: Vec<MrtElemSource<&[u8]>> = archives
+    let sources: Vec<_> = archives
         .iter()
         .map(|(dataset, collector, buf)| MrtElemSource::new(&buf[..], *dataset, *collector))
         .collect();

@@ -165,10 +165,16 @@ impl Criterion {
             None => {}
         }
         println!("{line}");
-        self.write_json(id, median, throughput);
+        self.write_json(id, median, throughput, bencher.samples.len());
     }
 
-    fn write_json(&self, id: &str, median: Duration, throughput: Option<Throughput>) {
+    fn write_json(
+        &self,
+        id: &str,
+        median: Duration,
+        throughput: Option<Throughput>,
+        samples: usize,
+    ) {
         let Ok(path) = std::env::var("CRITERION_JSON") else {
             return;
         };
@@ -181,9 +187,14 @@ impl Criterion {
             Some(Throughput::Bytes(n)) => ("bytes", n),
             None => ("none", 0),
         };
+        // Per-second throughput, guarded so the JSON never contains a
+        // non-finite literal (`inf` would poison downstream parsers).
+        let secs = median.as_secs_f64();
+        let per_sec = if secs > 0.0 && count > 0 { count as f64 / secs } else { 0.0 };
         let _ = writeln!(
             file,
-            "{{\"id\":\"{id}\",\"median_ns\":{},\"throughput_kind\":\"{kind}\",\"throughput_per_iter\":{count}}}",
+            "{{\"id\":\"{id}\",\"median_ns\":{},\"throughput_kind\":\"{kind}\",\
+             \"throughput_per_iter\":{count},\"per_sec\":{per_sec:.3},\"samples\":{samples}}}",
             median.as_nanos(),
         );
     }

@@ -1,0 +1,95 @@
+//! Live-service latency: what the near-real-time path costs on top of
+//! the batch pipeline, and how fast the query surface answers.
+//!
+//! * **live_replay** — boot the whole node (replay feed, virtual clock,
+//!   tailing daemon) and drive a Tiny workload to the drained report:
+//!   one minute of simulated time per tick, so the measured wall time
+//!   is dominated by the per-tick pump/merge/step overhead the daemon
+//!   adds over the batch run.
+//! * **batch_baseline** — the same workload through
+//!   `infer_streaming_analytics` over the materialized merged stream
+//!   (the lower bound the live path is compared against).
+//! * **wire_status / wire_events_since** — per-query cost of the line
+//!   protocol over a drained node's shared state.
+//!
+//! The setup also prints the worst *simulated* event-emission latency
+//! the daemon observed (closing update → publication), which the e2e
+//! suite bounds by `max_latency`. Not a paper artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bh_bench::{Study, StudyRun, StudyScale};
+use bh_bgp_types::time::SimDuration;
+use bh_live::{handle_command, LiveFleetConfig, LiveNode};
+use bh_routing::{merge_streams, read_updates};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::build(StudyScale::Tiny, 42);
+    let StudyRun { output, refdata, analytics, .. } = study.visibility_run(2, 6.0);
+    let archives = output.fleet_archives().expect("fleet archives serialize");
+    let start = output.elems.iter().map(|e| e.time).min().expect("non-empty scenario");
+    let quantum = SimDuration::mins(1);
+    let config = LiveFleetConfig { checkpoint_every: 4_096, ..LiveFleetConfig::default() };
+    let boot = || {
+        LiveNode::boot(
+            study.session(&refdata),
+            study.analytics_pipeline(&refdata, analytics),
+            &archives,
+            start,
+            quantum,
+            config,
+        )
+    };
+
+    // One instrumented replay up front: report the simulated emission
+    // latency alongside the wall-time numbers criterion records.
+    let mut node = boot();
+    node.run_to_completion();
+    let status = node.query().status();
+    println!(
+        "live input: {} elems over {} archives; worst emission latency {}s (quantum {}s)",
+        status.elems,
+        archives.len(),
+        status.max_latency_seen.as_secs(),
+        quantum.as_secs()
+    );
+
+    let mut group = c.benchmark_group("live_latency");
+    group.throughput(Throughput::Elements(output.elems.len() as u64));
+    group.bench_function("live_replay", |b| {
+        b.iter(|| {
+            let mut node = boot();
+            node.run_to_completion();
+            let (summary, report) = node.finish();
+            (summary.stats.elems, report.blackholed_prefixes.len())
+        })
+    });
+    let streams: Vec<_> = archives
+        .iter()
+        .map(|a| read_updates(&a.bytes[..], a.dataset, a.collector).expect("decodes"))
+        .collect();
+    let merged = merge_streams(streams);
+    group.bench_function("batch_baseline", |b| {
+        b.iter(|| {
+            let (summary, report) =
+                study.infer_streaming_analytics(&refdata, &merged, analytics, 1_000);
+            (summary.stats.elems, report.blackholed_prefixes.len())
+        })
+    });
+    group.finish();
+
+    // Query surface on a drained node: per-command wall time.
+    let mut node = boot();
+    node.run_to_completion();
+    let query = node.query();
+    let mut group = c.benchmark_group("live_query");
+    group.sample_size(50);
+    group.bench_function("wire_status", |b| b.iter(|| handle_command(&query, "status").len()));
+    group.bench_function("wire_events_since", |b| {
+        b.iter(|| handle_command(&query, "events-since 0").len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -231,6 +231,15 @@ impl AnalyticsPipeline {
         }
         self.observe_visibility(&result.per_dataset);
     }
+
+    /// A point-in-time [`AnalyticsReport`] over everything observed so
+    /// far, without consuming the pipeline — the incremental snapshot a
+    /// live service publishes between checkpoints. Accumulators are
+    /// order-insensitive, so a snapshot over a prefix of the stream is
+    /// exactly the report a batch run over that prefix would produce.
+    pub fn snapshot(&self) -> AnalyticsReport {
+        self.clone().finalize()
+    }
 }
 
 impl EventAccumulator for AnalyticsPipeline {

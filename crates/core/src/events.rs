@@ -80,6 +80,37 @@ impl BlackholeEvent {
     }
 }
 
+/// A [`BlackholeEvent`] as emitted by a *live* pipeline: tagged with a
+/// session-scoped sequence number and the emission timestamp.
+///
+/// Sequence numbers are assigned in emission order, which for a single
+/// `InferenceSession` is the deterministic stream-closure order — so a
+/// daemon resumed from a checkpoint re-assigns the *same* numbers to the
+/// same events, letting consumers deduplicate a kill/resume overlap and
+/// detect gaps (`events-since` in the `bh-live` query protocol).
+/// `emitted_at - event.end` is the emission latency a live deployment
+/// bounds with its `max_latency` budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequencedEvent {
+    /// Session-scoped emission sequence number, starting at 0.
+    pub seq: u64,
+    /// Clock time when the daemon emitted the event.
+    pub emitted_at: SimTime,
+    /// The event itself.
+    pub event: BlackholeEvent,
+}
+
+impl SequencedEvent {
+    /// Emission latency relative to the event's close (zero for events
+    /// emitted open, e.g. at end-of-stream flush).
+    pub fn latency(&self) -> SimDuration {
+        match self.event.end {
+            Some(end) => self.emitted_at.since(end),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
 /// A grouped blackholing *period*: consecutive events for the same prefix
 /// whose gaps are at most the grouping timeout (the paper uses 5 minutes
 /// to collapse the operators' ON/OFF probing pattern).

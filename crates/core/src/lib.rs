@@ -61,7 +61,8 @@ pub use analytics::{
     VisibilityAccumulator, VisibilityRow,
 };
 pub use events::{
-    group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, PeriodAccumulator, ProviderId,
+    group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, PeriodAccumulator,
+    ProviderId, SequencedEvent,
 };
 pub use refdata::ReferenceData;
 pub use session::{
@@ -86,7 +87,7 @@ pub mod prelude {
     };
     pub use crate::events::{
         group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, PeriodAccumulator,
-        ProviderId,
+        ProviderId, SequencedEvent,
     };
     pub use crate::refdata::ReferenceData;
     pub use crate::session::{

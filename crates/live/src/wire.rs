@@ -1,0 +1,113 @@
+//! Line-protocol front-end over a [`QueryRunner`].
+//!
+//! One command per line, one `ok`/`err` reply (possibly multi-line,
+//! with a count on the first line so framers know how much to read):
+//!
+//! ```text
+//! -> status
+//! <- ok status elems=1024 events=3 open=1 now=1472688000 sources=5/6 \
+//!        max_latency=17 checkpoints=2 drained=false
+//! -> report
+//! <- ok report events=3 prefixes=2 providers=2 users=2 periods=2
+//! -> events-since 1
+//! <- ok events 2
+//! <- event seq=1 emitted_at=1472688000 prefix=10.0.0.1/32 start=... end=...
+//! <- event seq=2 ...
+//! -> quit
+//! <- ok bye
+//! ```
+//!
+//! The protocol is transport-agnostic: [`serve_connection`] runs it
+//! over any `BufRead`/`Write` pair (a TCP stream, a Unix socket, an
+//! in-memory pipe in tests).
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+
+use bh_core::SequencedEvent;
+
+use crate::query::QueryRunner;
+
+/// Render one event line for `events-since`.
+fn event_line(se: &SequencedEvent) -> String {
+    let end = se.event.end.map_or_else(|| "open".to_owned(), |e| e.unix().to_string());
+    format!(
+        "event seq={} emitted_at={} prefix={} start={} end={} peers={} providers={} latency={}",
+        se.seq,
+        se.emitted_at.unix(),
+        se.event.prefix,
+        se.event.start.unix(),
+        end,
+        se.event.peer_count,
+        se.event.providers.len(),
+        se.latency().as_secs(),
+    )
+}
+
+/// Execute one command line and return the full reply (no trailing
+/// newline; multi-line replies embed `\n`).
+pub fn handle_command(runner: &QueryRunner, line: &str) -> String {
+    let mut parts = line.split_whitespace();
+    match parts.next() {
+        Some("status") => {
+            let s = runner.status();
+            format!(
+                "ok status elems={} events={} open={} now={} sources={}/{} max_latency={} \
+                 checkpoints={} drained={}",
+                s.elems,
+                s.events_emitted,
+                s.open_events,
+                s.now.unix(),
+                s.sources_ended,
+                s.sources_total,
+                s.max_latency_seen.as_secs(),
+                s.checkpoints,
+                s.drained,
+            )
+        }
+        Some("report") => match runner.report() {
+            Some(r) => format!(
+                "ok report events={} prefixes={} providers={} users={} periods={}",
+                r.durations.len(),
+                r.blackholed_prefixes.len(),
+                r.prefixes_per_provider.len(),
+                r.prefixes_per_user.len(),
+                r.periods.len(),
+            ),
+            None => "err no-report-yet".to_owned(),
+        },
+        Some("events-since") => match parts.next().map(str::parse::<u64>) {
+            Some(Ok(since)) => {
+                let events = runner.events_since(since);
+                let mut reply = format!("ok events {}", events.len());
+                for se in &events {
+                    write!(reply, "\n{}", event_line(se)).expect("string write");
+                }
+                reply
+            }
+            _ => "err usage: events-since <seq>".to_owned(),
+        },
+        Some(other) => format!("err unknown command: {other}"),
+        None => "err empty command".to_owned(),
+    }
+}
+
+/// Serve commands line by line until EOF or `quit`. Replies are flushed
+/// after every command.
+pub fn serve_connection<R: BufRead, W: Write>(
+    runner: &QueryRunner,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim() == "quit" {
+            writeln!(writer, "ok bye")?;
+            writer.flush()?;
+            return Ok(());
+        }
+        writeln!(writer, "{}", handle_command(runner, &line))?;
+        writer.flush()?;
+    }
+    Ok(())
+}

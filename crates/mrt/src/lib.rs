@@ -24,6 +24,7 @@
 
 pub mod read;
 pub mod record;
+pub mod tail;
 pub mod write;
 
 pub use bh_bgp_types::wire::{shared_attr_cache, AttrCache, SharedAttrCache};
@@ -32,6 +33,7 @@ pub use record::{
     Bgp4mpMessage, Bgp4mpStateChange, BgpState, MrtError, MrtRecord, MrtRecordBody, PeerEntry,
     PeerIndexTable, RibEntry, RibPeerEntry,
 };
+pub use tail::TailingReader;
 pub use write::MrtWriter;
 
 #[cfg(test)]

@@ -443,7 +443,7 @@ fn get_addr(buf: &mut Bytes, afi: u16) -> Result<IpAddr, MrtError> {
     }
 }
 
-fn decode_body(
+pub(crate) fn decode_body(
     ty: u16,
     subtype: u16,
     mut body: Bytes,

@@ -1,0 +1,328 @@
+//! Tailing MRT reader: incremental decoding of a *growing* archive.
+//!
+//! [`MrtReader`](crate::read::MrtReader) and
+//! [`MrtBytesReader`](crate::read::MrtBytesReader) both assume the
+//! archive is complete: a record that extends past the end of the input
+//! is a framing tear and ends the stream with an error. A live pipeline
+//! tails archives that are still being written, where the same byte
+//! pattern — a partial trailing record — means "the writer has not
+//! finished this record *yet*". [`TailingReader`] makes that distinction
+//! explicit: bytes are appended with [`TailingReader::extend`] as the
+//! archive grows, a partial trailing record yields `Ok(None)` ("no more
+//! messages *for now*") and is re-framed on the next call once more
+//! bytes arrived, and only after [`TailingReader::close`] does a
+//! leftover partial record become the truncation error it would be in a
+//! finished archive.
+//!
+//! The reader implements [`MessageStream`], so
+//! `bh_routing::MrtElemSource` drives it like any other framing
+//! strategy; consumers distinguish "pending" from "end of stream" by
+//! whether the reader [`is_closed`](TailingReader::is_closed).
+
+use bytes::Bytes;
+
+use bh_bgp_types::error::CodecError;
+use bh_bgp_types::time::SimTime;
+use bh_bgp_types::wire::AttrCache;
+
+use crate::read::{decode_body, MessageStream, ReadMode, MAX_RECORD_LEN};
+use crate::record::{Bgp4mpMessage, MrtError, MrtRecord, MrtRecordBody};
+
+/// An incremental MRT reader over an archive that is still growing.
+///
+/// See the [module docs](self) for the pending-vs-torn semantics. The
+/// reader buffers only the unconsumed tail of the archive (consumed
+/// records are compacted away), so tailing an unbounded feed costs
+/// memory proportional to one partial record plus one append chunk.
+pub struct TailingReader {
+    buf: Vec<u8>,
+    pos: usize,
+    mode: ReadMode,
+    closed: bool,
+    failed: bool,
+    records_read: u64,
+    records_skipped: u64,
+    bytes_consumed: u64,
+    cache: AttrCache,
+}
+
+impl Default for TailingReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TailingReader {
+    /// Strict tailing reader (the first malformed *payload* is an error).
+    pub fn new() -> Self {
+        TailingReader {
+            buf: Vec::new(),
+            pos: 0,
+            mode: ReadMode::Strict,
+            closed: false,
+            failed: false,
+            records_read: 0,
+            records_skipped: 0,
+            bytes_consumed: 0,
+            cache: AttrCache::new(),
+        }
+    }
+
+    /// Tolerant tailing reader (skips undecodable payloads; framing
+    /// stays strict, and a partial tail is still "pending", not a skip).
+    pub fn tolerant() -> Self {
+        TailingReader { mode: ReadMode::Tolerant, ..Self::new() }
+    }
+
+    /// Append newly observed archive bytes. Appending after
+    /// [`TailingReader::close`] is a caller bug and panics.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        assert!(!self.closed, "extend() after close(): the archive was declared complete");
+        // Compact the consumed prefix before growing, so the buffer
+        // holds only the pending tail plus the new chunk.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Declare the archive complete: no more bytes will arrive. After
+    /// this, a leftover partial record is reported as the truncation
+    /// error a finished archive would produce.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Has [`TailingReader::close`] been called?
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Bytes framed into records so far (complete records only — a
+    /// pending partial tail is not consumed).
+    pub fn bytes_consumed(&self) -> u64 {
+        self.bytes_consumed
+    }
+
+    /// Bytes buffered but not yet framed (the partial tail, if any).
+    pub fn bytes_pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete record. `Ok(None)` means "no complete
+    /// record buffered": end of stream if [`close`](Self::close) was
+    /// called and everything framed cleanly, otherwise "pending — call
+    /// again after [`extend`](Self::extend)".
+    pub fn try_next_record(&mut self) -> Result<Option<MrtRecord>, MrtError> {
+        loop {
+            if self.failed {
+                return Ok(None);
+            }
+            let avail = self.buf.len() - self.pos;
+            if avail == 0 {
+                return Ok(None); // fully framed: clean EOF or pending
+            }
+            if avail < 12 {
+                if self.closed {
+                    self.failed = true;
+                    return Err(CodecError::Truncated {
+                        what: "mrt header",
+                        needed: 12,
+                        available: avail,
+                    }
+                    .into());
+                }
+                return Ok(None); // partial header: retry after growth
+            }
+            let header = &self.buf[self.pos..self.pos + 12];
+            let ts = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
+            let ty = u16::from_be_bytes(header[4..6].try_into().expect("2 bytes"));
+            let subtype = u16::from_be_bytes(header[6..8].try_into().expect("2 bytes"));
+            let len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes"));
+            if len > MAX_RECORD_LEN {
+                self.failed = true;
+                return Err(MrtError::OversizedRecord(len));
+            }
+            let need = 12 + len as usize;
+            if avail < need {
+                if self.closed {
+                    self.failed = true;
+                    return Err(CodecError::Truncated {
+                        what: "mrt body",
+                        needed: len as usize,
+                        available: avail - 12,
+                    }
+                    .into());
+                }
+                // The partial trailing record stays buffered; the next
+                // poll after the archive grew re-frames it from the
+                // same offset instead of skipping it as corrupt.
+                return Ok(None);
+            }
+            let timestamp = SimTime::from_unix(ts as u64);
+            let body = Bytes::from(&self.buf[self.pos + 12..self.pos + need]);
+            self.pos += need;
+            self.bytes_consumed += need as u64;
+            match decode_body(ty, subtype, body, Some(&mut self.cache)) {
+                Ok(body) => {
+                    self.records_read += 1;
+                    return Ok(Some(MrtRecord { timestamp, body }));
+                }
+                Err(e) => match self.mode {
+                    ReadMode::Strict => {
+                        self.failed = true;
+                        return Err(e);
+                    }
+                    ReadMode::Tolerant => {
+                        self.records_skipped += 1;
+                        continue;
+                    }
+                },
+            }
+        }
+    }
+}
+
+impl MessageStream for TailingReader {
+    fn next_message(&mut self) -> Result<Option<(SimTime, Bgp4mpMessage)>, MrtError> {
+        while let Some(record) = self.try_next_record()? {
+            if let MrtRecordBody::Message(msg) = record.body {
+                return Ok(Some((record.timestamp, msg)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    fn records_skipped(&self) -> u64 {
+        self.records_skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_bgp_types::asn::Asn;
+    use bh_bgp_types::attrs::PathAttributes;
+    use bh_bgp_types::update::BgpUpdate;
+
+    use super::*;
+    use crate::write::MrtWriter;
+
+    fn update_record(t: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = MrtWriter::new(&mut buf);
+        let mut update = BgpUpdate::new(PathAttributes::basic(
+            "6939 64500".parse().unwrap(),
+            "10.0.0.9".parse().unwrap(),
+        ));
+        update.announce_v4("130.149.1.1/32".parse().unwrap());
+        w.write_update(
+            SimTime::from_unix(t),
+            Asn::new(6939),
+            "10.0.0.1".parse().unwrap(),
+            Asn::new(65000),
+            "10.0.0.2".parse().unwrap(),
+            &update,
+        )
+        .unwrap();
+        buf
+    }
+
+    #[test]
+    fn empty_reader_is_pending_until_closed() {
+        let mut r = TailingReader::new();
+        assert!(r.try_next_record().unwrap().is_none());
+        assert!(!r.is_closed());
+        r.close();
+        assert!(r.try_next_record().unwrap().is_none(), "clean EOF after close");
+    }
+
+    #[test]
+    fn partial_tail_is_pending_then_decodes_after_growth() {
+        let rec = update_record(5);
+        let mut r = TailingReader::new();
+        // Grow the archive in three fragments that tear the record at a
+        // header boundary and mid-body.
+        r.extend(&rec[..7]);
+        assert!(r.try_next_record().unwrap().is_none(), "partial header pends");
+        r.extend(&rec[7..rec.len() - 3]);
+        assert!(r.try_next_record().unwrap().is_none(), "partial body pends");
+        assert_eq!(r.records_read(), 0);
+        r.extend(&rec[rec.len() - 3..]);
+        let got = r.try_next_record().unwrap().expect("record completes");
+        assert_eq!(got.timestamp, SimTime::from_unix(5));
+        assert_eq!(r.records_read(), 1);
+        assert_eq!(r.bytes_consumed(), rec.len() as u64);
+        assert_eq!(r.bytes_pending(), 0);
+    }
+
+    #[test]
+    fn close_turns_partial_tail_into_truncation_error() {
+        let rec = update_record(5);
+        let mut r = TailingReader::new();
+        r.extend(&rec[..rec.len() - 3]);
+        assert!(r.try_next_record().unwrap().is_none());
+        r.close();
+        assert!(matches!(r.try_next_record(), Err(MrtError::Codec(_))));
+        // The failure latches: the stream is dead, not retried.
+        assert!(r.try_next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn interleaved_appends_and_reads_stream_every_record() {
+        let mut r = TailingReader::new();
+        let mut seen = 0u64;
+        for t in 0..20u64 {
+            let rec = update_record(t);
+            let cut = rec.len() / 2;
+            r.extend(&rec[..cut]);
+            while let Some((time, _)) = r.next_message().unwrap() {
+                assert_eq!(time, SimTime::from_unix(seen));
+                seen += 1;
+            }
+            r.extend(&rec[cut..]);
+        }
+        r.close();
+        while r.next_message().unwrap().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 20);
+        assert_eq!(r.records_read(), 20);
+    }
+
+    #[test]
+    fn tolerant_tail_skips_corrupt_payload_but_pends_on_partial() {
+        let mut noisy = Vec::new();
+        noisy.extend_from_slice(&1u32.to_be_bytes());
+        noisy.extend_from_slice(&crate::record::mrt_type::BGP4MP.to_be_bytes());
+        noisy.extend_from_slice(&crate::record::bgp4mp_subtype::MESSAGE_AS4.to_be_bytes());
+        noisy.extend_from_slice(&4u32.to_be_bytes());
+        noisy.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        let rec = update_record(9);
+
+        let mut r = TailingReader::tolerant();
+        r.extend(&noisy);
+        r.extend(&rec[..5]);
+        assert!(r.next_message().unwrap().is_none(), "corrupt skipped, tail pends");
+        assert_eq!(r.records_skipped(), 1);
+        r.extend(&rec[5..]);
+        assert!(r.next_message().unwrap().is_some());
+        assert_eq!(r.records_read(), 1);
+    }
+
+    #[test]
+    fn oversized_record_fails_even_while_growing() {
+        let mut r = TailingReader::new();
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&0u32.to_be_bytes());
+        hdr.extend_from_slice(&crate::record::mrt_type::BGP4MP.to_be_bytes());
+        hdr.extend_from_slice(&crate::record::bgp4mp_subtype::MESSAGE_AS4.to_be_bytes());
+        hdr.extend_from_slice(&(MAX_RECORD_LEN + 1).to_be_bytes());
+        r.extend(&hdr);
+        assert!(matches!(r.try_next_record(), Err(MrtError::OversizedRecord(_))));
+    }
+}

@@ -56,7 +56,7 @@ pub fn write_updates<W: Write>(sink: W, elems: &[BgpElem]) -> Result<u64, MrtErr
 
 /// Flatten one BGP4MP message into elems, labelled with the archive's
 /// platform/collector identity.
-fn elems_of_message(
+pub(crate) fn elems_of_message(
     time: SimTime,
     msg: &Bgp4mpMessage,
     dataset: DataSource,
@@ -193,6 +193,16 @@ impl<M: MessageStream> MrtElemSource<M> {
     /// MRT records skipped so far (tolerant readers only).
     pub fn records_skipped(&self) -> u64 {
         self.reader.records_skipped()
+    }
+
+    /// Mutable access to the underlying message stream — the hook that
+    /// lets a live consumer feed a growable reader (e.g.
+    /// [`bh_mrt::TailingReader::extend`]) between polls: `next_elem`
+    /// returning `None` without an [`error`](Self::error) means "nothing
+    /// decodable *yet*", and the source re-polls the reader on the next
+    /// call rather than latching EOF.
+    pub fn reader_mut(&mut self) -> &mut M {
+        &mut self.reader
     }
 }
 

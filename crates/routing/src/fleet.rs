@@ -239,6 +239,16 @@ impl CollectorFleet {
         );
     }
 
+    /// Close all receive channels, then join every reader. With the
+    /// receivers gone first, a reader blocked on a bounded send fails
+    /// fast instead of deadlocking the join.
+    fn shut_down(receivers: &mut Vec<ChannelSource>, readers: &mut Vec<JoinHandle<ReaderTail>>) {
+        receivers.clear();
+        for handle in readers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
     fn spawn<M: MessageStream + Send + 'static>(
         &mut self,
         mut source: MrtElemSource<M>,
@@ -288,12 +298,22 @@ impl CollectorFleet {
     }
 
     /// Merge the readers into one time-ordered [`FleetSource`].
-    pub fn start(self) -> FleetSource {
+    pub fn start(mut self) -> FleetSource {
         FleetSource {
-            merged: MergedSource::new(self.receivers),
-            labels: self.labels,
-            readers: self.readers,
+            merged: Some(MergedSource::new(std::mem::take(&mut self.receivers))),
+            labels: std::mem::take(&mut self.labels),
+            readers: std::mem::take(&mut self.readers),
         }
+    }
+}
+
+impl Drop for CollectorFleet {
+    /// A fleet abandoned before [`CollectorFleet::start`] still owns its
+    /// reader threads: close the channels and join them so a dropped
+    /// fleet never leaks blocked readers. ([`CollectorFleet::start`]
+    /// empties both vectors first, so this is a no-op afterwards.)
+    fn drop(&mut self) {
+        Self::shut_down(&mut self.receivers, &mut self.readers);
     }
 }
 
@@ -304,10 +324,10 @@ impl CollectorFleet {
 /// After the stream ends (or mid-stream, to abort), call
 /// [`FleetSource::finish`] to join the readers and collect the
 /// per-archive [`FleetReport`] — dropping the source instead also shuts
-/// the readers down cleanly (their bounded sends fail), but discards
-/// the reports.
+/// the readers down (the channels close, then every reader is joined),
+/// but discards the reports.
 pub struct FleetSource {
-    merged: MergedSource<ChannelSource>,
+    merged: Option<MergedSource<ChannelSource>>,
     labels: Vec<(DataSource, u16)>,
     readers: Vec<JoinHandle<ReaderTail>>,
 }
@@ -321,12 +341,13 @@ impl FleetSource {
     /// Join every reader and report per-archive accounting. Safe to call
     /// mid-stream: the channels close first, so blocked readers unblock
     /// and wind down.
-    pub fn finish(self) -> FleetReport {
-        drop(self.merged); // close the receivers: blocked senders fail fast
-        let archives = self
-            .labels
+    pub fn finish(mut self) -> FleetReport {
+        drop(self.merged.take()); // close the receivers: blocked senders fail fast
+        let labels = std::mem::take(&mut self.labels);
+        let readers = std::mem::take(&mut self.readers);
+        let archives = labels
             .into_iter()
-            .zip(self.readers)
+            .zip(readers)
             .map(|((dataset, collector), handle)| {
                 let tail = handle.join().expect("fleet reader panicked");
                 ArchiveReport {
@@ -343,13 +364,26 @@ impl FleetSource {
     }
 }
 
+impl Drop for FleetSource {
+    /// Abandoning the stream mid-flight (without [`FleetSource::finish`])
+    /// must not leak reader threads blocked on a full channel: close the
+    /// receivers, then join every reader. `finish` empties `readers`
+    /// first, so this is a no-op afterwards.
+    fn drop(&mut self) {
+        drop(self.merged.take());
+        for handle in self.readers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 impl ElemSource for FleetSource {
     fn next_elem(&mut self) -> Option<&BgpElem> {
-        self.merged.next_elem()
+        self.merged.as_mut()?.next_elem()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.merged.size_hint()
+        self.merged.as_ref().map_or((0, Some(0)), |m| m.size_hint())
     }
 }
 
@@ -476,6 +510,35 @@ mod tests {
         }
         let report = stream.finish(); // must not deadlock
         assert!(report.archives[0].elems < 2_000, "reader stopped early");
+    }
+
+    #[test]
+    fn dropping_source_with_never_draining_consumer_joins_readers() {
+        // The consumer never drains a single element, so every reader
+        // fills its tiny channel window and blocks on send. Dropping the
+        // source must close the channels and *join* the readers — the
+        // test hangs (and the suite's timeout fails it) if the shutdown
+        // path regresses to leaking blocked threads.
+        let elems: Vec<BgpElem> = (0..2_000).map(|k| elem(k, DataSource::Ris, 0, 9)).collect();
+        let archive = archive_of(&elems);
+        let mut fleet =
+            CollectorFleet::with_config(FleetConfig { batch_elems: 16, channel_batches: 1 });
+        for collector in 0..4u16 {
+            fleet.add_archive(Cursor::new(archive.clone()), DataSource::Ris, collector);
+        }
+        let stream = fleet.start();
+        drop(stream); // never called next_elem(): all readers are mid-send
+    }
+
+    #[test]
+    fn dropping_unstarted_fleet_joins_readers() {
+        // Readers spawn at add_archive time, so a fleet abandoned before
+        // start() already owns blocked threads.
+        let elems: Vec<BgpElem> = (0..2_000).map(|k| elem(k, DataSource::Ris, 0, 9)).collect();
+        let mut fleet =
+            CollectorFleet::with_config(FleetConfig { batch_elems: 16, channel_batches: 1 });
+        fleet.add_archive(Cursor::new(archive_of(&elems)), DataSource::Ris, 0);
+        drop(fleet);
     }
 
     #[test]

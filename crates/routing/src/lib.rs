@@ -24,12 +24,15 @@
 //! * source-agnostic element streams for the inference — [`source`];
 //! * k-way timestamp merging of many collector streams — [`merge`];
 //! * parallel bounded-memory ingestion of whole archive fleets —
-//!   [`fleet`].
+//!   [`fleet`];
+//! * live tailing of *growing* archives with a watermark-gated merge —
+//!   [`live`].
 
 pub mod archive;
 pub mod collector;
 pub mod elem;
 pub mod fleet;
+pub mod live;
 pub mod merge;
 pub mod paths;
 pub mod policy;
@@ -45,6 +48,7 @@ pub use elem::{BgpElem, DataSource, ElemType, PeerKey};
 pub use fleet::{
     ArchiveReport, ChannelSource, CollectorFleet, FleetConfig, FleetReport, FleetSource,
 };
+pub use live::{Clock, LiveArchive, LiveMerge, LivePoll, TailingSource, WallClock};
 pub use merge::MergedSource;
 pub use paths::ForwardingTree;
 pub use policy::{ImportDecision, ImportOutcome, RejectReason, SessionBehavior};

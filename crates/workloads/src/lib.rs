@@ -16,6 +16,7 @@
 
 pub mod attacks;
 pub mod fleet;
+pub mod live;
 pub mod reaction;
 pub mod scenario;
 
@@ -23,6 +24,7 @@ pub use attacks::{mirai_era_start, poisson, AttackCalendar, Spike, SPIKES};
 pub use fleet::{
     fleet_archives, fleet_archives_for, fleet_of, fleet_with_config, CollectorArchive,
 };
+pub use live::{record_spans, ReplayFeed, ScriptedFeed, VirtualClock};
 pub use reaction::{
     capable_providers, plan_reaction, Action, CapableProvider, GroundTruthEvent, ReactionConfig,
     TimedAction,

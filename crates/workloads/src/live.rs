@@ -1,0 +1,346 @@
+//! Deterministic live-feed drivers: replay recorded workloads against a
+//! virtual clock.
+//!
+//! Live tests must never sleep on wall time. [`VirtualClock`] is a
+//! shared, manually advanced [`Clock`] whose `sleep` *advances* instead
+//! of blocking, and the two feeds turn a recorded
+//! [`CollectorArchive`] set into growing [`LiveArchive`]s:
+//!
+//! * [`ReplayFeed`] paces whole records by their MRT timestamps — each
+//!   [`pump`](ReplayFeed::pump) appends every record due by `now` and
+//!   advances the watermark, so a `LiveMerge` downstream sees exactly
+//!   the arrival pattern a real collector fleet would produce.
+//! * [`ScriptedFeed`] appends raw *byte counts* regardless of record
+//!   boundaries — the adversarial writer that tears records mid-body,
+//!   for exercising the partial-tail retry path. It never advances
+//!   watermarks, so use it single-source (a merge's safety gate is
+//!   vacuous with one source).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bh_bgp_types::time::{SimDuration, SimTime};
+use bh_routing::elem::DataSource;
+use bh_routing::live::{Clock, LiveArchive};
+use bytes::Bytes;
+
+use crate::fleet::CollectorArchive;
+
+/// A shared, manually driven clock for deterministic live tests.
+///
+/// Clones share the same instant. `sleep` advances the clock instead of
+/// blocking, so a daemon's poll loop runs at CPU speed while its pacing
+/// logic behaves exactly as it would against [`bh_routing::WallClock`].
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock frozen at `start` until advanced.
+    pub fn new(start: SimTime) -> Self {
+        VirtualClock { now: Arc::new(AtomicU64::new(start.unix())) }
+    }
+
+    /// Jump to `to` (monotonic: earlier instants are ignored).
+    pub fn set(&self, to: SimTime) {
+        self.now.fetch_max(to.unix(), Ordering::SeqCst);
+    }
+
+    /// Advance by `d`.
+    pub fn advance(&self, d: SimDuration) {
+        self.now.fetch_add(d.as_secs(), Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_unix(self.now.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: SimDuration) {
+        self.advance(d);
+    }
+}
+
+/// Frame an MRT byte buffer into `(timestamp, byte range)` spans, one
+/// per record, without decoding payloads (12-byte header scan). Panics
+/// on a torn buffer — replay inputs are workspace-written archives.
+pub fn record_spans(bytes: &[u8]) -> Vec<(SimTime, Range<usize>)> {
+    let mut spans = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        assert!(pos + 12 <= bytes.len(), "torn MRT header in replay archive");
+        let ts = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let len =
+            u32::from_be_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
+        let end = pos + 12 + len;
+        assert!(end <= bytes.len(), "torn MRT body in replay archive");
+        spans.push((SimTime::from_unix(ts as u64), pos..end));
+        pos = end;
+    }
+    spans
+}
+
+/// One collector's replay lane.
+struct Lane {
+    archive: LiveArchive,
+    bytes: Bytes,
+    spans: Vec<(SimTime, Range<usize>)>,
+    next: usize,
+    closed: bool,
+}
+
+/// Replays a recorded [`CollectorArchive`] fleet as growing
+/// [`LiveArchive`]s, pacing records by their MRT timestamps.
+///
+/// Records are appended in archive order; a record is due once its
+/// timestamp is `≤ now`. After each pump an open lane's watermark is
+/// `now` — the promise that everything due has been appended and future
+/// appends are strictly later — and a fully replayed lane is closed.
+pub struct ReplayFeed {
+    lanes: Vec<Lane>,
+}
+
+impl ReplayFeed {
+    /// Build one lane per archive. Returns the feed plus the labelled
+    /// [`LiveArchive`] handles to hand to the daemon's tailing sources
+    /// (same order as `archives`).
+    pub fn new(archives: &[CollectorArchive]) -> (Self, Vec<(DataSource, u16, LiveArchive)>) {
+        let mut lanes = Vec::with_capacity(archives.len());
+        let mut handles = Vec::with_capacity(archives.len());
+        for a in archives {
+            let archive = LiveArchive::new();
+            handles.push((a.dataset, a.collector, archive.clone()));
+            lanes.push(Lane {
+                archive,
+                bytes: a.bytes.clone(),
+                spans: record_spans(&a.bytes),
+                next: 0,
+                closed: false,
+            });
+        }
+        (ReplayFeed { lanes }, handles)
+    }
+
+    /// Append every record due by `now`, advance open-lane watermarks to
+    /// `now`, and close lanes that are fully replayed. Returns the
+    /// number of records appended.
+    pub fn pump(&mut self, now: SimTime) -> usize {
+        let mut appended = 0;
+        for lane in &mut self.lanes {
+            if lane.closed {
+                continue;
+            }
+            let start = lane.next;
+            while lane.next < lane.spans.len() && lane.spans[lane.next].0 <= now {
+                lane.next += 1;
+            }
+            if lane.next > start {
+                // Spans are contiguous, so one append covers the run.
+                let from = lane.spans[start].1.start;
+                let to = lane.spans[lane.next - 1].1.end;
+                lane.archive.append(&lane.bytes[from..to]);
+                appended += lane.next - start;
+            }
+            if lane.next == lane.spans.len() {
+                lane.archive.close();
+                lane.closed = true;
+            } else {
+                lane.archive.advance_watermark(now);
+            }
+        }
+        appended
+    }
+
+    /// Have all lanes been fully replayed and closed?
+    pub fn finished(&self) -> bool {
+        self.lanes.iter().all(|l| l.closed)
+    }
+
+    /// The earliest timestamp of any not-yet-appended record — what a
+    /// pacer would fast-forward the clock to when idle.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.lanes
+            .iter()
+            .filter(|l| !l.closed)
+            .filter_map(|l| l.spans.get(l.next).map(|(t, _)| *t))
+            .min()
+    }
+
+    /// Total records across all lanes.
+    pub fn total_records(&self) -> usize {
+        self.lanes.iter().map(|l| l.spans.len()).sum()
+    }
+}
+
+/// Appends one archive's bytes in caller-chosen chunk sizes, ignoring
+/// record boundaries — the torn-write generator.
+///
+/// No watermarks are advanced: pair it with a single-source consumer
+/// (the merge safety gate does not apply) or drive watermarks by hand.
+pub struct ScriptedFeed {
+    archive: LiveArchive,
+    bytes: Bytes,
+    pos: usize,
+}
+
+impl ScriptedFeed {
+    /// Wrap `bytes`; returns the feed and the archive handle to tail.
+    pub fn new(bytes: impl Into<Bytes>) -> (Self, LiveArchive) {
+        let archive = LiveArchive::new();
+        (ScriptedFeed { archive: archive.clone(), bytes: bytes.into(), pos: 0 }, archive)
+    }
+
+    /// Append the next `n` bytes (clamped to what remains). Returns how
+    /// many were actually appended.
+    pub fn append_bytes(&mut self, n: usize) -> usize {
+        let end = (self.pos + n).min(self.bytes.len());
+        let appended = end - self.pos;
+        if appended > 0 {
+            self.archive.append(&self.bytes[self.pos..end]);
+            self.pos = end;
+        }
+        appended
+    }
+
+    /// Bytes not yet appended.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Close the archive (with or without having appended everything —
+    /// closing short fabricates a torn-tail archive).
+    pub fn close(&self) {
+        self.archive.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bh_routing::live::{LiveMerge, LivePoll, TailingSource};
+    use bh_routing::source::ElemSource;
+    use bh_routing::{deploy, merge_streams, CollectorConfig};
+    use bh_topology::{TopologyBuilder, TopologyConfig};
+
+    use super::*;
+    use crate::scenario::{run, ScenarioConfig};
+
+    fn small_world() -> (Vec<CollectorArchive>, Vec<bh_routing::BgpElem>) {
+        let t = TopologyBuilder::new(TopologyConfig::tiny(55)).build();
+        let d = deploy(&t, &CollectorConfig::tiny(6));
+        let output = run(&t, d, &ScenarioConfig::short(3, 3, 6.0));
+        let archives = output.fleet_archives().expect("serialization succeeds");
+        (archives, output.elems)
+    }
+
+    #[test]
+    fn virtual_clock_is_shared_and_sleep_advances() {
+        let clock = VirtualClock::new(SimTime::from_unix(1_000));
+        let other = clock.clone();
+        clock.advance(SimDuration::secs(5));
+        assert_eq!(other.now().unix(), 1_005);
+        other.sleep(SimDuration::mins(1));
+        assert_eq!(clock.now().unix(), 1_065);
+        clock.set(SimTime::from_unix(1_000)); // stale: ignored
+        assert_eq!(clock.now().unix(), 1_065);
+    }
+
+    #[test]
+    fn record_spans_tile_the_archive() {
+        let (archives, _) = small_world();
+        let a = archives.iter().find(|a| a.elems > 0).expect("an active collector");
+        let spans = record_spans(&a.bytes);
+        assert!(!spans.is_empty());
+        assert_eq!(spans.first().expect("nonempty").1.start, 0);
+        assert_eq!(spans.last().expect("nonempty").1.end, a.bytes.len());
+        for w in spans.windows(2) {
+            assert_eq!(w[0].1.end, w[1].1.start, "spans are contiguous");
+            assert!(w[0].0 <= w[1].0, "archive records are time-ordered");
+        }
+    }
+
+    #[test]
+    fn replayed_fleet_drains_to_the_batch_merge_order() {
+        let (archives, elems) = small_world();
+        let (mut feed, handles) = ReplayFeed::new(&archives);
+        let sources =
+            handles.into_iter().map(|(d, c, a)| TailingSource::new(a, d, c)).collect::<Vec<_>>();
+        let mut merge = LiveMerge::new(sources);
+
+        let start = elems.first().expect("nonempty workload").time;
+        let clock = VirtualClock::new(start);
+        let quantum = SimDuration::mins(10);
+        let mut got = Vec::new();
+        let mut pumps = 0;
+        while !(feed.finished() && merge.all_ended()) {
+            feed.pump(clock.now());
+            while let Some(e) = merge.next_ready() {
+                // Watermark guarantee: nothing already due is held back
+                // past the pump that made it safe.
+                assert!(e.time <= clock.now());
+                got.push(e.clone());
+            }
+            clock.advance(quantum);
+            pumps += 1;
+            assert!(pumps < 100_000, "replay must terminate");
+        }
+        assert!(pumps > 10, "a multi-day workload takes many quanta");
+        // The batch reference reads the same archives back (the MRT
+        // round trip normalizes absent next-hops, so comparing against
+        // the pre-serialization elems would be the wrong spec).
+        let streams: Vec<Vec<bh_routing::BgpElem>> = archives
+            .iter()
+            .map(|a| {
+                bh_routing::read_updates(&a.bytes[..], a.dataset, a.collector)
+                    .expect("archives are intact")
+            })
+            .collect();
+        let expected = merge_streams(streams);
+        assert_eq!(got.len(), elems.len(), "no element lost or duplicated");
+        assert_eq!(got, expected, "live replay reproduces the batch merge exactly");
+        assert!(merge.first_error().is_none());
+    }
+
+    #[test]
+    fn scripted_feed_tears_records_and_the_tail_survives() {
+        let (archives, _) = small_world();
+        let a = archives.iter().find(|a| a.elems > 2).expect("an active collector");
+        let (mut feed, archive) = ScriptedFeed::new(a.bytes.clone());
+        let mut src = TailingSource::new(archive, a.dataset, a.collector);
+
+        // Append in a prime-sized drip so nearly every record is torn
+        // across appends; count what streams out.
+        let mut n = 0u64;
+        while feed.remaining() > 0 {
+            feed.append_bytes(13);
+            loop {
+                match src.poll() {
+                    LivePoll::Elem(_) => n += 1,
+                    LivePoll::Pending(_) => break,
+                    LivePoll::End => panic!("open archive cannot end"),
+                }
+            }
+        }
+        feed.close();
+        loop {
+            match src.poll() {
+                LivePoll::Elem(_) => n += 1,
+                LivePoll::Pending(_) => panic!("closed archive cannot pend"),
+                LivePoll::End => break,
+            }
+        }
+        assert!(src.error().is_none(), "torn appends are not corruption");
+        assert_eq!(n, a.elems, "every element survives the drip-feed");
+
+        // Cross-check against the batch reader.
+        let mut batch =
+            bh_routing::MrtElemSource::from_bytes(a.bytes.clone(), a.dataset, a.collector);
+        let mut m = 0u64;
+        while batch.next_elem().is_some() {
+            m += 1;
+        }
+        assert_eq!(n, m);
+    }
+}

@@ -1,0 +1,304 @@
+//! Live-service end-to-end: boot the whole node — replayed archive
+//! fleet, virtual clock, tailing daemon, query surface — and prove the
+//! three service guarantees on a Small-scale workload:
+//!
+//! 1. **Freshness**: every closed event is published within
+//!    `max_latency` of its closing update (and nothing closed is held
+//!    back to the final drain).
+//! 2. **Crash recovery**: killing the daemon mid-stream and resuming
+//!    from its last checkpoint yields one gapless event stream — dedup
+//!    by sequence number reconstructs exactly the uninterrupted run.
+//! 3. **Batch equivalence**: the drained `AnalyticsReport` and
+//!    `StreamSummary` are bit-identical to the batch streaming run over
+//!    the same archives.
+//!
+//! The batch reference is computed from the archives' *read-back*
+//! streams, not the pre-serialization elems: `write_updates` normalizes
+//! a `None` next-hop to the peer address, so only the decoded bytes are
+//! the stream the daemon actually sees.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use bh_bench::{Study, StudyRun, StudyScale};
+use bh_bgp_types::time::{SimDuration, SimTime};
+use bh_core::{AnalyticsReport, SequencedEvent, StreamSummary};
+use bh_live::{handle_command, serve_connection, LiveFleetConfig, LiveNode, QueryRunner};
+use bh_routing::{merge_streams, read_updates};
+use bh_workloads::CollectorArchive;
+
+/// One prebuilt world per scale: the study, a scenario run, its
+/// per-collector archives, and the batch reference the live node must
+/// reproduce bit for bit.
+struct LiveWorld {
+    study: Study,
+    run: StudyRun,
+    archives: Vec<CollectorArchive>,
+    batch_summary: StreamSummary,
+    batch_report: AnalyticsReport,
+    /// Replay clock origin: the first record's timestamp.
+    start: SimTime,
+    /// Elements across all archives (== the scenario stream length).
+    total_elems: u64,
+}
+
+fn build_world(scale: StudyScale, seed: u64, days: u64, rate: f64) -> LiveWorld {
+    let study = Study::build(scale, seed);
+    let run = study.visibility_run(days, rate);
+    let archives = run.output.fleet_archives().expect("archives serialize");
+    let streams: Vec<_> = archives
+        .iter()
+        .map(|a| read_updates(&a.bytes[..], a.dataset, a.collector).expect("archive decodes"))
+        .collect();
+    let merged = merge_streams(streams);
+    assert_eq!(merged.len(), run.output.elems.len(), "archives lost elements");
+    let (batch_summary, batch_report) =
+        study.infer_streaming_analytics(&run.refdata, &merged, run.analytics, 1_000);
+    let start = merged.first().expect("non-empty scenario").time;
+    let total_elems = merged.len() as u64;
+    LiveWorld { study, run, archives, batch_summary, batch_report, start, total_elems }
+}
+
+/// The Small-scale acceptance world (the ~230-AS build dominates; share
+/// it across tests like the other e2e suites do).
+fn small_world() -> &'static LiveWorld {
+    static WORLD: OnceLock<LiveWorld> = OnceLock::new();
+    WORLD.get_or_init(|| build_world(StudyScale::Small, 42, 2, 6.0))
+}
+
+/// The Tiny-scale world for the crash-recovery property (full replay
+/// per proptest case).
+fn tiny_world() -> &'static LiveWorld {
+    static WORLD: OnceLock<LiveWorld> = OnceLock::new();
+    WORLD.get_or_init(|| build_world(StudyScale::Tiny, 7, 2, 5.0))
+}
+
+fn boot(w: &LiveWorld, quantum: SimDuration, config: LiveFleetConfig) -> LiveNode {
+    LiveNode::boot(
+        w.study.session(&w.run.refdata),
+        w.study.analytics_pipeline(&w.run.refdata, w.run.analytics),
+        &w.archives,
+        w.start,
+        quantum,
+        config,
+    )
+}
+
+/// Fold every retained event into `seen`, keeping the FIRST emission of
+/// each sequence number (re-emissions after a resume may carry a later
+/// `emitted_at`; the payload must still be identical — asserted by the
+/// callers that exercise resume).
+fn observe_into(query: &QueryRunner, seen: &mut BTreeMap<u64, SequencedEvent>) {
+    for se in query.events_since(0) {
+        seen.entry(se.seq).or_insert(se);
+    }
+}
+
+// ---- 1. full replay: freshness + wire protocol + batch equivalence --------
+
+#[test]
+fn live_node_full_replay_meets_latency_and_matches_batch() {
+    let w = small_world();
+    let quantum = SimDuration::mins(1);
+    let config = LiveFleetConfig {
+        max_latency: SimDuration::mins(5),
+        checkpoint_every: 2_048,
+        ..LiveFleetConfig::default()
+    };
+    let mut node = boot(w, quantum, config);
+    let query = node.query();
+
+    // A live consumer polling every quantum: each new event must be
+    // sequenced contiguously, closed, and within the latency budget.
+    let mut cursor = 0u64;
+    while !node.done() {
+        node.tick();
+        for se in query.events_since(cursor) {
+            assert_eq!(se.seq, cursor, "sequence gap in the live stream");
+            cursor += 1;
+            let end = se.event.end.expect("live-emitted events are closed");
+            assert!(se.event.start <= end, "event {} ends before it starts", se.seq);
+            assert!(
+                se.latency() <= config.max_latency,
+                "event {} exceeded the latency budget: {}s > {}s",
+                se.seq,
+                se.latency().as_secs(),
+                config.max_latency.as_secs(),
+            );
+        }
+    }
+    assert!(cursor > 0, "degenerate replay: no events closed live");
+
+    let status = query.status();
+    assert_eq!(status.elems, w.total_elems, "every element must stream through");
+    assert_eq!(status.events_emitted, cursor);
+    assert!(status.checkpoints >= 1, "the cadence never checkpointed");
+    assert!(status.drained);
+    assert!(
+        status.max_latency_seen <= config.max_latency,
+        "daemon-observed worst latency {}s above budget",
+        status.max_latency_seen.as_secs()
+    );
+
+    // Wire front-end over the same query surface: direct dispatch and a
+    // full in-memory connection.
+    assert!(handle_command(&query, "status").starts_with("ok status elems="));
+    assert!(handle_command(&query, "report").starts_with("ok report events="));
+    assert!(handle_command(&query, "bogus").starts_with("err unknown command"));
+    let input = b"status\nevents-since 0\nreport\nquit\n";
+    let mut out = Vec::new();
+    serve_connection(&query, &input[..], &mut out).expect("in-memory serve");
+    let reply = String::from_utf8(out).expect("utf8 reply");
+    assert!(reply.contains("ok status "), "{reply}");
+    assert!(reply.contains(&format!("ok events {cursor}")), "{reply}");
+    assert!(reply.ends_with("ok bye\n"), "{reply}");
+
+    // Drain: the final report/summary equal the batch run bit for bit.
+    let (summary, report) = node.finish();
+    assert_eq!(summary.stats, w.batch_summary.stats);
+    assert_eq!(summary.census, w.batch_summary.census);
+    assert_eq!(summary.per_dataset, w.batch_summary.per_dataset);
+    assert_eq!(report, w.batch_report, "drained live report diverged from the batch run");
+    assert_eq!(query.report(), Some(report), "query snapshot lags the drained report");
+
+    // Everything sequenced after the live loop is a still-open event
+    // (possibly none): nothing *closed* waited for the final drain.
+    let tail = query.events_since(cursor);
+    for se in &tail {
+        assert_eq!(se.event.end, None, "closed event {} was held to the drain", se.seq);
+        assert_eq!(se.latency(), SimDuration::ZERO);
+    }
+}
+
+// ---- 2. kill mid-stream, resume from the last checkpoint ------------------
+
+#[test]
+fn killed_node_resumes_from_checkpoint_without_gaps_or_divergence() {
+    let w = small_world();
+    let quantum = SimDuration::mins(1);
+    let config = LiveFleetConfig { checkpoint_every: 512, ..LiveFleetConfig::default() };
+
+    let mut node = boot(w, quantum, config);
+    let query = node.query();
+    let mut first_seen: BTreeMap<u64, SequencedEvent> = BTreeMap::new();
+    while query.status().elems < w.total_elems / 2 {
+        assert!(!node.done(), "replay drained before the kill point");
+        node.tick();
+        observe_into(&query, &mut first_seen);
+    }
+    let kill_now = node.now();
+    let checkpoint = node.kill().expect("cadence checkpoint before the kill");
+    assert!(checkpoint.total_elems() > 0, "checkpoint captured no progress");
+    assert!(checkpoint.total_elems() < w.total_elems, "kill point was not mid-stream");
+
+    // A supervisor restart: same archives, the predecessor's time of
+    // death, the persisted checkpoint.
+    let mut node = LiveNode::resume(
+        w.study.session(&w.run.refdata),
+        &w.archives,
+        kill_now,
+        quantum,
+        config,
+        checkpoint,
+    );
+    let query = node.query();
+    let mut replayed: BTreeMap<u64, SequencedEvent> = BTreeMap::new();
+    while !node.done() {
+        node.tick();
+        observe_into(&query, &mut replayed);
+    }
+
+    // Re-emissions (closed after the checkpoint, before the crash) keep
+    // their original numbers and payloads — consumers dedup by seq.
+    for (seq, se) in &replayed {
+        if let Some(original) = first_seen.get(seq) {
+            assert_eq!(original.event, se.event, "re-emitted event {seq} diverged");
+        }
+    }
+
+    // The deduped union is one gapless stream 0..n.
+    let emitted = query.status().events_emitted;
+    let mut union = first_seen;
+    for (seq, se) in replayed {
+        union.entry(seq).or_insert(se);
+    }
+    assert!(emitted > 0, "degenerate run: no events");
+    assert_eq!(union.len() as u64, emitted, "gaps in the deduped stream");
+    assert_eq!(*union.keys().next_back().expect("non-empty") + 1, emitted);
+
+    // And the resumed node drains to the exact batch result.
+    let (summary, report) = node.finish();
+    assert_eq!(summary.stats, w.batch_summary.stats);
+    assert_eq!(summary.census, w.batch_summary.census);
+    assert_eq!(summary.per_dataset, w.batch_summary.per_dataset);
+    assert_eq!(report, w.batch_report, "resumed live report diverged from the batch run");
+}
+
+// ---- 3. crash-recovery property: any kill point, any cadence --------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6 })] // full replay per case
+
+    /// Satellite: checkpoint at an arbitrary cadence, kill at an
+    /// arbitrary record index, resume — the event stream keyed by seq
+    /// has no gaps and no conflicting duplicates, and the drained
+    /// report still equals the batch run. A kill before the first
+    /// checkpoint restarts from scratch, which must converge too.
+    #[test]
+    fn crash_recovery_preserves_the_event_stream(
+        kill_frac in 0.05f64..0.95,
+        checkpoint_every in 32u64..512,
+    ) {
+        let w = tiny_world();
+        let quantum = SimDuration::mins(1);
+        let config = LiveFleetConfig { checkpoint_every, ..LiveFleetConfig::default() };
+
+        let mut node = boot(w, quantum, config);
+        let query = node.query();
+        let target = ((w.total_elems as f64) * kill_frac) as u64;
+        let mut first_seen: BTreeMap<u64, SequencedEvent> = BTreeMap::new();
+        while query.status().elems < target && !node.done() {
+            node.tick();
+            observe_into(&query, &mut first_seen);
+        }
+        let kill_now = node.now();
+        let mut node = match node.kill() {
+            Some(checkpoint) => LiveNode::resume(
+                w.study.session(&w.run.refdata),
+                &w.archives,
+                kill_now,
+                quantum,
+                config,
+                checkpoint,
+            ),
+            // Crashed before any checkpoint: the supervisor boots fresh.
+            None => boot(w, quantum, config),
+        };
+        let query = node.query();
+        let mut replayed: BTreeMap<u64, SequencedEvent> = BTreeMap::new();
+        while !node.done() {
+            node.tick();
+            observe_into(&query, &mut replayed);
+        }
+
+        for (seq, se) in &replayed {
+            if let Some(original) = first_seen.get(seq) {
+                prop_assert_eq!(&original.event, &se.event);
+            }
+        }
+        let emitted = query.status().events_emitted;
+        let mut union = first_seen;
+        for (seq, se) in replayed {
+            union.entry(seq).or_insert(se);
+        }
+        prop_assert_eq!(union.len() as u64, emitted);
+        if emitted > 0 {
+            prop_assert_eq!(*union.keys().next_back().expect("non-empty") + 1, emitted);
+        }
+
+        let (_, report) = node.finish();
+        prop_assert_eq!(&report, &w.batch_report);
+    }
+}

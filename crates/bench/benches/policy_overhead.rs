@@ -1,0 +1,67 @@
+//! Policy-extension overhead: what does the pluggable per-AS policy
+//! engine cost the simulator's hot path?
+//!
+//! Three points on the same Small-scale visibility scenario:
+//!
+//! * `extensions_off` — no table installed; the simulator runs the
+//!   original pre-extension code path;
+//! * `empty_table` — an empty [`PolicyTable`] passed through
+//!   `run_with_policies`: compiles to nothing (property-tested
+//!   bit-identical to `extensions_off`), measures the dispatch
+//!   plumbing alone;
+//! * `rov_half` — strict ROAs with ROV deployed at 50 % of the
+//!   transit candidates: the real per-import validation cost (every
+//!   /32 RTBH route is Invalid at a deploying AS, so this also
+//!   changes propagation — the cost of *having* policies, not just
+//!   checking them).
+//!
+//! Simulation-only (no inference), so the delta isolates the routing
+//! layer the extensions hook into.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bh_bench::{Study, StudyScale};
+use bh_bgp_types::time::SimTime;
+use bh_topology::{PolicyTable, RoaTable};
+use bh_workloads::{run, run_with_policies, ScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::build(StudyScale::Small, 42);
+    let mut config = ScenarioConfig::visibility_window(study.seed ^ 0x7777, 6.0);
+    config.calendar.window_end =
+        SimTime::from_unix((config.calendar.window_start.day_index() + 6) * 86_400);
+
+    let empty = PolicyTable::new();
+    let mut rov_half = PolicyTable::new();
+    rov_half.set_roas(RoaTable::strict_from_topology(&study.topology));
+    let deployed = rov_half.deploy_rov_fraction(&study.topology, 0.5);
+
+    let probe = run(&study.topology, study.deployment(), &config);
+    println!(
+        "policy_overhead: {} announcements over {} days, ROV at {} transit ASes",
+        probe.announcements,
+        probe.days,
+        deployed.len()
+    );
+
+    let mut group = c.benchmark_group("policy_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(probe.announcements));
+    group.bench_function("extensions_off", |b| {
+        b.iter(|| run(&study.topology, study.deployment(), &config).elems.len())
+    });
+    group.bench_function("empty_table", |b| {
+        b.iter(|| {
+            run_with_policies(&study.topology, study.deployment(), &config, &empty).elems.len()
+        })
+    });
+    group.bench_function("rov_half", |b| {
+        b.iter(|| {
+            run_with_policies(&study.topology, study.deployment(), &config, &rov_half).elems.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

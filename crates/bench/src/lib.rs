@@ -8,4 +8,4 @@
 
 pub mod pipeline;
 
-pub use pipeline::{Study, StudyRun, StudyScale};
+pub use pipeline::{AdversarialRun, Study, StudyRun, StudyScale};

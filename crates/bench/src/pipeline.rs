@@ -18,14 +18,17 @@ use std::sync::Arc;
 
 use bh_bgp_types::time::SimTime;
 use bh_core::{
-    AnalyticsConfig, AnalyticsPipeline, AnalyticsReport, EngineConfig, EventAccumulator,
-    InferenceResult, InferenceSession, ReferenceData, SessionBuilder, ShardedSession,
-    StreamSummary,
+    score_events, AnalyticsConfig, AnalyticsPipeline, AnalyticsReport, ConfusionReport,
+    EngineConfig, EventAccumulator, InferenceResult, InferenceSession, ReferenceData,
+    SessionBuilder, ShardedSession, StreamSummary,
 };
 use bh_irr::{BlackholeDictionary, CorpusGenerator};
 use bh_routing::{deploy, BgpElem, CollectorConfig, CollectorDeployment, ElemSource, SliceSource};
-use bh_topology::{Topology, TopologyBuilder, TopologyConfig};
-use bh_workloads::{fleet_of, run, CollectorArchive, ScenarioConfig, ScenarioOutput};
+use bh_topology::{PolicyTable, Topology, TopologyBuilder, TopologyConfig};
+use bh_workloads::{
+    fleet_of, run, run_adversarial, run_with_policies, AdversarialConfig, AdversarialOutput,
+    CollectorArchive, ScenarioConfig, ScenarioOutput,
+};
 
 /// Pipeline scale: trade fidelity for wall-clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +114,20 @@ pub struct StudyRun {
     /// [`AnalyticsPipeline`] accumulators — field for field equal to the
     /// batch functions over `result`.
     pub report: AnalyticsReport,
+}
+
+/// One adversarial run, end to end: the labelled workload's output,
+/// the inference over its collector stream, and the confusion report
+/// scoring that inference against the simulator's ground truth.
+pub struct AdversarialRun {
+    /// Workload output (elements + cooperative ground truth + labels).
+    pub output: AdversarialOutput,
+    /// Inference over the whole stream.
+    pub result: InferenceResult,
+    /// The reference data the inference used.
+    pub refdata: Arc<ReferenceData>,
+    /// Precision/recall/per-kind false-positive attribution.
+    pub report: ConfusionReport,
 }
 
 impl Study {
@@ -295,11 +312,22 @@ impl Study {
     /// is one pass over the events — milliseconds against the
     /// multi-second simulation — so every run carries its report.
     fn scenario_run(&self, config: &ScenarioConfig) -> StudyRun {
+        self.scenario_run_with(config, None)
+    }
+
+    fn scenario_run_with(
+        &self,
+        config: &ScenarioConfig,
+        policies: Option<&PolicyTable>,
+    ) -> StudyRun {
         let deployment = self.deployment();
         let refdata = self.refdata_for(&deployment);
         let analytics =
             AnalyticsConfig::window(config.calendar.window_start, config.calendar.window_end);
-        let output = run(&self.topology, deployment, config);
+        let output = match policies {
+            None => run(&self.topology, deployment, config),
+            Some(table) => run_with_policies(&self.topology, deployment, config, table),
+        };
         let result = self.infer(&refdata, &output.elems);
         let mut pipeline = self.analytics_pipeline(&refdata, analytics);
         pipeline.observe_result(&result);
@@ -314,6 +342,34 @@ impl Study {
         config.calendar.window_end =
             SimTime::from_unix((config.calendar.window_start.day_index() + days) * 86_400);
         self.scenario_run(&config)
+    }
+
+    /// [`visibility_run`](Self::visibility_run) with a per-AS
+    /// [`PolicyTable`] installed on the simulator. An empty table is
+    /// property-tested bit-identical to the plain run — this is the
+    /// policy-overhead bench's comparison axis.
+    pub fn visibility_run_with_policies(
+        &self,
+        days: u64,
+        rate: f64,
+        policies: &PolicyTable,
+    ) -> StudyRun {
+        let mut config = ScenarioConfig::visibility_window(self.seed ^ 0x7777, rate);
+        config.calendar.window_end =
+            SimTime::from_unix((config.calendar.window_start.day_index() + days) * 86_400);
+        self.scenario_run_with(&config, Some(policies))
+    }
+
+    /// Run an adversarial workload end to end: simulate, infer over the
+    /// collector stream, and score the inference against the workload's
+    /// ground-truth labels.
+    pub fn adversarial_run(&self, config: &AdversarialConfig) -> AdversarialRun {
+        let deployment = self.deployment();
+        let refdata = self.refdata_for(&deployment);
+        let output = run_adversarial(&self.topology, deployment, config);
+        let result = self.infer(&refdata, &output.elems);
+        let report = score_events(config.name.clone(), &result.events, output.labels.clone());
+        AdversarialRun { output, result, refdata, report }
     }
 
     /// The longitudinal run (Fig. 4): the full Dec 2014 – Mar 2017 window

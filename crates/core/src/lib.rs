@@ -44,6 +44,7 @@
 
 pub mod accumulate;
 pub mod analytics;
+pub mod confusion;
 pub mod events;
 pub mod refdata;
 pub mod session;
@@ -59,6 +60,9 @@ pub use analytics::{
     DurationAccumulator, PrefixSetAccumulator, ProviderPrefixAccumulator,
     ProvidersPerEventAccumulator, TypeAccumulator, TypeRow, UserPrefixAccumulator,
     VisibilityAccumulator, VisibilityRow,
+};
+pub use confusion::{
+    score_events, ConfusionAccumulator, ConfusionConfig, ConfusionReport, LabelKind, TruthLabel,
 };
 pub use events::{
     group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, PeriodAccumulator,
@@ -84,6 +88,9 @@ pub mod prelude {
         DurationAccumulator, PrefixSetAccumulator, ProviderPrefixAccumulator,
         ProvidersPerEventAccumulator, TypeAccumulator, TypeRow, UserPrefixAccumulator,
         VisibilityAccumulator, VisibilityRow,
+    };
+    pub use crate::confusion::{
+        score_events, ConfusionAccumulator, ConfusionConfig, ConfusionReport, LabelKind, TruthLabel,
     };
     pub use crate::events::{
         group_events, BlackholeEvent, BlackholePeriod, DetectionDistance, PeriodAccumulator,

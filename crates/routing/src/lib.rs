@@ -31,6 +31,7 @@
 pub mod archive;
 pub mod collector;
 pub mod elem;
+pub mod extensions;
 pub mod fleet;
 pub mod live;
 pub mod merge;
@@ -45,6 +46,10 @@ pub use archive::{
 };
 pub use collector::{deploy, CollectorConfig, CollectorDeployment, CollectorSession, FeedKind};
 pub use elem::{BgpElem, DataSource, ElemType, PeerKey};
+pub use extensions::{
+    CommunityScrubExt, ExportAction, ExportCx, ImportCx, Leaker, OnlyToCustomers, OriginCx,
+    PathEnd, PeerlockLite, PolicyEngine, PolicyExtension, Rov, RunStats,
+};
 pub use fleet::{
     ArchiveReport, ChannelSource, CollectorFleet, FleetConfig, FleetReport, FleetSource,
 };

@@ -30,7 +30,7 @@ pub fn may_export(learned_rel: Option<Relationship>, to_rel: Relationship) -> bo
 }
 
 /// Why an import was rejected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RejectReason {
     /// Receiving AS is already on the path.
     LoopDetected,
@@ -43,6 +43,33 @@ pub enum RejectReason {
     /// Carried the provider's blackhole community but the prefix length is
     /// outside the accepted window.
     LengthRejected,
+    /// RPKI-Invalid at an ROV-deploying AS (policy extension).
+    RovInvalid,
+    /// A Tier-1 ASN appeared on a path learned from a customer or peer
+    /// — peerlock-lite leak containment (policy extension).
+    PeerlockViolation,
+    /// The hop adjacent to the origin is not a real neighbor of the
+    /// origin — path-end validation (policy extension).
+    PathEndInvalid,
+    /// Arrived from a customer or peer while carrying the
+    /// only-to-customers mark (policy extension).
+    RouteLeak,
+}
+
+impl RejectReason {
+    /// Stable human-readable label, used by run-stats reporting.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::LoopDetected => "loop-detected",
+            RejectReason::TooSpecific => "too-specific",
+            RejectReason::AuthFailed => "auth-failed",
+            RejectReason::LengthRejected => "length-rejected",
+            RejectReason::RovInvalid => "rov-invalid",
+            RejectReason::PeerlockViolation => "peerlock-violation",
+            RejectReason::PathEndInvalid => "path-end-invalid",
+            RejectReason::RouteLeak => "route-leak",
+        }
+    }
 }
 
 /// The import decision for one received route.

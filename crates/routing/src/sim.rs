@@ -28,10 +28,11 @@ use bh_bgp_types::bogon::BogonFilter;
 use bh_bgp_types::community::CommunitySet;
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::SimTime;
-use bh_topology::{Ixp, OriginIndex, Relationship, Topology};
+use bh_topology::{Ixp, OriginIndex, PolicyTable, Relationship, Topology};
 
 use crate::collector::{CollectorDeployment, FeedKind};
 use crate::elem::{BgpElem, DataSource, ElemType};
+use crate::extensions::{PolicyEngine, RunStats};
 use crate::policy::{
     import_decision, local_pref_for, may_export, AuthContext, ImportDecision, RejectReason,
     SessionBehavior,
@@ -105,6 +106,12 @@ struct RouteEntry {
     is_blackhole: bool,
     irr_registered: bool,
     next_hop: Option<IpAddr>,
+    /// RFC 9234-style only-to-customers mark, set and read by the
+    /// `OnlyToCustomers` policy extension. Always `false` when no
+    /// policies are installed, so route equality (and therefore
+    /// propagation and emission) is unchanged on the extensions-off
+    /// path.
+    leak_marked: bool,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -150,6 +157,13 @@ pub struct BgpSimulator<'a> {
     emitted: HashMap<EmitKey, (AsPath, CommunitySet)>,
     elems: Vec<BgpElem>,
     bogons: BogonFilter,
+    /// Compiled per-AS policy extensions; `None` (the default, and the
+    /// result of installing an empty [`PolicyTable`]) runs the exact
+    /// pre-extension code path.
+    policies: Option<PolicyEngine>,
+    /// Per-reason / per-extension rejection accounting, kept even when
+    /// no policies are installed (counters never perturb routing).
+    stats: RunStats,
 }
 
 impl<'a> BgpSimulator<'a> {
@@ -177,7 +191,28 @@ impl<'a> BgpSimulator<'a> {
             emitted: HashMap::new(),
             elems: Vec::new(),
             bogons: BogonFilter::new(),
+            policies: None,
+            stats: RunStats::default(),
         }
+    }
+
+    /// Install (compile) a policy table. An empty table uninstalls:
+    /// the simulator then runs the extensions-off fast path, which is
+    /// property-tested bit-identical to the pre-extension baseline.
+    /// Returns `true` when at least one extension was installed.
+    pub fn install_policies(&mut self, table: &PolicyTable) -> bool {
+        self.policies = PolicyEngine::compile(table);
+        self.policies.is_some()
+    }
+
+    /// Per-`RejectReason` and per-extension rejection counts so far.
+    pub fn run_stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Reset the rejection counters (e.g. between workload phases).
+    pub fn reset_run_stats(&mut self) {
+        self.stats = RunStats::default();
     }
 
     /// The topology in use.
@@ -247,17 +282,30 @@ impl<'a> BgpSimulator<'a> {
             return outcome;
         }
         let origin = announcement.origin;
+        let mut communities = announcement.communities.clone();
+        let mut prepend = announcement.prepend.max(1);
+        if let Some(engine) = &self.policies {
+            engine.origin(
+                self.topology,
+                origin,
+                &announcement.prefix,
+                &mut communities,
+                &mut prepend,
+            );
+            prepend = prepend.max(1);
+        }
         let mut path = AsPath::empty();
-        path.prepend(origin, announcement.prepend.max(1));
+        path.prepend(origin, prepend);
         let route = RouteEntry {
             as_path: path,
-            communities: announcement.communities.clone(),
+            communities,
             learned_from: origin,
             learned_rel: Relationship::Peer, // placeholder; set per receiver
             local_pref: 0,
             is_blackhole: false,
             irr_registered: announcement.irr_registered,
             next_hop: None,
+            leak_marked: false,
         };
 
         let neighbors: Vec<Asn> = match &announcement.scope {
@@ -345,17 +393,44 @@ impl<'a> BgpSimulator<'a> {
         outcome: &mut AnnounceOutcome,
     ) {
         if route.as_path.contains(me) {
+            self.stats.record_import_reject(RejectReason::LoopDetected);
             return; // loop prevention
         }
         let Some(rel) = self.rel_between(me, from) else {
             return; // targeted announce to a non-neighbor: silently dropped
         };
 
-        // Route-server node? Special redistribution semantics.
+        // Route-server node? Special redistribution semantics. Policy
+        // extensions deliberately do not hook route servers: they are
+        // transparent redistribution points, not policy actors, and PCH
+        // visibility depends on that transparency.
         if let Some(ixp) = self.topology.ixp_by_route_server(me) {
             let ixp = ixp.clone();
             self.process_at_route_server(time, &ixp, from, prefix, route, queue, outcome);
             return;
+        }
+
+        // Policy-extension import hooks run before the Gao-Rexford
+        // import — they model the ingress filters (ROV, peerlock,
+        // path-end, OTC) a router applies ahead of route acceptance.
+        if let Some(engine) = &self.policies {
+            if engine
+                .import(
+                    self.topology,
+                    &mut self.stats,
+                    me,
+                    from,
+                    rel,
+                    &prefix,
+                    &route.as_path,
+                    &route.communities,
+                    &mut route.leak_marked,
+                )
+                .is_err()
+            {
+                self.remove_candidate(time, me, from, prefix, queue);
+                return;
+            }
         }
 
         let behavior = self.behaviors.get(&me).copied().unwrap_or_default();
@@ -379,13 +454,15 @@ impl<'a> BgpSimulator<'a> {
         // Record trigger-specific rejections for ground truth even when
         // the route is otherwise accepted as a plain route.
         if let Some(reason) = import.trigger_rejection {
+            self.stats.record_trigger_reject(reason);
             if !outcome.rejected_by.iter().any(|(a, _)| *a == me) {
                 outcome.rejected_by.push((me, reason));
             }
         }
 
         match import.decision {
-            ImportDecision::Reject(_) => {
+            ImportDecision::Reject(reason) => {
+                self.stats.record_import_reject(reason);
                 // A previously held candidate from this neighbor is gone.
                 self.remove_candidate(time, me, from, prefix, queue);
                 return;
@@ -483,19 +560,47 @@ impl<'a> BgpSimulator<'a> {
                         && offering.as_ref().is_some_and(|o| o.honors_no_export)
                     {
                         None // RFC 7999-compliant provider suppresses
-                    } else if !may_export(Some(best.learned_rel), to_rel) {
-                        None // valley-free export
                     } else {
-                        let mut out = best.clone();
-                        out.as_path.prepend(me, 1);
-                        if best.is_blackhole {
-                            if let Some(o) = &offering {
-                                if o.strips_community {
-                                    out.communities.retain(|c| !o.is_trigger(*c));
+                        // Valley-free verdict, then policy-extension
+                        // export hooks (scrub / OTC marking / leaker
+                        // override). The hard suppressions above are
+                        // never overridable — NO_EXPORT and RFC 7999
+                        // compliance hold even at a leaker.
+                        let default_allowed = may_export(Some(best.learned_rel), to_rel);
+                        let decided = match &self.policies {
+                            None => default_allowed.then(|| best.clone()),
+                            Some(engine) => {
+                                let mut out = best.clone();
+                                let allowed = engine.export(
+                                    self.topology,
+                                    &mut self.stats,
+                                    me,
+                                    n,
+                                    to_rel,
+                                    best.learned_rel,
+                                    &prefix,
+                                    &best.as_path,
+                                    &mut out.communities,
+                                    &mut out.leak_marked,
+                                    default_allowed,
+                                );
+                                allowed.then_some(out)
+                            }
+                        };
+                        match decided {
+                            None => None, // valley-free (or policy) suppression
+                            Some(mut out) => {
+                                out.as_path.prepend(me, 1);
+                                if best.is_blackhole {
+                                    if let Some(o) = &offering {
+                                        if o.strips_community {
+                                            out.communities.retain(|c| !o.is_trigger(*c));
+                                        }
+                                    }
                                 }
+                                Some(out)
                             }
                         }
-                        Some(out)
                     }
                 }
             };
@@ -1335,5 +1440,184 @@ mod tests {
             .iter()
             .any(|(asn, r)| *asn == ixp.route_server_asn && *r == RejectReason::AuthFailed));
         assert!(sim.drain_elems().iter().all(|e| e.prefix != host));
+    }
+
+    // ---- policy extensions ----------------------------------------------
+
+    #[test]
+    fn run_stats_count_per_reason_rejections() {
+        let f = fixture();
+        let mut sim = BgpSimulator::new(&f.topology, deployment_with(vec![]), 1);
+        pin_behaviors(&mut sim, &f);
+
+        // USER requests blackholing of peerAS's space: AuthFailed at
+        // P1, but the route is still imported as a plain route, so it
+        // lands in trigger_rejects, not import_rejects.
+        sim.announce(
+            SimTime::from_unix(100),
+            &Announcement {
+                origin: f.user,
+                prefix: "54.0.1.0/25".parse().unwrap(),
+                communities: bh_communities(f.p1),
+                scope: AnnounceScope::Neighbors(vec![f.p1]),
+                irr_registered: true,
+                prepend: 1,
+            },
+        );
+        assert_eq!(
+            sim.run_stats().trigger_rejects.get(&RejectReason::AuthFailed),
+            Some(&1),
+            "inert trigger counted as trigger rejection"
+        );
+
+        // An untagged host route bundled everywhere: peers reject it
+        // TooSpecific (pin_behaviors: nobody accepts /32s from peers).
+        sim.announce(
+            SimTime::from_unix(200),
+            &Announcement::simple(f.user, "30.0.2.1/32".parse().unwrap(), CommunitySet::new()),
+        );
+        assert!(
+            sim.run_stats().import_rejects_for(RejectReason::TooSpecific) > 0,
+            "peer sessions reject untagged host routes"
+        );
+
+        // Flooding a regular prefix exercises loop prevention.
+        sim.announce(
+            SimTime::from_unix(300),
+            &Announcement::simple(f.user, "30.0.0.0/16".parse().unwrap(), CommunitySet::new()),
+        );
+        assert!(sim.run_stats().import_rejects_for(RejectReason::LoopDetected) > 0);
+
+        let total = sim.run_stats().total_import_rejects();
+        assert!(total > 0);
+        sim.reset_run_stats();
+        assert_eq!(sim.run_stats().total_import_rejects(), 0);
+    }
+
+    #[test]
+    fn rov_with_strict_roas_filters_blackhole_host_routes() {
+        use bh_topology::{PolicyTable, RoaTable};
+
+        let f = fixture();
+        let host: Ipv4Prefix = "30.0.1.1/32".parse().unwrap();
+        let request = Announcement {
+            origin: f.user,
+            prefix: host,
+            communities: bh_communities(f.p1),
+            scope: AnnounceScope::Neighbors(vec![f.p1]),
+            irr_registered: true,
+            prepend: 1,
+        };
+
+        // Without policies the provider accepts the blackhole.
+        let mut sim = BgpSimulator::new(&f.topology, deployment_with(vec![]), 1);
+        pin_behaviors(&mut sim, &f);
+        assert_eq!(sim.announce(SimTime::from_unix(100), &request).accepted_by, vec![f.p1]);
+
+        // Strict ROAs (max_length = allocation length) + ROV at the
+        // provider: the /32 is RPKI-Invalid and never reaches trigger
+        // evaluation.
+        let mut table = PolicyTable::new();
+        table.set_roas(RoaTable::strict_from_topology(&f.topology));
+        table.entry(f.p1).rov = true;
+        let mut sim = BgpSimulator::new(&f.topology, deployment_with(vec![]), 1);
+        pin_behaviors(&mut sim, &f);
+        assert!(sim.install_policies(&table));
+        let outcome = sim.announce(SimTime::from_unix(100), &request);
+        assert!(outcome.accepted_by.is_empty(), "ROV rejects the RPKI-Invalid host route");
+        assert!(!sim.is_blackholed_at(f.p1, &host));
+        assert_eq!(sim.run_stats().import_rejects_for(RejectReason::RovInvalid), 1);
+        assert_eq!(sim.run_stats().extension_rejects.get("rov"), Some(&1));
+    }
+
+    #[test]
+    fn empty_table_installs_nothing() {
+        let f = fixture();
+        let mut sim = BgpSimulator::new(&f.topology, deployment_with(vec![]), 1);
+        assert!(!sim.install_policies(&bh_topology::PolicyTable::new()));
+    }
+
+    #[test]
+    fn leaker_forces_export_and_otc_contains_it() {
+        use bh_topology::PolicyTable;
+
+        let t1b = Asn::new(11);
+        let f = fixture();
+        let prefix: Ipv4Prefix = "30.0.0.0/16".parse().unwrap();
+
+        // peer_as learns user's prefix over their peering; valley-free
+        // forbids re-exporting a peer route to its provider T1b.
+        let mut table = PolicyTable::new();
+        table.entry(f.peer_as).leaker = true;
+        let mut sim = BgpSimulator::new(&f.topology, deployment_with(vec![]), 1);
+        pin_behaviors(&mut sim, &f);
+        sim.install_policies(&table);
+        sim.announce(
+            SimTime::from_unix(100),
+            &Announcement::simple(f.user, prefix, CommunitySet::new()),
+        );
+        assert!(sim.run_stats().exports_forced > 0, "leaker forces the peer route upward");
+
+        // With OTC at both ends, peer_as marks the peer-learned route
+        // and T1b drops the marked route from its customer: the leak is
+        // contained and accounted.
+        let mut table = PolicyTable::new();
+        table.entry(f.peer_as).leaker = true;
+        table.entry(f.peer_as).only_to_customers = true;
+        table.entry(t1b).only_to_customers = true;
+        let mut sim = BgpSimulator::new(&f.topology, deployment_with(vec![]), 1);
+        pin_behaviors(&mut sim, &f);
+        sim.install_policies(&table);
+        sim.announce(
+            SimTime::from_unix(100),
+            &Announcement::simple(f.user, prefix, CommunitySet::new()),
+        );
+        assert!(sim.run_stats().import_rejects_for(RejectReason::RouteLeak) > 0);
+        assert_eq!(
+            sim.run_stats().extension_rejects.get("only-to-customers"),
+            Some(&sim.run_stats().import_rejects_for(RejectReason::RouteLeak))
+        );
+    }
+
+    #[test]
+    fn scrub_strips_bundled_trigger_on_export() {
+        use bh_topology::{CommunityScrub, PolicyTable};
+
+        let f = fixture();
+        let host: Ipv4Prefix = "30.0.1.1/32".parse().unwrap();
+        let mut communities = bh_communities(f.p1);
+        communities.merge(&bh_communities(f.p2));
+        let request = Announcement {
+            origin: f.user,
+            prefix: host,
+            communities,
+            scope: AnnounceScope::Neighbors(vec![f.p2]),
+            irr_registered: true,
+            prepend: 1,
+        };
+        let p1_trigger = Community::from_parts(f.p1.value() as u16, 666);
+
+        // Baseline: P2 strips only its own trigger, so T1a still sees
+        // P1's bundled community on the propagated route.
+        let d = deployment_with(vec![session(DataSource::Ris, f.t1a, FeedKind::Full)]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        sim.announce(SimTime::from_unix(100), &request);
+        let elems = sim.drain_elems();
+        assert!(elems.iter().any(|e| e.communities.contains(p1_trigger)));
+
+        // A community-scrub extension at P2 also removes P1's trigger:
+        // the bundled signal is laundered before it reaches T1a.
+        let mut table = PolicyTable::new();
+        table.entry(f.p2).scrub =
+            Some(CommunityScrub { strip_all: false, strip: vec![p1_trigger], rewrite: vec![] });
+        let d = deployment_with(vec![session(DataSource::Ris, f.t1a, FeedKind::Full)]);
+        let mut sim = BgpSimulator::new(&f.topology, d, 1);
+        pin_behaviors(&mut sim, &f);
+        sim.install_policies(&table);
+        sim.announce(SimTime::from_unix(100), &request);
+        let elems = sim.drain_elems();
+        assert!(!elems.is_empty());
+        assert!(elems.iter().all(|e| !e.communities.contains(p1_trigger)));
     }
 }

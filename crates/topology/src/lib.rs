@@ -26,12 +26,14 @@ pub mod addressing;
 pub mod gen;
 pub mod geo;
 pub mod graph;
+pub mod policy;
 pub mod registry;
 pub mod types;
 
 pub use addressing::AddressAllocator;
 pub use gen::{ProviderCounts, TopologyBuilder, TopologyConfig};
 pub use graph::{AsnIndex, Degrees, LanIndex, OriginIndex, Topology};
+pub use policy::{AsPolicy, CommunityScrub, PolicyTable, Roa, RoaTable, RpkiValidity};
 pub use registry::{ClassificationSource, Classifier};
 pub use types::{
     AsInfo, BlackholeAuth, BlackholeOffering, DocumentationChannel, Ixp, IxpId, NetworkType,

@@ -14,12 +14,14 @@
 //! Ground truth is what the original study never had: every inferred
 //! event can be checked against the reaction that actually caused it.
 
+pub mod adversarial;
 pub mod attacks;
 pub mod fleet;
 pub mod live;
 pub mod reaction;
 pub mod scenario;
 
+pub use adversarial::{run_adversarial, AdversarialConfig, AdversarialOutput};
 pub use attacks::{mirai_era_start, poisson, AttackCalendar, Spike, SPIKES};
 pub use fleet::{
     fleet_archives, fleet_archives_for, fleet_of, fleet_with_config, CollectorArchive,
@@ -29,4 +31,4 @@ pub use reaction::{
     capable_providers, plan_reaction, Action, CapableProvider, GroundTruthEvent, ReactionConfig,
     TimedAction,
 };
-pub use scenario::{run, spike_table, ScenarioConfig, ScenarioOutput};
+pub use scenario::{run, run_with_policies, spike_table, ScenarioConfig, ScenarioOutput};

@@ -10,8 +10,10 @@ use bh_bgp_types::asn::Asn;
 use bh_bgp_types::community::CommunitySet;
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::{SimDuration, SimTime};
-use bh_routing::{AnnounceScope, Announcement, BgpElem, BgpSimulator, CollectorDeployment};
-use bh_topology::{NetworkType, Tier, Topology};
+use bh_routing::{
+    AnnounceScope, Announcement, BgpElem, BgpSimulator, CollectorDeployment, RunStats,
+};
+use bh_topology::{NetworkType, PolicyTable, Tier, Topology};
 
 use crate::attacks::{AttackCalendar, SPIKES};
 use crate::reaction::{
@@ -93,6 +95,8 @@ pub struct ScenarioOutput {
     pub days: u64,
     /// Total announcements injected.
     pub announcements: u64,
+    /// Per-reason / per-extension rejection accounting from the run.
+    pub run_stats: RunStats,
 }
 
 impl ScenarioOutput {
@@ -109,8 +113,32 @@ pub fn run(
     deployment: CollectorDeployment,
     config: &ScenarioConfig,
 ) -> ScenarioOutput {
+    run_inner(topology, deployment, config, None)
+}
+
+/// [`run`], with a per-AS [`PolicyTable`] installed on the simulator
+/// before any announcement. An empty table installs nothing and is
+/// property-tested bit-identical to [`run`].
+pub fn run_with_policies(
+    topology: &Topology,
+    deployment: CollectorDeployment,
+    config: &ScenarioConfig,
+    policies: &PolicyTable,
+) -> ScenarioOutput {
+    run_inner(topology, deployment, config, Some(policies))
+}
+
+fn run_inner(
+    topology: &Topology,
+    deployment: CollectorDeployment,
+    config: &ScenarioConfig,
+    policies: Option<&PolicyTable>,
+) -> ScenarioOutput {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut sim = BgpSimulator::new(topology, deployment, config.seed ^ 0x5151);
+    if let Some(table) = policies {
+        sim.install_policies(table);
+    }
     let mut truths: Vec<GroundTruthEvent> = Vec::new();
     let mut actions: Vec<TimedAction> = Vec::new();
 
@@ -236,6 +264,7 @@ pub fn run(
     }
 
     ScenarioOutput {
+        run_stats: sim.run_stats().clone(),
         elems: sim.drain_elems(),
         ground_truth: truths,
         days: total_days,

@@ -1,0 +1,104 @@
+//! Golden adversarial-workload tests: the inference scored against
+//! simulator-side ground truth.
+//!
+//! The cooperative baseline must score perfectly — every RTBH event
+//! detected, nothing else flagged. The adversarial workloads then
+//! demonstrate the detector's *known* failure modes with exact
+//! attribution: stolen-community hijacks and leak-shaped tagged routes
+//! show up as false positives of their own kind, prepend-based
+//! re-routing never triggers, and deploying ROV over strict ROAs
+//! monotonically destroys blackhole visibility (the RPKI-vs-RTBH
+//! tension: a /32 host route is Invalid under an allocation-length
+//! ROA).
+
+use std::sync::OnceLock;
+
+use bh_bench::{Study, StudyScale};
+use bh_core::LabelKind;
+use bh_routing::RejectReason;
+use bh_workloads::AdversarialConfig;
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::build(StudyScale::Tiny, 1234))
+}
+
+#[test]
+fn cooperative_baseline_scores_perfectly() {
+    let run = study().adversarial_run(&AdversarialConfig::baseline(41, 3, 4.0));
+    let r = &run.report;
+    assert!(r.expected > 0, "no cooperative events scheduled:\n{r}");
+    assert_eq!(r.false_positives, 0, "\n{r}");
+    assert_eq!(r.false_negatives, 0, "\n{r}");
+    assert!(r.is_perfect(), "\n{r}");
+    assert_eq!(r.precision(), 1.0);
+    assert_eq!(r.recall(), 1.0);
+}
+
+#[test]
+fn subprefix_hijacks_degrade_precision_with_hijack_attribution() {
+    let run = study().adversarial_run(&AdversarialConfig::subprefix_hijack(42, 3, 4.0));
+    let r = &run.report;
+    assert!(r.false_positives > 0, "hijacks went undetected as FPs:\n{r}");
+    assert!(r.precision() < 1.0, "\n{r}");
+    assert!(
+        r.fp_by_kind.get(&LabelKind::Hijack).copied().unwrap_or(0) > 0,
+        "false positives not attributed to hijacks:\n{r}"
+    );
+    // The cooperative population is still being found.
+    assert_eq!(r.recall(), 1.0, "\n{r}");
+}
+
+#[test]
+fn route_leaks_are_misclassified_as_blackholes() {
+    let config = AdversarialConfig::route_leak(&study().topology, 43, 3, 4.0);
+    let run = study().adversarial_run(&config);
+    let r = &run.report;
+    assert!(r.false_positives > 0, "leak-shaped routes never flagged:\n{r}");
+    assert!(
+        r.fp_by_kind.get(&LabelKind::RouteLeak).copied().unwrap_or(0) > 0,
+        "false positives not attributed to leaks:\n{r}"
+    );
+    assert!(r.precision() < 1.0, "\n{r}");
+    // The leaker ASes really did export past the valley-free rule, and
+    // the inert triggers were length-rejected, not silently dropped.
+    assert!(run.output.run_stats.exports_forced > 0);
+    assert!(run.output.run_stats.trigger_rejects.contains_key(&RejectReason::LengthRejected));
+}
+
+#[test]
+fn prepend_reroutes_are_a_clean_negative_control() {
+    let run = study().adversarial_run(&AdversarialConfig::prepend_reroute(44, 3, 4.0));
+    let r = &run.report;
+    let reroutes = run.output.labels.iter().filter(|l| l.kind == LabelKind::Reroute).count();
+    assert!(reroutes > 0, "no reroutes scheduled");
+    assert_eq!(r.false_positives, 0, "a community-free reroute triggered detection:\n{r}");
+    assert!(r.is_perfect(), "\n{r}");
+}
+
+#[test]
+fn rov_deployment_monotonically_suppresses_detection() {
+    let topology = &study().topology;
+    let mut detected = Vec::new();
+    for fraction in [0.0, 0.25, 0.5, 1.0] {
+        let config = AdversarialConfig::rov_sweep(topology, 45, 3, 4.0, fraction);
+        let run = study().adversarial_run(&config);
+        if fraction > 0.0 {
+            assert!(
+                run.output.run_stats.import_rejects_for(RejectReason::RovInvalid) > 0,
+                "ROV at fraction {fraction} rejected nothing"
+            );
+        }
+        detected.push(run.report.detected_events);
+    }
+    // Same seed, same schedule: deployments are nested, so visibility
+    // (and the detected-event count) can only shrink.
+    assert!(detected[0] > 0, "baseline sweep point detected nothing: {detected:?}");
+    for w in detected.windows(2) {
+        assert!(w[1] <= w[0], "detection count increased along the sweep: {detected:?}");
+    }
+    assert!(
+        *detected.last().unwrap() < detected[0],
+        "full ROV deployment did not suppress anything: {detected:?}"
+    );
+}

@@ -105,4 +105,27 @@ proptest! {
         // And the whole-result comparison, in case fields are added.
         prop_assert_eq!(sharded, result);
     }
+
+    /// The policy-extension no-op guarantee: installing an *empty*
+    /// `PolicyTable` compiles to nothing, so a Small-scale run with it
+    /// is bit-identical — element for element, event for event — to
+    /// the pre-extension baseline path.
+    #[test]
+    fn empty_policy_table_is_bit_identical_to_baseline(
+        days in 2u64..4,
+        rate in 2.0f64..6.0,
+    ) {
+        let study = small_study();
+        let baseline = study.visibility_run(days, rate);
+        let with_table =
+            study.visibility_run_with_policies(days, rate, &bh_topology::PolicyTable::new());
+
+        prop_assert_eq!(&with_table.output.elems, &baseline.output.elems);
+        prop_assert_eq!(
+            with_table.output.ground_truth.len(),
+            baseline.output.ground_truth.len()
+        );
+        prop_assert_eq!(&with_table.output.run_stats, &baseline.output.run_stats);
+        prop_assert_eq!(&with_table.result, &baseline.result);
+    }
 }

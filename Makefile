@@ -4,12 +4,12 @@
 CARGO ?= cargo
 
 # PR number stamped into the bench trajectory file (BENCH_$(BENCH_PR).json).
-BENCH_PR ?= 8
+BENCH_PR ?= 9
 BENCH_JSONL ?= $(CURDIR)/target/criterion-run.jsonl
 # The perf-critical suites the trajectory tracks (the full figure
 # suite is minutes-scale; these cover the ingest hot path and the
 # live-service overhead).
-BENCH_SUITES = --bench pipeline_throughput --bench fleet_ingest --bench live_latency --bench policy_overhead
+BENCH_SUITES = --bench pipeline_throughput --bench fleet_ingest --bench live_latency --bench policy_overhead --bench propagation_massive
 
 .PHONY: check fmt fmt-check build test test-release clippy doc quickstart bench bench-check \
 	bench-json bench-baseline bench-compare

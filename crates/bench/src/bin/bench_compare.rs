@@ -321,6 +321,44 @@ fn tolerance(args: &[String]) -> Result<f64, String> {
     }
 }
 
+/// Nearest previous trajectory point: the `BENCH_<m>.json` with the
+/// largest `m < n` sitting next to `out` = `BENCH_<n>.json`. Gaps in
+/// the numbering are fine; returns `None` when `out` is not named like
+/// a trajectory point or no earlier point exists.
+fn previous_trajectory(out: &Path) -> Result<Option<PathBuf>, String> {
+    let Some(n) = out
+        .file_name()
+        .and_then(|f| f.to_str())
+        .and_then(|f| f.strip_prefix("BENCH_"))
+        .and_then(|rest| rest.strip_suffix(".json"))
+        .and_then(|num| num.parse::<u64>().ok())
+    else {
+        return Ok(None);
+    };
+    let dir = match out.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let entries = std::fs::read_dir(&dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok);
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in entries {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(m) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|num| num.parse::<u64>().ok())
+        {
+            if m < n && best.as_ref().is_none_or(|(b, _)| m > *b) {
+                best = Some((m, entry.path()));
+            }
+        }
+    }
+    Ok(best.map(|(_, path)| path))
+}
+
 fn cmd_collect(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
     let [jsonl, out] = pos[..] else {
@@ -332,7 +370,24 @@ fn cmd_collect(args: &[String]) -> Result<ExitCode, String> {
     }
     let out = PathBuf::from(out);
     let measured = load_jsonl(Path::new(jsonl))?;
-    let mut trajectory = if out.exists() { Trajectory::load(&out)? } else { Trajectory::default() };
+    let mut trajectory = if out.exists() {
+        Trajectory::load(&out)?
+    } else {
+        let mut fresh = Trajectory::default();
+        // Creating a new point directly with `--section current` (a
+        // bench-json run with no prior bench-baseline): seed the
+        // baseline from the nearest previous trajectory point, so the
+        // file still records a comparison instead of shipping with an
+        // empty baseline.
+        if section == "current" {
+            if let Some(prev) = previous_trajectory(&out)? {
+                let prev_t = Trajectory::load(&prev)?;
+                println!("seeding baseline from {}", prev.display());
+                fresh.baseline = prev_t.effective().clone();
+            }
+        }
+        fresh
+    };
     if let Some(pr) = flag_value(args, "--pr") {
         trajectory.pr = Some(pr.parse::<f64>().map_err(|_| format!("bad --pr {pr}"))?);
     }
@@ -478,6 +533,56 @@ mod tests {
         assert_eq!(t.effective().get("a"), Some(&100.0));
         t.current.insert("a".into(), 50.0);
         assert_eq!(t.effective().get("a"), Some(&50.0));
+    }
+
+    #[test]
+    fn collect_seeds_new_point_baseline_from_previous_point() {
+        let dir = std::env::temp_dir().join("bench_compare_test_seed");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Nearest previous point (note the gap: no BENCH_4).
+        let mut prev = Trajectory { pr: Some(3.0), ..Trajectory::default() };
+        prev.current.insert("pipeline/a".into(), 2000.0);
+        prev.save(&dir.join("BENCH_3.json")).expect("save prev");
+        // Older point that must lose to BENCH_3.
+        let mut stale = Trajectory { pr: Some(1.0), ..Trajectory::default() };
+        stale.baseline.insert("pipeline/a".into(), 9000.0);
+        stale.save(&dir.join("BENCH_1.json")).expect("save stale");
+        let jsonl = dir.join("run.jsonl");
+        std::fs::write(&jsonl, "{\"id\":\"pipeline/a\",\"median_ns\":1000}\n").unwrap();
+        let out = dir.join("BENCH_5.json");
+        let args: Vec<String> = [
+            jsonl.display().to_string(),
+            out.display().to_string(),
+            "--pr".into(),
+            "5".into(),
+            "--section".into(),
+            "current".into(),
+        ]
+        .into();
+        cmd_collect(&args).expect("collect");
+        let back = Trajectory::load(&out).expect("load");
+        // Baseline carried over from BENCH_3's effective (current) section.
+        assert_eq!(back.baseline.get("pipeline/a"), Some(&2000.0));
+        assert_eq!(back.current.get("pipeline/a"), Some(&1000.0));
+        assert_eq!(back.pr, Some(5.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn previous_trajectory_ignores_non_points_and_self() {
+        let dir = std::env::temp_dir().join("bench_compare_test_prev");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_7.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_notes.json"), "{}").unwrap();
+        std::fs::write(dir.join("other.json"), "{}").unwrap();
+        let prev = previous_trajectory(&dir.join("BENCH_7.json")).expect("scan");
+        assert_eq!(prev, None, "a point is not its own predecessor");
+        let prev = previous_trajectory(&dir.join("BENCH_9.json")).expect("scan");
+        assert_eq!(prev, Some(dir.join("BENCH_7.json")));
+        assert_eq!(previous_trajectory(Path::new("notes.json")).expect("scan"), None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub enum StudyScale {
     Small,
     /// The full Table-2-scale Internet (~1,150 ASes) — example/demo runs.
     Full,
+    /// The CAIDA-shaped ~75k-AS internet with power-law customer degrees
+    /// — the propagation-engine scale tier. Whole-study runs at this
+    /// scale are hours; it exists for the propagation benches and the
+    /// massive smoke path.
+    Massive,
 }
 
 impl StudyScale {
@@ -62,8 +67,10 @@ impl StudyScale {
                 bh_enterprise: bh_topology::ProviderCounts { documented: 2, undocumented: 1 },
                 bh_unknown: bh_topology::ProviderCounts { documented: 3, undocumented: 1 },
                 peeringdb_coverage: 0.72,
+                power_law_degrees: false,
             },
             StudyScale::Full => TopologyConfig { seed, ..Default::default() },
+            StudyScale::Massive => TopologyConfig::massive(seed),
         }
     }
 
@@ -79,7 +86,9 @@ impl StudyScale {
                 cdn_peers: 90,
                 full_table_fraction: 0.5,
             },
-            StudyScale::Full => CollectorConfig { seed, ..Default::default() },
+            StudyScale::Full | StudyScale::Massive => {
+                CollectorConfig { seed, ..Default::default() }
+            }
         }
     }
 }

@@ -16,8 +16,9 @@
 //!   (peer-ip inside the peering LAN),
 //! * providers that strip their trigger community or suppress propagation.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::net::IpAddr;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,9 +29,9 @@ use bh_bgp_types::bogon::BogonFilter;
 use bh_bgp_types::community::CommunitySet;
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::SimTime;
-use bh_topology::{Ixp, OriginIndex, PolicyTable, Relationship, Topology};
+use bh_topology::{Ixp, OriginIndex, PolicyTable, PropagationRanks, Relationship, Topology};
 
-use crate::collector::{CollectorDeployment, FeedKind};
+use crate::collector::{CollectorDeployment, CollectorSession, FeedKind};
 use crate::elem::{BgpElem, DataSource, ElemType};
 use crate::extensions::{PolicyEngine, RunStats};
 use crate::policy::{
@@ -84,13 +85,62 @@ impl Announcement {
 }
 
 /// What happened to a blackhole request at each triggered provider.
-#[derive(Debug, Clone, Default)]
+/// Both vectors are in canonical (ASN-sorted) order, so the queue and
+/// phased engines report identical outcomes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AnnounceOutcome {
     /// Providers that accepted and installed the blackhole.
     pub accepted_by: Vec<Asn>,
     /// Providers where a trigger matched but the request was rejected.
     pub rejected_by: Vec<(Asn, RejectReason)>,
 }
+
+/// Propagation engine selection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EngineMode {
+    /// The original single FIFO work queue — sequential, trajectory
+    /// exactly as the seed engine.
+    #[default]
+    Queue,
+    /// Three valley-free phases scheduled by propagation rank — up to
+    /// providers in ascending rank order, across peers and route
+    /// servers in waves, down to customers in descending rank order —
+    /// with the work *within* each rank processed by `threads` workers
+    /// and merged in deterministic ASN order. Emits a bit-identical
+    /// elem stream to [`EngineMode::Queue`] (property-tested), and does
+    /// strictly less redundant work: rank order delivers
+    /// highest-preference customer routes first, so an AS's best route
+    /// never flips mid-flood the way FIFO churn makes it.
+    Phased {
+        /// Worker threads per rank group (clamped to ≥ 1).
+        threads: usize,
+    },
+}
+
+/// Typed propagation failure — the graceful replacement for the old
+/// "propagation did not converge" panic, so `Massive` runs degrade into
+/// an error the caller can skip past instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropagationError {
+    /// The step cap was reached before the work queue drained (a policy
+    /// dispute wheel, e.g. dueling leakers, can oscillate forever).
+    NoConvergence {
+        /// Work items processed before giving up.
+        steps: u64,
+    },
+}
+
+impl std::fmt::Display for PropagationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropagationError::NoConvergence { steps } => {
+                write!(f, "propagation did not converge after {steps} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PropagationError {}
 
 /// A route as held in an Adj-RIB-In slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,6 +170,12 @@ struct PrefixState {
     candidates: BTreeMap<Asn, RouteEntry>,
     /// What we last advertised per neighbor.
     advertised: BTreeMap<Asn, RouteEntry>,
+    /// The best route the last neighbor-advertisement pass ran against.
+    /// Outbound adverts are a pure function of `best` (offering and
+    /// policies are fixed for a run), so when best is unchanged the
+    /// whole neighbor loop is skipped — the scratch-work win that makes
+    /// withdraw/re-announce churn cheap at `Massive` scale.
+    advert_basis: Option<RouteEntry>,
 }
 
 impl PrefixState {
@@ -144,6 +200,20 @@ enum Work {
     Withdraw { to: Asn, from: Asn, prefix: Ipv4Prefix },
 }
 
+impl Work {
+    fn target(&self) -> Asn {
+        match self {
+            Work::Announce { to, .. } | Work::Withdraw { to, .. } => *to,
+        }
+    }
+
+    fn source(&self) -> Asn {
+        match self {
+            Work::Announce { from, .. } | Work::Withdraw { from, .. } => *from,
+        }
+    }
+}
+
 /// The simulator.
 pub struct BgpSimulator<'a> {
     topology: &'a Topology,
@@ -164,6 +234,21 @@ pub struct BgpSimulator<'a> {
     /// Per-reason / per-extension rejection accounting, kept even when
     /// no policies are installed (counters never perturb routing).
     stats: RunStats,
+    /// Which propagation engine `announce`/`withdraw` run.
+    mode: EngineMode,
+    /// Customer-cone depth ranks, computed lazily on the first phased
+    /// run (or injected via [`BgpSimulator::set_propagation_ranks`] so
+    /// benchmarks amortize the computation across simulator instances).
+    ranks: Option<Arc<PropagationRanks>>,
+    /// route-server ASN → index into `topology.ixps()` (replaces the
+    /// linear `ixp_by_route_server` scan on the hot path).
+    rs_index: HashMap<Asn, usize>,
+    /// (AS, prefix) pairs whose visible state may have changed since the
+    /// last flush. Emissions are reconstructed from final state at
+    /// flush time, which is what makes both engines emit identically.
+    dirty: BTreeSet<(Asn, Ipv4Prefix)>,
+    /// Reused seed-neighbor scratch buffer (no per-announce alloc).
+    scratch_neighbors: Vec<Asn>,
 }
 
 impl<'a> BgpSimulator<'a> {
@@ -181,6 +266,8 @@ impl<'a> BgpSimulator<'a> {
                 },
             );
         }
+        let rs_index =
+            topology.ixps().iter().enumerate().map(|(i, ixp)| (ixp.route_server_asn, i)).collect();
         BgpSimulator {
             topology,
             origin_index: topology.origin_index(),
@@ -193,7 +280,30 @@ impl<'a> BgpSimulator<'a> {
             bogons: BogonFilter::new(),
             policies: None,
             stats: RunStats::default(),
+            mode: EngineMode::Queue,
+            ranks: None,
+            rs_index,
+            dirty: BTreeSet::new(),
+            scratch_neighbors: Vec::new(),
         }
+    }
+
+    /// Select the propagation engine. Both modes produce bit-identical
+    /// collector elems and outcomes; `Phased` is the fast path at
+    /// `Massive` scale.
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        self.mode = mode;
+    }
+
+    /// The propagation engine currently selected.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Inject precomputed propagation ranks (must be for this topology).
+    /// The phased engine otherwise computes them lazily on first use.
+    pub fn set_propagation_ranks(&mut self, ranks: Arc<PropagationRanks>) {
+        self.ranks = Some(ranks);
     }
 
     /// Install (compile) a policy table. An empty table uninstalls:
@@ -271,15 +381,36 @@ impl<'a> BgpSimulator<'a> {
     }
 
     /// Inject an announcement; returns blackhole acceptance outcomes.
+    /// On non-convergence the run stops gracefully (counted in
+    /// [`RunStats::convergence_failures`]); use
+    /// [`BgpSimulator::try_announce`] to observe the error.
     pub fn announce(&mut self, time: SimTime, announcement: &Announcement) -> AnnounceOutcome {
+        self.announce_impl(time, announcement).0
+    }
+
+    /// Like [`BgpSimulator::announce`], surfacing the propagation error.
+    pub fn try_announce(
+        &mut self,
+        time: SimTime,
+        announcement: &Announcement,
+    ) -> Result<AnnounceOutcome, PropagationError> {
+        let (outcome, result) = self.announce_impl(time, announcement);
+        result.map(|()| outcome)
+    }
+
+    fn announce_impl(
+        &mut self,
+        time: SimTime,
+        announcement: &Announcement,
+    ) -> (AnnounceOutcome, Result<(), PropagationError>) {
         let mut outcome = AnnounceOutcome::default();
         if announcement.prefix.length() < 8 {
-            return outcome; // never less specific than /8
+            return (outcome, Ok(())); // never less specific than /8
         }
         // Martian space never propagates (routers filter it on ingress);
         // host routes are checked against the same bogon table.
         if !self.bogons.is_routable(&announcement.prefix) {
-            return outcome;
+            return (outcome, Ok(()));
         }
         let origin = announcement.origin;
         let mut communities = announcement.communities.clone();
@@ -308,603 +439,903 @@ impl<'a> BgpSimulator<'a> {
             leak_marked: false,
         };
 
-        let neighbors: Vec<Asn> = match &announcement.scope {
+        self.scratch_neighbors.clear();
+        match &announcement.scope {
             AnnounceScope::AllNeighbors => {
-                self.topology.neighbors(origin).iter().map(|(n, _)| *n).collect()
+                let topology = self.topology;
+                self.scratch_neighbors.extend(topology.neighbors(origin).iter().map(|(n, _)| *n));
             }
-            AnnounceScope::Neighbors(list) => list.clone(),
-        };
+            AnnounceScope::Neighbors(list) => self.scratch_neighbors.extend_from_slice(list),
+        }
 
-        let mut queue: VecDeque<Work> = VecDeque::new();
+        let mut seeds: Vec<Work> = Vec::with_capacity(self.scratch_neighbors.len());
         let adverts = self.origin_adverts.entry((origin, announcement.prefix)).or_default();
         let previously: Vec<Asn> = adverts.keys().copied().collect();
-        for n in &neighbors {
-            adverts.insert(*n, route.clone());
-            queue.push_back(Work::Announce {
-                to: *n,
+        for &n in &self.scratch_neighbors {
+            adverts.insert(n, route.clone());
+            seeds.push(Work::Announce {
+                to: n,
                 from: origin,
                 prefix: announcement.prefix,
                 route: route.clone(),
             });
         }
         for n in previously {
-            if !neighbors.contains(&n) {
-                self.origin_adverts
-                    .get_mut(&(origin, announcement.prefix))
-                    .expect("entry exists")
-                    .remove(&n);
-                queue.push_back(Work::Withdraw {
-                    to: n,
-                    from: origin,
-                    prefix: announcement.prefix,
-                });
+            if !self.scratch_neighbors.contains(&n) {
+                adverts.remove(&n);
+                seeds.push(Work::Withdraw { to: n, from: origin, prefix: announcement.prefix });
             }
         }
 
-        self.run(time, queue, &mut outcome);
-        outcome
+        let result = self.run(seeds, &mut outcome);
+        // Canonical outcome order, independent of engine and work order.
+        outcome.accepted_by.sort_unstable();
+        outcome.rejected_by.sort_unstable_by_key(|(a, _)| *a);
+        self.flush_emissions(time);
+        (outcome, result)
     }
 
-    /// Withdraw an origin's prefix everywhere it was advertised.
+    /// Withdraw an origin's prefix everywhere it was advertised. Like
+    /// [`BgpSimulator::announce`], non-convergence degrades gracefully.
     pub fn withdraw(&mut self, time: SimTime, origin: Asn, prefix: Ipv4Prefix) {
+        let _ = self.withdraw_impl(time, origin, prefix);
+    }
+
+    /// Like [`BgpSimulator::withdraw`], surfacing the propagation error.
+    pub fn try_withdraw(
+        &mut self,
+        time: SimTime,
+        origin: Asn,
+        prefix: Ipv4Prefix,
+    ) -> Result<(), PropagationError> {
+        self.withdraw_impl(time, origin, prefix)
+    }
+
+    fn withdraw_impl(
+        &mut self,
+        time: SimTime,
+        origin: Asn,
+        prefix: Ipv4Prefix,
+    ) -> Result<(), PropagationError> {
         let Some(adverts) = self.origin_adverts.remove(&(origin, prefix)) else {
-            return;
+            return Ok(());
         };
-        let mut queue: VecDeque<Work> = VecDeque::new();
-        for (n, _) in adverts {
-            queue.push_back(Work::Withdraw { to: n, from: origin, prefix });
-        }
+        let seeds: Vec<Work> =
+            adverts.into_keys().map(|n| Work::Withdraw { to: n, from: origin, prefix }).collect();
         let mut outcome = AnnounceOutcome::default();
-        self.run(time, queue, &mut outcome);
+        let result = self.run(seeds, &mut outcome);
+        self.flush_emissions(time);
+        result
     }
 
     // ---- engine ---------------------------------------------------------
 
-    fn run(&mut self, time: SimTime, mut queue: VecDeque<Work>, outcome: &mut AnnounceOutcome) {
-        let mut steps: u64 = 0;
+    fn run(
+        &mut self,
+        seeds: Vec<Work>,
+        outcome: &mut AnnounceOutcome,
+    ) -> Result<(), PropagationError> {
+        let result = match self.mode {
+            EngineMode::Queue => self.run_queue(seeds, outcome),
+            EngineMode::Phased { threads } => self.run_phased(seeds, outcome, threads),
+        };
+        if result.is_err() {
+            self.stats.convergence_failures += 1;
+        }
+        result
+    }
+
+    /// The sequential engine: one FIFO work queue.
+    fn run_queue(
+        &mut self,
+        seeds: Vec<Work>,
+        outcome: &mut AnnounceOutcome,
+    ) -> Result<(), PropagationError> {
+        let ctx = SimCtx {
+            topology: self.topology,
+            origin_index: &self.origin_index,
+            behaviors: &self.behaviors,
+            policies: self.policies.as_ref(),
+            rs_index: &self.rs_index,
+        };
         let cap = (self.topology.as_count() as u64 + 10) * 10_000;
+        let mut steps: u64 = 0;
+        let mut queue: VecDeque<Work> = seeds.into();
+        let mut generated: Vec<Work> = Vec::new();
         while let Some(work) = queue.pop_front() {
             steps += 1;
-            assert!(steps < cap, "propagation did not converge");
-            match work {
-                Work::Announce { to, from, prefix, route } => {
-                    self.process_announce(time, to, from, prefix, route, &mut queue, outcome);
-                }
-                Work::Withdraw { to, from, prefix } => {
-                    self.process_withdraw(time, to, from, prefix, &mut queue);
-                }
+            if steps >= cap {
+                return Err(PropagationError::NoConvergence { steps });
             }
+            let me = work.target();
+            let mut node = NodeState {
+                me,
+                prefixes: self.state.entry(me).or_default(),
+                out: &mut generated,
+                stats: &mut self.stats,
+                outcome,
+                dirty: &mut self.dirty,
+            };
+            process_work(&ctx, &mut node, work);
+            queue.extend(generated.drain(..));
         }
+        Ok(())
     }
 
-    fn rel_between(&self, me: Asn, neighbor: Asn) -> Option<Relationship> {
-        self.topology.neighbors(me).iter().find(|(n, _)| *n == neighbor).map(|(_, rel)| *rel)
-    }
-
-    #[allow(clippy::too_many_arguments)] // one parameter per BGP attribute of the event
-    fn process_announce(
+    /// The rank-scheduled engine: three valley-free phases per round —
+    /// customer→provider work in ascending rank order, peer/route-server
+    /// work in waves, provider→customer work in descending rank order —
+    /// repeated until quiescent. Rank order delivers the
+    /// highest-preference customer routes first, so an AS's best route
+    /// settles without the withdraw/re-announce churn a FIFO trajectory
+    /// produces. Work within one rank group targets distinct ASes, so
+    /// it is farmed out to `threads` workers over disjoint per-AS state
+    /// and merged back in ASN order — the result is independent of both
+    /// thread count and completion order.
+    fn run_phased(
         &mut self,
-        time: SimTime,
-        me: Asn,
-        from: Asn,
-        prefix: Ipv4Prefix,
-        mut route: RouteEntry,
-        queue: &mut VecDeque<Work>,
+        seeds: Vec<Work>,
         outcome: &mut AnnounceOutcome,
-    ) {
-        if route.as_path.contains(me) {
-            self.stats.record_import_reject(RejectReason::LoopDetected);
-            return; // loop prevention
-        }
-        let Some(rel) = self.rel_between(me, from) else {
-            return; // targeted announce to a non-neighbor: silently dropped
+        threads: usize,
+    ) -> Result<(), PropagationError> {
+        let ranks = match &self.ranks {
+            Some(r) => Arc::clone(r),
+            None => {
+                let r = Arc::new(self.topology.propagation_ranks());
+                self.ranks = Some(Arc::clone(&r));
+                r
+            }
         };
-
-        // Route-server node? Special redistribution semantics. Policy
-        // extensions deliberately do not hook route servers: they are
-        // transparent redistribution points, not policy actors, and PCH
-        // visibility depends on that transparency.
-        if let Some(ixp) = self.topology.ixp_by_route_server(me) {
-            let ixp = ixp.clone();
-            self.process_at_route_server(time, &ixp, from, prefix, route, queue, outcome);
-            return;
-        }
-
-        // Policy-extension import hooks run before the Gao-Rexford
-        // import — they model the ingress filters (ROV, peerlock,
-        // path-end, OTC) a router applies ahead of route acceptance.
-        if let Some(engine) = &self.policies {
-            if engine
-                .import(
-                    self.topology,
-                    &mut self.stats,
-                    me,
-                    from,
-                    rel,
-                    &prefix,
-                    &route.as_path,
-                    &route.communities,
-                    &mut route.leak_marked,
-                )
-                .is_err()
-            {
-                self.remove_candidate(time, me, from, prefix, queue);
-                return;
-            }
-        }
-
-        let behavior = self.behaviors.get(&me).copied().unwrap_or_default();
-        let origin = route.as_path.origin().unwrap_or(from);
-        let auth_ctx = AuthContext {
-            topology: self.topology,
-            origin,
-            sender: from,
-            allocation_owner: self.origin_index.origin_of(&prefix),
-            irr_registered: route.irr_registered,
-        };
-        let import = import_decision(
-            me,
-            rel,
-            &prefix,
-            &route.communities,
-            behavior,
-            self.topology,
-            &auth_ctx,
-        );
-        // Record trigger-specific rejections for ground truth even when
-        // the route is otherwise accepted as a plain route.
-        if let Some(reason) = import.trigger_rejection {
-            self.stats.record_trigger_reject(reason);
-            if !outcome.rejected_by.iter().any(|(a, _)| *a == me) {
-                outcome.rejected_by.push((me, reason));
-            }
-        }
-
-        match import.decision {
-            ImportDecision::Reject(reason) => {
-                self.stats.record_import_reject(reason);
-                // A previously held candidate from this neighbor is gone.
-                self.remove_candidate(time, me, from, prefix, queue);
-                return;
-            }
-            ImportDecision::Blackhole => {
-                route.is_blackhole = true;
-                if !outcome.accepted_by.contains(&me) {
-                    outcome.accepted_by.push(me);
+        let max_rank = ranks.max_rank() as usize;
+        let mut up: Vec<Vec<Work>> = vec![Vec::new(); max_rank + 1];
+        let mut across: Vec<Work> = Vec::new();
+        let mut down: Vec<Vec<Work>> = vec![Vec::new(); max_rank + 1];
+        let cap = (self.topology.as_count() as u64 + 10) * 10_000;
+        let mut steps: u64 = 0;
+        classify_works(self.topology, &ranks, seeds, &mut up, &mut across, &mut down);
+        loop {
+            let mut progressed = false;
+            // Phase 1: up. Routes climbing to providers, lowest rank
+            // first; work generated for higher ranks joins this sweep.
+            for r in 0..=max_rank {
+                while !up[r].is_empty() {
+                    let works = std::mem::take(&mut up[r]);
+                    progressed = true;
+                    steps += works.len() as u64;
+                    if steps >= cap {
+                        return Err(PropagationError::NoConvergence { steps });
+                    }
+                    let out = self.process_group(works, outcome, threads);
+                    classify_works(self.topology, &ranks, out, &mut up, &mut across, &mut down);
                 }
             }
-            ImportDecision::Regular => {
-                // A blackhole route redistributed by a route server keeps
-                // its drop semantics at members (next-hop is the null
-                // interface). Anywhere else the flag must not travel: a
-                // transit AS holding a propagated /32 merely routes toward
-                // the provider that discards.
-                route.is_blackhole = route.is_blackhole
-                    && rel == Relationship::RouteServer
-                    && route.next_hop.is_some();
+            // Phase 2: across. Peer and route-server redistribution, in
+            // waves until locally quiescent (route-server chains).
+            while !across.is_empty() {
+                let works = std::mem::take(&mut across);
+                progressed = true;
+                steps += works.len() as u64;
+                if steps >= cap {
+                    return Err(PropagationError::NoConvergence { steps });
+                }
+                let out = self.process_group(works, outcome, threads);
+                classify_works(self.topology, &ranks, out, &mut up, &mut across, &mut down);
+            }
+            // Phase 3: down. Routes descending to customers, highest
+            // rank first; lower-rank work joins this sweep.
+            for r in (0..=max_rank).rev() {
+                while !down[r].is_empty() {
+                    let works = std::mem::take(&mut down[r]);
+                    progressed = true;
+                    steps += works.len() as u64;
+                    if steps >= cap {
+                        return Err(PropagationError::NoConvergence { steps });
+                    }
+                    let out = self.process_group(works, outcome, threads);
+                    classify_works(self.topology, &ranks, out, &mut up, &mut across, &mut down);
+                }
+            }
+            if !progressed {
+                return Ok(());
             }
         }
-        route.learned_rel = rel;
-        route.local_pref = local_pref_for(rel);
-
-        let ps = self.state.entry(me).or_default().entry(prefix).or_default();
-        let unchanged = ps.candidates.get(&from) == Some(&route);
-        ps.candidates.insert(from, route);
-        if unchanged {
-            return; // no state change: stop propagation
-        }
-        self.after_change(time, me, prefix, queue);
     }
 
-    fn remove_candidate(
+    /// Process one rank group of work items. Items are grouped per
+    /// target AS (a *unit*); units are independent because processing a
+    /// work item touches only the target's own per-prefix state, so
+    /// units run on worker threads and merge deterministically in ASN
+    /// order afterwards.
+    fn process_group(
         &mut self,
-        time: SimTime,
-        me: Asn,
-        from: Asn,
-        prefix: Ipv4Prefix,
-        queue: &mut VecDeque<Work>,
-    ) {
-        let Some(ps) = self.state.get_mut(&me).and_then(|m| m.get_mut(&prefix)) else {
-            return;
-        };
-        if ps.candidates.remove(&from).is_none() {
-            return;
+        works: Vec<Work>,
+        outcome: &mut AnnounceOutcome,
+        threads: usize,
+    ) -> Vec<Work> {
+        struct Unit {
+            me: Asn,
+            prefixes: HashMap<Ipv4Prefix, PrefixState>,
+            works: Vec<Work>,
+            out: Vec<Work>,
+            stats: RunStats,
+            outcome: AnnounceOutcome,
+            dirty: BTreeSet<(Asn, Ipv4Prefix)>,
         }
-        self.after_change(time, me, prefix, queue);
-    }
-
-    fn process_withdraw(
-        &mut self,
-        time: SimTime,
-        me: Asn,
-        from: Asn,
-        prefix: Ipv4Prefix,
-        queue: &mut VecDeque<Work>,
-    ) {
-        if let Some(ixp) = self.topology.ixp_by_route_server(me) {
-            let ixp = ixp.clone();
-            self.withdraw_at_route_server(time, &ixp, from, prefix, queue);
-            return;
+        let mut by_target: BTreeMap<Asn, Vec<Work>> = BTreeMap::new();
+        for work in works {
+            by_target.entry(work.target()).or_default().push(work);
         }
-        self.remove_candidate(time, me, from, prefix, queue);
-    }
-
-    /// After a candidate change at `me`: recompute best, update neighbor
-    /// advertisements, and refresh collector emissions.
-    fn after_change(
-        &mut self,
-        time: SimTime,
-        me: Asn,
-        prefix: Ipv4Prefix,
-        queue: &mut VecDeque<Work>,
-    ) {
-        let offering = self.topology.as_info(me).and_then(|i| i.blackhole_offering.clone());
-        let ps = self.state.get(&me).and_then(|m| m.get(&prefix)).cloned().unwrap_or_default();
-        let best = ps.best().cloned();
-
-        // Determine the outbound advertisement per neighbor.
-        let neighbors: Vec<(Asn, Relationship)> = self.topology.neighbors(me).to_vec();
-        for (n, to_rel) in neighbors {
-            // Each `None` arm mirrors one distinct suppression rule of the
-            // paper; keeping them separate (with their comments) documents
-            // the policy even though the bodies coincide.
-            #[allow(clippy::if_same_then_else)]
-            let advert: Option<RouteEntry> = match &best {
-                None => None,
-                Some(best) => {
-                    if n == best.learned_from {
-                        None // never advertise back to the sender
-                    } else if best.communities.has_no_export() {
-                        None // explicit NO_EXPORT: honored by everyone
-                    } else if best.is_blackhole
-                        && offering.as_ref().is_some_and(|o| o.honors_no_export)
-                    {
-                        None // RFC 7999-compliant provider suppresses
-                    } else {
-                        // Valley-free verdict, then policy-extension
-                        // export hooks (scrub / OTC marking / leaker
-                        // override). The hard suppressions above are
-                        // never overridable — NO_EXPORT and RFC 7999
-                        // compliance hold even at a leaker.
-                        let default_allowed = may_export(Some(best.learned_rel), to_rel);
-                        let decided = match &self.policies {
-                            None => default_allowed.then(|| best.clone()),
-                            Some(engine) => {
-                                let mut out = best.clone();
-                                let allowed = engine.export(
-                                    self.topology,
-                                    &mut self.stats,
-                                    me,
-                                    n,
-                                    to_rel,
-                                    best.learned_rel,
-                                    &prefix,
-                                    &best.as_path,
-                                    &mut out.communities,
-                                    &mut out.leak_marked,
-                                    default_allowed,
-                                );
-                                allowed.then_some(out)
+        let mut units: Vec<Unit> = by_target
+            .into_iter()
+            .map(|(me, works)| Unit {
+                me,
+                prefixes: self.state.remove(&me).unwrap_or_default(),
+                works,
+                out: Vec::new(),
+                stats: RunStats::default(),
+                outcome: AnnounceOutcome::default(),
+                dirty: BTreeSet::new(),
+            })
+            .collect();
+        {
+            let ctx = SimCtx {
+                topology: self.topology,
+                origin_index: &self.origin_index,
+                behaviors: &self.behaviors,
+                policies: self.policies.as_ref(),
+                rs_index: &self.rs_index,
+            };
+            let run_unit = |unit: &mut Unit| {
+                let todo = std::mem::take(&mut unit.works);
+                let mut node = NodeState {
+                    me: unit.me,
+                    prefixes: &mut unit.prefixes,
+                    out: &mut unit.out,
+                    stats: &mut unit.stats,
+                    outcome: &mut unit.outcome,
+                    dirty: &mut unit.dirty,
+                };
+                for work in todo {
+                    process_work(&ctx, &mut node, work);
+                }
+            };
+            // Spawning scoped threads costs more than processing a
+            // small group; only parallelize when there are enough
+            // units to amortize it. Never affects results — the merge
+            // below is ASN-ordered either way.
+            const MIN_UNITS_PER_WORKER: usize = 256;
+            let workers = threads.max(1).min(units.len() / MIN_UNITS_PER_WORKER);
+            if workers <= 1 {
+                for unit in &mut units {
+                    run_unit(unit);
+                }
+            } else {
+                let run_unit = &run_unit;
+                let chunk = units.len().div_ceil(workers);
+                std::thread::scope(|s| {
+                    for group in units.chunks_mut(chunk) {
+                        s.spawn(move || {
+                            for unit in group {
+                                run_unit(unit);
                             }
-                        };
-                        match decided {
-                            None => None, // valley-free (or policy) suppression
-                            Some(mut out) => {
+                        });
+                    }
+                });
+            }
+        }
+        // Deterministic merge: unit (ASN) order, never completion order.
+        let mut generated: Vec<Work> = Vec::new();
+        for unit in units {
+            self.state.insert(unit.me, unit.prefixes);
+            generated.extend(unit.out);
+            self.stats.absorb(unit.stats);
+            for asn in unit.outcome.accepted_by {
+                if !outcome.accepted_by.contains(&asn) {
+                    outcome.accepted_by.push(asn);
+                }
+            }
+            for (asn, reason) in unit.outcome.rejected_by {
+                if !outcome.rejected_by.iter().any(|(a, _)| *a == asn) {
+                    outcome.rejected_by.push((asn, reason));
+                }
+            }
+            self.dirty.extend(unit.dirty);
+        }
+        generated
+    }
+
+    /// Reconstruct collector emissions from final state for every
+    /// (AS, prefix) pair dirtied since the last flush. Emitting from
+    /// the converged state (rather than along the propagation
+    /// trajectory) is what makes the queue and phased engines produce
+    /// bit-identical elem streams: propagation order affects only
+    /// transient state, and the best-path fixpoint is unique.
+    fn flush_emissions(&mut self, time: SimTime) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let topology = self.topology;
+        let dirty = std::mem::take(&mut self.dirty);
+        for &(me, prefix) in &dirty {
+            let ps = self.state.get(&me).and_then(|m| m.get(&prefix));
+            if let Some(&idx) = self.rs_index.get(&me) {
+                // Route-server node: refresh the PCH per-member views,
+                // attributing each route to the member that sent it,
+                // with its peering-LAN address.
+                let ixp = &topology.ixps()[idx];
+                for session in self.deployment.sessions_at(me) {
+                    if !matches!(session.feed, FeedKind::RouteServerView(_)) {
+                        continue;
+                    }
+                    for &member in &ixp.members {
+                        let visible = ps.and_then(|ps| ps.candidates.get(&member)).map(|r| {
+                            let mut out = r.clone();
+                            if ixp.route_server_in_path {
                                 out.as_path.prepend(me, 1);
-                                if best.is_blackhole {
-                                    if let Some(o) = &offering {
-                                        if o.strips_community {
-                                            out.communities.retain(|c| !o.is_trigger(*c));
-                                        }
+                            }
+                            out
+                        });
+                        let peer_ip =
+                            ixp.member_lan_ip(member).map(IpAddr::V4).unwrap_or(session.peer_ip);
+                        let key: EmitKey =
+                            (session.dataset, session.collector, session.peer_asn, prefix, member);
+                        emit_diff(
+                            &mut self.emitted,
+                            &mut self.elems,
+                            time,
+                            key,
+                            session,
+                            peer_ip,
+                            prefix,
+                            member,
+                            visible.as_ref(),
+                        );
+                    }
+                }
+            } else {
+                let best = ps.and_then(|p| p.best());
+                for session in self.deployment.sessions_at(me) {
+                    match session.feed {
+                        FeedKind::RouteServerView(_) => {
+                            // only meaningful at route-server nodes
+                        }
+                        FeedKind::Full | FeedKind::CustomerOnly | FeedKind::Internal => {
+                            let visible: Option<&RouteEntry> = match (session.feed, best) {
+                                (_, None) => None,
+                                (FeedKind::Full, Some(b)) => {
+                                    if b.communities.has_no_export() {
+                                        None
+                                    } else {
+                                        Some(b)
                                     }
                                 }
-                                Some(out)
-                            }
+                                (FeedKind::CustomerOnly, Some(b)) => {
+                                    if b.communities.has_no_export()
+                                        || b.learned_rel != Relationship::Customer
+                                    {
+                                        None
+                                    } else {
+                                        Some(b)
+                                    }
+                                }
+                                (FeedKind::Internal, Some(b)) => {
+                                    // Internal sessions prefer the blackhole
+                                    // candidate when one exists (it is the
+                                    // operationally interesting route).
+                                    Some(
+                                        ps.expect("best implies state")
+                                            .candidates
+                                            .values()
+                                            .find(|r| r.is_blackhole)
+                                            .unwrap_or(b),
+                                    )
+                                }
+                                (FeedKind::RouteServerView(_), Some(_)) => unreachable!(),
+                            };
+                            // The peer prepends itself when exporting to
+                            // the collector, exactly like any other eBGP
+                            // export.
+                            let exported = visible.map(|r| {
+                                let mut out = r.clone();
+                                out.as_path.prepend(me, 1);
+                                out
+                            });
+                            let key: EmitKey =
+                                (session.dataset, session.collector, session.peer_asn, prefix, me);
+                            emit_diff(
+                                &mut self.emitted,
+                                &mut self.elems,
+                                time,
+                                key,
+                                session,
+                                session.peer_ip,
+                                prefix,
+                                me,
+                                exported.as_ref(),
+                            );
                         }
                     }
                 }
-            };
-
-            let old = self
-                .state
-                .get(&me)
-                .and_then(|m| m.get(&prefix))
-                .and_then(|ps| ps.advertised.get(&n))
-                .cloned();
-            match (&old, &advert) {
-                (None, None) => {}
-                (Some(o), Some(a)) if o == a => {}
-                (_, Some(a)) => {
-                    self.state
-                        .get_mut(&me)
-                        .expect("state exists")
-                        .get_mut(&prefix)
-                        .expect("prefix state exists")
-                        .advertised
-                        .insert(n, a.clone());
-                    queue.push_back(Work::Announce { to: n, from: me, prefix, route: a.clone() });
-                }
-                (Some(_), None) => {
-                    self.state
-                        .get_mut(&me)
-                        .expect("state exists")
-                        .get_mut(&prefix)
-                        .expect("prefix state exists")
-                        .advertised
-                        .remove(&n);
-                    queue.push_back(Work::Withdraw { to: n, from: me, prefix });
-                }
             }
         }
+    }
+}
 
-        // Collector emissions.
-        self.emit_sessions(time, me, prefix, best.as_ref(), &ps);
+// ---- shared propagation core -------------------------------------------
+//
+// Both engines run the exact same per-work processing; the functions
+// below take an explicit read-only context plus a per-AS state view
+// instead of `&mut self`, so the phased engine can hand disjoint state
+// to worker threads while the queue engine threads its own fields
+// through unchanged.
+
+/// Read-only propagation context (all fields `Sync`), shared by every
+/// worker of a phased rank group.
+struct SimCtx<'a> {
+    topology: &'a Topology,
+    origin_index: &'a OriginIndex,
+    behaviors: &'a HashMap<Asn, SessionBehavior>,
+    policies: Option<&'a PolicyEngine>,
+    /// route-server ASN → index into `topology.ixps()`.
+    rs_index: &'a HashMap<Asn, usize>,
+}
+
+impl SimCtx<'_> {
+    fn ixp_of(&self, asn: Asn) -> Option<&Ixp> {
+        self.rs_index.get(&asn).map(|&i| &self.topology.ixps()[i])
+    }
+}
+
+/// Mutable state of the one AS a work item targets. Processing a work
+/// item touches nothing outside this view — that unit isolation is what
+/// makes within-rank parallelism sound.
+struct NodeState<'a> {
+    me: Asn,
+    prefixes: &'a mut HashMap<Ipv4Prefix, PrefixState>,
+    out: &'a mut Vec<Work>,
+    stats: &'a mut RunStats,
+    outcome: &'a mut AnnounceOutcome,
+    dirty: &'a mut BTreeSet<(Asn, Ipv4Prefix)>,
+}
+
+/// Sort generated work into the three valley-free phases by the role of
+/// the *sender* as seen from the receiver: a route arriving from a
+/// customer is climbing (up), one from a provider is descending (down),
+/// and anything else — peers, route servers, unknown senders — is
+/// lateral.
+fn classify_works(
+    topology: &Topology,
+    ranks: &PropagationRanks,
+    works: Vec<Work>,
+    up: &mut [Vec<Work>],
+    across: &mut Vec<Work>,
+    down: &mut [Vec<Work>],
+) {
+    for work in works {
+        match topology.rel_between(work.target(), work.source()) {
+            Some(Relationship::Customer) => {
+                let r = ranks.rank_of(work.target()).unwrap_or(0) as usize;
+                up[r.min(up.len() - 1)].push(work);
+            }
+            Some(Relationship::Provider) => {
+                let r = ranks.rank_of(work.target()).unwrap_or(0) as usize;
+                down[r.min(down.len() - 1)].push(work);
+            }
+            _ => across.push(work),
+        }
+    }
+}
+
+fn process_work(ctx: &SimCtx<'_>, node: &mut NodeState<'_>, work: Work) {
+    match work {
+        Work::Announce { from, prefix, route, .. } => {
+            process_announce(ctx, node, from, prefix, route);
+        }
+        Work::Withdraw { from, prefix, .. } => {
+            process_withdraw(ctx, node, from, prefix);
+        }
+    }
+}
+
+fn process_announce(
+    ctx: &SimCtx<'_>,
+    node: &mut NodeState<'_>,
+    from: Asn,
+    prefix: Ipv4Prefix,
+    mut route: RouteEntry,
+) {
+    let me = node.me;
+    if route.as_path.contains(me) {
+        node.stats.record_import_reject(RejectReason::LoopDetected);
+        // Loop prevention is treat-as-withdraw: any previously held
+        // candidate from this neighbor is gone, which keeps the
+        // converged state independent of delivery order.
+        match ctx.ixp_of(me) {
+            Some(ixp) => rs_remove_candidate(ctx, node, ixp, from, prefix),
+            None => remove_candidate(ctx, node, from, prefix),
+        }
+        return;
+    }
+    let Some(rel) = ctx.topology.rel_between(me, from) else {
+        return; // targeted announce to a non-neighbor: silently dropped
+    };
+
+    // Route-server node? Special redistribution semantics. Policy
+    // extensions deliberately do not hook route servers: they are
+    // transparent redistribution points, not policy actors, and PCH
+    // visibility depends on that transparency.
+    if let Some(ixp) = ctx.ixp_of(me) {
+        process_at_route_server(ctx, node, ixp, from, prefix, route);
+        return;
     }
 
-    /// Emit per-session elems for an AS whose state changed.
-    fn emit_sessions(
-        &mut self,
-        time: SimTime,
-        me: Asn,
-        prefix: Ipv4Prefix,
-        best: Option<&RouteEntry>,
-        ps: &PrefixState,
-    ) {
-        let sessions: Vec<_> = self.deployment.sessions_at(me).to_vec();
-        for session in sessions {
-            match session.feed {
-                FeedKind::RouteServerView(_) => {
-                    // handled in route-server processing
-                }
-                FeedKind::Full | FeedKind::CustomerOnly | FeedKind::Internal => {
-                    let visible: Option<&RouteEntry> = match (session.feed, best) {
-                        (_, None) => None,
-                        (FeedKind::Full, Some(b)) => {
-                            if b.communities.has_no_export() {
-                                None
-                            } else {
-                                Some(b)
-                            }
+    // Policy-extension import hooks run before the Gao-Rexford
+    // import — they model the ingress filters (ROV, peerlock,
+    // path-end, OTC) a router applies ahead of route acceptance.
+    if let Some(engine) = ctx.policies {
+        if engine
+            .import(
+                ctx.topology,
+                node.stats,
+                me,
+                from,
+                rel,
+                &prefix,
+                &route.as_path,
+                &route.communities,
+                &mut route.leak_marked,
+            )
+            .is_err()
+        {
+            remove_candidate(ctx, node, from, prefix);
+            return;
+        }
+    }
+
+    let behavior = ctx.behaviors.get(&me).copied().unwrap_or_default();
+    let origin = route.as_path.origin().unwrap_or(from);
+    let auth_ctx = AuthContext {
+        topology: ctx.topology,
+        origin,
+        sender: from,
+        allocation_owner: ctx.origin_index.origin_of(&prefix),
+        irr_registered: route.irr_registered,
+    };
+    let import =
+        import_decision(me, rel, &prefix, &route.communities, behavior, ctx.topology, &auth_ctx);
+    // Record trigger-specific rejections for ground truth even when
+    // the route is otherwise accepted as a plain route.
+    if let Some(reason) = import.trigger_rejection {
+        node.stats.record_trigger_reject(reason);
+        if !node.outcome.rejected_by.iter().any(|(a, _)| *a == me) {
+            node.outcome.rejected_by.push((me, reason));
+        }
+    }
+
+    match import.decision {
+        ImportDecision::Reject(reason) => {
+            node.stats.record_import_reject(reason);
+            // A previously held candidate from this neighbor is gone.
+            remove_candidate(ctx, node, from, prefix);
+            return;
+        }
+        ImportDecision::Blackhole => {
+            route.is_blackhole = true;
+            if !node.outcome.accepted_by.contains(&me) {
+                node.outcome.accepted_by.push(me);
+            }
+        }
+        ImportDecision::Regular => {
+            // A blackhole route redistributed by a route server keeps
+            // its drop semantics at members (next-hop is the null
+            // interface). Anywhere else the flag must not travel: a
+            // transit AS holding a propagated /32 merely routes toward
+            // the provider that discards.
+            route.is_blackhole =
+                route.is_blackhole && rel == Relationship::RouteServer && route.next_hop.is_some();
+        }
+    }
+    route.learned_rel = rel;
+    route.local_pref = local_pref_for(rel);
+
+    let ps = node.prefixes.entry(prefix).or_default();
+    let unchanged = ps.candidates.get(&from) == Some(&route);
+    ps.candidates.insert(from, route);
+    if unchanged {
+        return; // no state change: stop propagation
+    }
+    after_change(ctx, node, prefix);
+}
+
+fn remove_candidate(ctx: &SimCtx<'_>, node: &mut NodeState<'_>, from: Asn, prefix: Ipv4Prefix) {
+    let Some(ps) = node.prefixes.get_mut(&prefix) else {
+        return;
+    };
+    if ps.candidates.remove(&from).is_none() {
+        return;
+    }
+    after_change(ctx, node, prefix);
+}
+
+fn process_withdraw(ctx: &SimCtx<'_>, node: &mut NodeState<'_>, from: Asn, prefix: Ipv4Prefix) {
+    match ctx.ixp_of(node.me) {
+        Some(ixp) => rs_remove_candidate(ctx, node, ixp, from, prefix),
+        None => remove_candidate(ctx, node, from, prefix),
+    }
+}
+
+/// After a candidate change at `me`: recompute best, update neighbor
+/// advertisements, and mark the pair dirty for the emission flush.
+fn after_change(ctx: &SimCtx<'_>, node: &mut NodeState<'_>, prefix: Ipv4Prefix) {
+    let me = node.me;
+    node.dirty.insert((me, prefix));
+    let topology = ctx.topology;
+    let offering = topology.as_info(me).and_then(|i| i.blackhole_offering.as_ref());
+    let Some(ps) = node.prefixes.get_mut(&prefix) else {
+        return;
+    };
+    let best = ps.best().cloned();
+    if ps.advert_basis == best {
+        return; // adverts are a pure function of best: nothing to redo
+    }
+
+    // Determine the outbound advertisement per neighbor.
+    for &(n, to_rel) in topology.neighbors(me) {
+        // Each `None` arm mirrors one distinct suppression rule of the
+        // paper; keeping them separate (with their comments) documents
+        // the policy even though the bodies coincide.
+        #[allow(clippy::if_same_then_else)]
+        let advert: Option<RouteEntry> = match &best {
+            None => None,
+            Some(best) => {
+                if n == best.learned_from {
+                    None // never advertise back to the sender
+                } else if best.communities.has_no_export() {
+                    None // explicit NO_EXPORT: honored by everyone
+                } else if best.is_blackhole && offering.is_some_and(|o| o.honors_no_export) {
+                    None // RFC 7999-compliant provider suppresses
+                } else {
+                    // Valley-free verdict, then policy-extension
+                    // export hooks (scrub / OTC marking / leaker
+                    // override). The hard suppressions above are
+                    // never overridable — NO_EXPORT and RFC 7999
+                    // compliance hold even at a leaker.
+                    let default_allowed = may_export(Some(best.learned_rel), to_rel);
+                    let decided = match ctx.policies {
+                        None => default_allowed.then(|| best.clone()),
+                        Some(engine) => {
+                            let mut out = best.clone();
+                            let allowed = engine.export(
+                                topology,
+                                node.stats,
+                                me,
+                                n,
+                                to_rel,
+                                best.learned_rel,
+                                &prefix,
+                                &best.as_path,
+                                &mut out.communities,
+                                &mut out.leak_marked,
+                                default_allowed,
+                            );
+                            allowed.then_some(out)
                         }
-                        (FeedKind::CustomerOnly, Some(b)) => {
-                            if b.communities.has_no_export()
-                                || b.learned_rel != Relationship::Customer
-                            {
-                                None
-                            } else {
-                                Some(b)
-                            }
-                        }
-                        (FeedKind::Internal, Some(b)) => {
-                            // Internal sessions prefer the blackhole
-                            // candidate when one exists (it is the
-                            // operationally interesting route).
-                            Some(ps.candidates.values().find(|r| r.is_blackhole).unwrap_or(b))
-                        }
-                        (FeedKind::RouteServerView(_), Some(_)) => unreachable!(),
                     };
-                    // The peer prepends itself when exporting to the
-                    // collector, exactly like any other eBGP export.
-                    let exported = visible.map(|r| {
-                        let mut out = r.clone();
-                        out.as_path.prepend(me, 1);
-                        out
-                    });
-                    let key: EmitKey =
-                        (session.dataset, session.collector, session.peer_asn, prefix, me);
-                    self.emit_diff(time, key, &session, prefix, me, exported.as_ref());
+                    match decided {
+                        None => None, // valley-free (or policy) suppression
+                        Some(mut out) => {
+                            out.as_path.prepend(me, 1);
+                            if best.is_blackhole {
+                                if let Some(o) = offering {
+                                    if o.strips_community {
+                                        out.communities.retain(|c| !o.is_trigger(*c));
+                                    }
+                                }
+                            }
+                            Some(out)
+                        }
+                    }
                 }
             }
-        }
-    }
+        };
 
-    /// Compare with the session's previously emitted state; emit announce
-    /// or withdraw elems as needed.
-    fn emit_diff(
-        &mut self,
-        time: SimTime,
-        key: EmitKey,
-        session: &crate::collector::CollectorSession,
-        prefix: Ipv4Prefix,
-        attributed_peer: Asn,
-        visible: Option<&RouteEntry>,
-    ) {
-        let old = self.emitted.get(&key);
-        match visible {
-            Some(route) => {
-                let sig = (route.as_path.clone(), route.communities.clone());
-                if old == Some(&sig) {
-                    return;
-                }
-                self.emitted.insert(key, sig);
-                self.elems.push(BgpElem {
-                    time,
-                    dataset: session.dataset,
-                    collector: session.collector,
-                    peer_asn: attributed_peer,
-                    peer_ip: session.peer_ip,
-                    elem_type: ElemType::Announce,
-                    prefix,
-                    as_path: route.as_path.clone(),
-                    communities: route.communities.clone(),
-                    next_hop: route.next_hop,
-                });
+        let unchanged = match (&advert, ps.advertised.get(&n)) {
+            (None, None) => true,
+            (Some(a), Some(o)) => a == o,
+            _ => false,
+        };
+        if unchanged {
+            continue;
+        }
+        match advert {
+            Some(a) => {
+                node.out.push(Work::Announce { to: n, from: me, prefix, route: a.clone() });
+                ps.advertised.insert(n, a);
             }
             None => {
-                if old.is_none() {
-                    return;
-                }
-                self.emitted.remove(&key);
-                self.elems.push(BgpElem {
-                    time,
-                    dataset: session.dataset,
-                    collector: session.collector,
-                    peer_asn: attributed_peer,
-                    peer_ip: session.peer_ip,
-                    elem_type: ElemType::Withdraw,
-                    prefix,
-                    as_path: AsPath::empty(),
-                    communities: CommunitySet::new(),
-                    next_hop: None,
-                });
+                ps.advertised.remove(&n);
+                node.out.push(Work::Withdraw { to: n, from: me, prefix });
             }
         }
     }
+    ps.advert_basis = best;
+}
 
-    // ---- route servers --------------------------------------------------
-
-    #[allow(clippy::too_many_arguments)]
-    fn process_at_route_server(
-        &mut self,
-        time: SimTime,
-        ixp: &Ixp,
-        from: Asn,
-        prefix: Ipv4Prefix,
-        mut route: RouteEntry,
-        queue: &mut VecDeque<Work>,
-        outcome: &mut AnnounceOutcome,
-    ) {
-        let me = ixp.route_server_asn;
-        if route.as_path.contains(me) {
-            return;
-        }
-        if !ixp.has_member(from) {
-            return; // only members speak to the route server
-        }
-        let offering = self.topology.as_info(me).and_then(|i| i.blackhole_offering.clone());
-
-        // Import filter at the route server.
-        let triggered = offering.as_ref().is_some_and(|o| {
-            route.communities.iter().any(|c| o.is_trigger(c))
-                || o.large_community.is_some_and(|l| route.communities.contains_large(l))
-        });
-        if triggered {
-            let o = offering.as_ref().expect("triggered implies offering");
-            if !o.accepts_length(prefix.length()) {
-                if !outcome.rejected_by.iter().any(|(a, _)| *a == me) {
-                    outcome.rejected_by.push((me, RejectReason::LengthRejected));
-                }
-                self.rs_remove_candidate(time, ixp, from, prefix, queue);
+/// Compare with the session's previously emitted state; emit announce
+/// or withdraw elems as needed.
+#[allow(clippy::too_many_arguments)] // flat emission context, called from one place per feed kind
+fn emit_diff(
+    emitted: &mut HashMap<EmitKey, (AsPath, CommunitySet)>,
+    elems: &mut Vec<BgpElem>,
+    time: SimTime,
+    key: EmitKey,
+    session: &CollectorSession,
+    peer_ip: IpAddr,
+    prefix: Ipv4Prefix,
+    attributed_peer: Asn,
+    visible: Option<&RouteEntry>,
+) {
+    let old = emitted.get(&key);
+    match visible {
+        Some(route) => {
+            let sig = (route.as_path.clone(), route.communities.clone());
+            if old == Some(&sig) {
                 return;
             }
-            // Route servers filter on IRR registration: misconfigured
-            // users' blackhole requests are not redistributed (§10).
-            let origin = route.as_path.origin().unwrap_or(from);
-            let auth_ctx = AuthContext {
-                topology: self.topology,
-                origin,
-                sender: from,
-                allocation_owner: self.origin_index.origin_of(&prefix),
-                irr_registered: route.irr_registered,
-            };
-            if !crate::policy::auth_ok(o.auth, &auth_ctx) {
-                if !outcome.rejected_by.iter().any(|(a, _)| *a == me) {
-                    outcome.rejected_by.push((me, RejectReason::AuthFailed));
-                }
-                self.rs_remove_candidate(time, ixp, from, prefix, queue);
+            emitted.insert(key, sig);
+            elems.push(BgpElem {
+                time,
+                dataset: session.dataset,
+                collector: session.collector,
+                peer_asn: attributed_peer,
+                peer_ip,
+                elem_type: ElemType::Announce,
+                prefix,
+                as_path: route.as_path.clone(),
+                communities: route.communities.clone(),
+                next_hop: route.next_hop,
+            });
+        }
+        None => {
+            if old.is_none() {
                 return;
             }
-            route.is_blackhole = true;
-            route.next_hop = o.blackhole_ip.map(IpAddr::V4);
-            if !outcome.accepted_by.contains(&me) {
-                outcome.accepted_by.push(me);
-            }
-        } else if prefix.is_more_specific_than(24) {
-            // Untagged host routes are not redistributed by route servers.
-            self.rs_remove_candidate(time, ixp, from, prefix, queue);
-            return;
+            emitted.remove(&key);
+            elems.push(BgpElem {
+                time,
+                dataset: session.dataset,
+                collector: session.collector,
+                peer_asn: attributed_peer,
+                peer_ip,
+                elem_type: ElemType::Withdraw,
+                prefix,
+                as_path: AsPath::empty(),
+                communities: CommunitySet::new(),
+                next_hop: None,
+            });
         }
-        route.learned_rel = Relationship::RouteServer;
-        route.local_pref = local_pref_for(Relationship::RouteServer);
-
-        let ps = self.state.entry(me).or_default().entry(prefix).or_default();
-        let unchanged = ps.candidates.get(&from) == Some(&route);
-        ps.candidates.insert(from, route.clone());
-        if unchanged {
-            return;
-        }
-        self.rs_redistribute(time, ixp, from, prefix, Some(&route), queue);
     }
+}
 
-    fn rs_remove_candidate(
-        &mut self,
-        time: SimTime,
-        ixp: &Ixp,
-        from: Asn,
-        prefix: Ipv4Prefix,
-        queue: &mut VecDeque<Work>,
-    ) {
-        let me = ixp.route_server_asn;
-        let Some(ps) = self.state.get_mut(&me).and_then(|m| m.get_mut(&prefix)) else {
+// ---- route servers --------------------------------------------------
+
+fn process_at_route_server(
+    ctx: &SimCtx<'_>,
+    node: &mut NodeState<'_>,
+    ixp: &Ixp,
+    from: Asn,
+    prefix: Ipv4Prefix,
+    mut route: RouteEntry,
+) {
+    let me = node.me;
+    if !ixp.has_member(from) {
+        return; // only members speak to the route server
+    }
+    let offering = ctx.topology.as_info(me).and_then(|i| i.blackhole_offering.as_ref());
+
+    // Import filter at the route server.
+    let triggered = offering.is_some_and(|o| {
+        route.communities.iter().any(|c| o.is_trigger(c))
+            || o.large_community.is_some_and(|l| route.communities.contains_large(l))
+    });
+    if triggered {
+        let o = offering.expect("triggered implies offering");
+        if !o.accepts_length(prefix.length()) {
+            if !node.outcome.rejected_by.iter().any(|(a, _)| *a == me) {
+                node.outcome.rejected_by.push((me, RejectReason::LengthRejected));
+            }
+            rs_remove_candidate(ctx, node, ixp, from, prefix);
             return;
+        }
+        // Route servers filter on IRR registration: misconfigured
+        // users' blackhole requests are not redistributed (§10).
+        let origin = route.as_path.origin().unwrap_or(from);
+        let auth_ctx = AuthContext {
+            topology: ctx.topology,
+            origin,
+            sender: from,
+            allocation_owner: ctx.origin_index.origin_of(&prefix),
+            irr_registered: route.irr_registered,
         };
-        if ps.candidates.remove(&from).is_none() {
+        if !crate::policy::auth_ok(o.auth, &auth_ctx) {
+            if !node.outcome.rejected_by.iter().any(|(a, _)| *a == me) {
+                node.outcome.rejected_by.push((me, RejectReason::AuthFailed));
+            }
+            rs_remove_candidate(ctx, node, ixp, from, prefix);
             return;
         }
-        self.rs_redistribute(time, ixp, from, prefix, None, queue);
-    }
-
-    fn withdraw_at_route_server(
-        &mut self,
-        time: SimTime,
-        ixp: &Ixp,
-        from: Asn,
-        prefix: Ipv4Prefix,
-        queue: &mut VecDeque<Work>,
-    ) {
-        self.rs_remove_candidate(time, ixp, from, prefix, queue);
-    }
-
-    /// Redistribute one member's (possibly changed) route to all other
-    /// members, and refresh the PCH route-server view.
-    fn rs_redistribute(
-        &mut self,
-        time: SimTime,
-        ixp: &Ixp,
-        announcer: Asn,
-        prefix: Ipv4Prefix,
-        route: Option<&RouteEntry>,
-        queue: &mut VecDeque<Work>,
-    ) {
-        let me = ixp.route_server_asn;
-        for &member in &ixp.members {
-            if member == announcer {
-                continue;
-            }
-            match route {
-                Some(r) => {
-                    let mut out = r.clone();
-                    if ixp.route_server_in_path {
-                        out.as_path.prepend(me, 1);
-                    }
-                    queue.push_back(Work::Announce { to: member, from: me, prefix, route: out });
-                }
-                None => {
-                    queue.push_back(Work::Withdraw { to: member, from: me, prefix });
-                }
-            }
+        route.is_blackhole = true;
+        route.next_hop = o.blackhole_ip.map(IpAddr::V4);
+        if !node.outcome.accepted_by.contains(&me) {
+            node.outcome.accepted_by.push(me);
         }
+    } else if prefix.is_more_specific_than(24) {
+        // Untagged host routes are not redistributed by route servers.
+        rs_remove_candidate(ctx, node, ixp, from, prefix);
+        return;
+    }
+    route.learned_rel = Relationship::RouteServer;
+    route.local_pref = local_pref_for(Relationship::RouteServer);
 
-        // PCH route-server view: attribute to the announcing member with
-        // its peering-LAN address.
-        let sessions: Vec<_> = self.deployment.sessions_at(me).to_vec();
-        for session in sessions {
-            if !matches!(session.feed, FeedKind::RouteServerView(_)) {
-                continue;
-            }
-            let peer_ip = ixp.member_lan_ip(announcer).map(IpAddr::V4).unwrap_or(session.peer_ip);
-            let key: EmitKey =
-                (session.dataset, session.collector, session.peer_asn, prefix, announcer);
-            let visible = route.map(|r| {
-                let mut out = r.clone();
+    let ps = node.prefixes.entry(prefix).or_default();
+    let unchanged = ps.candidates.get(&from) == Some(&route);
+    ps.candidates.insert(from, route);
+    if unchanged {
+        return;
+    }
+    rs_redistribute(node, ixp, prefix);
+}
+
+fn rs_remove_candidate(
+    _ctx: &SimCtx<'_>,
+    node: &mut NodeState<'_>,
+    ixp: &Ixp,
+    from: Asn,
+    prefix: Ipv4Prefix,
+) {
+    let Some(ps) = node.prefixes.get_mut(&prefix) else {
+        return;
+    };
+    if ps.candidates.remove(&from).is_none() {
+        return;
+    }
+    rs_redistribute(node, ixp, prefix);
+}
+
+/// Re-advertise the route server's choice to every member after any
+/// change to its candidate set: each member receives the best remaining
+/// candidate contributed by *another* member (shortest AS path, then
+/// lowest contributor ASN), or a withdraw when none is left.
+///
+/// Advertising the post-change best — not the triggering change — is
+/// what keeps the members' view a pure function of the route server's
+/// final candidate set: a member holds exactly one candidate per route
+/// server session, so forwarding every contribution would leave
+/// whichever arrived last, an artifact of delivery order that the queue
+/// and phased engines would disagree on. The PCH route-server views are
+/// reconstructed from the final candidate set at flush time;
+/// propagation only marks the pair dirty.
+fn rs_redistribute(node: &mut NodeState<'_>, ixp: &Ixp, prefix: Ipv4Prefix) {
+    let me = node.me;
+    node.dirty.insert((me, prefix));
+    static EMPTY: BTreeMap<Asn, RouteEntry> = BTreeMap::new();
+    let candidates = node.prefixes.get(&prefix).map(|ps| &ps.candidates).unwrap_or(&EMPTY);
+    for &member in &ixp.members {
+        let best = candidates
+            .iter()
+            .filter(|&(&contributor, _)| contributor != member)
+            .min_by_key(|&(&contributor, route)| (route.as_path.hop_len(), contributor));
+        match best {
+            Some((_, route)) => {
+                let mut out = route.clone();
                 if ixp.route_server_in_path {
                     out.as_path.prepend(me, 1);
                 }
-                out
-            });
-            let mut session = session.clone();
-            session.peer_ip = peer_ip;
-            self.emit_diff(time, key, &session, prefix, announcer, visible.as_ref());
+                node.out.push(Work::Announce { to: member, from: me, prefix, route: out });
+            }
+            None => {
+                node.out.push(Work::Withdraw { to: member, from: me, prefix });
+            }
         }
     }
 }

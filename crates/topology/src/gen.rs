@@ -84,6 +84,13 @@ pub struct TopologyConfig {
     pub bh_unknown: ProviderCounts,
     /// Fraction of ASes with a PeeringDB record disclosing their type.
     pub peeringdb_coverage: f64,
+    /// CAIDA-serial-2-shaped growth: customers attach to transit
+    /// providers preferentially by current customer degree (rich get
+    /// richer → power-law degree distribution, like the real AS graph)
+    /// instead of uniformly, and stub address space is packed densely so
+    /// the allocator scales to ~75k ASes. Off by default — the
+    /// paper-study and tiny shapes are byte-identical with it off.
+    pub power_law_degrees: bool,
 }
 
 impl Default for TopologyConfig {
@@ -104,6 +111,7 @@ impl Default for TopologyConfig {
             bh_enterprise: ProviderCounts { documented: 8, undocumented: 3 },
             bh_unknown: ProviderCounts { documented: 14, undocumented: 3 },
             peeringdb_coverage: 0.72,
+            power_law_degrees: false,
         }
     }
 }
@@ -127,6 +135,52 @@ impl TopologyConfig {
             bh_enterprise: ProviderCounts { documented: 1, undocumented: 0 },
             bh_unknown: ProviderCounts { documented: 1, undocumented: 0 },
             peeringdb_coverage: 0.72,
+            power_law_degrees: false,
+        }
+    }
+
+    /// The CAIDA-serial-2-shaped internet: ~75k ASes with power-law
+    /// customer degrees, a 20-member tier-1 clique, and ~190 IXPs. The
+    /// scale where propagation-engine claims become falsifiable.
+    pub fn massive(seed: u64) -> Self {
+        Self::massive_scaled(seed, 75_000)
+    }
+
+    /// [`TopologyConfig::massive`] at a chosen AS count (≥500; smoke
+    /// tests and CI run the same shape a couple of orders of magnitude
+    /// smaller). Type proportions follow the CAIDA serial-2 mix; the
+    /// Table-2 blackholing populations shrink proportionally but never
+    /// exceed the paper's absolute counts.
+    pub fn massive_scaled(seed: u64, total_ases: usize) -> Self {
+        let total = total_ases.max(500);
+        let tier1_count = 20;
+        let transit_count = (total * 6 / 100).max(40);
+        let content_count = total * 25 / 100;
+        let edu_count = total * 8 / 100;
+        let unknown_count = total * 12 / 100;
+        let enterprise_count =
+            total - tier1_count - transit_count - content_count - edu_count - unknown_count;
+        let ixp_count = (total / 400).clamp(4, 200);
+        // Scale a Table-2 count with the graph, floor 1, cap at the
+        // paper's real-internet absolute.
+        let scale = |n: usize| (n * total / 75_000).clamp(1, n);
+        TopologyConfig {
+            seed,
+            tier1_count,
+            transit_count,
+            content_count,
+            enterprise_count,
+            edu_count,
+            unknown_count,
+            ixp_count,
+            bh_transit: ProviderCounts { documented: scale(198), undocumented: scale(81) },
+            bh_ixp: scale(49).min(ixp_count),
+            bh_content: ProviderCounts { documented: scale(23), undocumented: scale(14) },
+            bh_edu: ProviderCounts { documented: scale(15), undocumented: scale(1) },
+            bh_enterprise: ProviderCounts { documented: scale(8), undocumented: scale(3) },
+            bh_unknown: ProviderCounts { documented: scale(14), undocumented: scale(3) },
+            peeringdb_coverage: 0.72,
+            power_law_degrees: true,
         }
     }
 
@@ -154,13 +208,12 @@ impl TopologyBuilder {
     /// Create a builder.
     pub fn new(config: TopologyConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        TopologyBuilder {
-            config,
-            rng,
-            alloc: AddressAllocator::new(),
-            next_asn: 100,
-            next_rs_asn: 59_000,
-        }
+        // At massive scale the regular ASN walk (~10.5 step average)
+        // climbs well past 59k, so route-server ASNs move out of its way;
+        // the historical base is kept for the paper-scale shapes so their
+        // generated topologies stay byte-identical.
+        let next_rs_asn = if config.power_law_degrees { 3_000_000 } else { 59_000 };
+        TopologyBuilder { config, rng, alloc: AddressAllocator::new(), next_asn: 100, next_rs_asn }
     }
 
     /// Convenience: default config with the given seed.
@@ -183,6 +236,16 @@ impl TopologyBuilder {
         let asn = Asn::new(self.next_rs_asn);
         self.next_rs_asn += 1;
         asn
+    }
+
+    /// Allocate an AS prefix: slab-granular normally, packed in the
+    /// massive shape (where one slab per prefix would exhaust the space).
+    fn alloc_prefix(&mut self, length: u8) -> bh_bgp_types::prefix::Ipv4Prefix {
+        if self.config.power_law_degrees {
+            self.alloc.alloc_packed(length)
+        } else {
+            self.alloc.alloc(length)
+        }
     }
 
     /// Build the topology.
@@ -221,17 +284,33 @@ impl TopologyBuilder {
 
         // ---- Mid-tier transit ----------------------------------------------
         let mut transits = Vec::with_capacity(cfg.transit_count);
+        // Preferential-attachment endpoint pool (massive shape only):
+        // every transit appears once at creation plus once per customer
+        // edge it acquires, so a uniform draw from the pool is
+        // degree-proportional — the Barabási–Albert process that gives
+        // the AS graph its power-law customer degrees.
+        let mut attach_pool: Vec<Asn> = Vec::new();
         for _ in 0..cfg.transit_count {
             let asn = self.fresh_asn();
             let prefix_count = self.rng.gen_range(1..=3);
-            let prefixes =
-                (0..prefix_count).map(|_| self.alloc.alloc(self.rng.gen_range(14..=18))).collect();
+            let prefixes = (0..prefix_count)
+                .map(|_| {
+                    let len = self.rng.gen_range(14..=18);
+                    self.alloc_prefix(len)
+                })
+                .collect();
             // Providers: preferential mix of tier-1 and earlier transits.
             let provider_count = self.rng.gen_range(1..=3).min(1 + transits.len());
             let mut providers: Vec<Asn> = Vec::new();
             for _ in 0..provider_count {
                 let from_tier1 = transits.len() < 4 || self.rng.gen_bool(0.45);
-                let pool: &[Asn] = if from_tier1 { &tier1 } else { &transits };
+                let pool: &[Asn] = if from_tier1 {
+                    &tier1
+                } else if cfg.power_law_degrees {
+                    &attach_pool
+                } else {
+                    &transits
+                };
                 if let Some(&p) = pool.choose(&mut self.rng) {
                     if !providers.contains(&p) && p != asn {
                         providers.push(p);
@@ -240,6 +319,9 @@ impl TopologyBuilder {
             }
             for p in &providers {
                 edges.push((*p, asn, Relationship::Customer));
+                if cfg.power_law_degrees && !tier1.contains(p) {
+                    attach_pool.push(*p);
+                }
             }
             // Occasional lateral peering among transits.
             if !transits.is_empty() && self.rng.gen_bool(0.35) {
@@ -263,6 +345,7 @@ impl TopologyBuilder {
                 },
             );
             transits.push(asn);
+            attach_pool.push(asn);
         }
 
         // ---- Stubs of each type --------------------------------------------
@@ -270,9 +353,11 @@ impl TopologyBuilder {
                        ty: NetworkType,
                        count: usize,
                        ases: &mut BTreeMap<Asn, AsInfo>,
-                       edges: &mut Vec<(Asn, Asn, Relationship)>|
+                       edges: &mut Vec<(Asn, Asn, Relationship)>,
+                       attach_pool: &mut Vec<Asn>|
          -> Vec<Asn> {
             let mut out = Vec::with_capacity(count);
+            let power_law = builder.config.power_law_degrees;
             for _ in 0..count {
                 let asn = builder.fresh_asn();
                 let (min_len, max_len, max_prefixes) = match ty {
@@ -282,12 +367,16 @@ impl TopologyBuilder {
                 };
                 let prefix_count = builder.rng.gen_range(1..=max_prefixes);
                 let prefixes = (0..prefix_count)
-                    .map(|_| builder.alloc.alloc(builder.rng.gen_range(min_len..=max_len)))
+                    .map(|_| {
+                        let len = builder.rng.gen_range(min_len..=max_len);
+                        builder.alloc_prefix(len)
+                    })
                     .collect();
                 let provider_count = builder.rng.gen_range(1..=3usize);
                 let mut chosen = Vec::new();
                 for _ in 0..provider_count {
-                    if let Some(&p) = transits.choose(&mut builder.rng) {
+                    let pool: &[Asn] = if power_law { &attach_pool[..] } else { &transits[..] };
+                    if let Some(&p) = pool.choose(&mut builder.rng) {
                         if !chosen.contains(&p) {
                             chosen.push(p);
                         }
@@ -295,6 +384,9 @@ impl TopologyBuilder {
                 }
                 for p in &chosen {
                     edges.push((*p, asn, Relationship::Customer));
+                    if power_law {
+                        attach_pool.push(*p);
+                    }
                 }
                 let weights = if ty == NetworkType::TransitAccess {
                     PROVIDER_COUNTRY_WEIGHTS
@@ -323,14 +415,21 @@ impl TopologyBuilder {
             out
         };
 
-        let contents =
-            stub_of(&mut self, NetworkType::Content, cfg.content_count, &mut ases, &mut edges);
+        let contents = stub_of(
+            &mut self,
+            NetworkType::Content,
+            cfg.content_count,
+            &mut ases,
+            &mut edges,
+            &mut attach_pool,
+        );
         let enterprises = stub_of(
             &mut self,
             NetworkType::Enterprise,
             cfg.enterprise_count,
             &mut ases,
             &mut edges,
+            &mut attach_pool,
         );
         let edus = stub_of(
             &mut self,
@@ -338,9 +437,16 @@ impl TopologyBuilder {
             cfg.edu_count,
             &mut ases,
             &mut edges,
+            &mut attach_pool,
         );
-        let unknowns =
-            stub_of(&mut self, NetworkType::Unknown, cfg.unknown_count, &mut ases, &mut edges);
+        let unknowns = stub_of(
+            &mut self,
+            NetworkType::Unknown,
+            cfg.unknown_count,
+            &mut ases,
+            &mut edges,
+            &mut attach_pool,
+        );
 
         // ---- IXPs ----------------------------------------------------------
         let mut ixps = Vec::with_capacity(cfg.ixp_count);
@@ -814,6 +920,86 @@ mod tests {
         }
         for ixp in t.ixps() {
             assert_eq!(c.network_type(&t, ixp.route_server_asn), NetworkType::Ixp);
+        }
+    }
+
+    #[test]
+    fn massive_scaled_builds_a_power_law_graph() {
+        let cfg = TopologyConfig::massive_scaled(11, 2000);
+        let t = TopologyBuilder::new(cfg.clone()).build();
+        assert_eq!(t.as_count(), cfg.total_ases() + cfg.ixp_count);
+        let expect_bh = cfg.bh_transit.documented
+            + cfg.bh_transit.undocumented
+            + cfg.bh_ixp
+            + cfg.bh_content.documented
+            + cfg.bh_content.undocumented
+            + cfg.bh_edu.documented
+            + cfg.bh_edu.undocumented
+            + cfg.bh_enterprise.documented
+            + cfg.bh_enterprise.undocumented
+            + cfg.bh_unknown.documented
+            + cfg.bh_unknown.undocumented;
+        assert_eq!(t.blackholing_providers().len(), expect_bh);
+        // Preferential attachment: hub transits dwarf the median.
+        let mut degrees: Vec<usize> = t
+            .ases()
+            .filter(|i| i.tier == Tier::Transit)
+            .map(|i| t.degrees(i.asn).customers)
+            .collect();
+        degrees.sort_unstable();
+        let median = degrees[degrees.len() / 2];
+        let max = *degrees.last().unwrap();
+        assert!(
+            max >= 40 && max >= 5 * median.max(1),
+            "no power-law tail: max {max}, median {median}"
+        );
+        // Stubs still multihome and reach the core.
+        let tier1: Vec<Asn> = t.ases().filter(|i| i.tier == Tier::Tier1).map(|i| i.asn).collect();
+        for info in t.ases() {
+            if info.network_type == NetworkType::Ixp {
+                continue;
+            }
+            if info.tier == Tier::Stub {
+                assert!(!t.providers_of(info.asn).is_empty(), "{} has no provider", info.asn);
+            }
+            let cone = t.provider_cone(info.asn);
+            assert!(
+                tier1.iter().any(|asn| cone.contains(asn)),
+                "{} cannot reach the core",
+                info.asn
+            );
+        }
+        // Route-server ASNs moved out of the regular ASN walk's range.
+        for ixp in t.ixps() {
+            assert!(ixp.route_server_asn.value() >= 3_000_000);
+        }
+        // Prefixes stay globally disjoint under the packed allocator.
+        let mut all: Vec<_> = t.ases().flat_map(|i| i.prefixes.iter().copied()).collect();
+        for ixp in t.ixps() {
+            all.push(ixp.peering_lan);
+        }
+        all.sort_unstable_by_key(|p| (u32::from(p.network()), p.length()));
+        for pair in all.windows(2) {
+            assert!(
+                !pair[0].contains(&pair[1]) && !pair[1].contains(&pair[0]),
+                "{} overlaps {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // The rank invariant the phased engine relies on, at scale.
+        let ranks = t.propagation_ranks();
+        for info in t.ases() {
+            for &(neighbor, rel) in t.neighbors(info.asn) {
+                if rel == Relationship::Provider {
+                    assert!(
+                        ranks.rank_of(neighbor).unwrap() > ranks.rank_of(info.asn).unwrap(),
+                        "provider edge {} -> {} does not increase rank",
+                        info.asn,
+                        neighbor
+                    );
+                }
+            }
         }
     }
 

@@ -86,6 +86,79 @@ impl Topology {
         self.adjacency.get(&asn).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// The relationship `me` has with `neighbor`, if they are adjacent.
+    ///
+    /// Binary search over the adjacency list ([`Topology::assemble`]
+    /// sorts each list by ASN), so this is `O(log degree)` even at hub
+    /// ASes with tens of thousands of customers. If the generator ever
+    /// emitted two different relationships for the same pair, the first
+    /// entry wins — matching a linear scan.
+    pub fn rel_between(&self, me: Asn, neighbor: Asn) -> Option<Relationship> {
+        let neighbors = self.neighbors(me);
+        let i = neighbors.partition_point(|(asn, _)| *asn < neighbor);
+        match neighbors.get(i) {
+            Some((asn, rel)) if *asn == neighbor => Some(*rel),
+            _ => None,
+        }
+    }
+
+    /// Compute per-AS propagation ranks (customer-cone depth): the rank
+    /// of an AS is the length of the longest customer chain below it, so
+    /// every provider edge strictly increases rank. Stubs are rank 0;
+    /// tier-1s sit at the top. Phased propagation engines use this to
+    /// schedule the valley-free passes (up in ascending rank order, down
+    /// in descending order) and to parallelize within a rank, because no
+    /// two ASes at the same rank are in a provider/customer relation.
+    ///
+    /// Computed by Kahn-style longest-path over the customer→provider
+    /// DAG. Relationship cycles (which the generator never emits, but a
+    /// loaded graph might carry) are drained onto a single rank above
+    /// everything acyclic, keeping the schedule well-defined.
+    pub fn propagation_ranks(&self) -> PropagationRanks {
+        let index = AsnIndex::from_topology(self);
+        let n = index.len();
+        let mut ranks = vec![0u32; n];
+        // pending[i] = number of customers of AS i not yet ranked.
+        let mut pending = vec![0u32; n];
+        for (&asn, neighbors) in &self.adjacency {
+            let i = index.index_of(asn).expect("adjacency ASN in index");
+            pending[i] =
+                neighbors.iter().filter(|(_, rel)| *rel == Relationship::Customer).count() as u32;
+        }
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&i| pending[i] == 0).collect::<Vec<_>>().into();
+        let mut ranked = 0usize;
+        let mut max_rank = 0u32;
+        while let Some(i) = queue.pop_front() {
+            ranked += 1;
+            max_rank = max_rank.max(ranks[i]);
+            let asn = index.asn_at(i).expect("dense index in range");
+            for &(neighbor, rel) in self.neighbors(asn) {
+                // My providers sit at least one rank above me.
+                if rel == Relationship::Provider {
+                    let p = index.index_of(neighbor).expect("neighbor in index");
+                    ranks[p] = ranks[p].max(ranks[i] + 1);
+                    pending[p] -= 1;
+                    if pending[p] == 0 {
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        if ranked < n {
+            // Provider/customer cycle: park the unranked remainder on a
+            // rank of their own so every provider edge out of the acyclic
+            // part still increases rank.
+            max_rank += 1;
+            for i in 0..n {
+                if pending[i] > 0 {
+                    ranks[i] = max_rank;
+                }
+            }
+        }
+        PropagationRanks { index, ranks, max_rank }
+    }
+
     /// Providers of an AS.
     pub fn providers_of(&self, asn: Asn) -> Vec<Asn> {
         self.rel_neighbors(asn, Relationship::Provider)
@@ -314,6 +387,51 @@ impl AsnIndex {
     }
 }
 
+/// Per-AS propagation ranks (customer-cone depth), plus the dense
+/// [`AsnIndex`] they are keyed by. Built once per topology by
+/// [`Topology::propagation_ranks`] and shared (it is cheap to clone the
+/// Arc'd wrapper callers usually put around it) across simulator
+/// instances — at 75k ASes the Kahn pass is the expensive part, not the
+/// lookups.
+#[derive(Debug, Clone)]
+pub struct PropagationRanks {
+    index: AsnIndex,
+    ranks: Vec<u32>,
+    max_rank: u32,
+}
+
+impl PropagationRanks {
+    /// The rank of an AS (0 for stubs; `None` for unknown ASNs).
+    pub fn rank_of(&self, asn: Asn) -> Option<u32> {
+        self.index.index_of(asn).map(|i| self.ranks[i])
+    }
+
+    /// The highest rank present.
+    pub fn max_rank(&self) -> u32 {
+        self.max_rank
+    }
+
+    /// The dense index ranks are keyed by.
+    pub fn index(&self) -> &AsnIndex {
+        &self.index
+    }
+
+    /// Rank at a dense index (panics if out of range).
+    pub fn rank_at(&self, idx: usize) -> u32 {
+        self.ranks[idx]
+    }
+
+    /// Number of ranked ASes.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Is the rank table empty?
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::types::Tier;
@@ -440,6 +558,72 @@ mod tests {
         let t = small_topology();
         let d = t.degrees(Asn::new(2));
         assert_eq!(d, Degrees { customers: 1, providers: 1, peers: 1, route_servers: 0 });
+    }
+
+    #[test]
+    fn rel_between_matches_linear_scan() {
+        let t = small_topology();
+        for info in t.ases() {
+            for probe in t.ases() {
+                let linear = t
+                    .neighbors(info.asn)
+                    .iter()
+                    .find(|(n, _)| *n == probe.asn)
+                    .map(|(_, rel)| *rel);
+                assert_eq!(t.rel_between(info.asn, probe.asn), linear);
+            }
+        }
+        assert_eq!(t.rel_between(Asn::new(1), Asn::new(2)), Some(Relationship::Customer));
+        assert_eq!(t.rel_between(Asn::new(2), Asn::new(1)), Some(Relationship::Provider));
+        assert_eq!(t.rel_between(Asn::new(2), Asn::new(4)), Some(Relationship::Peer));
+        assert_eq!(t.rel_between(Asn::new(1), Asn::new(3)), None);
+        assert_eq!(t.rel_between(Asn::new(999), Asn::new(1)), None);
+    }
+
+    #[test]
+    fn propagation_ranks_increase_along_provider_edges() {
+        // 1 ← 2 ← 3, 2 — 4 (peer), 5 isolated.
+        let t = small_topology();
+        let ranks = t.propagation_ranks();
+        assert_eq!(ranks.rank_of(Asn::new(3)), Some(0));
+        assert_eq!(ranks.rank_of(Asn::new(2)), Some(1));
+        assert_eq!(ranks.rank_of(Asn::new(1)), Some(2));
+        // Peers and isolated ASes sit wherever their customer depth puts
+        // them — no customers means rank 0.
+        assert_eq!(ranks.rank_of(Asn::new(4)), Some(0));
+        assert_eq!(ranks.rank_of(Asn::new(5)), Some(0));
+        assert_eq!(ranks.max_rank(), 2);
+        assert_eq!(ranks.len(), 5);
+        assert!(ranks.rank_of(Asn::new(999)).is_none());
+        // The invariant the phased engine relies on.
+        for info in t.ases() {
+            for &(neighbor, rel) in t.neighbors(info.asn) {
+                if rel == Relationship::Provider {
+                    assert!(ranks.rank_of(neighbor).unwrap() > ranks.rank_of(info.asn).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_ranks_tolerate_cycles() {
+        // 1 ↔ 2 mutual providers (a cycle), 3 a customer of 2.
+        let mut ases = BTreeMap::new();
+        for asn in [1, 2, 3] {
+            ases.insert(Asn::new(asn), mk_as(asn, NetworkType::TransitAccess));
+        }
+        let edges = vec![
+            (Asn::new(1), Asn::new(2), Relationship::Customer),
+            (Asn::new(2), Asn::new(1), Relationship::Customer),
+            (Asn::new(2), Asn::new(3), Relationship::Customer),
+        ];
+        let t = Topology::assemble(ases, edges, vec![]);
+        let ranks = t.propagation_ranks();
+        // 3 is acyclic and ranked 0; the cycle members get parked above.
+        assert_eq!(ranks.rank_of(Asn::new(3)), Some(0));
+        assert_eq!(ranks.rank_of(Asn::new(1)), Some(ranks.max_rank()));
+        assert_eq!(ranks.rank_of(Asn::new(2)), Some(ranks.max_rank()));
+        assert!(ranks.max_rank() >= 1);
     }
 
     #[test]

@@ -305,8 +305,7 @@ mod tests {
 
     #[test]
     fn noop_scrub_is_empty() {
-        let mut policy =
-            AsPolicy { scrub: Some(CommunityScrub::default()), ..AsPolicy::default() };
+        let mut policy = AsPolicy { scrub: Some(CommunityScrub::default()), ..AsPolicy::default() };
         assert!(policy.is_empty());
         policy.scrub = Some(CommunityScrub { strip_all: true, ..CommunityScrub::default() });
         assert!(!policy.is_empty());

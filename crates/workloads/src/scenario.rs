@@ -11,7 +11,7 @@ use bh_bgp_types::community::CommunitySet;
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::{SimDuration, SimTime};
 use bh_routing::{
-    AnnounceScope, Announcement, BgpElem, BgpSimulator, CollectorDeployment, RunStats,
+    AnnounceScope, Announcement, BgpElem, BgpSimulator, CollectorDeployment, EngineMode, RunStats,
 };
 use bh_topology::{NetworkType, PolicyTable, Tier, Topology};
 
@@ -81,6 +81,17 @@ impl ScenarioConfig {
         config.initial_adoption = 0.8; // adoption had mostly happened
         config
     }
+
+    /// The `Massive` tier: a short, low-rate calendar sized for the
+    /// CAIDA-scale (~75k-AS) topology, where every announcement floods
+    /// the whole graph. Pair with
+    /// [`bh_topology::TopologyConfig::massive`] and the phased engine
+    /// via [`run_with_engine`].
+    pub fn massive(seed: u64) -> Self {
+        let mut config = Self::short(seed, 1, 2.0);
+        config.base_prefix_sample = 8;
+        config
+    }
 }
 
 /// Scenario output: the collector stream and the ground truth to validate
@@ -113,7 +124,7 @@ pub fn run(
     deployment: CollectorDeployment,
     config: &ScenarioConfig,
 ) -> ScenarioOutput {
-    run_inner(topology, deployment, config, None)
+    run_inner(topology, deployment, config, None, EngineMode::Queue)
 }
 
 /// [`run`], with a per-AS [`PolicyTable`] installed on the simulator
@@ -125,7 +136,20 @@ pub fn run_with_policies(
     config: &ScenarioConfig,
     policies: &PolicyTable,
 ) -> ScenarioOutput {
-    run_inner(topology, deployment, config, Some(policies))
+    run_inner(topology, deployment, config, Some(policies), EngineMode::Queue)
+}
+
+/// [`run`], selecting the propagation engine (and optionally a policy
+/// table). Both engines produce bit-identical output; `Phased` is the
+/// fast path at `Massive` scale.
+pub fn run_with_engine(
+    topology: &Topology,
+    deployment: CollectorDeployment,
+    config: &ScenarioConfig,
+    policies: Option<&PolicyTable>,
+    engine: EngineMode,
+) -> ScenarioOutput {
+    run_inner(topology, deployment, config, policies, engine)
 }
 
 fn run_inner(
@@ -133,9 +157,11 @@ fn run_inner(
     deployment: CollectorDeployment,
     config: &ScenarioConfig,
     policies: Option<&PolicyTable>,
+    engine: EngineMode,
 ) -> ScenarioOutput {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut sim = BgpSimulator::new(topology, deployment, config.seed ^ 0x5151);
+    sim.set_engine_mode(engine);
     if let Some(table) = policies {
         sim.install_policies(table);
     }

@@ -1,0 +1,66 @@
+//! Classifier throughput — class-aware mining and census classification.
+//!
+//! Two phases of the general community classifier on the Full-scale
+//! corpus: (1) mining the multi-class dictionary from text (the tentpole
+//! superset of the blackhole-only pass), and (2) classifying a populated
+//! census against it, including negative-control extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bh_bench::{Study, StudyScale};
+use bh_irr::{
+    BlackholeDictionary, CommunityClass, CommunityClassifier, CommunityPrefixCensus,
+    CorpusGenerator,
+};
+
+/// A census exercising every classifier path: documented triggers on
+/// /32s, documented tags on coarse prefixes, plus undocumented riders
+/// (specific-and-cooccurring, coarse-and-cooccurring, and noise).
+fn census_for(dict: &BlackholeDictionary) -> CommunityPrefixCensus {
+    let mut census = CommunityPrefixCensus::new();
+    for (i, entry) in dict.entries().enumerate() {
+        let hidden = bh_bgp_types::community::Community::from_parts(4000 + i as u16, 666);
+        census.record_repeated(&[entry.community, hidden], 32, 50);
+    }
+    for class in CommunityClass::ALL.into_iter().skip(1) {
+        for (i, entry) in dict.class_entries(class).enumerate() {
+            let rider = bh_bgp_types::community::Community::from_parts(5000 + i as u16, 80);
+            census.record_repeated(&[entry.community, rider], 20, 30);
+        }
+    }
+    census
+}
+
+fn bench(c: &mut Criterion) {
+    let study = Study::build(StudyScale::Full, 42);
+    let census = census_for(&study.dict);
+    println!(
+        "classifier input: {} dictionary communities, {} census communities",
+        study.dict.community_count(),
+        census.community_count()
+    );
+    let classifier = CommunityClassifier::default();
+    let classified = classifier.classify_census(&study.dict, &census);
+    let controls = classifier.negative_controls(&study.dict, &census);
+    println!("classified {} communities, {} negative controls", classified.len(), controls.len());
+
+    c.bench_function("classifier/mine_multiclass", |b| {
+        b.iter(|| {
+            let corpus = CorpusGenerator::new(&study.topology, 9).generate();
+            BlackholeDictionary::build(&corpus)
+        })
+    });
+    c.bench_function("classifier/classify_census", |b| {
+        b.iter(|| classifier.classify_census(&study.dict, &census))
+    });
+    c.bench_function("classifier/negative_controls", |b| {
+        b.iter(|| classifier.negative_controls(&study.dict, &census))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

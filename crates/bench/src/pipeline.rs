@@ -22,7 +22,7 @@ use bh_core::{
     EngineConfig, EventAccumulator, InferenceResult, InferenceSession, ReferenceData,
     SessionBuilder, ShardedSession, StreamSummary,
 };
-use bh_irr::{BlackholeDictionary, CorpusGenerator};
+use bh_irr::{BlackholeDictionary, Corpus, CorpusGenerator, NegativeControls};
 use bh_routing::{deploy, BgpElem, CollectorConfig, CollectorDeployment, ElemSource, SliceSource};
 use bh_topology::{PolicyTable, Topology, TopologyBuilder, TopologyConfig};
 use bh_workloads::{
@@ -373,12 +373,46 @@ impl Study {
     /// collector stream, and score the inference against the workload's
     /// ground-truth labels.
     pub fn adversarial_run(&self, config: &AdversarialConfig) -> AdversarialRun {
+        self.adversarial_run_with(self.dict.clone(), None, config)
+    }
+
+    /// [`adversarial_run`](Self::adversarial_run) with an injected
+    /// dictionary and optional negative controls — the comparison axis
+    /// for scoring the classifier: a trap-poisoned
+    /// [`Study::naive_dict`] with and without
+    /// [`CommunityClassifier::negative_controls`](bh_irr::CommunityClassifier::negative_controls).
+    pub fn adversarial_run_with(
+        &self,
+        dict: Arc<BlackholeDictionary>,
+        controls: Option<Arc<NegativeControls>>,
+        config: &AdversarialConfig,
+    ) -> AdversarialRun {
         let deployment = self.deployment();
         let refdata = self.refdata_for(&deployment);
         let output = run_adversarial(&self.topology, deployment, config);
-        let result = self.infer(&refdata, &output.elems);
+        let mut builder = SessionBuilder::new(dict, refdata.clone());
+        if let Some(controls) = controls {
+            builder = builder.negative_controls(controls);
+        }
+        let mut session = builder.build();
+        session.ingest(&mut SliceSource::new(&output.elems));
+        let result = session.finish();
         let report = score_events(config.name.clone(), &result.events, output.labels.clone());
         AdversarialRun { output, result, refdata, report }
+    }
+
+    /// Regenerate this study's documentation corpus (the build does not
+    /// retain it; same seed, so byte-identical to what the dictionary
+    /// was mined from).
+    pub fn corpus(&self) -> Corpus {
+        CorpusGenerator::new(&self.topology, self.seed ^ 0x1212).generate()
+    }
+
+    /// The naive, stem-only dictionary over the same corpus: the
+    /// dictionary-only baseline whose trap-poisoned blackhole map the
+    /// classifier's negative controls are scored against.
+    pub fn naive_dict(&self) -> Arc<BlackholeDictionary> {
+        Arc::new(BlackholeDictionary::build_naive(&self.corpus()))
     }
 
     /// The longitudinal run (Fig. 4): the full Dec 2014 – Mar 2017 window

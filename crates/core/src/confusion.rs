@@ -44,6 +44,10 @@ pub enum LabelKind {
     /// Prepending-based traffic engineering (the re-routing
     /// alternative to blackholing; a negative control).
     Reroute,
+    /// An announcement decorated with stolen non-blackhole *tag*
+    /// communities (location/informational) — must never be inferred as
+    /// blackholing; the classifier's negative controls suppress it.
+    Tagged,
 }
 
 impl LabelKind {
@@ -53,6 +57,7 @@ impl LabelKind {
             LabelKind::Hijack => "hijack",
             LabelKind::RouteLeak => "route-leak",
             LabelKind::Reroute => "reroute",
+            LabelKind::Tagged => "tagged",
         }
     }
 }

@@ -41,7 +41,7 @@ use bh_bgp_types::hash::{FxHashMap, FxHashSet};
 use bh_bgp_types::intern::{CommunitySetId, CommunitySetTable, PathId, PathTable};
 use bh_bgp_types::prefix::Ipv4Prefix;
 use bh_bgp_types::time::SimTime;
-use bh_irr::{BlackholeDictionary, CommunityPrefixCensus};
+use bh_irr::{BlackholeDictionary, CommunityPrefixCensus, NegativeControls};
 use bh_routing::{BgpElem, DataSource, ElemSource, ElemType, PeerKey};
 
 use crate::accumulate::{EventAccumulator, EventCollector};
@@ -81,6 +81,10 @@ pub struct EngineStats {
     pub explicit_withdrawals: u64,
     /// Detections that relied on community bundling (no provider on path).
     pub bundled_detections: u64,
+    /// Announcements whose every dictionary-matched community was a
+    /// negative control (classified location/informational) — the
+    /// candidate event was suppressed instead of opened.
+    pub control_suppressed: u64,
 }
 
 impl EngineStats {
@@ -93,6 +97,7 @@ impl EngineStats {
         self.implicit_withdrawals += other.implicit_withdrawals;
         self.explicit_withdrawals += other.explicit_withdrawals;
         self.bundled_detections += other.bundled_detections;
+        self.control_suppressed += other.control_suppressed;
     }
 }
 
@@ -168,12 +173,26 @@ pub struct SessionBuilder {
     pub(crate) dict: Arc<BlackholeDictionary>,
     pub(crate) refdata: Arc<ReferenceData>,
     pub(crate) config: EngineConfig,
+    pub(crate) controls: Option<Arc<NegativeControls>>,
 }
 
 impl SessionBuilder {
     /// Start from a dictionary and reference-data snapshot.
     pub fn new(dict: Arc<BlackholeDictionary>, refdata: Arc<ReferenceData>) -> Self {
-        SessionBuilder { dict, refdata, config: EngineConfig::default() }
+        SessionBuilder { dict, refdata, config: EngineConfig::default(), controls: None }
+    }
+
+    /// Install a negative-control set: classic communities the classifier
+    /// deemed location/informational are dropped from detection plans, so
+    /// an announcement whose *only* dictionary-matched communities are
+    /// controls opens no candidate event (counted in
+    /// [`EngineStats::control_suppressed`]). Like the dictionary, controls
+    /// travel on the builder — they are not part of a checkpoint. The
+    /// default (no controls) leaves the session byte-identical to the
+    /// pre-classifier behavior.
+    pub fn negative_controls(mut self, controls: Arc<NegativeControls>) -> Self {
+        self.controls = Some(controls);
+        self
     }
 
     /// Replace the whole configuration (ablations).
@@ -200,6 +219,7 @@ impl SessionBuilder {
             dict: self.dict,
             refdata: self.refdata,
             config: self.config,
+            controls: self.controls,
             bogons: BogonFilter::new(),
             state: SessionState::default(),
         }
@@ -256,6 +276,10 @@ struct SessionState {
     // per *distinct* set; the overwhelmingly common untagged set gets an
     // empty plan and `detect` returns without touching the path.
     plans: Vec<DetectionPlan>,
+    // Parallel to `plans`: true when the set *would* have had dictionary
+    // candidates but every one was dropped by the negative controls —
+    // announcements hitting such a set are counted as suppressed.
+    plan_suppressed: Vec<bool>,
     // Census tallies deferred per (set, length-bucket): one counter
     // bump per announcement here, replayed in bulk into the BTree-backed
     // census whenever it is actually read. Replay is commutative, so
@@ -290,16 +314,26 @@ struct DetectionOutcome {
 type DetectionPlan = Arc<[(Community, Box<[Asn]>)]>;
 
 /// Build the detection plan for a community set (once per distinct set).
+/// Returns the plan plus whether any classic candidate was dropped by the
+/// negative controls. RFC 8092 large-community triggers are always
+/// provider-documented and never filtered.
 fn build_plan(
     dict: &BlackholeDictionary,
     set: &bh_bgp_types::community::CommunitySet,
-) -> DetectionPlan {
+    controls: Option<&NegativeControls>,
+) -> (DetectionPlan, bool) {
     let mut entries = Vec::new();
+    let mut filtered = false;
     for community in set.iter() {
         let candidates = dict.providers_for(community);
-        if !candidates.is_empty() {
-            entries.push((community, candidates.into_boxed_slice()));
+        if candidates.is_empty() {
+            continue;
         }
+        if controls.is_some_and(|ctl| ctl.contains(community)) {
+            filtered = true;
+            continue;
+        }
+        entries.push((community, candidates.into_boxed_slice()));
     }
     for large in set.iter_large() {
         let candidates = dict.providers_for_large(large);
@@ -311,7 +345,8 @@ fn build_plan(
             entries.push((display, candidates.into_boxed_slice()));
         }
     }
-    entries.into()
+    let suppressed = filtered && entries.is_empty();
+    (entries.into(), suppressed)
 }
 
 impl SessionState {
@@ -358,6 +393,7 @@ pub struct InferenceSession {
     dict: Arc<BlackholeDictionary>,
     refdata: Arc<ReferenceData>,
     config: EngineConfig,
+    controls: Option<Arc<NegativeControls>>,
     bogons: BogonFilter,
     state: SessionState,
 }
@@ -535,7 +571,10 @@ impl InferenceSession {
         let set_id = self.state.community_sets.intern(&elem.communities);
         let idx = set_id.0 as usize;
         if idx == self.state.plans.len() {
-            self.state.plans.push(build_plan(&self.dict, &elem.communities));
+            let (plan, suppressed) =
+                build_plan(&self.dict, &elem.communities, self.controls.as_deref());
+            self.state.plans.push(plan);
+            self.state.plan_suppressed.push(suppressed);
         }
         (set_id, self.state.plans[idx].clone())
     }
@@ -664,6 +703,12 @@ impl InferenceSession {
         // hash) keys both the tally and the cached detection plan.
         let (set_id, plan) = self.plan_for(elem);
         *self.state.census_pending.entry((set_id, elem.prefix.length())).or_insert(0) += 1;
+        if self.state.plan_suppressed[set_id.0 as usize] {
+            // Every dictionary match was a negative control: no candidate
+            // event. The announcement still falls through to the
+            // implicit-withdrawal logic below, exactly like an untagged one.
+            self.state.stats.control_suppressed += 1;
+        }
 
         let detections = self.detect_planned(elem, set_id, plan);
         let detections: &[Detection] =
@@ -900,6 +945,67 @@ mod tests {
             communities: CommunitySet::new(),
             next_hop: None,
         }
+    }
+
+    #[test]
+    fn negative_controls_suppress_control_only_announcements() {
+        let s = setup();
+        // A stolen tag that a naive dictionary mislabeled as a trigger.
+        let tag = Community::from_parts(888, 100);
+        let mut dict = (*s.dict).clone();
+        dict.insert_validated(Asn::new(64_888), tag);
+        let dict = Arc::new(dict);
+        let mut controls = NegativeControls::default();
+        controls.insert(tag);
+        let controls = Arc::new(controls);
+
+        let tag_only = announce("130.149.1.66/32", 10, "100 64888 200", vec![tag], 100);
+        let genuine = announce("130.149.2.66/32", 11, "100 64777 200", vec![s.community], 100);
+        let both = announce("130.149.3.66/32", 12, "100 64777 200", vec![s.community, tag], 100);
+
+        // Without controls the stolen tag opens a (false) event.
+        let mut naive = SessionBuilder::new(dict.clone(), s.refdata.clone()).build();
+        naive.push(&tag_only);
+        assert_eq!(naive.open_event_count(), 1);
+        assert_eq!(naive.stats().control_suppressed, 0);
+
+        // With controls it is suppressed; genuine triggers still detect,
+        // even when the control rides along on the same announcement.
+        let mut session =
+            SessionBuilder::new(dict, s.refdata.clone()).negative_controls(controls).build();
+        session.push(&tag_only);
+        session.push(&genuine);
+        session.push(&both);
+        assert_eq!(session.open_event_count(), 2);
+        let stats = session.stats();
+        assert_eq!(stats.control_suppressed, 1);
+        assert_eq!(stats.tagged_announcements, 2);
+        let result = session.finish();
+        assert!(result.events.iter().all(|e| e.providers.contains(&ProviderId::As(s.provider))));
+    }
+
+    #[test]
+    fn absent_controls_and_empty_controls_are_identical() {
+        let s = setup();
+        let stream = vec![
+            announce("130.149.1.66/32", 10, "100 64777 200", vec![s.community], 100),
+            announce("130.149.1.66/32", 50, "100 64777 200", vec![], 100),
+            announce("130.149.2.66/32", 60, "100 300 200", vec![s.community], 100),
+            withdraw("130.149.2.66/32", 90, 100),
+        ];
+        let run = |builder: SessionBuilder| {
+            let mut session = builder.build();
+            for elem in &stream {
+                session.push(elem);
+            }
+            session.finish()
+        };
+        let without = run(s.builder());
+        let with_empty = run(s.builder().negative_controls(Arc::new(NegativeControls::default())));
+        assert_eq!(without.events, with_empty.events);
+        assert_eq!(without.stats, with_empty.stats);
+        assert_eq!(without.census, with_empty.census);
+        assert_eq!(with_empty.stats.control_suppressed, 0);
     }
 
     #[test]

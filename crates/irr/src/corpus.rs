@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 
 use bh_bgp_types::asn::Asn;
 use bh_bgp_types::community::{Community, LargeCommunity};
-use bh_topology::{DocumentationChannel, Topology};
+use bh_topology::{DocumentationChannel, TagClass, Topology};
 
 /// A RADb-style `aut-num` object: header lines plus `remarks:` lines.
 #[derive(Debug, Clone)]
@@ -88,15 +88,33 @@ const BLACKHOLE_PHRASES: &[&str] = &[
 
 const REGIONAL_SUFFIXES: &[&str] = &[" (Europe only)", " (US region)", " (Asia-Pacific scope)"];
 
-const OTHER_PHRASES: &[&str] = &[
+const ACTION_PHRASES: &[&str] = &[
     "{c} - set local-preference 80 inside our network",
-    "{c} tagged on peering routes",
     "{c}: prepend 3x towards all upstreams",
-    "{c} - route learned at FRA location",
-    "{c} marks customer routes",
     "do not export to peers when tagged {c}",
     "{c}: traffic engineering, lower preference",
 ];
+
+const LOCATION_PHRASES: &[&str] = &[
+    "{c} - route learned at FRA location",
+    "{c} marks routes received in the US region",
+    "{c}: ingress point of presence tag (AMS)",
+];
+
+const INFO_PHRASES: &[&str] = &[
+    "{c} tagged on peering routes",
+    "{c} marks customer routes",
+    "{c}: informational tag, no routing action",
+];
+
+/// Trap phrasing: class prose that borrows the weak `discard` stem. The
+/// naive stem-only miner mislabels these tags as blackhole triggers;
+/// the class-aware pass reads the class keywords and does not. Every
+/// third documented tag line is a trap.
+const ACTION_TRAP: &str = "{c}: lower preference and discard the MED on export";
+const LOCATION_TRAP: &str = "{c} - learned at the FRA location; discarded from our public view";
+const INFO_TRAP: &str =
+    "{c} marks peering routes; unwanted prefixes are discarded from the looking glass";
 
 const NOISE_LINES: &[&str] = &[
     "maintained by NOC, contact noc@example.net",
@@ -111,6 +129,7 @@ const NOISE_LINES: &[&str] = &[
 pub struct CorpusGenerator<'a> {
     topology: &'a Topology,
     rng: StdRng,
+    tag_lines: usize,
 }
 
 impl<'a> CorpusGenerator<'a> {
@@ -118,7 +137,28 @@ impl<'a> CorpusGenerator<'a> {
     /// documentation noise can be varied while holding the Internet
     /// fixed).
     pub fn new(topology: &'a Topology, seed: u64) -> Self {
-        CorpusGenerator { topology, rng: StdRng::seed_from_u64(seed) }
+        CorpusGenerator { topology, rng: StdRng::seed_from_u64(seed), tag_lines: 0 }
+    }
+
+    /// One documented tag line: class-keyed phrasing, with every third
+    /// line a weak-`discard` trap for the naive miner.
+    fn tag_line(&mut self, community: &str, class: TagClass) -> String {
+        self.tag_lines += 1;
+        let template = if self.tag_lines.is_multiple_of(3) {
+            match class {
+                TagClass::Action => ACTION_TRAP,
+                TagClass::Location => LOCATION_TRAP,
+                TagClass::Informational => INFO_TRAP,
+            }
+        } else {
+            let pool = match class {
+                TagClass::Action => ACTION_PHRASES,
+                TagClass::Location => LOCATION_PHRASES,
+                TagClass::Informational => INFO_PHRASES,
+            };
+            pool.choose(&mut self.rng).unwrap()
+        };
+        template.replace("{c}", community)
     }
 
     /// Generate the corpus.
@@ -153,7 +193,9 @@ impl<'a> CorpusGenerator<'a> {
                 Some(DocumentationChannel::Undocumented) | None => {
                     // Tag communities may still be documented (they feed the
                     // non-blackhole dictionary for Fig. 2).
-                    if !info.tag_communities.is_empty() && self.rng.gen_bool(0.6) {
+                    let has_tags =
+                        !info.tag_communities.is_empty() || !info.tag_large_communities.is_empty();
+                    if has_tags && self.rng.gen_bool(0.6) {
                         corpus.irr_objects.push(self.render_irr(info.asn, false));
                     }
                 }
@@ -176,10 +218,15 @@ impl<'a> CorpusGenerator<'a> {
             lines.push(format!("remarks:     {}", NOISE_LINES.choose(&mut self.rng).unwrap()));
         }
         lines.push("remarks:     ---- BGP communities ----".to_string());
-        // Non-blackhole tag documentation.
-        for c in &info.tag_communities {
-            let template = OTHER_PHRASES.choose(&mut self.rng).unwrap();
-            lines.push(format!("remarks:     {}", template.replace("{c}", &c.to_string())));
+        // Non-blackhole tag documentation (class-keyed phrasing).
+        for (c, class) in info.classed_tags().collect::<Vec<_>>() {
+            let line = self.tag_line(&c.to_string(), class);
+            lines.push(format!("remarks:     {line}"));
+        }
+        // 32-bit-ASN tags travel as RFC 8092 large communities.
+        for tag in info.tag_large_communities.clone() {
+            let line = self.tag_line(&tag.community.to_string(), tag.class);
+            lines.push(format!("remarks:     {line}"));
         }
         if with_blackhole {
             if let Some(offering) = &info.blackhole_offering {
@@ -221,13 +268,16 @@ impl<'a> CorpusGenerator<'a> {
                  Our looking glass is available to customers.",
             asn.value()
         )];
-        let c = offering.primary_community();
-        paragraphs.push(format!(
-            "DDoS protection: our blackholing service lets customers mitigate attacks. \
-             Announce the attacked prefix with community {c} and we will drop all traffic \
-             at our network edge. Prefixes more specific than /24 up to /32 are accepted \
-             when tagged for blackholing."
-        ));
+        // 32-bit providers have no classic trigger; their RFC 8092 large
+        // community is documented below instead.
+        if let Some(&c) = offering.communities.first() {
+            paragraphs.push(format!(
+                "DDoS protection: our blackholing service lets customers mitigate attacks. \
+                 Announce the attacked prefix with community {c} and we will drop all traffic \
+                 at our network edge. Prefixes more specific than /24 up to /32 are accepted \
+                 when tagged for blackholing."
+            ));
+        }
         for extra in offering.communities.iter().skip(1) {
             paragraphs.push(format!(
                 "Regional blackhole: community {extra} limits the null-route to a single region."
@@ -246,10 +296,20 @@ impl<'a> CorpusGenerator<'a> {
             "For peering information, colocation and support contacts see our contact page."
                 .to_string(),
         );
-        // Some pages also document non-blackhole communities.
-        for c in info.tag_communities.iter().take(2) {
-            paragraphs
-                .push(format!("Community {c} is used for traffic engineering towards peers."));
+        // Some pages also document non-blackhole communities, with
+        // class-true phrasing.
+        for (c, class) in info.classed_tags().take(2) {
+            paragraphs.push(match class {
+                TagClass::Action => {
+                    format!("Community {c} is used for traffic engineering towards peers.")
+                }
+                TagClass::Location => {
+                    format!("Community {c} marks the location where the route entered our network.")
+                }
+                TagClass::Informational => {
+                    format!("Community {c} is attached to customer routes as an informational tag.")
+                }
+            });
         }
         WebPage { asn, paragraphs }
     }
@@ -331,7 +391,9 @@ mod tests {
             let info = t.as_info(obj.asn).unwrap();
             if let Some(o) = &info.blackhole_offering {
                 if o.documentation == DocumentationChannel::Irr {
-                    assert!(obj.text().contains(&o.primary_community().to_string()));
+                    if let Some(c) = o.communities.first() {
+                        assert!(obj.text().contains(&c.to_string()));
+                    }
                 }
             }
         }

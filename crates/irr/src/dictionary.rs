@@ -10,10 +10,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use bh_bgp_types::asn::Asn;
 use bh_bgp_types::community::{Community, LargeCommunity};
-use bh_topology::{DocumentationChannel, Topology};
+use bh_topology::{DocumentationChannel, TagClass, Topology};
 
 use crate::corpus::Corpus;
-use crate::mining::{DictionaryMiner, MinedCommunity, MinedKind};
+use crate::mining::{CommunityClass, DictionaryMiner, MinedCommunity};
 
 /// One dictionary entry: a community and the providers that honor it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,24 +51,63 @@ pub struct BlackholeDictionary {
     by_large: BTreeMap<LargeCommunity, BTreeSet<Asn>>,
     providers: BTreeMap<Asn, ProviderMeta>,
     /// Non-blackhole documented communities (the second dictionary built
-    /// in §4.1 for the Fig. 2 comparison).
+    /// in §4.1 for the Fig. 2 comparison) — the union of the non-blackhole
+    /// class maps.
     other_by_community: BTreeMap<Community, BTreeSet<Asn>>,
+    /// Non-blackhole documented communities refined by usage class.
+    class_by_community: BTreeMap<CommunityClass, BTreeMap<Community, BTreeSet<Asn>>>,
+    /// Class-refined RFC 8092 large communities (32-bit-ASN tags).
+    class_by_large: BTreeMap<CommunityClass, BTreeMap<LargeCommunity, BTreeSet<Asn>>>,
 }
 
 impl BlackholeDictionary {
-    /// Build from a corpus: mine, then aggregate.
+    /// Build from a corpus: class-aware mine, then aggregate.
     pub fn build(corpus: &Corpus) -> Self {
         let mined = DictionaryMiner.mine(corpus);
         Self::from_mined(&mined)
     }
 
+    /// Build with the legacy stem-only miner — no class refinement, so
+    /// weak-`discard` tag prose poisons the blackhole map. This is the
+    /// dictionary-only baseline the negative-control scoring compares
+    /// against.
+    pub fn build_naive(corpus: &Corpus) -> Self {
+        let mined = DictionaryMiner.mine_naive(corpus);
+        Self::from_mined(&mined)
+    }
+
     /// Aggregate mined observations.
+    ///
+    /// Each (provider, community) pair is first resolved to a single
+    /// class — the strongest observation wins (blackhole, then action,
+    /// then location, then informational), independent of observation
+    /// order — so the per-class maps are disjoint by construction.
     pub fn from_mined(mined: &[MinedCommunity]) -> Self {
         let mut dict = BlackholeDictionary::default();
+        let mut classic_class: BTreeMap<(Asn, Community), CommunityClass> = BTreeMap::new();
+        let mut large_class: BTreeMap<(Asn, LargeCommunity), CommunityClass> = BTreeMap::new();
         for m in mined {
-            match m.kind {
-                MinedKind::Blackhole => {
-                    if let Some(c) = m.community {
+            if let Some(c) = m.community {
+                classic_class
+                    .entry((m.asn, c))
+                    .and_modify(|e| *e = (*e).min(m.class))
+                    .or_insert(m.class);
+            }
+            if let Some(l) = m.large {
+                large_class
+                    .entry((m.asn, l))
+                    .and_modify(|e| *e = (*e).min(m.class))
+                    .or_insert(m.class);
+            }
+        }
+        for m in mined {
+            if let Some(c) = m.community {
+                let resolved = classic_class[&(m.asn, c)];
+                if resolved == CommunityClass::Blackhole {
+                    // Only blackhole-classed observations carry trigger
+                    // metadata; outvoted non-blackhole sightings are
+                    // dropped to keep the maps disjoint.
+                    if m.class == CommunityClass::Blackhole {
                         dict.by_community.entry(c).or_default().insert(m.asn);
                         let meta = dict.providers.entry(m.asn).or_default();
                         if !meta.communities.contains(&c) {
@@ -79,15 +118,30 @@ impl BlackholeDictionary {
                                 Some(meta.min_accepted_length.map_or(len, |old| old.min(len)));
                         }
                     }
-                    if let Some(l) = m.large {
+                } else {
+                    dict.other_by_community.entry(c).or_default().insert(m.asn);
+                    dict.class_by_community
+                        .entry(resolved)
+                        .or_default()
+                        .entry(c)
+                        .or_default()
+                        .insert(m.asn);
+                }
+            }
+            if let Some(l) = m.large {
+                let resolved = large_class[&(m.asn, l)];
+                if resolved == CommunityClass::Blackhole {
+                    if m.class == CommunityClass::Blackhole {
                         dict.by_large.entry(l).or_default().insert(m.asn);
                         dict.providers.entry(m.asn).or_default().large = Some(l);
                     }
-                }
-                MinedKind::Other => {
-                    if let Some(c) = m.community {
-                        dict.other_by_community.entry(c).or_default().insert(m.asn);
-                    }
+                } else {
+                    dict.class_by_large
+                        .entry(resolved)
+                        .or_default()
+                        .entry(l)
+                        .or_default()
+                        .insert(m.asn);
                 }
             }
         }
@@ -141,6 +195,52 @@ impl BlackholeDictionary {
             community: *c,
             providers: providers.iter().copied().collect(),
         })
+    }
+
+    /// Iterate the documented entries of one non-blackhole class.
+    /// ([`CommunityClass::Blackhole`] entries live in [`Self::entries`].)
+    pub fn class_entries(&self, class: CommunityClass) -> impl Iterator<Item = DictEntry> + '_ {
+        self.class_by_community.get(&class).into_iter().flatten().map(|(c, providers)| DictEntry {
+            community: *c,
+            providers: providers.iter().copied().collect(),
+        })
+    }
+
+    /// Iterate the documented RFC 8092 entries of one non-blackhole class.
+    pub fn class_large_entries(
+        &self,
+        class: CommunityClass,
+    ) -> impl Iterator<Item = (LargeCommunity, Vec<Asn>)> + '_ {
+        self.class_by_large
+            .get(&class)
+            .into_iter()
+            .flatten()
+            .map(|(l, providers)| (*l, providers.iter().copied().collect()))
+    }
+
+    /// The resolved usage class of a classic community, if documented at
+    /// all. When different providers documented the same value under
+    /// different classes, the strongest class wins (blackhole > action >
+    /// location > informational).
+    pub fn class_of(&self, community: Community) -> Option<CommunityClass> {
+        if self.by_community.contains_key(&community) {
+            return Some(CommunityClass::Blackhole);
+        }
+        self.class_by_community
+            .iter()
+            .find(|(_, map)| map.contains_key(&community))
+            .map(|(class, _)| *class)
+    }
+
+    /// The resolved usage class of a large community, if documented.
+    pub fn class_of_large(&self, large: LargeCommunity) -> Option<CommunityClass> {
+        if self.by_large.contains_key(&large) {
+            return Some(CommunityClass::Blackhole);
+        }
+        self.class_by_large
+            .iter()
+            .find(|(_, map)| map.contains_key(&large))
+            .map(|(class, _)| *class)
     }
 
     /// Providers and metadata.
@@ -209,6 +309,100 @@ impl BlackholeDictionary {
         }
         v
     }
+
+    /// Validate the non-blackhole class maps against topology tag ground
+    /// truth, the way [`Self::validate_against`] does for blackholes.
+    ///
+    /// Precision counts every mined class pair against the full tag
+    /// ground truth. Recall is restricted to ASes whose offering is
+    /// IRR-documented: those render an `aut-num` deterministically, so
+    /// every one of their tags is minable; the web and undocumented
+    /// channels only probabilistically emit tag text.
+    pub fn validate_classes(&self, topology: &Topology) -> ClassValidation {
+        let mut v = ClassValidation::default();
+        let mut truth: BTreeMap<(Asn, Community), CommunityClass> = BTreeMap::new();
+        let mut truth_large: BTreeMap<(Asn, LargeCommunity), CommunityClass> = BTreeMap::new();
+        for info in topology.ases() {
+            for (c, class) in info.classed_tags() {
+                truth.insert((info.asn, c), tag_class_to_community_class(class));
+            }
+            for tag in &info.tag_large_communities {
+                truth_large
+                    .insert((info.asn, tag.community), tag_class_to_community_class(tag.class));
+            }
+        }
+        for class in CommunityClass::ALL {
+            if class == CommunityClass::Blackhole {
+                continue;
+            }
+            let score = v.per_class.entry(class).or_default();
+            for entry in self.class_entries(class) {
+                for asn in &entry.providers {
+                    if truth.get(&(*asn, entry.community)) == Some(&class) {
+                        score.true_positives += 1;
+                    } else {
+                        score.false_positives += 1;
+                    }
+                }
+            }
+            for (large, providers) in self.class_large_entries(class) {
+                for asn in providers {
+                    if truth_large.get(&(asn, large)) == Some(&class) {
+                        score.true_positives += 1;
+                    } else {
+                        score.false_positives += 1;
+                    }
+                }
+            }
+        }
+        for info in topology.ases() {
+            let irr = info
+                .blackhole_offering
+                .as_ref()
+                .is_some_and(|o| o.documentation == DocumentationChannel::Irr);
+            if !irr {
+                continue;
+            }
+            for (c, class) in info.classed_tags() {
+                let class = tag_class_to_community_class(class);
+                let found = self
+                    .class_by_community
+                    .get(&class)
+                    .and_then(|map| map.get(&c))
+                    .is_some_and(|providers| providers.contains(&info.asn));
+                let score = v.per_class.entry(class).or_default();
+                if found {
+                    score.recalled += 1;
+                } else {
+                    score.missed += 1;
+                }
+            }
+            for tag in &info.tag_large_communities {
+                let class = tag_class_to_community_class(tag.class);
+                let found = self
+                    .class_by_large
+                    .get(&class)
+                    .and_then(|map| map.get(&tag.community))
+                    .is_some_and(|providers| providers.contains(&info.asn));
+                let score = v.per_class.entry(class).or_default();
+                if found {
+                    score.recalled += 1;
+                } else {
+                    score.missed += 1;
+                }
+            }
+        }
+        v
+    }
+}
+
+/// The ground-truth tag class a mined class is scored against.
+fn tag_class_to_community_class(class: TagClass) -> CommunityClass {
+    match class {
+        TagClass::Location => CommunityClass::Location,
+        TagClass::Action => CommunityClass::Action,
+        TagClass::Informational => CommunityClass::Informational,
+    }
 }
 
 /// Precision/recall of the miner vs. ground truth.
@@ -248,6 +442,56 @@ impl DictionaryValidation {
             1.0
         } else {
             self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+/// Per-class precision/recall of the general community classifier
+/// dictionary vs. ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct ClassValidation {
+    /// Scores per non-blackhole class.
+    pub per_class: BTreeMap<CommunityClass, ClassScore>,
+}
+
+impl ClassValidation {
+    /// Score for one class (zeros when nothing was mined or expected).
+    pub fn score(&self, class: CommunityClass) -> ClassScore {
+        self.per_class.get(&class).copied().unwrap_or_default()
+    }
+}
+
+/// Precision/recall counters for one community class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassScore {
+    /// Mined pairs matching ground truth (precision numerator).
+    pub true_positives: usize,
+    /// Mined pairs with no matching ground-truth tag of this class.
+    pub false_positives: usize,
+    /// IRR-documented ground-truth tags found under the right class.
+    pub recalled: usize,
+    /// IRR-documented ground-truth tags absent or misclassified.
+    pub missed: usize,
+}
+
+impl ClassScore {
+    /// Precision over mined pairs.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall over IRR-documented ground-truth tags.
+    pub fn recall(&self) -> f64 {
+        let denom = self.recalled + self.missed;
+        if denom == 0 {
+            1.0
+        } else {
+            self.recalled as f64 / denom as f64
         }
     }
 }
@@ -350,6 +594,115 @@ mod tests {
         // Idempotent.
         dict.insert_validated(asn, c);
         assert_eq!(dict.provider_meta(asn).unwrap().communities.len(), 1);
+    }
+
+    #[test]
+    fn class_maps_are_populated_and_disjoint_from_blackholes() {
+        let (_, dict) = built();
+        let mut class_pairs = 0;
+        for class in CommunityClass::ALL.into_iter().skip(1) {
+            for entry in dict.class_entries(class) {
+                class_pairs += entry.providers.len();
+                for p in &entry.providers {
+                    assert!(
+                        !dict.providers_for(entry.community).contains(p),
+                        "{} is both blackhole and {class:?} for {p}",
+                        entry.community
+                    );
+                }
+            }
+        }
+        assert!(class_pairs > 0, "no class entries mined");
+    }
+
+    #[test]
+    fn class_validation_scores_high_at_tiny_scale() {
+        let (t, dict) = built();
+        let v = dict.validate_classes(&t);
+        for class in
+            [CommunityClass::Action, CommunityClass::Location, CommunityClass::Informational]
+        {
+            let s = v.score(class);
+            assert!(s.precision() >= 0.95, "{class:?} precision {} ({s:?})", s.precision());
+            assert!(s.recall() >= 0.9, "{class:?} recall {} ({s:?})", s.recall());
+        }
+    }
+
+    #[test]
+    fn naive_dictionary_is_poisoned_by_trap_tags_and_class_aware_is_not() {
+        let (t, _) = built();
+        let corpus = CorpusGenerator::new(&t, 5).generate();
+        let aware = BlackholeDictionary::build(&corpus).validate_against(&t);
+        let naive = BlackholeDictionary::build_naive(&corpus).validate_against(&t);
+        assert!(aware.precision() >= 0.99, "aware precision {}", aware.precision());
+        assert!(
+            naive.false_positives.len() > aware.false_positives.len(),
+            "traps should poison only the naive miner (naive {:?})",
+            naive.false_positives
+        );
+        // Recall is about genuine triggers and is unaffected by traps.
+        assert!(naive.recall() >= 0.95 && aware.recall() >= 0.95);
+    }
+
+    #[test]
+    fn aliasing_32_bit_providers_do_not_collide_after_rfc8092_routing() {
+        use bh_topology::{
+            AsInfo, BlackholeAuth, BlackholeOffering, LargeTag, NetworkType, Relationship,
+            TagClass, Tier, Topology,
+        };
+
+        // Two 32-bit ASNs that alias mod 2^16: truncation used to fold
+        // both onto one `ASN:666`-style classic community.
+        let a = Asn::new(70_000);
+        let b = Asn::new(70_000 + 65_536);
+        assert_eq!(a.value() & 0xFFFF, b.value() & 0xFFFF);
+        let mk = |asn: Asn| AsInfo {
+            asn,
+            tier: Tier::Transit,
+            network_type: NetworkType::TransitAccess,
+            country: "DE",
+            prefixes: vec![],
+            blackhole_offering: Some(BlackholeOffering {
+                communities: vec![],
+                large_community: Some(LargeCommunity::new(asn.value(), 666, 0)),
+                min_accepted_length: 25,
+                documentation: DocumentationChannel::Irr,
+                auth: BlackholeAuth::OriginOrCone,
+                blackhole_ip: None,
+                strips_community: false,
+                honors_no_export: true,
+            }),
+            tag_communities: vec![],
+            tag_classes: vec![],
+            tag_large_communities: vec![LargeTag {
+                community: LargeCommunity::new(asn.value(), 2001, 0),
+                class: TagClass::Location,
+            }],
+            in_peeringdb: true,
+        };
+        let mut ases = BTreeMap::new();
+        ases.insert(a, mk(a));
+        ases.insert(b, mk(b));
+        let t = Topology::assemble(ases, vec![(a, b, Relationship::Peer)], vec![]);
+        let corpus = CorpusGenerator::new(&t, 9).generate();
+        let dict = BlackholeDictionary::build(&corpus);
+        // Each provider keeps its own RFC 8092 trigger — no mod-2^16 merge.
+        assert_eq!(dict.providers_for_large(LargeCommunity::new(a.value(), 666, 0)), vec![a]);
+        assert_eq!(dict.providers_for_large(LargeCommunity::new(b.value(), 666, 0)), vec![b]);
+        // And no truncated classic entry exists at all.
+        let truncated = Community::from_parts((a.value() & 0xFFFF) as u16, 666);
+        assert!(dict.providers_for(truncated).is_empty());
+        assert_eq!(dict.class_of(truncated), None);
+        // The location tags stay per-provider too.
+        assert_eq!(
+            dict.class_of_large(LargeCommunity::new(a.value(), 2001, 0)),
+            Some(CommunityClass::Location)
+        );
+        assert_eq!(
+            dict.class_of_large(LargeCommunity::new(b.value(), 2001, 0)),
+            Some(CommunityClass::Location)
+        );
+        assert!(dict.validate_against(&t).is_perfect());
     }
 
     #[test]

@@ -72,6 +72,11 @@ impl CommunityPrefixCensus {
         self.counts.len()
     }
 
+    /// Iterate all observed communities in deterministic (sorted) order.
+    pub fn communities(&self) -> impl Iterator<Item = Community> + '_ {
+        self.counts.keys().copied()
+    }
+
     /// Total announcements recorded.
     pub fn total_observations(&self) -> u64 {
         self.total_observations
@@ -303,6 +308,56 @@ mod tests {
             census.record(&[documented], 32);
         }
         assert!(census.infer_candidates(&dict, 1).is_empty());
+    }
+
+    #[test]
+    fn fig2_series_is_deterministic_under_insertion_order() {
+        // Regression: the figure's tag indices must not depend on the
+        // order announcements arrived, only on the community values.
+        let a = Community::from_parts(100, 666);
+        let b = Community::from_parts(200, 80);
+        let c = Community::from_parts(300, 12);
+        let dict = dict_with(&[(100, a)]);
+
+        let mut forward = CommunityPrefixCensus::new();
+        for tag in [a, b, c] {
+            forward.record(&[tag], 32);
+            forward.record(&[tag], 24);
+        }
+        let mut reverse = CommunityPrefixCensus::new();
+        for tag in [c, b, a] {
+            reverse.record(&[tag], 24);
+            reverse.record(&[tag], 32);
+        }
+
+        let fwd = forward.fig2_series(&dict);
+        let rev = reverse.fig2_series(&dict);
+        assert_eq!(fwd.len(), rev.len());
+        for (x, y) in fwd.iter().zip(&rev) {
+            assert_eq!(x.tag_index, y.tag_index, "tag index order diverged");
+            assert_eq!(x.community, y.community);
+            assert_eq!(x.prefix_length, y.prefix_length);
+            assert_eq!(x.fraction, y.fraction);
+            assert_eq!(x.is_blackhole, y.is_blackhole);
+        }
+    }
+
+    #[test]
+    fn census_saturates_overlong_prefix_lengths_at_32() {
+        // A corrupt MRT record can claim a length > 32; the census must
+        // clamp into the /32 bucket instead of indexing out of bounds.
+        let c = Community::from_parts(100, 666);
+        let mut census = CommunityPrefixCensus::new();
+        census.record(&[c], 128);
+        census.record_repeated(&[c], 200, 3);
+        census.record(&[c], 32);
+        assert_eq!(census.occurrences(c), 5);
+        assert!((census.fraction_more_specific_than_24(c) - 1.0).abs() < 1e-12);
+        let dict = BlackholeDictionary::default();
+        let series = census.fig2_series(&dict);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].prefix_length, 32);
+        assert!((series[0].fraction - 1.0).abs() < 1e-12);
     }
 
     #[test]

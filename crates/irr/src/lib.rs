@@ -21,17 +21,29 @@
 //!    the inferred-community extraction (exclusively >/24 usage +
 //!    co-occurrence with documented blackhole communities + public-ASN
 //!    high bits), and the Fig. 2 data series.
+//! 5. [`classifier`] generalizes the dictionary into a multi-class
+//!    community classifier (blackhole/action/location/informational à la
+//!    Krenc et al.), combining the per-class documentation maps with
+//!    census usage features, and distills the location/informational
+//!    classes into [`NegativeControls`] that the inference session uses
+//!    to suppress false candidate events (e.g. stolen-tag hijacks).
 //!
 //! Because ground truth is available, [`dictionary::DictionaryValidation`]
 //! quantifies miner precision/recall — the paper could only spot-check
 //! against published documentation.
 
+pub mod classifier;
 pub mod corpus;
 pub mod dictionary;
 pub mod inference;
 pub mod mining;
 
+pub use classifier::{
+    ClassifiedCommunity, ClassifierConfig, CommunityClassifier, NegativeControls,
+};
 pub use corpus::{Corpus, CorpusGenerator, IrrObject, PrivateNote, WebPage};
-pub use dictionary::{BlackholeDictionary, DictEntry, DictionaryValidation, ProviderMeta};
+pub use dictionary::{
+    BlackholeDictionary, ClassScore, ClassValidation, DictEntry, DictionaryValidation, ProviderMeta,
+};
 pub use inference::{CommunityPrefixCensus, Fig2Point, InferredCommunity};
-pub use mining::{DictionaryMiner, MinedCommunity, MinedKind};
+pub use mining::{CommunityClass, DictionaryMiner, MinedCommunity, MinedKind};

@@ -21,6 +21,46 @@ pub enum MinedKind {
     Other,
 }
 
+/// Usage class of a documented community — the Krenc et al. taxonomy
+/// refining [`MinedKind::Other`] into actionable classes.
+///
+/// The declaration order is the resolution precedence: when one
+/// (provider, community) pair is observed under several classes, the
+/// *smallest* (strongest) class wins, so `Blackhole` beats `Action`
+/// beats `Location` beats `Informational`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CommunityClass {
+    /// Blackhole trigger (RTBH).
+    Blackhole,
+    /// Actionable traffic engineering: prepend, preference, export
+    /// control.
+    Action,
+    /// Geographic/ingress location tagging.
+    Location,
+    /// Informational marking (relationship tags, provenance).
+    Informational,
+}
+
+impl CommunityClass {
+    /// All classes in precedence order.
+    pub const ALL: [CommunityClass; 4] = [
+        CommunityClass::Blackhole,
+        CommunityClass::Action,
+        CommunityClass::Location,
+        CommunityClass::Informational,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CommunityClass::Blackhole => "blackhole",
+            CommunityClass::Action => "action",
+            CommunityClass::Location => "location",
+            CommunityClass::Informational => "informational",
+        }
+    }
+}
+
 /// One mined community observation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MinedCommunity {
@@ -30,8 +70,10 @@ pub struct MinedCommunity {
     pub community: Option<Community>,
     /// The large community, if the token was `A:B:C`.
     pub large: Option<LargeCommunity>,
-    /// Mined semantics.
+    /// Mined semantics (binary; derived from `class`).
     pub kind: MinedKind,
+    /// Mined usage class.
+    pub class: CommunityClass,
     /// Minimum accepted prefix length, when the surrounding text
     /// documents one (e.g. "/25-/32 accepted").
     pub min_accepted_length: Option<u8>,
@@ -60,6 +102,12 @@ pub fn tokenize(line: &str) -> Vec<String> {
         .collect()
 }
 
+/// Strong blackhole stems: unambiguous even when class keywords appear
+/// on the same line. `discard` is deliberately excluded — it is the weak
+/// stem that non-blackhole prose ("we discard the MED on export") also
+/// uses, which is exactly what the class-aware pass disambiguates.
+const STRONG_BLACKHOLE_STEMS: &[&str] = &["blackhol", "nullrout", "rtbh"];
+
 /// Does the token start with any blackhole stem?
 fn is_blackhole_token(token: &str) -> bool {
     BLACKHOLE_STEMS.iter().any(|stem| token.starts_with(stem))
@@ -70,9 +118,62 @@ pub fn line_is_blackhole(tokens: &[String]) -> bool {
     if tokens.iter().any(|t| is_blackhole_token(t)) {
         return true;
     }
+    line_has_blackhole_bigram(tokens)
+}
+
+fn line_has_blackhole_bigram(tokens: &[String]) -> bool {
     tokens
         .windows(2)
         .any(|w| BLACKHOLE_BIGRAMS.iter().any(|(a, b)| w[0].starts_with(a) && w[1].starts_with(b)))
+}
+
+/// Class hint carried by a single token, if any.
+fn class_hint(token: &str) -> Option<CommunityClass> {
+    if token.starts_with("prepend")
+        || token == "preference"
+        || token.starts_with("export")
+        || token.starts_with("engineer")
+    {
+        return Some(CommunityClass::Action);
+    }
+    if token.starts_with("location")
+        || token.starts_with("region")
+        || token.starts_with("learn")
+        || token.starts_with("ingress")
+        || token.starts_with("presence")
+    {
+        return Some(CommunityClass::Location);
+    }
+    if token.starts_with("peering")
+        || token.starts_with("customer")
+        || token == "marks"
+        || token.starts_with("tagged")
+        || token.starts_with("informational")
+    {
+        return Some(CommunityClass::Informational);
+    }
+    None
+}
+
+/// Classify one line of documentation prose.
+///
+/// Strong blackhole stems win outright; otherwise the strongest class
+/// keyword on the line decides; a lone weak `discard` still reads as
+/// blackholing; anything left is informational.
+pub fn classify_line(tokens: &[String]) -> CommunityClass {
+    let strong =
+        tokens.iter().any(|t| STRONG_BLACKHOLE_STEMS.iter().any(|stem| t.starts_with(stem)))
+            || line_has_blackhole_bigram(tokens);
+    if strong {
+        return CommunityClass::Blackhole;
+    }
+    if let Some(best) = tokens.iter().filter_map(|t| class_hint(t)).min() {
+        return best;
+    }
+    if tokens.iter().any(|t| t.starts_with("discard")) {
+        return CommunityClass::Blackhole;
+    }
+    CommunityClass::Informational
 }
 
 /// Parse a community token: `A:B` (classic) or `A:B:C` (large).
@@ -122,14 +223,29 @@ fn extract_min_length(line: &str) -> Option<u8> {
 }
 
 impl DictionaryMiner {
-    /// Mine every document in the corpus.
+    /// Mine every document in the corpus with the class-aware pass.
     pub fn mine(&self, corpus: &Corpus) -> Vec<MinedCommunity> {
+        self.mine_with(corpus, false)
+    }
+
+    /// Mine with the legacy stem-only pass: any line containing a
+    /// blackhole stem — including the weak `discard` — is a blackhole
+    /// line, everything else is informational. This is the
+    /// dictionary-only baseline that class-aware mining and negative
+    /// controls are scored against.
+    pub fn mine_naive(&self, corpus: &Corpus) -> Vec<MinedCommunity> {
+        self.mine_with(corpus, true)
+    }
+
+    fn mine_with(&self, corpus: &Corpus, naive: bool) -> Vec<MinedCommunity> {
         let mut out = Vec::new();
         for obj in &corpus.irr_objects {
-            self.mine_irr(obj, &mut out);
+            let remarks =
+                obj.lines.iter().filter_map(|l| l.strip_prefix("remarks:")).map(str::trim);
+            self.mine_lines(obj.asn, remarks, naive, &mut out);
         }
         for page in &corpus.web_pages {
-            self.mine_lines(page.asn, page.paragraphs.iter().map(String::as_str), &mut out);
+            self.mine_lines(page.asn, page.paragraphs.iter().map(String::as_str), naive, &mut out);
         }
         // Private notes are structured and pre-validated.
         for note in &corpus.private_notes {
@@ -139,6 +255,7 @@ impl DictionaryMiner {
                     community: Some(community),
                     large: None,
                     kind: MinedKind::Blackhole,
+                    class: CommunityClass::Blackhole,
                     min_accepted_length: None,
                 });
             }
@@ -148,6 +265,7 @@ impl DictionaryMiner {
                     community: None,
                     large: Some(large),
                     kind: MinedKind::Blackhole,
+                    class: CommunityClass::Blackhole,
                     min_accepted_length: None,
                 });
             }
@@ -158,23 +276,33 @@ impl DictionaryMiner {
     /// Mine one IRR object (only `remarks:` lines carry policy prose).
     pub fn mine_irr(&self, obj: &IrrObject, out: &mut Vec<MinedCommunity>) {
         let remarks = obj.lines.iter().filter_map(|l| l.strip_prefix("remarks:")).map(str::trim);
-        self.mine_lines(obj.asn, remarks, out);
+        self.mine_lines(obj.asn, remarks, false, out);
     }
 
     /// Mine one web page.
     pub fn mine_web(&self, page: &WebPage, out: &mut Vec<MinedCommunity>) {
-        self.mine_lines(page.asn, page.paragraphs.iter().map(String::as_str), out);
+        self.mine_lines(page.asn, page.paragraphs.iter().map(String::as_str), false, out);
     }
 
     fn mine_lines<'a>(
         &self,
         asn: Asn,
         lines: impl Iterator<Item = &'a str>,
+        naive: bool,
         out: &mut Vec<MinedCommunity>,
     ) {
         for line in lines {
             let tokens = tokenize(line);
-            let blackhole = line_is_blackhole(&tokens);
+            let class = if naive {
+                if line_is_blackhole(&tokens) {
+                    CommunityClass::Blackhole
+                } else {
+                    CommunityClass::Informational
+                }
+            } else {
+                classify_line(&tokens)
+            };
+            let blackhole = class == CommunityClass::Blackhole;
             let min_len = extract_min_length(line);
             for token in &tokens {
                 let (community, large) = parse_community_token(token);
@@ -186,6 +314,7 @@ impl DictionaryMiner {
                     community,
                     large,
                     kind: if blackhole { MinedKind::Blackhole } else { MinedKind::Other },
+                    class,
                     min_accepted_length: if blackhole { min_len } else { None },
                 });
             }
@@ -263,6 +392,66 @@ mod tests {
         let mined = mine_line("3356:666 tagged on peering routes");
         assert_eq!(mined.len(), 1);
         assert_eq!(mined[0].kind, MinedKind::Other);
+        assert_eq!(mined[0].class, CommunityClass::Informational);
+    }
+
+    #[test]
+    fn classify_line_covers_all_classes() {
+        for (line, class) in [
+            ("3356:9999 - remotely triggered black hole filtering", CommunityClass::Blackhole),
+            ("3356:666 => discard all traffic toward the prefix", CommunityClass::Blackhole),
+            ("3356:3001: prepend 3x towards all upstreams", CommunityClass::Action),
+            ("do not export to peers when tagged 3356:3002", CommunityClass::Action),
+            ("3356:2001 - route learned at FRA location", CommunityClass::Location),
+            ("3356:2002 marks routes received in the US region", CommunityClass::Location),
+            ("3356:101 marks customer routes", CommunityClass::Informational),
+            ("3356:102: informational tag, no routing action", CommunityClass::Informational),
+        ] {
+            assert_eq!(classify_line(&tokenize(line)), class, "{line}");
+        }
+    }
+
+    #[test]
+    fn weak_discard_traps_fool_only_the_naive_pass() {
+        // Class prose that borrows the weak "discard" stem: the naive
+        // stem-only pass mislabels these as blackhole triggers, the
+        // class-aware pass does not.
+        for (line, class) in [
+            ("3356:3001: lower preference and discard the MED on export", CommunityClass::Action),
+            (
+                "3356:2001 - learned at the FRA location; discarded from our public view",
+                CommunityClass::Location,
+            ),
+            (
+                "3356:101 marks peering routes; unwanted prefixes are discarded from the \
+                 looking glass",
+                CommunityClass::Informational,
+            ),
+        ] {
+            assert!(line_is_blackhole(&tokenize(line)), "naive pass should bite on: {line}");
+            assert_eq!(classify_line(&tokenize(line)), class, "{line}");
+        }
+    }
+
+    #[test]
+    fn naive_mining_keeps_the_legacy_stem_behavior() {
+        let obj = IrrObject {
+            asn: Asn::new(3356),
+            lines: vec![
+                "remarks:     3356:3001: lower preference and discard the MED on export".into()
+            ],
+        };
+        let corpus = crate::corpus::Corpus {
+            irr_objects: vec![obj],
+            web_pages: vec![],
+            private_notes: vec![],
+        };
+        let naive = DictionaryMiner.mine_naive(&corpus);
+        assert_eq!(naive.len(), 1);
+        assert_eq!(naive[0].class, CommunityClass::Blackhole);
+        let aware = DictionaryMiner.mine(&corpus);
+        assert_eq!(aware.len(), 1);
+        assert_eq!(aware[0].class, CommunityClass::Action);
     }
 
     #[test]

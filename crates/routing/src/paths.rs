@@ -187,6 +187,8 @@ mod tests {
             prefixes: vec![],
             blackhole_offering: None,
             tag_communities: vec![],
+            tag_classes: vec![],
+            tag_large_communities: vec![],
             in_peeringdb: true,
         };
         let mut ases = BTreeMap::new();
@@ -226,6 +228,8 @@ mod tests {
             prefixes: vec![],
             blackhole_offering: None,
             tag_communities: vec![],
+            tag_classes: vec![],
+            tag_large_communities: vec![],
             in_peeringdb: true,
         };
         let mut ases = BTreeMap::new();

@@ -225,6 +225,8 @@ mod tests {
             prefixes: prefixes.iter().map(|p| p.parse().unwrap()).collect(),
             blackhole_offering: offering,
             tag_communities: vec![],
+            tag_classes: vec![],
+            tag_large_communities: vec![],
             in_peeringdb: true,
         };
         let offering = BlackholeOffering {

@@ -1392,6 +1392,8 @@ mod tests {
             prefixes: prefixes.iter().map(|p| p.parse().unwrap()).collect(),
             blackhole_offering: offering,
             tag_communities: vec![],
+            tag_classes: vec![],
+            tag_large_communities: vec![],
             in_peeringdb: true,
         };
         let offer = |asn: Asn, honors: bool, strips: bool| BlackholeOffering {

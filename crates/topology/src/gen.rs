@@ -37,8 +37,8 @@ use crate::geo::{
 };
 use crate::graph::Topology;
 use crate::types::{
-    AsInfo, BlackholeAuth, BlackholeOffering, DocumentationChannel, Ixp, IxpId, NetworkType,
-    Relationship, Tier,
+    classic_community, AsInfo, BlackholeAuth, BlackholeOffering, DocumentationChannel, Ixp, IxpId,
+    LargeTag, NetworkType, Relationship, TagClass, Tier,
 };
 
 /// Per-type counts of blackholing providers, split documented/undocumented.
@@ -271,6 +271,8 @@ impl TopologyBuilder {
                     prefixes,
                     blackhole_offering: None,
                     tag_communities: vec![],
+                    tag_classes: vec![],
+                    tag_large_communities: vec![],
                     in_peeringdb: true, // tier-1s always have records
                 },
             );
@@ -341,6 +343,8 @@ impl TopologyBuilder {
                     prefixes,
                     blackhole_offering: None,
                     tag_communities: vec![],
+                    tag_classes: vec![],
+                    tag_large_communities: vec![],
                     in_peeringdb: self.rng.gen_bool(cfg.peeringdb_coverage),
                 },
             );
@@ -403,6 +407,8 @@ impl TopologyBuilder {
                         prefixes,
                         blackhole_offering: None,
                         tag_communities: vec![],
+                        tag_classes: vec![],
+                        tag_large_communities: vec![],
                         in_peeringdb: builder.rng.gen_bool(if ty == NetworkType::Unknown {
                             0.0 // unknowns are unknown *because* they lack records
                         } else {
@@ -488,6 +494,8 @@ impl TopologyBuilder {
                     prefixes: vec![],
                     blackhole_offering: None,
                     tag_communities: vec![],
+                    tag_classes: vec![],
+                    tag_large_communities: vec![],
                     in_peeringdb: true, // IXPs maintain records (LANs are published)
                 },
             );
@@ -536,24 +544,35 @@ impl TopologyBuilder {
             let info = ases.get_mut(asn).expect("transit AS exists");
             let n_tags = self.rng.gen_range(1..=4);
             for k in 0..n_tags {
-                let value = match k {
-                    0 => 100 + self.rng.gen_range(0..10),   // relationship tags
-                    1 => 2000 + self.rng.gen_range(0..50),  // location tags
-                    _ => 3000 + self.rng.gen_range(0..100), // TE tags
+                let (value, class) = match k {
+                    // relationship tags
+                    0 => (100 + self.rng.gen_range(0..10), TagClass::Informational),
+                    // location tags
+                    1 => (2000 + self.rng.gen_range(0..50), TagClass::Location),
+                    // TE tags
+                    _ => (3000 + self.rng.gen_range(0..100), TagClass::Action),
                 };
-                info.tag_communities
-                    .push(Community::from_parts((asn.value() & 0xFFFF) as u16, value as u16));
+                match classic_community(*asn, value as u16) {
+                    Some(c) => {
+                        info.tag_communities.push(c);
+                        info.tag_classes.push(class);
+                    }
+                    // 32-bit ASN (massive topologies): RFC 8092 form.
+                    None => info.tag_large_communities.push(LargeTag {
+                        community: LargeCommunity::new(asn.value(), value as u32, k as u32),
+                        class,
+                    }),
+                }
             }
         }
 
         Topology::assemble(ases, edges, ixps)
     }
 
-    /// Pick blackhole community values following the §4.1 conventions.
-    fn community_for(&mut self, asn: Asn) -> Community {
-        let high = (asn.value() & 0xFFFF) as u16;
+    /// Pick a blackhole community value following the §4.1 conventions.
+    fn trigger_value(&mut self) -> u16 {
         let roll: f64 = self.rng.gen();
-        let value = if roll < 0.51 {
+        if roll < 0.51 {
             666
         } else if roll < 0.66 {
             66
@@ -563,8 +582,18 @@ impl TopologyBuilder {
             9999
         } else {
             self.rng.gen_range(600..700)
-        };
-        Community::from_parts(high, value)
+        }
+    }
+
+    /// Pick a blackhole trigger for `asn`: classic `ASN:value` for 16-bit
+    /// ASNs, RFC 8092 large `ASN:value:0` for 32-bit ASNs (which have no
+    /// classic encoding).
+    fn trigger_for(&mut self, asn: Asn) -> (Option<Community>, Option<LargeCommunity>) {
+        let value = self.trigger_value();
+        match classic_community(asn, value) {
+            Some(c) => (Some(c), None),
+            None => (None, Some(LargeCommunity::new(asn.value(), u32::from(value), 0))),
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -602,24 +631,32 @@ impl TopologyBuilder {
             if i == 0 {
                 // The Level3 decoy: blackhole with ASN:9999, use ASN:666 as
                 // a peering tag (added to tag_communities below).
-                communities.push(Community::from_parts((asn.value() & 0xFFFF) as u16, 9999));
+                match classic_community(*asn, 9999) {
+                    Some(c) => communities.push(c),
+                    None => large_community = Some(LargeCommunity::new(asn.value(), 9999, 0)),
+                }
             } else if shared_assigned < 4 && documented && self.rng.gen_bool(0.08) {
                 communities.push(shared_pool[shared_assigned % shared_pool.len()]);
                 shared_assigned += 1;
             } else if i == 1 && documented {
                 // The single large-community blackholer (RFC 8092).
                 large_community = Some(LargeCommunity::new(asn.value(), 666, 0));
-                communities.push(self.community_for(*asn));
+                let (classic, _) = self.trigger_for(*asn);
+                communities.extend(classic);
             } else {
-                communities.push(self.community_for(*asn));
+                let (classic, large) = self.trigger_for(*asn);
+                communities.extend(classic);
+                large_community = large_community.or(large);
             }
             if documented && self.rng.gen_bool(0.10) {
-                // Regional variant (e.g. blackhole only in EU).
-                let base = communities[0];
-                communities.push(Community::from_parts(
-                    base.asn_part(),
-                    base.value_part().wrapping_add(1),
-                ));
+                // Regional variant (e.g. blackhole only in EU). 32-bit
+                // providers are large-community-only and get no variant.
+                if let Some(&base) = communities.first() {
+                    communities.push(Community::from_parts(
+                        base.asn_part(),
+                        base.value_part().wrapping_add(1),
+                    ));
+                }
             }
             let documentation = if !documented {
                 DocumentationChannel::Undocumented
@@ -652,8 +689,16 @@ impl TopologyBuilder {
             });
             if i == 0 {
                 // Attach the decoy peering tag.
-                info.tag_communities
-                    .push(Community::from_parts((asn.value() & 0xFFFF) as u16, 666));
+                match classic_community(*asn, 666) {
+                    Some(c) => {
+                        info.tag_communities.push(c);
+                        info.tag_classes.push(TagClass::Informational);
+                    }
+                    None => info.tag_large_communities.push(LargeTag {
+                        community: LargeCommunity::new(asn.value(), 666, 1),
+                        class: TagClass::Informational,
+                    }),
+                }
             }
         }
 
@@ -696,11 +741,11 @@ impl TopologyBuilder {
                 } else {
                     DocumentationChannel::Undocumented
                 };
-                let c = builder.community_for(*asn);
+                let (classic, large) = builder.trigger_for(*asn);
                 let info = ases.get_mut(asn).expect("pool AS exists");
                 info.blackhole_offering = Some(BlackholeOffering {
-                    communities: vec![c],
-                    large_community: None,
+                    communities: classic.into_iter().collect(),
+                    large_community: large,
                     min_accepted_length: 25,
                     documentation,
                     auth: BlackholeAuth::OriginOrCone,
@@ -724,6 +769,55 @@ mod tests {
 
     fn build_tiny() -> Topology {
         TopologyBuilder::new(TopologyConfig::tiny(7)).build()
+    }
+
+    #[test]
+    fn thirty_two_bit_asns_get_large_communities_not_truncated_classics() {
+        // A transit-heavy walk that crosses the 16-bit ASN boundary (the
+        // ASN stride averages ~10.5, so ASes past index ~6200 are 32-bit).
+        // Before routing 32-bit providers through RFC 8092, two such ASes
+        // aliasing mod 2^16 collided on one truncated `ASN:666`-style tag.
+        let mut cfg = TopologyConfig::massive_scaled(7, 500);
+        cfg.transit_count = 7_000;
+        let t = TopologyBuilder::new(cfg).build();
+        let shared = [Community::from_parts(0, 666), Community::from_parts(64_999, 666)];
+        let mut high_tagged = 0usize;
+        let mut high_offerings = 0usize;
+        for info in t.ases() {
+            if info.asn.value() <= u32::from(u16::MAX) || info.network_type == NetworkType::Ixp {
+                continue;
+            }
+            // 32-bit ASes never own ASN-derived classic communities.
+            assert!(info.tag_communities.is_empty(), "{} has truncated classic tags", info.asn);
+            for tag in &info.tag_large_communities {
+                assert_eq!(tag.community.asn(), info.asn);
+                high_tagged += 1;
+            }
+            if let Some(o) = &info.blackhole_offering {
+                assert!(
+                    o.communities.iter().all(|c| shared.contains(c)),
+                    "{} has a truncated classic trigger",
+                    info.asn
+                );
+                if let Some(l) = o.large_community {
+                    assert_eq!(l.asn(), info.asn);
+                    high_offerings += 1;
+                }
+            }
+        }
+        assert!(high_tagged > 0, "no 32-bit AS received large tags");
+        assert!(high_offerings > 0, "no 32-bit AS received a large trigger");
+    }
+
+    #[test]
+    fn classic_community_refuses_32_bit_asns() {
+        // Two ASNs that alias mod 2^16 — the collision the truncation
+        // produced.
+        let a = Asn::new(70_000);
+        let b = Asn::new(70_000 + 65_536);
+        assert_eq!(classic_community(a, 666), None);
+        assert_eq!(classic_community(b, 666), None);
+        assert_eq!(classic_community(Asn::new(3356), 666), Some(Community::from_parts(3356, 666)));
     }
 
     #[test]

@@ -447,6 +447,8 @@ mod tests {
             prefixes: vec![],
             blackhole_offering: None,
             tag_communities: vec![],
+            tag_classes: vec![],
+            tag_large_communities: vec![],
             in_peeringdb: true,
         }
     }

@@ -36,6 +36,6 @@ pub use graph::{AsnIndex, Degrees, LanIndex, OriginIndex, PropagationRanks, Topo
 pub use policy::{AsPolicy, CommunityScrub, PolicyTable, Roa, RoaTable, RpkiValidity};
 pub use registry::{ClassificationSource, Classifier};
 pub use types::{
-    AsInfo, BlackholeAuth, BlackholeOffering, DocumentationChannel, Ixp, IxpId, NetworkType,
-    Relationship, Tier,
+    classic_community, AsInfo, BlackholeAuth, BlackholeOffering, DocumentationChannel, Ixp, IxpId,
+    LargeTag, NetworkType, Relationship, TagClass, Tier,
 };

@@ -107,6 +107,39 @@ pub enum DocumentationChannel {
     Undocumented,
 }
 
+/// Ground-truth usage class of a non-blackhole tag community (the
+/// Krenc et al. taxonomy the multi-class dictionary is validated
+/// against).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TagClass {
+    /// Geographic ingress tagging ("route learned at FRA").
+    Location,
+    /// Actionable traffic engineering (prepend, local-pref, export
+    /// control).
+    Action,
+    /// Purely informational marking (relationship tags, route provenance).
+    Informational,
+}
+
+/// A tag community in RFC 8092 large form, with its usage class — the
+/// only representable form when the tagging AS has a 32-bit ASN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LargeTag {
+    /// The large community.
+    pub community: LargeCommunity,
+    /// Ground-truth usage class.
+    pub class: TagClass,
+}
+
+/// The RFC 1997 classic community `asn:value`, when the ASN fits in 16
+/// bits. 32-bit ASNs have no classic encoding — truncating with
+/// `& 0xFFFF` would alias every pair of providers that agree mod 2^16
+/// onto one tag, so callers must fall back to RFC 8092 large
+/// communities instead.
+pub fn classic_community(asn: Asn, value: u16) -> Option<Community> {
+    u16::try_from(asn.value()).ok().map(|high| Community::from_parts(high, value))
+}
+
 /// Authentication the provider applies before honoring a blackhole
 /// request (§2: origin/customer-cone, RPKI, or IRR registration).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -189,6 +222,14 @@ pub struct AsInfo {
     /// and provide decoys for the dictionary miner (e.g. the Level3-style
     /// `ASN:666` peering tag that does *not* mean blackholing).
     pub tag_communities: Vec<Community>,
+    /// Ground-truth usage class of each entry in `tag_communities`
+    /// (parallel vector; missing entries default to
+    /// [`TagClass::Informational`] via [`AsInfo::classed_tags`]).
+    pub tag_classes: Vec<TagClass>,
+    /// Tag communities of 32-bit-ASN networks, which have no classic
+    /// (RFC 1997) encoding and are carried as RFC 8092 large
+    /// communities instead.
+    pub tag_large_communities: Vec<LargeTag>,
     /// Whether this AS has a PeeringDB record that discloses its type
     /// (when false, classification falls back to the CAIDA-style
     /// inference).
@@ -199,6 +240,16 @@ impl AsInfo {
     /// Does this AS offer blackholing?
     pub fn offers_blackholing(&self) -> bool {
         self.blackhole_offering.is_some()
+    }
+
+    /// Classic tag communities paired with their ground-truth class.
+    /// Tags without a recorded class (hand-built fixtures) default to
+    /// [`TagClass::Informational`].
+    pub fn classed_tags(&self) -> impl Iterator<Item = (Community, TagClass)> + '_ {
+        self.tag_communities
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (*c, self.tag_classes.get(i).copied().unwrap_or(TagClass::Informational)))
     }
 
     /// Does this AS originate the given prefix (exactly or as a covering
@@ -314,6 +365,8 @@ mod tests {
             prefixes: vec!["130.149.0.0/16".parse().unwrap()],
             blackhole_offering: None,
             tag_communities: vec![],
+            tag_classes: vec![],
+            tag_large_communities: vec![],
             in_peeringdb: true,
         };
         assert!(info.originates(&"130.149.1.1/32".parse().unwrap()));

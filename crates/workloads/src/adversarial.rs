@@ -21,7 +21,11 @@
 //!   provider's minimum accepted blackhole length: the trigger is
 //!   inert ([`bh_routing::RejectReason::LengthRejected`]) but the
 //!   tagged route propagates like any customer route, stressing the
-//!   leak-vs-blackhole misclassification ([`LabelKind::RouteLeak`]).
+//!   leak-vs-blackhole misclassification ([`LabelKind::RouteLeak`]);
+//! * **stolen-tag hijacks** — host routes decorated with the victim
+//!   providers' harmless location/informational *tag* communities
+//!   ([`LabelKind::Tagged`]): bait for a trap-poisoned dictionary, and
+//!   the population the classifier's negative controls suppress.
 //!
 //! Every scheduled event also emits a [`TruthLabel`], so
 //! [`bh_core::score_events`] can turn an
@@ -72,6 +76,9 @@ pub struct AdversarialConfig {
     pub reroutes_per_day: f64,
     /// Mean route-leak events per day.
     pub leaks_per_day: f64,
+    /// Mean stolen-tag hijack events per day (host routes decorated
+    /// with providers' non-blackhole *tag* communities).
+    pub tagged_per_day: f64,
     /// Per-AS policies installed on the simulator before any
     /// announcement (empty table installs nothing).
     pub policy: PolicyTable,
@@ -88,7 +95,21 @@ impl AdversarialConfig {
             hijacks_per_day: 0.0,
             reroutes_per_day: 0.0,
             leaks_per_day: 0.0,
+            tagged_per_day: 0.0,
             policy: PolicyTable::new(),
+        }
+    }
+
+    /// Cooperative traffic plus stolen-tag hijacks: the attacker
+    /// decorates victim host routes with the victim providers'
+    /// location/informational tag communities. A dictionary poisoned by
+    /// trap phrasing mistakes the tags for triggers; the classifier's
+    /// negative controls are scored by how many of these they suppress.
+    pub fn stolen_tag_hijack(seed: u64, days: u64, rate: f64) -> Self {
+        AdversarialConfig {
+            name: "stolen-tag".into(),
+            tagged_per_day: rate,
+            ..Self::baseline(seed, days, rate)
         }
     }
 
@@ -364,6 +385,61 @@ impl Planner<'_> {
         });
     }
 
+    /// A stolen-tag hijack: like [`Planner::hijack`], but the attacker
+    /// steals the victim providers' harmless *tag* communities
+    /// (location/informational documentation) instead of the blackhole
+    /// triggers. No correct dictionary should ever bite; one poisoned by
+    /// weak-`discard` trap phrasing does, and the negative controls are
+    /// scored by how many of these they suppress.
+    fn stolen_tag(&mut self, rng: &mut StdRng, day_start: SimTime) {
+        let victim = *self.users.choose(rng).expect("non-empty user pool");
+        let Some(&attacker) =
+            self.attackers.choose_multiple(rng, self.attackers.len()).find(|&&a| a != victim)
+        else {
+            return;
+        };
+        let mut communities = CommunitySet::new();
+        for p in clean_providers(self.topology, victim) {
+            if let Some(info) = self.topology.as_info(p.provider) {
+                for &tag in info.tag_communities.iter().take(2) {
+                    communities.insert(tag);
+                }
+            }
+        }
+        if communities.is_empty() {
+            return; // no provider documents classic tags: nothing to steal
+        }
+        let Some(prefix) = fresh_host_route(rng, self.topology, victim, &mut self.used) else {
+            return;
+        };
+        let start = day_start + SimDuration::secs(rng.gen_range(0..80_000));
+        let end = start + SimDuration::mins(rng.gen_range(20..=90));
+        self.labels.push(TruthLabel {
+            prefix,
+            start,
+            end,
+            kind: LabelKind::Tagged,
+            expect_detection: false,
+        });
+        self.actions.push(TimedAction {
+            time: start,
+            action: Action::Announce(Announcement {
+                origin: attacker,
+                prefix,
+                communities,
+                scope: AnnounceScope::AllNeighbors,
+                irr_registered: false,
+                prepend: 1,
+            }),
+            truth: None,
+        });
+        self.actions.push(TimedAction {
+            time: end,
+            action: Action::Withdraw { origin: attacker, prefix },
+            truth: None,
+        });
+    }
+
     /// Prepend-based re-routing: the victim re-announces its own /24
     /// with heavy prepending and no communities at all. The negative
     /// control — nothing here should ever look like blackholing.
@@ -513,6 +589,9 @@ pub fn run_adversarial(
         for _ in 0..poisson(&mut rng, config.leaks_per_day).max(floor(config.leaks_per_day)) {
             planner.leak(&mut rng, day_start);
         }
+        for _ in 0..poisson(&mut rng, config.tagged_per_day).max(floor(config.tagged_per_day)) {
+            planner.stolen_tag(&mut rng, day_start);
+        }
     }
 
     let Planner { mut truths, labels, mut actions, .. } = planner;
@@ -597,6 +676,21 @@ mod tests {
         assert!(!leaks.is_empty(), "no leak labels");
         assert!(leaks.iter().all(|l| !l.prefix.is_host_route()), "leaks must be coarse");
         assert!(out.run_stats.exports_forced > 0, "leakers never forced an export");
+    }
+
+    #[test]
+    fn stolen_tag_workload_emits_tagged_labels_that_reach_collectors() {
+        let out = run_tiny(&AdversarialConfig::stolen_tag_hijack(4, 3, 4.0));
+        let tagged: Vec<_> = out.labels.iter().filter(|l| l.kind == LabelKind::Tagged).collect();
+        assert!(!tagged.is_empty(), "no stolen-tag events scheduled");
+        assert!(tagged.iter().all(|l| !l.expect_detection && l.prefix.is_host_route()));
+        // The stolen tags survive propagation: collectors see at least
+        // one of these host routes still carrying communities.
+        let prefixes: BTreeSet<_> = tagged.iter().map(|l| l.prefix).collect();
+        assert!(
+            out.elems.iter().any(|e| prefixes.contains(&e.prefix) && !e.communities.is_empty()),
+            "stolen tags were stripped before reaching any collector"
+        );
     }
 
     #[test]

@@ -50,6 +50,8 @@ pub fn fig3_topology() -> (Topology, Fig3Cast) {
         prefixes: prefixes.iter().map(|p| p.parse().unwrap()).collect(),
         blackhole_offering: offering,
         tag_communities: vec![],
+        tag_classes: vec![],
+        tag_large_communities: vec![],
         in_peeringdb: true,
     };
     let provider_offering = |asn: Asn| BlackholeOffering {
